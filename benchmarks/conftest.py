@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures and
+asserts its *shape* (who wins, where the cliffs sit) rather than
+absolute numbers -- see EXPERIMENTS.md.  Scale knobs default to values
+that keep a full ``pytest benchmarks/ --benchmark-only`` run in the
+minutes range; set ``REPRO_SCALE`` to trade time for statistical depth.
+"""
+
+import os
+
+import pytest
+
+#: Per-cell trials for the Fig. 7 sweeps (paper: 1000).
+FIG7_TRIALS = max(1, int(3 * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+#: Slots per trial (paper: 100 s = 10M slots; here 0.3 s).
+FIG7_HORIZON = 30_000
+
+
+@pytest.fixture(scope="session")
+def fig7_trials():
+    return FIG7_TRIALS
+
+
+@pytest.fixture(scope="session")
+def fig7_horizon():
+    return FIG7_HORIZON

@@ -1,0 +1,168 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **Preload fraction sweep** -- I/O-GUARD-x for x beyond the paper's
+  {40, 70}: the P-channel share is a dial, and success should not
+  degrade as more load moves to the statically guaranteed channel.
+* **Preemption ablation** -- I/O-GUARD with its I/O pools forced to
+  FIFO selection recovers BlueVisor-like behaviour: this isolates the
+  random-access priority queue + preemptive EDF as the mechanism behind
+  the Fig. 7 gap (the paper's central claim).
+* **Server dimensioning ablation** -- analytic (Theorem-4 minimal
+  budgets) vs proportional dimensioning.
+* **Table layout ablation** -- spread+staggered sigma* vs phase-0
+  clustering, measured through sbf at small windows.
+"""
+
+import pytest
+
+from repro.baselines import IOGuardSystem, TrialConfig, prepare_workload
+from repro.core.lsched import fifo_policy
+from repro.core.timeslot import build_pchannel_table, stagger_offsets
+from repro.sim.rng import RandomSource
+from repro.tasks import build_case_study_taskset, pad_to_target_utilization
+
+
+def run_trial(system, utilization, horizon, seed=11, vm_count=4):
+    base = build_case_study_taskset(vm_count=vm_count)
+    rng = RandomSource(seed, f"abl{utilization}")
+    padded = pad_to_target_utilization(
+        base, utilization, rng.spawn("pad"), vm_count=vm_count
+    )
+    workload = prepare_workload(
+        padded,
+        TrialConfig(horizon_slots=horizon),
+        rng.spawn("wl"),
+        target_utilization=utilization,
+    )
+    return system.run_trial(workload, rng.spawn(system.name))
+
+
+def test_bench_preload_sweep(benchmark, fig7_horizon):
+    """I/O-GUARD-x for x in {0, 20, 40, 60, 80, 100} at 90 % load."""
+
+    def sweep():
+        outcomes = {}
+        for fraction in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+            system = IOGuardSystem(fraction)
+            result = run_trial(system, 0.9, fig7_horizon // 2)
+            outcomes[fraction] = result
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for fraction, result in outcomes.items():
+        assert result.success, f"preload {fraction} failed at 90% load"
+        assert result.total_missed == 0, fraction
+    # Preloading trades average latency for a hard guarantee: table-
+    # spread P-channel jobs complete anywhere inside their deadline
+    # window, so mean response grows with the preload fraction while
+    # misses stay at zero.  (The paper's Obs 3 benefit is the guarantee
+    # plus lower variance, not lower mean latency.)
+    assert (
+        outcomes[0.8].mean_response_slots >= outcomes[0.0].mean_response_slots
+    )
+
+
+def test_bench_preemption_ablation(benchmark, fig7_horizon):
+    """FIFO pools (BlueVisor-like hardware) vs preemptive-EDF pools."""
+
+    def compare():
+        edf = IOGuardSystem(0.0)
+        fifo = IOGuardSystem(0.0)
+        # Force the conventional FIFO structure inside every I/O pool.
+        fifo.name = "ioguard-fifo"
+        original = IOGuardSystem._dimension_servers
+
+        edf_result = run_trial(edf, 0.9, fig7_horizon // 2)
+
+        import repro.core.rchannel as rchannel_module
+
+        class FifoRChannel(rchannel_module.RChannel):
+            def __init__(self, servers, **kwargs):
+                kwargs["policy"] = fifo_policy
+                super().__init__(servers, **kwargs)
+
+        import repro.baselines.ioguard_system as ioguard_module
+
+        saved = ioguard_module.RChannel
+        ioguard_module.RChannel = FifoRChannel
+        try:
+            fifo_result = run_trial(fifo, 0.9, fig7_horizon // 2)
+        finally:
+            ioguard_module.RChannel = saved
+        assert original is IOGuardSystem._dimension_servers
+        return edf_result, fifo_result
+
+    edf_result, fifo_result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # Preemptive EDF meets everything at 90 %; arrival-order service
+    # misses deadlines (head-of-line blocking) -- the paper's core claim.
+    assert edf_result.total_missed == 0
+    assert fifo_result.total_missed > 0
+
+
+def test_bench_server_policy_ablation(benchmark, fig7_horizon):
+    """Analytic vs proportional server dimensioning at 70 % load."""
+
+    def compare():
+        proportional = run_trial(
+            IOGuardSystem(0.4, server_policy="proportional"),
+            0.7,
+            fig7_horizon // 2,
+        )
+        analytic = run_trial(
+            IOGuardSystem(0.4, server_policy="analytic"),
+            0.7,
+            fig7_horizon // 2,
+        )
+        return proportional, analytic
+
+    proportional, analytic = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert proportional.success
+    assert analytic.success
+
+
+def test_bench_slot_granularity(benchmark):
+    """Slot-size sweep: WCET rounding inflates utilization as slots grow.
+
+    The hypervisor schedules in integer slots; coarser slots waste more
+    of each slot on rounding.  The sweep quantifies the inflation of the
+    case-study catalog and checks the default 10 us slot stays analysable.
+    """
+    from repro.analysis import analyze_system
+    from repro.tasks.automotive import catalog_utilization
+
+    def sweep():
+        outcomes = {}
+        for slot_us in (5.0, 10.0, 20.0, 50.0):
+            utilization = catalog_utilization(slot_us=slot_us)
+            outcomes[slot_us] = utilization
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    # Inflation grows monotonically with slot size ...
+    values = [outcomes[s] for s in sorted(outcomes)]
+    assert values == sorted(values)
+    # ... the true utilization (~0.38 before rounding) is approached
+    # from above as slots shrink, and the default slot stays near 40 %.
+    assert outcomes[5.0] < outcomes[10.0] < outcomes[50.0]
+    assert 0.36 <= outcomes[10.0] <= 0.44
+    # The default-granularity case study remains analysable end to end.
+    split = build_case_study_taskset(vm_count=4).split_predefined(0.4)
+    assert analyze_system(split).schedulable
+
+
+def test_bench_table_layout_ablation(benchmark):
+    """Staggered+spread sigma* vs phase-0 sigma*: small-window supply."""
+    predefined = build_case_study_taskset(vm_count=4).split_predefined(
+        0.7
+    ).predefined()
+
+    def build_both():
+        clustered = build_pchannel_table(predefined)
+        spread = build_pchannel_table(stagger_offsets(predefined))
+        return clustered, spread
+
+    clustered, spread = benchmark(build_both)
+    # The staggered/spread layout never supplies less in small windows.
+    window = 200
+    assert spread.sbf(window) >= clustered.sbf(window)
+    assert spread.free_slots == clustered.free_slots  # same total load

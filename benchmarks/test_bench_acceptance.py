@@ -1,0 +1,28 @@
+"""Acceptance-ratio bench: the schedulability-test precision figure.
+
+Regenerates the acceptance sweep under the (20, 14) server and asserts
+the analytic ordering: the bandwidth envelope dominates Theorem 4,
+Theorem 4 dominates its linear-supply approximation, and Theorem 4
+tracks the envelope closely until near the server bandwidth.
+"""
+
+from repro.exp.acceptance import render_acceptance, run_acceptance
+
+
+def test_bench_acceptance(benchmark):
+    result = benchmark.pedantic(
+        run_acceptance,
+        kwargs={"samples": 40},
+        rounds=1,
+        iterations=1,
+    )
+    for point in result.points:
+        assert point.ratios["bandwidth"] >= point.ratios["theorem4"]
+        assert point.ratios["theorem4"] >= point.ratios["linear"]
+    theorem4 = result.curve("theorem4")
+    # Implicit-deadline sets well under the server bandwidth are all in.
+    assert theorem4[0.3] == 1.0
+    assert theorem4[0.5] >= 0.95
+    # Past the bandwidth the test must reject what physics rejects.
+    assert theorem4[0.7] <= result.curve("bandwidth")[0.7]
+    print("\n" + render_acceptance(result))

@@ -1,0 +1,96 @@
+"""Analysis benches: the schedulability machinery itself.
+
+The paper's analytical contribution is the pseudo-polynomial pair
+(Theorems 2 and 4).  These benches time the tests on case-study-sized
+inputs and check the pseudo-polynomial horizons undercut the exact
+hyper-period horizons -- the whole point of Theorems 2/4.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_system,
+    gsched_schedulable,
+    gsched_schedulable_exact,
+    lsched_schedulable,
+    theorem2_bound,
+    theorem4_bound,
+)
+from repro.analysis.hyperperiod import lcm_all
+from repro.core.timeslot import TimeSlotTable, build_pchannel_table, stagger_offsets
+from repro.tasks import build_case_study_taskset, generate_random_taskset
+
+
+@pytest.fixture(scope="module")
+def case_study_split():
+    return build_case_study_taskset(vm_count=4).split_predefined(0.4)
+
+
+def test_bench_full_system_analysis(benchmark, case_study_split):
+    """End-to-end Sec. IV analysis of the case-study configuration."""
+    result = benchmark.pedantic(
+        analyze_system, args=(case_study_split,), rounds=1, iterations=2
+    )
+    assert result.schedulable
+
+
+def test_bench_table_construction(benchmark, case_study_split):
+    predefined = stagger_offsets(case_study_split.predefined())
+    table = benchmark(build_pchannel_table, predefined)
+    assert table.free_slots > 0
+
+
+#: Coprime-ish server periods: the exact Theorem-1 horizon is the LCM
+#: (which explodes on such sets -- the case Theorem 2 exists for),
+#: while the Theorem-2 bound stays at the F*(H-1)/H/c scale.
+_THEOREM2_SERVERS = [(49, 8), (41, 6), (83, 10), (100, 12)]
+
+
+def test_bench_theorem2(benchmark):
+    table = TimeSlotTable.from_pattern(([1] + [0] * 4) * 40)  # H=200, 20% busy
+    result = benchmark(gsched_schedulable, table, _THEOREM2_SERVERS)
+    assert result.schedulable
+    # The pseudo-polynomial horizon must be far below the exact one.
+    bound = theorem2_bound(table, _THEOREM2_SERVERS)
+    exact_horizon = lcm_all(
+        [table.total_slots] + [pi for pi, _ in _THEOREM2_SERVERS]
+    )
+    assert bound * 1000 < exact_horizon
+
+
+def test_bench_theorem2_vs_exact(benchmark):
+    """Exact Theorem-1 on an LCM-friendly variant, for comparison.
+
+    (The exact test on the coprime instance above would walk hundreds of
+    millions of slots -- exactly why the paper needs Theorem 2.)
+    """
+    table = TimeSlotTable.from_pattern(([1] + [0] * 4) * 40)
+    servers = [(50, 8), (40, 6), (80, 10), (100, 12)]
+    result = benchmark(gsched_schedulable_exact, table, servers)
+    assert result.schedulable
+
+
+def test_bench_theorem4(benchmark):
+    tasks = generate_random_taskset(
+        3, task_count=10, total_utilization=0.35,
+        period_min=50, period_max=1000, name="bench",
+    )
+    result = benchmark(lsched_schedulable, 40, 24, tasks)
+    assert result.schedulable
+    bound = theorem4_bound(40, 24, tasks)
+    exact_horizon = lcm_all([40] + [task.period for task in tasks])
+    assert bound < exact_horizon
+
+
+def test_bench_sbf_queries(benchmark, case_study_split):
+    """sbf(sigma, t) query throughput on a case-study-sized table."""
+    table = build_pchannel_table(stagger_offsets(case_study_split.predefined()))
+
+    def query_many():
+        total = 0
+        for t in range(0, 2 * table.total_slots, 97):
+            total += table.sbf(t)
+        return total
+
+    total = benchmark(query_many)
+    assert total > 0

@@ -1,0 +1,38 @@
+"""Fig. 6 bench: run-time software overhead (memory footprint).
+
+Regenerates the per-system, per-component footprint table and asserts
+the paper's Obs 1 orderings.
+"""
+
+import pytest
+
+from repro.exp.fig6 import fig6_report, render_fig6
+from repro.virt.footprint import overhead_vs_legacy, system_footprints
+
+
+def regenerate():
+    report = fig6_report()
+    text = render_fig6()
+    return report, text
+
+
+def test_bench_fig6(benchmark):
+    report, text = benchmark(regenerate)
+
+    # -- paper shape assertions (Obs 1) ---------------------------------
+    # RT-XEN adds ~130% core footprint over legacy.
+    assert overhead_vs_legacy("rt-xen") == pytest.approx(1.298, abs=0.01)
+    # Hardware-assisted systems reduce the overhead dramatically.
+    assert overhead_vs_legacy("bv") < 0.2
+    # I/O-GUARD eliminates the software VMM entirely and shrinks the
+    # kernel below legacy.
+    assert report["ioguard"].hypervisor.total == 0
+    assert overhead_vs_legacy("ioguard") < 0
+    # Driver footprints: RT-XEN heaviest, I/O-GUARD lightest, per driver.
+    for protocol in ("spi", "ethernet", "uart", "can"):
+        sizes = {
+            system: report[system].drivers[protocol].total
+            for system in report
+        }
+        assert sizes["rt-xen"] > sizes["legacy"] > sizes["bv"] > sizes["ioguard"]
+    print("\n" + text)

@@ -1,0 +1,39 @@
+"""Fig. 8 bench: scalability of area, power and maximum frequency.
+
+Regenerates the eta-sweep (VMs = 2^eta, eta in 0..5) and asserts Obs 5
+(linear-ish growth, I/O-GUARD within 20% of legacy) and Obs 6
+(hypervisor Fmax always above the legacy system).
+"""
+
+from repro.exp.fig8 import fig8_report, render_fig8
+
+
+def regenerate():
+    return fig8_report(eta_max=5), render_fig8(eta_max=5)
+
+
+def test_bench_fig8(benchmark):
+    points, text = benchmark(regenerate)
+
+    # -- Obs 5: area ------------------------------------------------------
+    for point in points:
+        assert 0 < point.area_overhead < 0.20, point.eta
+    legacy_areas = [p.legacy_area for p in points]
+    ioguard_areas = [p.ioguard_area for p in points]
+    assert legacy_areas == sorted(legacy_areas)
+    assert ioguard_areas == sorted(ioguard_areas)
+    # Roughly linear in VM count at the top end: doubling VMs from 16 to
+    # 32 should not much more than double area.
+    assert ioguard_areas[5] / ioguard_areas[4] < 2.2
+
+    # -- Obs 5: power tracks area ------------------------------------------
+    for point in points:
+        assert point.ioguard.power_mw > point.legacy.power_mw
+    powers = [p.ioguard.power_mw for p in points]
+    assert powers == sorted(powers)
+
+    # -- Obs 6: hypervisor never the critical path --------------------------
+    for point in points:
+        assert point.ioguard_fmax_mhz > point.legacy_fmax_mhz, point.eta
+        assert point.ioguard_fmax_mhz >= 100  # closes at the platform clock
+    print("\n" + text)

@@ -1,0 +1,27 @@
+"""Isolation bench: the footnote-1 claim as a measured sweep.
+
+Regenerates the rogue-intensity sweep and asserts the partitioned-pool
+mechanism: victim misses stay zero under the I/O-GUARD R-channel while
+the conventional shared FIFO collapses once the rogue floods.
+"""
+
+from repro.exp.isolation import render_isolation, run_isolation
+
+
+def test_bench_isolation(benchmark, fig7_horizon):
+    result = benchmark.pedantic(
+        run_isolation,
+        kwargs={
+            "rogue_factors": (1.0, 4.0, 8.0, 16.0),
+            "horizon_slots": fig7_horizon // 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    ioguard = result.miss_curve("ioguard-rchannel")
+    fifo = result.miss_curve("shared-fifo")
+    assert all(misses == 0 for misses in ioguard)
+    assert fifo[0] == 0
+    assert fifo[-1] > 0
+    assert fifo == sorted(fifo)  # degradation grows with the flood
+    print("\n" + render_isolation(result))

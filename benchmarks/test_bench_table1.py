@@ -1,0 +1,43 @@
+"""Table I bench: hardware overhead on FPGA.
+
+Regenerates the six resource rows (the "Proposed" row computed from the
+compositional block model at 16 VMs / 2 I/Os) and asserts Obs 2.
+"""
+
+import pytest
+
+from repro.exp.table1 import render_table1, table1_report, table1_ratios
+
+
+def regenerate():
+    rows = dict(table1_report(vm_count=16, io_count=2))
+    ratios = table1_ratios()
+    text = render_table1()
+    return rows, ratios, text
+
+
+def test_bench_table1(benchmark):
+    rows, ratios, text = benchmark(regenerate)
+
+    proposed = rows["proposed"]
+    # -- Table I anchors -------------------------------------------------
+    assert proposed.luts == pytest.approx(2777, rel=0.01)
+    assert proposed.registers == pytest.approx(2974, rel=0.01)
+    assert proposed.dsp == 0
+    assert proposed.ram_kb == 256
+    assert proposed.power_mw == pytest.approx(279, rel=0.01)
+
+    # -- Obs 2: cheaper than full-featured processors ---------------------
+    assert ratios["vs_microblaze"]["luts"] == pytest.approx(0.566, abs=0.01)
+    assert ratios["vs_microblaze"]["registers"] == pytest.approx(0.678, abs=0.01)
+    assert ratios["vs_microblaze"]["power"] == pytest.approx(0.777, abs=0.01)
+    assert ratios["vs_riscv"]["luts"] == pytest.approx(0.374, abs=0.01)
+    assert ratios["vs_riscv"]["registers"] == pytest.approx(0.182, abs=0.01)
+    assert ratios["vs_riscv"]["power"] == pytest.approx(0.479, abs=0.01)
+
+    # -- Obs 2: above bare controllers, below/equal BlueIO ----------------
+    assert proposed.luts > rows["ethernet"].luts
+    assert proposed.luts < rows["blueio"].luts
+    assert proposed.registers < rows["blueio"].registers
+    assert proposed.ram_kb == rows["blueio"].ram_kb
+    print("\n" + text)

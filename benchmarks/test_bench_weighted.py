@@ -1,0 +1,23 @@
+"""Weighted-schedulability bench: the server design-space figure.
+
+Regenerates the acceptance grid over (server bandwidth x utilization)
+and asserts the design rules it teaches: bandwidth dominates, and at
+fixed bandwidth a shorter server period (smaller blackout) dominates.
+"""
+
+from repro.exp.weighted import render_weighted, run_weighted
+
+
+def test_bench_weighted(benchmark):
+    result = benchmark.pedantic(
+        run_weighted, kwargs={"samples": 25}, rounds=1, iterations=1
+    )
+    scores = result.scores()
+    # Fixed 50% bandwidth: shorter periods never lose.
+    assert scores[(10, 5)] >= scores[(20, 10)] >= scores[(40, 20)]
+    # 70% bandwidth dominates 50% at equal periods.
+    for period in (10, 20, 40):
+        high = scores[(period, int(period * 0.7))]
+        low = scores[(period, period // 2)]
+        assert high >= low
+    print("\n" + render_weighted(result))

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reduced-scale Fig. 7 case study (Sec. V-C of the paper).
+
+Runs the automotive workload (20 safety + 20 function tasks plus
+synthetic padding) across all five systems at a handful of target
+utilizations and prints success ratios and throughput.  The full sweep
+lives in ``benchmarks/test_bench_fig7.py`` and ``python -m repro.exp
+fig7``; this example keeps the runtime to roughly a minute.
+"""
+
+from repro.exp.fig7 import CaseStudyConfig, render_fig7, run_case_study
+
+
+def main() -> None:
+    config = CaseStudyConfig(
+        utilizations=(0.40, 0.60, 0.70, 0.80, 1.00),
+        vm_groups=(4,),
+        trials=4,
+        horizon_slots=30_000,
+        use_env_scale=False,
+    )
+    result = run_case_study(config)
+    print(render_fig7(result))
+
+    print("\nExpected shape checks (paper Obs 3 / Obs 4):")
+    io70 = result.success_curve(4, "ioguard-70")
+    io40 = result.success_curve(4, "ioguard-40")
+    rtxen = result.success_curve(4, "rt-xen")
+    bv = result.success_curve(4, "bv")
+    print(f"  I/O-GUARD-70 success at U=1.0: {io70[1.0]:.2f} (stays high)")
+    print(f"  I/O-GUARD-40 success at U=1.0: {io40[1.0]:.2f}")
+    print(f"  RT-XEN success at U=0.8:       {rtxen[0.8]:.2f} (past its cliff)")
+    print(f"  BV success at U=0.8:           {bv[0.8]:.2f} (past its cliff)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP-517 editable installs fail on ``bdist_wheel``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work offline;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

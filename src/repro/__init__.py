@@ -1,0 +1,48 @@
+"""I/O-GUARD reproduction: real-time I/O virtualization, in Python.
+
+A simulation + schedulability-analysis reproduction of *"I/O-GUARD:
+Hardware/Software Co-Design for I/O Virtualization with Guaranteed
+Real-time Performance"* (DAC 2021).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (event heap, generator processes,
+    resources, global timer, seeded RNG, tracing).
+``repro.tasks``
+    I/O task models, random generators, the automotive case-study
+    catalog, synthetic load padding, JSON serialization.
+``repro.analysis``
+    Sec. IV: supply/demand bound functions, Theorems 1-4, server
+    dimensioning, response-time bounds, sensitivity analysis, a
+    brute-force EDF oracle.
+``repro.core``
+    The hypervisor: time slot table, random-access priority queues,
+    per-VM I/O pools, the two-layer preemptive-EDF scheduler, the
+    virtualization manager/driver pair, admission control, mode changes.
+``repro.noc``
+    Mesh NoC: XY routing, event-driven network, calibrated contention
+    model, static worst-case latency analysis.
+``repro.hw``
+    I/O controllers (SPI/I2C/UART/Ethernet/FlexRay/CAN/GPIO), devices,
+    memory banks, processors hosting guest VMs.
+``repro.virt``
+    Software level: footprint model (Fig. 6), stack timing models,
+    structural RTOS model (Fig. 3), software VMM for the RT-Xen baseline.
+``repro.baselines``
+    Full systems behind one interface: BS|Legacy, BS|RT-XEN, BS|BV and
+    I/O-GUARD-x.
+``repro.hwcost``
+    FPGA resource/power/Fmax models (Table I, Fig. 8).
+``repro.metrics``
+    Success ratios, throughput, latency statistics.
+``repro.exp``
+    Experiment drivers regenerating every figure and table, plus the
+    isolation and predictability extensions and CSV/JSON export.
+
+Quick start: see ``examples/quickstart.py`` and the README.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,79 @@
+"""Demand bound functions (Sec. IV, Eqs. 3 and 9)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def dbf_server(pi: int, theta: int, t: int) -> int:
+    """Eq. (3): demand of the periodic implicit-deadline server Gamma.
+
+    ``dbf(Gamma, t) = floor(t / pi) * theta``.
+    """
+    if pi < 1:
+        raise ValueError(f"server period must be >= 1, got {pi}")
+    if not 0 < theta <= pi:
+        raise ValueError(
+            f"server budget must satisfy 0 < theta <= pi, got "
+            f"theta={theta}, pi={pi}"
+        )
+    if t < 0:
+        raise ValueError(f"dbf requires t >= 0, got {t}")
+    return (t // pi) * theta
+
+
+def dbf_sporadic(task: IOTask, t: int) -> int:
+    """Eq. (9): demand of sporadic task tau = (T, C, D) in a window of t.
+
+    ``dbf(tau, t) = (floor((t - D) / T) + 1) * C`` for ``t >= D`` and 0
+    otherwise (the paper's formula yields non-positive factors for
+    ``t < D``; demand cannot be negative).
+    """
+    if t < 0:
+        raise ValueError(f"dbf requires t >= 0, got {t}")
+    if t < task.deadline:
+        return 0
+    return ((t - task.deadline) // task.period + 1) * task.wcet
+
+
+def dbf_taskset(tasks: Iterable[IOTask], t: int) -> int:
+    """Aggregate Eq. (9) demand over a task collection."""
+    return sum(dbf_sporadic(task, t) for task in tasks)
+
+
+def dbf_step_points(tasks: TaskSet, horizon: int) -> list:
+    """All t in [0, horizon] where the aggregate dbf increases.
+
+    The dbf staircase of ``tau`` jumps exactly at ``D + m*T``; checking a
+    dbf-vs-sbf inequality only at these points is sufficient because dbf
+    is constant between jumps while sbf is non-decreasing.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    points = set()
+    for task in tasks:
+        t = task.deadline
+        while t <= horizon:
+            points.add(t)
+            t += task.period
+    return sorted(points)
+
+
+def server_step_points(servers: Iterable[tuple], horizon: int) -> list:
+    """All t in [0, horizon] where aggregate server dbf (Eq. 3) jumps.
+
+    ``servers`` is an iterable of ``(pi, theta)`` pairs; jumps occur at
+    multiples of each ``pi``.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    points = set()
+    for pi, _theta in servers:
+        t = pi
+        while t <= horizon:
+            points.add(t)
+            t += pi
+    return sorted(points)

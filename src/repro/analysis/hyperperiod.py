@@ -1,0 +1,39 @@
+"""LCM / hyper-period utilities shared by the exact tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """LCM of all values (1 for the empty iterable).
+
+    Raises ``ValueError`` for non-positive inputs: periods of zero or
+    below have no hyper-period.
+    """
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"hyper-period needs positive values, got {value}")
+        result = math.lcm(result, value)
+    return result
+
+
+def lcm_capped(values: Iterable[int], cap: int) -> int:
+    """LCM with an explicit explosion guard.
+
+    Exact tests (Theorems 1 and 3 checked to the LCM) are exponential in
+    the input values; callers pass a cap and fall back to the
+    pseudo-polynomial tests when it is exceeded.
+    """
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"hyper-period needs positive values, got {value}")
+        result = math.lcm(result, value)
+        if result > cap:
+            raise OverflowError(
+                f"hyper-period exceeds cap {cap}; use the pseudo-polynomial test"
+            )
+    return result

@@ -1,0 +1,76 @@
+"""Linear-supply sufficient test: the cheap cousin of Theorem 4.
+
+The Theorem-4 proof (Eq. 12) lower-bounds the periodic-resource supply
+by the line ``t * Theta/Pi - (2*Pi - Theta - 1)``.  Using that line
+*directly* as the supply yields a sufficient schedulability test that
+needs no sbf evaluation -- strictly more pessimistic than Theorem 4, but
+O(step points) with trivial constants.  Useful for fast admission
+pre-filtering and as a precision baseline in the acceptance-ratio
+experiment.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.demand import dbf_step_points, dbf_taskset
+from repro.analysis.lsched_test import LSchedResult, theorem4_bound
+from repro.analysis.supply import linear_supply_lower_bound
+from repro.tasks.taskset import TaskSet
+
+
+def lsched_schedulable_linear(
+    pi: int,
+    theta: int,
+    tasks: TaskSet,
+) -> LSchedResult:
+    """Sufficient test: demand against the linear supply lower bound.
+
+    Accepting here implies Theorem 4 accepts (the line never exceeds the
+    true sbf); rejection says nothing.  The same Theorem-4 horizon
+    applies because the proof's inequality chain is built on this very
+    line.
+    """
+    if pi < 1 or not 0 < theta <= pi:
+        raise ValueError(
+            f"invalid server (pi={pi}, theta={theta})"
+        )
+    names = [task.name for task in tasks]
+    slack = Fraction(theta, pi) - sum(
+        (Fraction(task.wcet, task.period) for task in tasks), Fraction(0)
+    )
+    if len(tasks) == 0:
+        return LSchedResult(
+            schedulable=True, horizon=0, slack=float(slack),
+            method="linear", server=(pi, theta),
+        )
+    if slack <= 0:
+        return LSchedResult(
+            schedulable=False, horizon=0, slack=float(slack),
+            failing_t=0, method="linear", server=(pi, theta),
+            task_names=names,
+        )
+    horizon = theorem4_bound(pi, theta, tasks)
+    for t in dbf_step_points(tasks, horizon):
+        demand = dbf_taskset(tasks, t)
+        supply = linear_supply_lower_bound(pi, theta, t)
+        if demand > supply:
+            return LSchedResult(
+                schedulable=False,
+                horizon=horizon,
+                slack=float(slack),
+                failing_t=t,
+                failing_demand=demand,
+                failing_supply=int(max(0.0, supply)),
+                method="linear",
+                server=(pi, theta),
+                task_names=names,
+            )
+    return LSchedResult(
+        schedulable=True,
+        horizon=horizon,
+        slack=float(slack),
+        method="linear",
+        server=(pi, theta),
+        task_names=names,
+    )

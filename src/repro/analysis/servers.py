@@ -1,0 +1,161 @@
+"""Server dimensioning: choosing ``Gamma_i = (Pi_i, Theta_i)`` per VM.
+
+The paper assumes the servers are given; a usable system needs a way to
+pick them.  This module implements the standard periodic-resource-model
+recipe: choose each ``Pi_i`` from the VM's timing granularity, then find
+the minimum ``Theta_i`` passing the L-Sched test (Theorem 4), and finally
+validate the chosen server set globally with Theorem 2.  Three period
+policies are provided for the ablation study called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.gsched_test import GSchedResult, gsched_schedulable
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.taskset import TaskSet
+
+#: Supported period policies for :func:`design_servers`.
+PERIOD_POLICIES = ("min_deadline", "harmonic", "uniform")
+
+
+@dataclass
+class ServerDesign:
+    """Result of dimensioning servers for a set of VMs."""
+
+    #: vm_id -> (pi, theta)
+    servers: Dict[int, Tuple[int, int]]
+    #: Whether every per-VM (Theorem 4) test passed.
+    local_ok: bool
+    #: The global (Theorem 2) validation result.
+    global_result: Optional[GSchedResult]
+    #: vm_id -> reason string, for VMs whose dimensioning failed.
+    failures: Dict[int, str]
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.local_ok
+            and self.global_result is not None
+            and self.global_result.schedulable
+        )
+
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        return [self.servers[vm] for vm in sorted(self.servers)]
+
+
+def minimum_budget(
+    pi: int,
+    tasks: TaskSet,
+    *,
+    theta_cap: Optional[int] = None,
+) -> Optional[int]:
+    """Smallest ``theta`` such that (pi, theta) passes Theorem 4.
+
+    Binary-searches theta in ``[ceil(U * pi), cap]`` -- schedulability is
+    monotone in theta because sbf(Gamma, t) is non-decreasing in theta
+    for fixed pi.  Returns None when even ``theta = cap`` fails.
+    """
+    if pi < 1:
+        raise ValueError(f"server period must be >= 1, got {pi}")
+    cap = theta_cap if theta_cap is not None else pi
+    cap = min(cap, pi)
+    if len(tasks) == 0:
+        return 1
+    low = max(1, int(math.ceil(tasks.utilization * pi)))
+    if low > cap:
+        return None
+    if not lsched_schedulable(pi, cap, tasks).schedulable:
+        return None
+    high = cap
+    while low < high:
+        mid = (low + high) // 2
+        if lsched_schedulable(pi, mid, tasks).schedulable:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def choose_period(
+    vm_tasks: TaskSet,
+    policy: str,
+    *,
+    uniform_period: int = 50,
+    divisor: int = 2,
+) -> int:
+    """Pick a server period for one VM under the given policy.
+
+    * ``min_deadline`` -- ``max(1, min_k D_k // divisor)``: the classic
+      rule keeping server latency below the tightest deadline.
+    * ``harmonic`` -- largest power of two not exceeding the
+      min-deadline choice (keeps hyper-periods small).
+    * ``uniform`` -- a fixed period for every VM.
+    """
+    if policy not in PERIOD_POLICIES:
+        raise ValueError(
+            f"unknown period policy {policy!r}; expected one of {PERIOD_POLICIES}"
+        )
+    if policy == "uniform" or len(vm_tasks) == 0:
+        return max(1, uniform_period)
+    tightest = min(task.deadline for task in vm_tasks)
+    base = max(1, tightest // divisor)
+    if policy == "min_deadline":
+        return base
+    # harmonic
+    return 1 << max(0, base.bit_length() - 1)
+
+
+def design_servers(
+    table: TimeSlotTable,
+    vm_tasksets: Dict[int, TaskSet],
+    *,
+    policy: str = "min_deadline",
+    uniform_period: int = 50,
+    global_validation: bool = True,
+) -> ServerDesign:
+    """Dimension one server per VM and validate the set globally.
+
+    For each VM the period comes from :func:`choose_period` and the
+    budget from :func:`minimum_budget`.  VMs whose budget search fails
+    are recorded in ``failures`` with a human-readable reason; the global
+    Theorem-2 validation then runs over the successfully dimensioned
+    servers (an infeasible VM already makes the design infeasible).
+    """
+    servers: Dict[int, Tuple[int, int]] = {}
+    failures: Dict[int, str] = {}
+    for vm_id in sorted(vm_tasksets):
+        tasks = vm_tasksets[vm_id]
+        pi = choose_period(tasks, policy, uniform_period=uniform_period)
+        theta = minimum_budget(pi, tasks)
+        if theta is None:
+            failures[vm_id] = (
+                f"no budget theta <= pi={pi} satisfies Theorem 4 for "
+                f"VM {vm_id} (utilization {tasks.utilization:.3f})"
+            )
+            continue
+        servers[vm_id] = (pi, theta)
+    local_ok = not failures
+    global_result: Optional[GSchedResult] = None
+    if global_validation and servers:
+        pairs = [servers[vm] for vm in sorted(servers)]
+        try:
+            global_result = gsched_schedulable(table, pairs)
+        except ValueError as error:
+            failures[-1] = f"global validation rejected the design: {error}"
+            local_ok = False
+    return ServerDesign(
+        servers=servers,
+        local_ok=local_ok,
+        global_result=global_result,
+        failures=failures,
+    )
+
+
+def bandwidth_of(servers: Sequence[Tuple[int, int]]) -> float:
+    """``sum Theta/Pi`` of a server collection."""
+    return sum(theta / pi for pi, theta in servers)

@@ -1,0 +1,42 @@
+"""Full-system models: I/O-GUARD and the three baseline systems (Sec. V).
+
+Every system consumes the same workload description (a
+:class:`~repro.tasks.taskset.TaskSet` plus a seeded trial configuration)
+and produces a :class:`~repro.baselines.base.TrialResult`, so the
+case-study experiment treats them uniformly:
+
+* :class:`~repro.baselines.legacy.LegacySystem` -- BS|Legacy: no
+  virtualization, router-arbitrated access, FIFO I/O hardware,
+* :class:`~repro.baselines.rtxen.RTXenSystem` -- BS|RT-XEN: software
+  hypervisor with real-time patches and I/O enhancement,
+* :class:`~repro.baselines.bluevisor.BlueVisorSystem` -- BS|BV:
+  BlueVisor hardware-assisted virtualization, FIFO I/O hardware,
+* :class:`~repro.baselines.ioguard_system.IOGuardSystem` --
+  I/O-GUARD-x with the real hypervisor core from :mod:`repro.core`.
+"""
+
+from repro.baselines.base import (
+    IOVirtSystem,
+    TrialConfig,
+    TrialResult,
+    WorkloadInstance,
+    prepare_workload,
+)
+from repro.baselines.fifo_system import FifoSystemModel
+from repro.baselines.legacy import LegacySystem
+from repro.baselines.rtxen import RTXenSystem
+from repro.baselines.bluevisor import BlueVisorSystem
+from repro.baselines.ioguard_system import IOGuardSystem
+
+__all__ = [
+    "BlueVisorSystem",
+    "FifoSystemModel",
+    "IOGuardSystem",
+    "IOVirtSystem",
+    "LegacySystem",
+    "RTXenSystem",
+    "TrialConfig",
+    "TrialResult",
+    "WorkloadInstance",
+    "prepare_workload",
+]

@@ -1,0 +1,262 @@
+"""Shared trial machinery for the case-study systems (Sec. V-C).
+
+A *workload instance* fixes everything stochastic about one trial --
+release times, per-job actual execution times, payload sizes -- so that
+"the data input to the examined systems was identical in each execution"
+(the paper's fairness requirement).  Systems only differ in how they
+schedule and what overheads they add.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.clock import DEFAULT_CYCLES_PER_SLOT, DEFAULT_FREQUENCY_HZ
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Knobs of one case-study trial."""
+
+    horizon_slots: int = 100_000
+    cycles_per_slot: int = DEFAULT_CYCLES_PER_SLOT
+    frequency_hz: int = DEFAULT_FREQUENCY_HZ
+    #: Actual execution times are uniform in
+    #: [wcet * exec_fraction_min, wcet * exec_fraction_max]: "the
+    #: execution time of a task is affected by diverse factors", so the
+    #: target utilization is an upper envelope, not the realised load.
+    exec_fraction_min: float = 0.85
+    exec_fraction_max: float = 1.0
+    #: Release jitter ceiling as a fraction of the period (sporadic
+    #: arrivals; jitter only delays releases).
+    release_jitter_fraction: float = 0.05
+    #: Draw a uniform-random initial phase per task per trial.  Tasks in
+    #: a deployed vehicle start at unrelated times; a synchronized
+    #: critical instant every hyper-period is an adversarial artefact,
+    #: not the measured behaviour.
+    randomize_phases: bool = True
+    #: Keep per-job response-time samples (slots) on the trial result.
+    #: Off by default: big sweeps only need the aggregates.
+    collect_responses: bool = False
+
+    def __post_init__(self):
+        if self.horizon_slots < 1:
+            raise ValueError(f"horizon must be >= 1 slot, got {self.horizon_slots}")
+        if not 0 < self.exec_fraction_min <= self.exec_fraction_max <= 1.0:
+            raise ValueError(
+                "execution fractions must satisfy 0 < min <= max <= 1, got "
+                f"[{self.exec_fraction_min}, {self.exec_fraction_max}]"
+            )
+        if not 0 <= self.release_jitter_fraction < 1:
+            raise ValueError(
+                f"jitter fraction must lie in [0, 1), got "
+                f"{self.release_jitter_fraction}"
+            )
+
+    @property
+    def slot_seconds(self) -> float:
+        return self.cycles_per_slot / self.frequency_hz
+
+
+@dataclass
+class ReleasedJob:
+    """One pre-drawn job instance of the workload."""
+
+    task: IOTask
+    index: int
+    release_slot: int
+    actual_slots: int
+
+    @property
+    def deadline_slot(self) -> int:
+        return self.release_slot + self.task.deadline
+
+
+@dataclass
+class WorkloadInstance:
+    """All stochastic draws of one trial, shared across systems."""
+
+    taskset: TaskSet
+    config: TrialConfig
+    releases: List[ReleasedJob]
+    target_utilization: float
+
+    @property
+    def job_count(self) -> int:
+        return len(self.releases)
+
+    def releases_by_slot(self) -> List[ReleasedJob]:
+        return sorted(
+            self.releases, key=lambda r: (r.release_slot, r.task.name, r.index)
+        )
+
+
+def prepare_workload(
+    taskset: TaskSet,
+    config: TrialConfig,
+    rng: RandomSource,
+    target_utilization: float = 0.0,
+) -> WorkloadInstance:
+    """Draw releases and actual execution times for one trial."""
+    releases: List[ReleasedJob] = []
+    for task in taskset:
+        task_rng = rng.spawn(f"rel.{task.name}")
+        jitter_cap = int(task.period * config.release_jitter_fraction)
+        phase = (
+            task_rng.randint(0, task.period - 1)
+            if config.randomize_phases and task.period > 1
+            else 0
+        )
+        index = 0
+        while True:
+            nominal = task.offset + phase + index * task.period
+            if nominal >= config.horizon_slots:
+                break
+            jitter = task_rng.randint(0, jitter_cap) if jitter_cap > 0 else 0
+            actual = max(
+                1,
+                int(
+                    round(
+                        task.wcet
+                        * task_rng.uniform(
+                            config.exec_fraction_min, config.exec_fraction_max
+                        )
+                    )
+                ),
+            )
+            releases.append(
+                ReleasedJob(
+                    task=task,
+                    index=index,
+                    release_slot=nominal + jitter,
+                    actual_slots=min(actual, task.wcet),
+                )
+            )
+            index += 1
+    return WorkloadInstance(
+        taskset=taskset,
+        config=config,
+        releases=releases,
+        target_utilization=target_utilization,
+    )
+
+
+@dataclass
+class TrialResult:
+    """Outcome of running one system over one workload instance."""
+
+    system: str
+    target_utilization: float
+    horizon_slots: int
+    slot_seconds: float
+    #: criticality value -> (completed, missed) job counts.
+    per_criticality: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    total_released: int = 0
+    total_completed: int = 0
+    total_missed: int = 0
+    unfinished: int = 0
+    bytes_transferred: int = 0
+    response_slots_sum: float = 0.0
+    response_slots_max: float = 0.0
+    #: Per-job response samples of success-counted (safety/function)
+    #: jobs; populated only when ``TrialConfig.collect_responses``.
+    response_samples: List[float] = field(default_factory=list)
+    #: task name -> response samples, for per-task jitter analysis;
+    #: populated only when ``TrialConfig.collect_responses``.
+    response_by_task: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record_response_sample(self, task_name: str, response: float) -> None:
+        """Store one counted job's response for distribution analysis."""
+        self.response_samples.append(response)
+        self.response_by_task.setdefault(task_name, []).append(response)
+
+    def record(self, criticality: Criticality, missed: bool) -> None:
+        completed, misses = self.per_criticality.get(criticality.value, (0, 0))
+        self.per_criticality[criticality.value] = (
+            completed + 1,
+            misses + (1 if missed else 0),
+        )
+        self.total_completed += 1
+        if missed:
+            self.total_missed += 1
+
+    @property
+    def success(self) -> bool:
+        """Paper's trial success: no safety or function task missed.
+
+        Jobs of counted criticalities that never finished inside the
+        horizon also count as failures (they certainly missed).
+        """
+        for criticality in (Criticality.SAFETY, Criticality.FUNCTION):
+            _completed, missed = self.per_criticality.get(
+                criticality.value, (0, 0)
+            )
+            if missed > 0:
+                return False
+        return self.critical_unfinished == 0
+
+    #: Unfinished jobs of counted criticalities (filled by the system).
+    critical_unfinished: int = 0
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Payload throughput over the trial, in Mbit/s."""
+        elapsed_seconds = self.horizon_slots * self.slot_seconds
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.bytes_transferred * 8 / elapsed_seconds / 1e6
+
+    @property
+    def mean_response_slots(self) -> float:
+        if self.total_completed == 0:
+            return 0.0
+        return self.response_slots_sum / self.total_completed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrialResult({self.system!r}, U*={self.target_utilization:.2f}, "
+            f"completed={self.total_completed}, missed={self.total_missed}, "
+            f"success={self.success})"
+        )
+
+
+class IOVirtSystem(abc.ABC):
+    """Common interface of the four evaluated systems."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_trial(
+        self, workload: WorkloadInstance, rng: RandomSource
+    ) -> TrialResult:
+        """Execute one trial and report its outcome.
+
+        ``rng`` carries the *system-specific* stochastic state (overhead
+        jitter, contention draws); the workload's own draws are already
+        frozen inside ``workload``.
+        """
+
+    def _new_result(self, workload: WorkloadInstance) -> TrialResult:
+        return TrialResult(
+            system=self.name,
+            target_utilization=workload.target_utilization,
+            horizon_slots=workload.config.horizon_slots,
+            slot_seconds=workload.config.slot_seconds,
+            total_released=workload.job_count,
+        )
+
+
+def cycles_to_slots(cycles: float, config: TrialConfig) -> float:
+    """Convert a cycle quantity to fractional slots."""
+    return cycles / config.cycles_per_slot
+
+
+def slots_ceil(value: float) -> int:
+    """Ceiling with a tolerance for float fuzz from cycle conversion."""
+    return int(math.ceil(value - 1e-9))

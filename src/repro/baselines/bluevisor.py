@@ -1,0 +1,37 @@
+"""BS|BV: BlueVisor hardware-assisted virtualization (Sec. V).
+
+"BS|BV was a virtualized system built on hardware assistance (BlueVisor)
+... the implementation of the BlueVisor remains the FIFO structure at
+I/O hardware level, which hence cannot guarantee the I/O predictability"
+(Sec. I).  The model therefore keeps the short hardware-assisted path
+(thin stub stack, direct hypervisor connection, small per-op hardware
+virtualization cost) while serving the device FIFO non-preemptively --
+the single difference from I/O-GUARD's R-channel that the paper's
+comparison isolates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fifo_system import FifoSystemModel
+
+
+class BlueVisorSystem(FifoSystemModel):
+    """Hardware hypervisor, FIFO I/O queues, no preemptive scheduling."""
+
+    name = "bv"
+    stack_name = "bv"
+    # Processors connect to the BlueVisor coprocessor over a short
+    # dedicated path; the hypervisor sits next to the I/Os.
+    request_hops = 2
+    response_hops = 2
+    # Hardware translation/virtualization cost per operation (bounded,
+    # BlueVisor's real-time translators).
+    service_overhead_cycles = 250
+    # Hypervisor-managed access keeps most traffic off the shared mesh.
+    noc_load_factor = 0.8
+    # Hardware virtualization keeps per-slot management small, but the
+    # shared FIFO channel still serialises per-VM bookkeeping, and every
+    # additional VM adds channel multiplexing work.
+    service_inflation_base = 1.08
+    service_inflation_load = 0.267
+    service_inflation_per_vm = 0.056

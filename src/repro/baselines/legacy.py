@@ -1,0 +1,39 @@
+"""BS|Legacy: NoC system without virtualization support (Sec. V).
+
+"BS|Legacy was an NoC system without virtualization support, which left
+the scheduling related to resource management to the routers, and each
+processor is deemed as a VM."  No software hypervisor and the smallest
+software path of the baselines -- but I/O access order is decided purely
+by router arbitration (FIFO per port), so at high load the deep shared
+paths toward the I/O corner congest, and the device itself still serves
+a FIFO non-preemptively.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fifo_system import FifoSystemModel
+
+
+class LegacySystem(FifoSystemModel):
+    """No virtualization; router-arbitrated access; FIFO device."""
+
+    name = "legacy"
+    stack_name = "legacy"
+    # Requests traverse the full mesh toward the I/O corner: the average
+    # XY path from a random processor in the 5x5 mesh to a corner is ~4
+    # hops, plus the arbiter stage at the I/O attachment.
+    request_hops = 5
+    response_hops = 5
+    # No virtualization processing on the device side.
+    service_overhead_cycles = 0
+    # All I/O traffic funnels through router arbitration with zero
+    # system-level management -- the full offered load hits the shared
+    # links (scheduling "left to the routers").
+    noc_load_factor = 1.6
+    # Every slot of device occupancy is driven by the processor across
+    # the mesh (MMIO word-by-word, no hypervisor offload): service
+    # stretches with router arbitration, growing with load and with the
+    # number of contending cores.
+    service_inflation_base = 1.10
+    service_inflation_load = 0.39
+    service_inflation_per_vm = 0.037

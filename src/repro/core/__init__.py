@@ -1,0 +1,60 @@
+"""The I/O-GUARD hypervisor: the paper's primary contribution.
+
+The hypervisor (Sec. III) is split exactly as the paper partitions it:
+
+* :mod:`repro.core.timeslot` -- the Time Slot Table sigma* recording the
+  static P-channel schedule per hyper-period,
+* :mod:`repro.core.priority_queue` -- the random-access priority queue
+  that replaces the conventional FIFO at the I/O hardware level,
+* :mod:`repro.core.iopool` -- per-VM I/O pool (queue + control logic +
+  shadow register + local scheduler),
+* :mod:`repro.core.lsched` / :mod:`repro.core.gsched` -- the two-layer
+  preemptive-EDF scheduler,
+* :mod:`repro.core.pchannel` / :mod:`repro.core.rchannel` -- the two
+  request channels of the virtualization manager,
+* :mod:`repro.core.manager` -- the virtualization manager proper,
+* :mod:`repro.core.translator` / :mod:`repro.core.driver` -- the
+  virtualization driver (real-time translators + I/O controller),
+* :mod:`repro.core.hypervisor` -- the top-level
+  :class:`~repro.core.hypervisor.IOGuardHypervisor` assembling one
+  manager + driver pair per I/O device.
+"""
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.modes import Mode, ModeChange, ModeManager
+from repro.core.timeslot import TimeSlotTable, build_pchannel_table, stagger_offsets
+from repro.core.priority_queue import PriorityQueue, QueueFullError
+from repro.core.lsched import LocalScheduler
+from repro.core.gsched import GlobalScheduler, ServerSpec
+from repro.core.iopool import IOPool
+from repro.core.pchannel import PChannel
+from repro.core.rchannel import RChannel
+from repro.core.manager import VirtualizationManager
+from repro.core.translator import RealTimeTranslator, TranslationRecord
+from repro.core.driver import VirtualizationDriver
+from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "GlobalScheduler",
+    "HypervisorConfig",
+    "IOGuardHypervisor",
+    "IOPool",
+    "LocalScheduler",
+    "Mode",
+    "ModeChange",
+    "ModeManager",
+    "PChannel",
+    "PriorityQueue",
+    "QueueFullError",
+    "RChannel",
+    "RealTimeTranslator",
+    "ServerSpec",
+    "TimeSlotTable",
+    "TranslationRecord",
+    "VirtualizationDriver",
+    "VirtualizationManager",
+    "build_pchannel_table",
+    "stagger_offsets",
+]

@@ -1,0 +1,183 @@
+"""Online admission control for run-time I/O tasks.
+
+The paper's hypervisor "receives and buffers the run-time I/O tasks
+requested by the VMs" (Sec. II-B); a production deployment must decide
+*whether a newly appearing sporadic task can be admitted without
+breaking the guarantees of the tasks already running*.  The natural
+mechanism -- and the obvious extension of the paper's analysis -- is to
+re-run the Theorem-4 test against the VM's server whenever a VM asks to
+register a new task, and reject registrations that would make the VM's
+set unschedulable.
+
+The controller is purely analytic (it consults the same tests the
+design-time analysis uses), so an admitted set always carries the full
+Sec. IV guarantee; rejection leaves the running set untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.gsched import ServerSpec
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lsched_test import LSchedResult
+
+# The schedulability tests live in repro.analysis, which itself imports
+# repro.core (for the time slot table); importing them lazily inside the
+# methods below keeps the packages acyclic at import time.
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    admitted: bool
+    task_name: str
+    vm_id: int
+    reason: str = ""
+    #: The Theorem-4 result backing the decision (None for structural
+    #: rejections such as an unknown VM).
+    test_result: Optional[LSchedResult] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Per-VM Theorem-4 gatekeeper over the R-channel task population."""
+
+    def __init__(
+        self,
+        table: TimeSlotTable,
+        servers: List[ServerSpec],
+    ):
+        self.table = table
+        self._servers: Dict[int, ServerSpec] = {}
+        for spec in servers:
+            if spec.vm_id in self._servers:
+                raise ValueError(f"duplicate server for VM {spec.vm_id}")
+            self._servers[spec.vm_id] = spec
+        # The global layer must hold for the configured servers before
+        # any admission makes sense.
+        from repro.analysis.gsched_test import gsched_schedulable
+
+        pairs = [(s.pi, s.theta) for s in self._servers.values()]
+        global_result = gsched_schedulable(table, pairs)
+        if not global_result.schedulable:
+            raise ValueError(
+                "server set fails the global (Theorem-2) test at "
+                f"t={global_result.failing_t}; fix the configuration before "
+                "admitting tasks"
+            )
+        self._admitted: Dict[int, TaskSet] = {
+            vm_id: TaskSet(name=f"admitted.vm{vm_id}") for vm_id in self._servers
+        }
+        self.admitted_count = 0
+        self.rejected_count = 0
+        self.decisions: List[AdmissionDecision] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def admitted_tasks(self, vm_id: int) -> TaskSet:
+        self._require_vm(vm_id)
+        return self._admitted[vm_id]
+
+    def vm_utilization(self, vm_id: int) -> float:
+        return self.admitted_tasks(vm_id).utilization
+
+    def server_of(self, vm_id: int) -> ServerSpec:
+        self._require_vm(vm_id)
+        return self._servers[vm_id]
+
+    # -- admission ----------------------------------------------------------
+
+    def try_admit(self, task: IOTask) -> AdmissionDecision:
+        """Admit ``task`` into its VM iff Theorem 4 still passes.
+
+        On success the task joins the VM's admitted set; on failure the
+        set is unchanged and the decision records the failing point.
+        """
+        if task.kind != TaskKind.RUNTIME:
+            decision = AdmissionDecision(
+                admitted=False,
+                task_name=task.name,
+                vm_id=task.vm_id,
+                reason="pre-defined tasks are loaded at initialization, "
+                "not admitted at run time",
+            )
+            return self._record(decision)
+        if task.vm_id not in self._servers:
+            decision = AdmissionDecision(
+                admitted=False,
+                task_name=task.name,
+                vm_id=task.vm_id,
+                reason=f"no server configured for VM {task.vm_id}",
+            )
+            return self._record(decision)
+        current = self._admitted[task.vm_id]
+        if task.name in current:
+            decision = AdmissionDecision(
+                admitted=False,
+                task_name=task.name,
+                vm_id=task.vm_id,
+                reason=f"a task named {task.name!r} is already admitted",
+            )
+            return self._record(decision)
+        from repro.analysis.lsched_test import lsched_schedulable
+
+        candidate = TaskSet(current.tasks + [task], name=current.name)
+        spec = self._servers[task.vm_id]
+        result = lsched_schedulable(spec.pi, spec.theta, candidate)
+        if not result.schedulable:
+            decision = AdmissionDecision(
+                admitted=False,
+                task_name=task.name,
+                vm_id=task.vm_id,
+                reason=(
+                    f"Theorem 4 fails at t={result.failing_t} "
+                    f"(demand {result.failing_demand} > supply "
+                    f"{result.failing_supply})"
+                ),
+                test_result=result,
+            )
+            return self._record(decision)
+        current.add(task)
+        decision = AdmissionDecision(
+            admitted=True,
+            task_name=task.name,
+            vm_id=task.vm_id,
+            reason="admitted under Theorem 4",
+            test_result=result,
+        )
+        return self._record(decision)
+
+    def withdraw(self, vm_id: int, task_name: str) -> IOTask:
+        """Remove a previously admitted task (frees its demand)."""
+        self._require_vm(vm_id)
+        return self._admitted[vm_id].remove(task_name)
+
+    def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
+        self.decisions.append(decision)
+        if decision.admitted:
+            self.admitted_count += 1
+        else:
+            self.rejected_count += 1
+        return decision
+
+    def _require_vm(self, vm_id: int) -> None:
+        if vm_id not in self._servers:
+            raise KeyError(
+                f"no server configured for VM {vm_id}; "
+                f"configured: {sorted(self._servers)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(vms={sorted(self._servers)}, "
+            f"admitted={self.admitted_count}, rejected={self.rejected_count})"
+        )

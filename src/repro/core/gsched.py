@@ -1,0 +1,147 @@
+"""G-Sched: the global scheduler (Sec. III-A, Sec. IV-A).
+
+The global scheduler "physically connects to the shadow registers in all
+I/O pools and the memory banks in the P-channel.  It simultaneously
+compares the deadlines of the I/O operations buffered in the shadow
+registers and checks free time slots in the time slot table, deciding the
+next task to be executed and the starting time point."
+
+The allocation realises the analysis model: each VM i is backed by a
+periodic server ``Gamma_i = (Pi_i, Theta_i)`` whose jobs (one per server
+period, ``Theta_i`` slots of budget, implicit deadline) are scheduled by
+EDF over the free slots of sigma.  Slots no budgeted server can use are
+handed out as *background* slots to keep the hardware work-conserving;
+background allocation never consumes budget, so the analytic guarantee of
+Theorem 1 is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static description of one VM's periodic server."""
+
+    vm_id: int
+    pi: int
+    theta: int
+
+    def __post_init__(self):
+        if self.pi < 1:
+            raise ValueError(f"server period must be >= 1, got {self.pi}")
+        if not 0 < self.theta <= self.pi:
+            raise ValueError(
+                f"server budget must satisfy 0 < theta <= pi, got "
+                f"theta={self.theta}, pi={self.pi}"
+            )
+
+    @property
+    def bandwidth(self) -> float:
+        return self.theta / self.pi
+
+
+class _ServerState:
+    """Run-time budget accounting for one server."""
+
+    __slots__ = ("spec", "budget", "deadline", "slots_consumed")
+
+    def __init__(self, spec: ServerSpec):
+        self.spec = spec
+        self.budget = 0
+        self.deadline = 0
+        self.slots_consumed = 0
+
+    def replenish_if_due(self, slot: int) -> None:
+        """Full replenishment at every multiple of the server period."""
+        if slot % self.spec.pi == 0:
+            self.budget = self.spec.theta
+            self.deadline = slot + self.spec.pi
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """G-Sched decision for one free slot."""
+
+    vm_id: int
+    #: True when the slot was granted from the VM's server budget; False
+    #: for work-conserving background slots.
+    budgeted: bool
+
+
+class GlobalScheduler:
+    """EDF allocation of free time slots to VM servers."""
+
+    def __init__(self, servers: List[ServerSpec], name: str = "gsched"):
+        self.name = name
+        self._states: Dict[int, _ServerState] = {}
+        for spec in servers:
+            if spec.vm_id in self._states:
+                raise ValueError(f"duplicate server for VM {spec.vm_id}")
+            self._states[spec.vm_id] = _ServerState(spec)
+        self.budgeted_grants = 0
+        self.background_grants = 0
+        self.idle_slots = 0
+
+    @property
+    def server_specs(self) -> List[ServerSpec]:
+        return [state.spec for state in self._states.values()]
+
+    @property
+    def total_bandwidth(self) -> float:
+        return sum(state.spec.bandwidth for state in self._states.values())
+
+    def budget_of(self, vm_id: int) -> int:
+        return self._states[vm_id].budget
+
+    def tick(self, slot: int) -> None:
+        """Advance budget accounting to slot ``slot`` (call every slot)."""
+        for state in self._states.values():
+            state.replenish_if_due(slot)
+
+    def allocate(
+        self,
+        slot: int,
+        pending_vms: Dict[int, int],
+    ) -> Optional[Allocation]:
+        """Decide which VM receives free slot ``slot``.
+
+        ``pending_vms`` maps vm_id -> earliest staged absolute deadline
+        (the shadow-register contents); VMs with empty pools are absent.
+        Selection order:
+
+        1. EDF over *server* deadlines among servers with remaining
+           budget and pending work (consumes one budget unit), matching
+           the analysis;
+        2. otherwise, background: EDF over the *job* deadlines in the
+           shadow registers (no budget consumed);
+        3. otherwise the slot idles.
+        """
+        if not pending_vms:
+            self.idle_slots += 1
+            return None
+        eligible: List[Tuple[int, int, int]] = []
+        for vm_id, state in self._states.items():
+            if state.budget > 0 and vm_id in pending_vms:
+                eligible.append((state.deadline, vm_id, pending_vms[vm_id]))
+        if eligible:
+            # Server-EDF; ties broken by staged job deadline then vm_id,
+            # which keeps the decision deterministic.
+            eligible.sort(key=lambda entry: (entry[0], entry[2], entry[1]))
+            _deadline, vm_id, _job_deadline = eligible[0]
+            state = self._states[vm_id]
+            state.budget -= 1
+            state.slots_consumed += 1
+            self.budgeted_grants += 1
+            return Allocation(vm_id=vm_id, budgeted=True)
+        vm_id = min(pending_vms, key=lambda vm: (pending_vms[vm], vm))
+        self.background_grants += 1
+        return Allocation(vm_id=vm_id, budgeted=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GlobalScheduler({self.name!r}, servers={len(self._states)}, "
+            f"bandwidth={self.total_bandwidth:.3f})"
+        )

@@ -1,0 +1,206 @@
+"""The I/O-GUARD hypervisor (Secs. II-III).
+
+One :class:`VirtualizationManager` + :class:`VirtualizationDriver` pair
+per connected I/O device, a shared global timer, and the run-time
+procedure of Sec. II-B: pre-defined tasks are loaded with their start
+times at initialization; run-time tasks are buffered and scheduled into
+the free slots.
+
+Two execution styles are offered:
+
+* :meth:`step` -- advance one slot synchronously (used by the
+  experiment harness, where a plain Python loop over slots is an order
+  of magnitude faster than event dispatch);
+* :meth:`process` -- a generator for embedding the hypervisor in a
+  full-platform :class:`~repro.sim.engine.Simulator` run alongside NoC
+  and processor models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.core.driver import VirtualizationDriver
+from repro.core.gsched import ServerSpec
+from repro.core.lsched import SelectionPolicy, edf_policy
+from repro.core.manager import VirtualizationManager
+from repro.sim.clock import DEFAULT_CYCLES_PER_SLOT, GlobalTimer
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.trace import TraceRecorder
+from repro.tasks.task import Job
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass
+class HypervisorConfig:
+    """Static configuration of one I/O-GUARD instance."""
+
+    cycles_per_slot: int = DEFAULT_CYCLES_PER_SLOT
+    pool_capacity: int = 64
+    policy: SelectionPolicy = edf_policy
+    #: Optional trace recorder shared across managers.
+    trace: Optional[TraceRecorder] = None
+    #: Validate that single-slot operations fit the slot length.
+    validate_slot_budget: bool = True
+
+
+class IOGuardHypervisor:
+    """Hardware hypervisor: managers + drivers for every connected I/O."""
+
+    def __init__(self, config: Optional[HypervisorConfig] = None):
+        self.config = config or HypervisorConfig()
+        self.managers: Dict[str, VirtualizationManager] = {}
+        self.drivers: Dict[str, VirtualizationDriver] = {}
+        self.completed_jobs: List[Job] = []
+        self._slot_cursor = 0
+        self._on_complete_hooks: List[Callable[[Job, int], None]] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def attach_device(
+        self,
+        device_name: str,
+        driver: VirtualizationDriver,
+        predefined: TaskSet,
+        servers: List[ServerSpec],
+    ) -> VirtualizationManager:
+        """Connect one I/O device: its driver, P-channel load and servers.
+
+        Called once per device at system initialization; returns the
+        created manager.
+        """
+        if device_name in self.managers:
+            raise ValueError(f"device {device_name!r} is already attached")
+        for task in predefined:
+            if task.device != device_name:
+                raise ValueError(
+                    f"pre-defined task {task.name!r} targets {task.device!r}, "
+                    f"not {device_name!r}"
+                )
+        manager = VirtualizationManager(
+            device=device_name,
+            predefined=predefined,
+            servers=servers,
+            pool_capacity=self.config.pool_capacity,
+            policy=self.config.policy,
+            on_complete=lambda job, slot: self._job_completed(
+                device_name, job, slot
+            ),
+        )
+        self.managers[device_name] = manager
+        self.drivers[device_name] = driver
+        if self.config.validate_slot_budget:
+            self._validate_slot_budget(device_name, driver, predefined)
+        return manager
+
+    def _validate_slot_budget(
+        self,
+        device_name: str,
+        driver: VirtualizationDriver,
+        predefined: TaskSet,
+    ) -> None:
+        """Every declared job must fit its slot budget end to end.
+
+        A task of WCET C slots moving P bytes issues operations of
+        roughly P/C bytes per slot; the driver's per-operation WCET for
+        that size must fit one slot, otherwise the configuration
+        under-declares its demand and the analysis would be unsound.
+        """
+        slot_cycles = self.config.cycles_per_slot
+        for task in predefined:
+            per_slot_bytes = max(1, task.payload_bytes // task.wcet)
+            if not driver.fits_slot(per_slot_bytes, slot_cycles):
+                raise ValueError(
+                    f"task {task.name!r} on {device_name!r}: a "
+                    f"{per_slot_bytes}-byte operation needs "
+                    f"{driver.wcet_cycles(per_slot_bytes)} cycles, more than "
+                    f"the {slot_cycles}-cycle slot; increase the task WCET "
+                    "or the slot length"
+                )
+
+    def on_complete(self, hook: Callable[[Job, int], None]) -> None:
+        """Register a completion observer (metrics collectors)."""
+        self._on_complete_hooks.append(hook)
+
+    # -- run-time interface ---------------------------------------------------------
+
+    def submit(self, job: Job) -> bool:
+        """Run-time I/O request from a VM, routed by target device."""
+        manager = self.managers.get(job.task.device)
+        if manager is None:
+            raise KeyError(
+                f"job {job.name} targets unattached device "
+                f"{job.task.device!r}; attached: {sorted(self.managers)}"
+            )
+        return manager.submit(job)
+
+    def step(self, slot: Optional[int] = None) -> List[Job]:
+        """Execute one time slot on every attached device.
+
+        Returns the jobs completed in this slot.  Slots default to an
+        internal cursor so callers can simply loop ``hv.step()``.
+        """
+        if slot is None:
+            slot = self._slot_cursor
+        completed: List[Job] = []
+        for manager in self.managers.values():
+            job = manager.execute_slot(slot)
+            if job is not None:
+                completed.append(job)
+        self._slot_cursor = slot + 1
+        return completed
+
+    def run_slots(self, count: int, start: Optional[int] = None) -> List[Job]:
+        """Step ``count`` consecutive slots; returns all completions."""
+        if count < 0:
+            raise ValueError(f"cannot run a negative slot count: {count}")
+        slot = self._slot_cursor if start is None else start
+        completed: List[Job] = []
+        for offset in range(count):
+            completed.extend(self.step(slot + offset))
+        return completed
+
+    def process(
+        self, sim: Simulator, timer: GlobalTimer, horizon_slots: int
+    ) -> Generator:
+        """Simulator process stepping the hypervisor once per slot."""
+        if timer.cycles_per_slot != self.config.cycles_per_slot:
+            raise ValueError(
+                f"timer slot length {timer.cycles_per_slot} differs from "
+                f"hypervisor configuration {self.config.cycles_per_slot}"
+            )
+        for slot in range(horizon_slots):
+            boundary = timer.slot_start_cycle(slot)
+            if boundary > sim.now:
+                yield Timeout(boundary - sim.now)
+            self.step(slot)
+        return len(self.completed_jobs)
+
+    def _job_completed(self, device_name: str, job: Job, slot: int) -> None:
+        self.completed_jobs.append(job)
+        if self.config.trace is not None:
+            self.config.trace.record(
+                slot,
+                "job_complete",
+                f"hypervisor.{device_name}",
+                job=job.name,
+                deadline_met=job.met_deadline(),
+            )
+        for hook in self._on_complete_hooks:
+            hook(job, slot)
+
+    # -- views ------------------------------------------------------------------------
+
+    @property
+    def pending_jobs(self) -> int:
+        return sum(manager.pending_jobs for manager in self.managers.values())
+
+    def device_names(self) -> List[str]:
+        return sorted(self.managers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IOGuardHypervisor(devices={self.device_names()}, "
+            f"completed={len(self.completed_jobs)})"
+        )

@@ -1,0 +1,79 @@
+"""L-Sched: the per-VM local scheduler (Sec. III-A).
+
+One local scheduler lives inside each I/O pool.  It "keeps checking the
+status of the tasks, finding the task with the earliest deadline, and
+requesting the control logic to map the first operation of this I/O task
+to a shadow register".  The policy object is pluggable ("the design of
+the schedulers is agnostic to scheduling methods"); preemptive EDF is the
+default, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.priority_queue import PriorityQueue
+from repro.tasks.task import Job
+
+#: A selection policy maps a queue snapshot to the job to stage next.
+SelectionPolicy = Callable[[PriorityQueue], Optional[Job]]
+
+
+def edf_policy(queue: PriorityQueue) -> Optional[Job]:
+    """Preemptive EDF: stage the earliest-absolute-deadline job."""
+    return queue.peek()
+
+
+def fifo_policy(queue: PriorityQueue) -> Optional[Job]:
+    """Arrival-order policy (models a FIFO through the same interface).
+
+    Selects the buffered job with the smallest release time, breaking
+    ties by deadline.  Used by the preemption ablation.
+    """
+    jobs = queue.jobs()
+    if not jobs:
+        return None
+    return min(jobs, key=lambda job: (job.release, job.absolute_deadline))
+
+
+class LocalScheduler:
+    """Selects the job an I/O pool exposes through its shadow register."""
+
+    def __init__(
+        self,
+        queue: PriorityQueue,
+        policy: SelectionPolicy = edf_policy,
+        name: str = "lsched",
+    ):
+        self.queue = queue
+        self.policy = policy
+        self.name = name
+        self.selection_count = 0
+        self.preemption_count = 0
+        self._last_selected: Optional[Job] = None
+
+    def select(self) -> Optional[Job]:
+        """The job that should occupy the shadow register right now.
+
+        Counts a preemption whenever the selection changes while the
+        previously selected job is still incomplete and buffered -- the
+        hardware analogue is the shadow register being overwritten with a
+        different task's operation.
+        """
+        job = self.policy(self.queue)
+        self.selection_count += 1
+        previous = self._last_selected
+        if (
+            job is not None
+            and previous is not None
+            and job is not previous
+            and previous.remaining > 0
+            and previous in self.queue
+        ):
+            self.preemption_count += 1
+            previous.preemption_count += 1
+        self._last_selected = job
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalScheduler({self.name!r}, selections={self.selection_count})"

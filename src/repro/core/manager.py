@@ -1,0 +1,97 @@
+"""Virtualization manager (Sec. III-A).
+
+"The design of the virtualization manager contains two request channels
+and one response channel.  The response channel is pass-through ...  The
+request channels are respectively designed for pre-defined and run-time
+I/O tasks."  The manager is generic to all I/Os; pairing with a
+device-specific :class:`~repro.core.driver.VirtualizationDriver` happens
+one level up in the hypervisor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.gsched import ServerSpec
+from repro.core.lsched import SelectionPolicy, edf_policy
+from repro.core.pchannel import PChannel
+from repro.core.rchannel import RChannel
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import Job, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+class VirtualizationManager:
+    """P-channel + R-channel + pass-through response channel."""
+
+    def __init__(
+        self,
+        device: str,
+        predefined: TaskSet,
+        servers: List[ServerSpec],
+        *,
+        table: Optional[TimeSlotTable] = None,
+        pool_capacity: int = 64,
+        policy: SelectionPolicy = edf_policy,
+        on_complete: Optional[Callable[[Job, int], None]] = None,
+    ):
+        self.device = device
+        self.on_complete = on_complete
+        self.pchannel = PChannel(
+            predefined, table=table, on_complete=self._completed
+        )
+        self.rchannel = RChannel(
+            servers,
+            pool_capacity=pool_capacity,
+            policy=policy,
+            on_complete=self._completed,
+        )
+        self.completed_jobs: List[Job] = []
+        #: Responses are pass-through: "the processing speed of the
+        #: processors is hundreds of times faster than the I/O devices",
+        #: so the channel never blocks; we only count them.
+        self.responses_forwarded = 0
+
+    # -- request side -----------------------------------------------------------
+
+    def submit(self, job: Job) -> bool:
+        """Accept a run-time I/O job from a VM (R-channel path)."""
+        if job.task.kind != TaskKind.RUNTIME:
+            raise ValueError(
+                f"job {job.name} is {job.task.kind.value}; pre-defined tasks "
+                "are loaded at initialization, not submitted at run time"
+            )
+        return self.rchannel.submit(job)
+
+    # -- executor ---------------------------------------------------------------
+
+    def execute_slot(self, slot: int) -> Optional[Job]:
+        """Run one time slot: table-occupied slots go to the P-channel,
+        free slots to the R-channel.  Returns a job completed this slot.
+        """
+        self.rchannel.tick(slot)
+        if self.pchannel.occupies(slot):
+            return self.pchannel.execute_slot(slot)
+        return self.rchannel.execute_slot(slot)
+
+    def _completed(self, job: Job, slot: int) -> None:
+        self.completed_jobs.append(job)
+        self.responses_forwarded += 1
+        if self.on_complete is not None:
+            self.on_complete(job, slot)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def table(self) -> TimeSlotTable:
+        return self.pchannel.table
+
+    @property
+    def pending_jobs(self) -> int:
+        return self.rchannel.pending_jobs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualizationManager({self.device!r}, "
+            f"completed={len(self.completed_jobs)})"
+        )

@@ -1,0 +1,172 @@
+"""Mode changes: swapping the pre-defined schedule at run time.
+
+Vehicles change operating modes (parking, highway, diagnostics); each
+mode carries its own pre-defined I/O schedule.  The paper loads the time
+slot table "during system initialization" -- the natural extension is a
+*mode manager* that atomically swaps sigma* at a hyper-period boundary:
+
+* the new table is validated up front (the pending-mode request can be
+  rejected without touching the running mode),
+* the swap happens exactly at a slot index that is a common boundary of
+  the old and new hyper-periods, so no in-flight pre-defined job is
+  truncated,
+* R-channel guarantees are re-validated against the new table's free
+  slots before the swap is accepted (Theorem 2 with the configured
+  servers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.gsched import ServerSpec
+from repro.core.pchannel import PChannel
+from repro.core.timeslot import TimeSlotTable, build_pchannel_table, stagger_offsets
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class Mode:
+    """One named operating mode: its pre-defined task set and table."""
+
+    name: str
+    predefined: TaskSet
+    table: TimeSlotTable
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        predefined: TaskSet,
+        *,
+        stagger: bool = True,
+        placement: str = "spread",
+    ) -> "Mode":
+        tasks = stagger_offsets(predefined) if stagger else predefined
+        table = build_pchannel_table(tasks, placement=placement)
+        return cls(name=name, predefined=tasks, table=table)
+
+
+@dataclass
+class ModeChange:
+    """A scheduled transition."""
+
+    target: str
+    requested_at_slot: int
+    effective_slot: int
+
+
+class ModeManager:
+    """Owns the active P-channel and performs boundary-aligned swaps."""
+
+    def __init__(
+        self,
+        modes: Dict[str, Mode],
+        initial: str,
+        servers: Optional[List[ServerSpec]] = None,
+    ):
+        if initial not in modes:
+            raise KeyError(
+                f"initial mode {initial!r} not in {sorted(modes)}"
+            )
+        self.modes = dict(modes)
+        self.servers = list(servers or [])
+        # Every mode must keep the configured servers feasible: a mode
+        # change must never silently break the R-channel guarantee.
+        for mode in self.modes.values():
+            self._validate_mode(mode)
+        self.active_name = initial
+        self.pchannel = PChannel(
+            self.modes[initial].predefined, table=self.modes[initial].table
+        )
+        self.pending: Optional[ModeChange] = None
+        self.history: List[ModeChange] = []
+
+    def _validate_mode(self, mode: Mode) -> None:
+        if not self.servers:
+            return
+        from repro.analysis.gsched_test import gsched_schedulable
+
+        pairs = [(s.pi, s.theta) for s in self.servers]
+        result = gsched_schedulable(mode.table, pairs)
+        if not result.schedulable:
+            raise ValueError(
+                f"mode {mode.name!r} cannot host the configured servers: "
+                f"Theorem 2 fails at t={result.failing_t}"
+            )
+
+    # -- transitions ---------------------------------------------------------
+
+    def request_mode(self, target: str, current_slot: int) -> ModeChange:
+        """Schedule a swap to ``target`` at the next common boundary.
+
+        The effective slot is the next multiple of
+        ``lcm(H_old, H_new)`` after ``current_slot`` -- both schedules
+        agree there (old finishes a whole number of hyper-periods, new
+        starts aligned), so no pre-defined job straddles the swap.
+        """
+        if target not in self.modes:
+            raise KeyError(f"unknown mode {target!r}; have {sorted(self.modes)}")
+        if self.pending is not None:
+            raise RuntimeError(
+                f"a mode change to {self.pending.target!r} is already "
+                f"pending (effective slot {self.pending.effective_slot})"
+            )
+        if target == self.active_name:
+            raise ValueError(f"already in mode {target!r}")
+        old_h = self.modes[self.active_name].table.total_slots
+        new_h = self.modes[target].table.total_slots
+        boundary = math.lcm(old_h, new_h)
+        effective = ((current_slot // boundary) + 1) * boundary
+        self.pending = ModeChange(
+            target=target,
+            requested_at_slot=current_slot,
+            effective_slot=effective,
+        )
+        return self.pending
+
+    def cancel_pending(self) -> Optional[ModeChange]:
+        """Abort a scheduled (not yet effective) transition."""
+        cancelled, self.pending = self.pending, None
+        return cancelled
+
+    def tick(self, slot: int) -> Optional[str]:
+        """Advance mode state; returns the new mode name on a swap slot."""
+        if self.pending is not None and slot >= self.pending.effective_slot:
+            change = self.pending
+            self.pending = None
+            self.active_name = change.target
+            mode = self.modes[change.target]
+            self.pchannel = PChannel(
+                mode.predefined,
+                table=mode.table,
+                activation_slot=change.effective_slot,
+            )
+            self.history.append(change)
+            return change.target
+        return None
+
+    # -- P-channel facade -------------------------------------------------------
+
+    @property
+    def active_mode(self) -> Mode:
+        return self.modes[self.active_name]
+
+    @property
+    def table(self) -> TimeSlotTable:
+        return self.active_mode.table
+
+    def occupies(self, slot: int) -> bool:
+        return self.pchannel.occupies(slot)
+
+    def execute_slot(self, slot: int):
+        return self.pchannel.execute_slot(slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pending = self.pending.target if self.pending else None
+        return (
+            f"ModeManager(active={self.active_name!r}, pending={pending!r}, "
+            f"modes={sorted(self.modes)})"
+        )

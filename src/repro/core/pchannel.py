@@ -1,0 +1,121 @@
+"""P-channel: pre-defined I/O task execution (Sec. III-A).
+
+"The memory banks store the pre-defined I/O tasks and the corresponding
+timing information ..., which are loaded during system initialization.
+... During system execution, the executor synchronizes with a global
+timer and then compares the synchronized results with the time slot
+table.  Once the system executes at a starting time point of a pre-loaded
+I/O task, the executor loads this task to the connected virtualization
+driver for execution."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.timeslot import TimeSlotTable, build_pchannel_table
+from repro.tasks.task import IOTask, Job, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+class PChannel:
+    """Time-slot-table-driven executor for pre-defined tasks."""
+
+    def __init__(
+        self,
+        predefined: TaskSet,
+        table: Optional[TimeSlotTable] = None,
+        on_complete: Optional[Callable[[Job, int], None]] = None,
+        activation_slot: int = 0,
+    ):
+        for task in predefined:
+            if task.kind != TaskKind.PREDEFINED:
+                raise ValueError(
+                    f"P-channel loaded with non-predefined task {task.name!r}"
+                )
+        if activation_slot < 0:
+            raise ValueError(
+                f"activation slot must be >= 0, got {activation_slot}"
+            )
+        self.tasks = predefined
+        #: sigma*: built at "system initialization" unless supplied.
+        self.table = table if table is not None else build_pchannel_table(predefined)
+        self.on_complete = on_complete
+        #: First slot this channel is live: jobs released earlier are
+        #: skipped (mode-change transients: a job whose window began
+        #: before activation cannot receive its full slot allotment).
+        self.activation_slot = activation_slot
+        self._in_flight: Dict[str, Job] = {}
+        self._job_counts: Dict[str, int] = {}
+        self.slots_executed = 0
+        self.jobs_completed = 0
+        self.completed_jobs: List[Job] = []
+
+    def occupies(self, slot: int) -> bool:
+        """Whether the table reserves absolute slot ``slot``."""
+        return self.table.is_occupied(slot)
+
+    def execute_slot(self, slot: int) -> Optional[Job]:
+        """Run the pre-defined work of slot ``slot``.
+
+        Returns the job when this slot completes it.  Raises when called
+        on a free slot -- the manager must route those to the R-channel.
+        """
+        task = self.table.task_at(slot)
+        if task is None:
+            raise ValueError(
+                f"slot {slot} is free; P-channel executor has nothing to run"
+            )
+        job = self._current_job(task, slot)
+        if job is None:
+            # A table slot wrapped from the previous hyper-period repetition,
+            # belonging to a job released before time zero; idle through it.
+            return None
+        job.execute(1)
+        if job.started_at is None:
+            job.started_at = float(slot)
+        self.slots_executed += 1
+        if job.remaining == 0:
+            job.completed_at = float(slot + 1)
+            del self._in_flight[task.name]
+            self.jobs_completed += 1
+            self.completed_jobs.append(job)
+            if self.on_complete is not None:
+                self.on_complete(job, slot)
+            return job
+        return None
+
+    def _current_job(self, task: IOTask, slot: int) -> Optional[Job]:
+        """The in-flight job of ``task`` covering absolute slot ``slot``.
+
+        A new job is materialised when none is in flight; its release is
+        the period boundary containing ``slot`` (pre-defined jobs are
+        strictly periodic: release ``offset + k*T``).  Returns None for
+        slots before the task's first release -- table positions wrapped
+        around the hyper-period boundary.
+        """
+        job = self._in_flight.get(task.name)
+        if job is not None:
+            return job
+        if slot < task.offset:
+            return None
+        index = (slot - task.offset) // task.period
+        if task.offset + index * task.period < self.activation_slot:
+            # The window began before this channel was active; the job
+            # cannot receive its full allotment -- skip it.
+            return None
+        job = task.job(release=task.offset + index * task.period, index=index)
+        self._in_flight[task.name] = job
+        self._job_counts[task.name] = self._job_counts.get(task.name, 0) + 1
+        return job
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of table slots the P-channel occupies."""
+        return 1.0 - self.table.free_fraction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PChannel(tasks={len(self.tasks)}, H={self.table.total_slots}, "
+            f"completed={self.jobs_completed})"
+        )

@@ -1,0 +1,198 @@
+"""Random-access priority queue (Sec. III-A).
+
+Conventional I/O controllers buffer requests in FIFOs, which "forbids
+context switches at the hardware level" (Sec. I).  The I/O-GUARD queue
+adds one parameter slot per buffered task, accessible to the schedulers,
+and supports random access so tasks can be prioritised and removed out of
+arrival order.
+
+The model preserves the two hardware constraints that matter to the
+evaluation: a *bounded capacity* (on-chip registers) and *O(1) observable
+operations at slot granularity* (the schedulers read the head between
+slots).  Internally a binary heap with lazy deletion keeps large
+simulations fast; the lazy entries are invisible through the public API.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.tasks.task import Job
+
+
+class QueueFullError(RuntimeError):
+    """Raised when inserting into a full hardware queue.
+
+    A full queue is back-pressure to the issuing VM; the system models
+    decide whether to stall or drop (I/O-GUARD sizes queues from the
+    per-VM task count so this only fires on mis-configuration).
+    """
+
+
+class PriorityQueue:
+    """Bounded priority queue ordered by absolute deadline.
+
+    Ties on the deadline break by insertion order, matching a hardware
+    comparator tree that scans slots in index order.
+    """
+
+    def __init__(self, capacity: int = 64, name: str = "pq"):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._live: Dict[int, Job] = {}
+        self._sequence = itertools.count()
+        # statistics
+        self.total_inserted = 0
+        self.total_removed = 0
+        self.peak_occupancy = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def insert(self, job: Job) -> None:
+        """Buffer a job; raises :class:`QueueFullError` when full."""
+        if len(self._live) >= self.capacity:
+            raise QueueFullError(
+                f"queue {self.name!r} full ({self.capacity} slots); "
+                f"cannot buffer {job.name}"
+            )
+        key = id(job)
+        if key in self._live:
+            raise ValueError(f"job {job.name} is already buffered in {self.name!r}")
+        heapq.heappush(self._heap, (job.absolute_deadline, next(self._sequence), job))
+        self._live[key] = job
+        self.total_inserted += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._live))
+
+    def peek(self) -> Optional[Job]:
+        """Earliest-deadline buffered job, or None when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Job:
+        """Remove and return the earliest-deadline job."""
+        self._prune()
+        if not self._heap:
+            raise IndexError(f"pop from empty queue {self.name!r}")
+        _deadline, _seq, job = heapq.heappop(self._heap)
+        del self._live[id(job)]
+        self.total_removed += 1
+        return job
+
+    def remove(self, job: Job) -> bool:
+        """Random-access removal; True when the job was buffered."""
+        key = id(job)
+        if key not in self._live:
+            return False
+        del self._live[key]
+        self.total_removed += 1
+        # The heap entry stays until pruned (lazy deletion).
+        return True
+
+    def __contains__(self, job: Job) -> bool:
+        return id(job) in self._live
+
+    # -- random-access parameter interface --------------------------------------
+
+    def jobs(self) -> List[Job]:
+        """Snapshot of buffered jobs in deadline order (random access)."""
+        return sorted(
+            self._live.values(),
+            key=lambda job: (job.absolute_deadline, id(job)),
+        )
+
+    def find(self, predicate: Callable[[Job], bool]) -> Optional[Job]:
+        """First job (deadline order) satisfying ``predicate``."""
+        for job in self.jobs():
+            if predicate(job):
+                return job
+        return None
+
+    def jobs_of_task(self, task_name: str) -> List[Job]:
+        return [job for job in self.jobs() if job.task.name == task_name]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _prune(self) -> None:
+        while self._heap and id(self._heap[0][2]) not in self._live:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._live) >= self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PriorityQueue({self.name!r}, {len(self._live)}/{self.capacity})"
+
+
+class FIFOQueue:
+    """Conventional FIFO I/O queue -- the baseline hardware structure.
+
+    Used by the BS|Legacy and BS|BV system models.  Only head access is
+    possible; no reordering, no random access, no preemption support.
+    Same capacity semantics as :class:`PriorityQueue` so the system
+    models can swap one for the other (the paper's central ablation).
+    """
+
+    def __init__(self, capacity: int = 64, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: List[Job] = []
+        self.total_inserted = 0
+        self.total_removed = 0
+        self.peak_occupancy = 0
+
+    def insert(self, job: Job) -> None:
+        if len(self._items) >= self.capacity:
+            raise QueueFullError(
+                f"queue {self.name!r} full ({self.capacity} slots); "
+                f"cannot buffer {job.name}"
+            )
+        self._items.append(job)
+        self.total_inserted += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+
+    def peek(self) -> Optional[Job]:
+        return self._items[0] if self._items else None
+
+    def pop(self) -> Job:
+        if not self._items:
+            raise IndexError(f"pop from empty queue {self.name!r}")
+        self.total_removed += 1
+        return self._items.pop(0)
+
+    def jobs(self) -> List[Job]:
+        return list(self._items)
+
+    def __contains__(self, job: Job) -> bool:
+        return any(item is job for item in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FIFOQueue({self.name!r}, {len(self._items)}/{self.capacity})"

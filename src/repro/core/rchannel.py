@@ -1,0 +1,98 @@
+"""R-channel: run-time I/O task scheduling and execution (Sec. III-A).
+
+"The design of the R-channel contains a group of I/O pools, a two-layer
+scheduler ... and an executor."  The executor here is the slot-level
+engine: every *free* slot (as designated by the time slot table) the
+G-Sched picks a VM, the chosen pool's staged operation runs for one slot,
+and completed jobs are removed from their priority queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.gsched import Allocation, GlobalScheduler, ServerSpec
+from repro.core.iopool import IOPool
+from repro.core.lsched import SelectionPolicy, edf_policy
+from repro.tasks.task import Job
+
+
+class RChannel:
+    """I/O pools + two-layer scheduler + executor."""
+
+    def __init__(
+        self,
+        servers: List[ServerSpec],
+        pool_capacity: int = 64,
+        policy: SelectionPolicy = edf_policy,
+        on_complete: Optional[Callable[[Job, int], None]] = None,
+    ):
+        self.pools: Dict[int, IOPool] = {
+            spec.vm_id: IOPool(
+                vm_id=spec.vm_id, capacity=pool_capacity, policy=policy
+            )
+            for spec in servers
+        }
+        self.gsched = GlobalScheduler(servers)
+        self.on_complete = on_complete
+        self.slots_executed = 0
+        self.jobs_completed = 0
+        self.completed_jobs: List[Job] = []
+        self.last_allocation: Optional[Allocation] = None
+
+    # -- VM-side interface -----------------------------------------------------
+
+    def submit(self, job: Job) -> bool:
+        """Route a run-time job to its VM's pool (hardware-partitioned)."""
+        pool = self.pools.get(job.task.vm_id)
+        if pool is None:
+            raise KeyError(
+                f"no I/O pool for VM {job.task.vm_id}; configured VMs: "
+                f"{sorted(self.pools)}"
+            )
+        return pool.submit(job)
+
+    # -- executor ---------------------------------------------------------------
+
+    def tick(self, slot: int) -> None:
+        """Advance server budgets to ``slot`` (every slot, free or not)."""
+        self.gsched.tick(slot)
+
+    def execute_slot(self, slot: int) -> Optional[Job]:
+        """Run one free slot of R-channel work; returns a completed job.
+
+        Returns None when the slot idles or the staged job needs more
+        slots.
+        """
+        pending = {
+            vm_id: deadline
+            for vm_id, pool in self.pools.items()
+            if (deadline := pool.staged_deadline()) is not None
+        }
+        allocation = self.gsched.allocate(slot, pending)
+        self.last_allocation = allocation
+        if allocation is None:
+            return None
+        pool = self.pools[allocation.vm_id]
+        job = pool.shadow
+        if job is not None and job.started_at is None:
+            job.started_at = float(slot)
+        completed = pool.execute_slot()
+        self.slots_executed += 1
+        if completed is not None:
+            completed.completed_at = float(slot + 1)
+            self.jobs_completed += 1
+            self.completed_jobs.append(completed)
+            if self.on_complete is not None:
+                self.on_complete(completed, slot)
+        return completed
+
+    @property
+    def pending_jobs(self) -> int:
+        return sum(len(pool) for pool in self.pools.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RChannel(pools={len(self.pools)}, pending={self.pending_jobs}, "
+            f"completed={self.jobs_completed})"
+        )

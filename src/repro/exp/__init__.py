@@ -1,0 +1,75 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver regenerates its artefact from the library and renders the
+same rows/series the paper reports:
+
+* :mod:`repro.exp.fig6` -- run-time software overhead (memory footprint),
+* :mod:`repro.exp.table1` -- hardware overhead on FPGA,
+* :mod:`repro.exp.fig7` -- case-study success ratio + I/O throughput
+  sweep over target utilization for 4-VM and 8-VM groups,
+* :mod:`repro.exp.fig8` -- scalability (area, power, Fmax vs eta),
+* :mod:`repro.exp.reporting` -- plain-text table rendering.
+
+Run everything with ``python -m repro.exp`` (see ``__main__``).
+"""
+
+from repro.exp.fig6 import fig6_report, render_fig6
+from repro.exp.table1 import table1_report, render_table1
+from repro.exp.fig7 import CaseStudyConfig, run_case_study, render_fig7
+from repro.exp.fig8 import fig8_report, render_fig8
+from repro.exp.predictability import (
+    PredictabilityResult,
+    render_predictability,
+    run_predictability,
+)
+from repro.exp.acceptance import (
+    AcceptanceResult,
+    render_acceptance,
+    run_acceptance,
+)
+from repro.exp.isolation import (
+    IsolationResult,
+    render_isolation,
+    run_isolation,
+)
+from repro.exp.export import (
+    export_fig7_csv,
+    export_fig7_json,
+    export_fig8_csv,
+    export_predictability_csv,
+)
+from repro.exp.weighted import (
+    WeightedResult,
+    render_weighted,
+    run_weighted,
+)
+from repro.exp.reporting import render_table
+
+__all__ = [
+    "AcceptanceResult",
+    "CaseStudyConfig",
+    "PredictabilityResult",
+    "WeightedResult",
+    "export_fig7_csv",
+    "export_fig7_json",
+    "export_fig8_csv",
+    "export_predictability_csv",
+    "IsolationResult",
+    "fig6_report",
+    "fig8_report",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_acceptance",
+    "render_isolation",
+    "render_predictability",
+    "render_weighted",
+    "render_table",
+    "render_table1",
+    "run_case_study",
+    "run_acceptance",
+    "run_isolation",
+    "run_predictability",
+    "run_weighted",
+    "table1_report",
+]

@@ -1,0 +1,124 @@
+"""Command-line entry: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.exp            # everything (fig7 at reduced scale)
+    python -m repro.exp fig6
+    python -m repro.exp table1
+    python -m repro.exp fig7 [--trials N] [--horizon SLOTS]
+    python -m repro.exp fig8
+    python -m repro.exp predictability
+    python -m repro.exp isolation
+    python -m repro.exp acceptance
+    python -m repro.exp export --out results/   # CSV/JSON artefacts
+
+Set ``REPRO_SCALE`` (e.g. 0.2 for a smoke run, 5 for a long run) to
+scale the fig7 trials/horizon without editing flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exp.acceptance import render_acceptance, run_acceptance
+from repro.exp.export import (
+    export_fig7_csv,
+    export_fig7_json,
+    export_fig8_csv,
+    export_predictability_csv,
+)
+from repro.exp.fig6 import render_fig6
+from repro.exp.fig7 import CaseStudyConfig, render_fig7, run_case_study
+from repro.exp.fig8 import render_fig8
+from repro.exp.isolation import render_isolation, run_isolation
+from repro.exp.predictability import render_predictability, run_predictability
+from repro.exp.table1 import render_table1
+
+EXPERIMENTS = [
+    "all",
+    "fig6",
+    "table1",
+    "fig7",
+    "fig8",
+    "predictability",
+    "isolation",
+    "acceptance",
+    "export",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Regenerate the I/O-GUARD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default="all", choices=EXPERIMENTS
+    )
+    parser.add_argument("--trials", type=int, default=10, help="fig7 trials/cell")
+    parser.add_argument(
+        "--horizon", type=int, default=50_000, help="fig7 slots per trial"
+    )
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="output directory for the export subcommand",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("all", "fig6"):
+        print(render_fig6())
+        print()
+    if args.experiment in ("all", "table1"):
+        print(render_table1())
+        print()
+    if args.experiment in ("all", "fig8"):
+        print(render_fig8())
+        print()
+    if args.experiment in ("all", "fig7"):
+        config = CaseStudyConfig(
+            trials=args.trials, horizon_slots=args.horizon, seed=args.seed
+        )
+        print(render_fig7(run_case_study(config)))
+        print()
+    if args.experiment in ("all", "predictability"):
+        result = run_predictability(
+            trials=max(1, args.trials // 3),
+            horizon_slots=args.horizon,
+            seed=args.seed,
+        )
+        print(render_predictability(result))
+        print()
+    if args.experiment in ("all", "isolation"):
+        print(render_isolation(run_isolation(horizon_slots=args.horizon // 2)))
+        print()
+    if args.experiment in ("all", "acceptance"):
+        print(render_acceptance(run_acceptance(seed=args.seed)))
+    if args.experiment == "export":
+        args.out.mkdir(parents=True, exist_ok=True)
+        config = CaseStudyConfig(
+            trials=args.trials, horizon_slots=args.horizon, seed=args.seed
+        )
+        sweep = run_case_study(config)
+        written = [
+            export_fig7_csv(sweep, args.out / "fig7.csv"),
+            export_fig7_json(sweep, args.out / "fig7.json"),
+            export_fig8_csv(args.out / "fig8.csv"),
+            export_predictability_csv(
+                run_predictability(
+                    trials=max(1, args.trials // 3),
+                    horizon_slots=args.horizon,
+                    seed=args.seed,
+                ),
+                args.out / "predictability.csv",
+            ),
+        ]
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

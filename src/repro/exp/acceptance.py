@@ -1,0 +1,111 @@
+"""Acceptance-ratio experiment: the classic schedulability-test figure.
+
+For each utilization level, draw many random task sets and report the
+fraction each test admits under a fixed server -- comparing:
+
+* **theorem4** -- the paper's pseudo-polynomial exact-over-sbf test,
+* **linear** -- the sufficient test built on the proof's linear supply
+  bound (cheaper, strictly more pessimistic),
+* **bandwidth** -- the naive necessary condition ``U <= Theta/Pi``
+  (an upper envelope no sound test can exceed).
+
+Expected shape: bandwidth >= theorem4 >= linear at every utilization,
+with theorem4 tracking bandwidth closely at low utilization and the
+linear test falling away first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.linear_test import lsched_schedulable_linear
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.exp.reporting import render_table
+from repro.tasks.generators import generate_random_taskset
+
+
+@dataclass
+class AcceptancePoint:
+    """Acceptance ratios of all tests at one utilization level."""
+
+    utilization: float
+    samples: int
+    ratios: Dict[str, float]
+
+
+@dataclass
+class AcceptanceResult:
+    server: Tuple[int, int]
+    points: List[AcceptancePoint]
+
+    def curve(self, test: str) -> Dict[float, float]:
+        return {p.utilization: p.ratios[test] for p in self.points}
+
+
+def run_acceptance(
+    *,
+    pi: int = 20,
+    theta: int = 14,
+    utilizations: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.65, 0.7),
+    samples: int = 50,
+    task_count: int = 5,
+    seed: int = 2021,
+    period_min: int = 40,
+    period_max: int = 400,
+    implicit_deadlines: bool = True,
+) -> AcceptanceResult:
+    """Sweep utilization; return acceptance ratios per test."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    bandwidth = theta / pi
+    points: List[AcceptancePoint] = []
+    for utilization in utilizations:
+        counts = {"theorem4": 0, "linear": 0, "bandwidth": 0}
+        for index in range(samples):
+            tasks = generate_random_taskset(
+                seed + index,
+                task_count=task_count,
+                total_utilization=utilization,
+                period_min=period_min,
+                period_max=period_max,
+                implicit_deadlines=implicit_deadlines,
+                name=f"acc.u{utilization}.s{index}",
+            )
+            if tasks.utilization <= bandwidth:
+                counts["bandwidth"] += 1
+            if lsched_schedulable(pi, theta, tasks).schedulable:
+                counts["theorem4"] += 1
+            if lsched_schedulable_linear(pi, theta, tasks).schedulable:
+                counts["linear"] += 1
+        points.append(
+            AcceptancePoint(
+                utilization=utilization,
+                samples=samples,
+                ratios={
+                    name: count / samples for name, count in counts.items()
+                },
+            )
+        )
+    return AcceptanceResult(server=(pi, theta), points=points)
+
+
+def render_acceptance(result: AcceptanceResult) -> str:
+    rows = [
+        (
+            point.utilization,
+            point.ratios["bandwidth"],
+            point.ratios["theorem4"],
+            point.ratios["linear"],
+        )
+        for point in result.points
+    ]
+    pi, theta = result.server
+    return render_table(
+        ["utilization", "bandwidth bound", "Theorem 4", "linear sufficient"],
+        rows,
+        title=(
+            f"Acceptance ratio under server (Pi={pi}, Theta={theta}), "
+            f"{result.points[0].samples if result.points else 0} sets/point"
+        ),
+    )

@@ -1,0 +1,158 @@
+"""Result export: CSV and JSON writers for the experiment outputs.
+
+Downstream users plot the sweeps with their own tooling; these writers
+flatten the experiment results to stable, documented schemas.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.exp.fig7 import CaseStudyResult
+from repro.exp.fig8 import fig8_report
+from repro.exp.predictability import PredictabilityResult
+
+PathLike = Union[str, Path]
+
+
+def export_fig7_csv(result: CaseStudyResult, path: PathLike) -> Path:
+    """One row per (vm_group, system, utilization) sweep cell."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "vm_count",
+                "system",
+                "target_utilization",
+                "trials",
+                "success_ratio",
+                "throughput_mbps_mean",
+                "throughput_mbps_min",
+                "throughput_mbps_max",
+                "miss_ratio_mean",
+            ]
+        )
+        for vm_count, points in sorted(result.groups.items()):
+            for point in points:
+                writer.writerow(
+                    [
+                        vm_count,
+                        point.system,
+                        point.target_utilization,
+                        point.trials,
+                        point.success_ratio,
+                        point.mean_throughput_mbps,
+                        point.min_throughput_mbps,
+                        point.max_throughput_mbps,
+                        point.mean_miss_ratio,
+                    ]
+                )
+    return path
+
+
+def export_fig7_json(result: CaseStudyResult, path: PathLike) -> Path:
+    """Nested JSON: groups -> systems -> utilization curves."""
+    path = Path(path)
+    payload = {
+        "config": {
+            "trials": result.config.trials,
+            "horizon_slots": result.config.horizon_slots,
+            "seed": result.config.seed,
+            "utilizations": list(result.config.utilizations),
+        },
+        "groups": {},
+    }
+    for vm_count, points in sorted(result.groups.items()):
+        systems = {}
+        for point in points:
+            entry = systems.setdefault(
+                point.system, {"utilization": [], "success_ratio": [], "throughput_mbps": []}
+            )
+            entry["utilization"].append(point.target_utilization)
+            entry["success_ratio"].append(point.success_ratio)
+            entry["throughput_mbps"].append(point.mean_throughput_mbps)
+        payload["groups"][str(vm_count)] = systems
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def export_fig8_csv(path: PathLike, eta_max: int = 5) -> Path:
+    """One row per eta of the scalability sweep."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "eta",
+                "vm_count",
+                "legacy_area",
+                "ioguard_area",
+                "area_overhead",
+                "legacy_power_mw",
+                "ioguard_power_mw",
+                "legacy_fmax_mhz",
+                "ioguard_fmax_mhz",
+            ]
+        )
+        for point in fig8_report(eta_max):
+            writer.writerow(
+                [
+                    point.eta,
+                    point.vm_count,
+                    point.legacy_area,
+                    point.ioguard_area,
+                    point.area_overhead,
+                    point.legacy.power_mw,
+                    point.ioguard.power_mw,
+                    point.legacy_fmax_mhz,
+                    point.ioguard_fmax_mhz,
+                ]
+            )
+    return path
+
+
+def export_predictability_csv(
+    result: PredictabilityResult, path: PathLike
+) -> Path:
+    """One row per system with distribution + jitter statistics."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "system",
+                "jobs",
+                "resp_mean",
+                "resp_p95",
+                "resp_p99",
+                "resp_max",
+                "task_jitter_mean",
+                "task_jitter_max",
+            ]
+        )
+        for system in sorted(result.stats):
+            stats = result.stats[system]
+            jitter = result.per_task_jitter.get(system)
+            writer.writerow(
+                [
+                    system,
+                    stats.count,
+                    stats.mean,
+                    stats.p95,
+                    stats.p99,
+                    stats.maximum,
+                    jitter.mean if jitter else 0.0,
+                    jitter.maximum if jitter else 0.0,
+                ]
+            )
+    return path
+
+
+def read_csv_rows(path: PathLike) -> List[dict]:
+    """Small helper for round-trip tests and notebooks."""
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,52 @@
+"""Fig. 6: run-time software overhead (memory footprint, KB)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exp.reporting import render_table
+from repro.virt.footprint import (
+    DRIVER_SET,
+    FootprintReport,
+    SYSTEMS,
+    overhead_vs_legacy,
+    system_footprints,
+)
+
+
+def fig6_report() -> Dict[str, FootprintReport]:
+    """Footprint reports for all four systems."""
+    return {system: system_footprints(system) for system in SYSTEMS}
+
+
+def fig6_rows() -> List[tuple]:
+    """Fig. 6 as rows: (system, component, text, data, bss, total KB)."""
+    rows = []
+    for system, report in fig6_report().items():
+        for component, text, data, bss, total in report.rows():
+            rows.append(
+                (system, component, text / 1024, data / 1024, bss / 1024, total / 1024)
+            )
+    return rows
+
+
+def render_fig6() -> str:
+    """Render Fig. 6 plus the paper's headline comparison lines."""
+    table = render_table(
+        ["system", "component", "text KB", "data KB", "bss KB", "total KB"],
+        fig6_rows(),
+        title="Fig. 6 -- run-time software overhead (memory footprint)",
+    )
+    lines = [table, ""]
+    legacy_core = system_footprints("legacy").core_total / 1024
+    for system in SYSTEMS:
+        report = system_footprints(system)
+        core = report.core_total / 1024
+        delta = overhead_vs_legacy(system) * 100
+        drivers = sum(fp.total for fp in report.drivers.values()) / 1024
+        lines.append(
+            f"{system:8s} core(hyp+kernel)={core:6.1f} KB "
+            f"({delta:+6.1f}% vs legacy {legacy_core:.1f} KB), "
+            f"drivers({'+'.join(DRIVER_SET)})={drivers:5.1f} KB"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Fig. 7: case-study success ratio and I/O throughput sweep.
+
+Reproduces the experimental protocol of Sec. V-C at reduced scale (the
+paper runs 1000 x 100-second executions; a Python reproduction runs
+configurable trials x sub-second horizons -- the *shape* of the curves
+is the reproduction target, see EXPERIMENTS.md):
+
+* 20 safety + 20 function automotive tasks (~40 % utilization),
+* synthetic padding to each target utilization in the sweep,
+* groups of 4 and 8 activated VMs,
+* systems: BS|Legacy, BS|RT-XEN, BS|BV, I/O-GUARD-40, I/O-GUARD-70,
+* identical workload draws across systems within a trial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.baselines import (
+    BlueVisorSystem,
+    IOGuardSystem,
+    IOVirtSystem,
+    LegacySystem,
+    RTXenSystem,
+    TrialConfig,
+    prepare_workload,
+)
+from repro.exp.reporting import render_table
+from repro.metrics.success import SweepPoint, aggregate
+from repro.sim.rng import RandomSource
+from repro.tasks import build_case_study_taskset, pad_to_target_utilization
+
+#: Default sweep grid, the paper's 40..100 % in 5 % steps.
+DEFAULT_UTILIZATIONS = tuple(round(0.40 + 0.05 * i, 2) for i in range(13))
+
+
+def _env_scale() -> float:
+    """REPRO_SCALE environment knob: scales trials and horizon."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass
+class CaseStudyConfig:
+    """Sweep parameters for the Fig. 7 reproduction."""
+
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS
+    vm_groups: Sequence[int] = (4, 8)
+    trials: int = 10
+    horizon_slots: int = 50_000
+    seed: int = 2021  # the paper's publication year, for the record
+    #: Apply the REPRO_SCALE env knob to trials/horizon.
+    use_env_scale: bool = True
+
+    def effective(self) -> "CaseStudyConfig":
+        """Config after applying the environment scale factor."""
+        if not self.use_env_scale:
+            return self
+        scale = _env_scale()
+        if scale == 1.0:
+            return self
+        return CaseStudyConfig(
+            utilizations=self.utilizations,
+            vm_groups=self.vm_groups,
+            trials=max(1, int(round(self.trials * scale))),
+            horizon_slots=max(10_000, int(round(self.horizon_slots * scale))),
+            seed=self.seed,
+            use_env_scale=False,
+        )
+
+
+def default_systems() -> List[IOVirtSystem]:
+    """The five systems of Fig. 7."""
+    return [
+        LegacySystem(),
+        RTXenSystem(),
+        BlueVisorSystem(),
+        IOGuardSystem(0.4),
+        IOGuardSystem(0.7),
+    ]
+
+
+@dataclass
+class CaseStudyResult:
+    """All aggregated sweep points, keyed by VM group."""
+
+    config: CaseStudyConfig
+    #: vm_count -> list of SweepPoint (system x utilization)
+    groups: Dict[int, List[SweepPoint]] = field(default_factory=dict)
+
+    def points(self, vm_count: int, system: str) -> List[SweepPoint]:
+        return [
+            point
+            for point in self.groups[vm_count]
+            if point.system == system
+        ]
+
+    def success_curve(self, vm_count: int, system: str) -> Dict[float, float]:
+        return {
+            point.target_utilization: point.success_ratio
+            for point in self.points(vm_count, system)
+        }
+
+    def throughput_curve(self, vm_count: int, system: str) -> Dict[float, float]:
+        return {
+            point.target_utilization: point.mean_throughput_mbps
+            for point in self.points(vm_count, system)
+        }
+
+
+def run_case_study(
+    config: CaseStudyConfig = None,
+    systems: List[IOVirtSystem] = None,
+) -> CaseStudyResult:
+    """Run the full sweep: groups x utilizations x systems x trials."""
+    config = (config or CaseStudyConfig()).effective()
+    systems = systems if systems is not None else default_systems()
+    trial_config = TrialConfig(horizon_slots=config.horizon_slots)
+    result = CaseStudyResult(config=config)
+    for vm_count in config.vm_groups:
+        base = build_case_study_taskset(vm_count=vm_count)
+        points: List[SweepPoint] = []
+        for system in systems:
+            per_util: Dict[float, list] = {}
+            for utilization in config.utilizations:
+                trials = []
+                for trial in range(config.trials):
+                    # Workload draws are keyed by (seed, vm, util, trial)
+                    # only -- identical across systems, as in the paper.
+                    workload_rng = RandomSource(
+                        config.seed + trial, f"wl.{vm_count}.{utilization}"
+                    )
+                    padded = pad_to_target_utilization(
+                        base,
+                        utilization,
+                        workload_rng.spawn("pad"),
+                        vm_count=vm_count,
+                    )
+                    workload = prepare_workload(
+                        padded,
+                        trial_config,
+                        workload_rng.spawn("draws"),
+                        target_utilization=utilization,
+                    )
+                    system_rng = RandomSource(
+                        config.seed + trial,
+                        f"sys.{system.name}.{vm_count}.{utilization}",
+                    )
+                    trials.append(system.run_trial(workload, system_rng))
+                per_util[utilization] = trials
+            for utilization in config.utilizations:
+                points.append(aggregate(per_util[utilization]))
+        result.groups[vm_count] = points
+    return result
+
+
+def render_fig7(result: CaseStudyResult) -> str:
+    """Render the Fig. 7(a)/(b)/(c) series as text tables."""
+    sections = []
+    for vm_count, points in sorted(result.groups.items()):
+        rows = [
+            (
+                point.system,
+                point.target_utilization,
+                point.success_ratio,
+                point.mean_throughput_mbps,
+                point.mean_miss_ratio,
+            )
+            for point in points
+        ]
+        sections.append(
+            render_table(
+                ["system", "target U", "success ratio", "throughput Mbps", "miss ratio"],
+                rows,
+                title=(
+                    f"Fig. 7 -- {vm_count}-VM group "
+                    f"({result.config.trials} trials x "
+                    f"{result.config.horizon_slots} slots)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Fig. 8: scalability of area, power and maximum frequency vs eta."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exp.reporting import render_table
+from repro.hwcost.scaling import ScalingPoint, scaling_sweep
+
+
+def fig8_report(eta_max: int = 5) -> List[ScalingPoint]:
+    if eta_max < 0:
+        raise ValueError(f"eta_max must be >= 0, got {eta_max}")
+    return scaling_sweep(range(0, eta_max + 1))
+
+
+def render_fig8(eta_max: int = 5) -> str:
+    points = fig8_report(eta_max)
+    area_rows = [
+        (
+            p.eta,
+            p.vm_count,
+            p.legacy_area,
+            p.ioguard_area,
+            p.area_overhead * 100,
+        )
+        for p in points
+    ]
+    power_rows = [
+        (p.eta, p.vm_count, p.legacy.power_mw, p.ioguard.power_mw)
+        for p in points
+    ]
+    fmax_rows = [
+        (p.eta, p.vm_count, p.legacy_fmax_mhz, p.ioguard_fmax_mhz)
+        for p in points
+    ]
+    return "\n\n".join(
+        [
+            render_table(
+                ["eta", "VMs", "legacy area", "ioguard area", "overhead %"],
+                area_rows,
+                title="Fig. 8(a) -- normalised area consumption",
+            ),
+            render_table(
+                ["eta", "VMs", "legacy mW", "ioguard mW"],
+                power_rows,
+                title="Fig. 8(b) -- power consumption",
+            ),
+            render_table(
+                ["eta", "VMs", "legacy MHz", "hypervisor MHz"],
+                fmax_rows,
+                title="Fig. 8(c) -- maximum frequency",
+            ),
+        ]
+    )

@@ -1,0 +1,231 @@
+"""Inter-VM isolation experiment (footnote 1 of the paper).
+
+"Partitioning of I/O pools ensures inter-VM isolation at hardware I/O
+level."  The scenario: every VM *declares* a nominal I/O load and the
+servers are dimensioned from those declarations; a *rogue* VM then
+violates its contract, releasing jobs far beyond what it declared.
+The victim VM keeps its declared behaviour.  Measured: victim deadline
+misses as the rogue's actual rate grows.
+
+Two service disciplines face the same arrival sequences:
+
+* **I/O-GUARD R-channel** -- per-VM pools + budgeted EDF (G-Sched):
+  the rogue can consume its own budget and otherwise-idle background
+  slots, never the victim's budget; victim misses stay at zero at any
+  rogue intensity.
+* **Shared FIFO** (the baseline hardware structure) -- all requests
+  interleave in arrival order; the victim's waits grow with the
+  rogue's rate until its deadlines collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.servers import minimum_budget
+from repro.core.gsched import ServerSpec
+from repro.core.priority_queue import FIFOQueue
+from repro.core.rchannel import RChannel
+from repro.exp.reporting import render_table
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask
+from repro.tasks.taskset import TaskSet
+
+VICTIM_VM = 0
+ROGUE_VM = 1
+
+#: Server period used for dimensioning (slots).
+SERVER_PERIOD = 50
+
+
+@dataclass
+class IsolationResult:
+    """Victim misses per discipline, per rogue intensity."""
+
+    rogue_factors: List[float]
+    #: discipline -> victim miss counts aligned with rogue_factors.
+    victim_misses: Dict[str, List[int]]
+    victim_jobs: int
+    servers: List[Tuple[int, int, int]]  # (vm, pi, theta)
+
+    def miss_curve(self, discipline: str) -> List[int]:
+        return self.victim_misses[discipline]
+
+
+def declared_tasks() -> TaskSet:
+    """What both VMs promise: victim safety traffic + rogue nominal load."""
+    return TaskSet(
+        [
+            IOTask(
+                name="victim.brake", period=200, wcet=6, vm_id=VICTIM_VM,
+                criticality=Criticality.SAFETY, payload_bytes=16,
+            ),
+            IOTask(
+                name="victim.steer", period=500, wcet=15, vm_id=VICTIM_VM,
+                criticality=Criticality.SAFETY, payload_bytes=32,
+            ),
+            IOTask(
+                name="victim.watchdog", period=400, wcet=4, vm_id=VICTIM_VM,
+                criticality=Criticality.SAFETY, payload_bytes=8,
+            ),
+            IOTask(
+                name="rogue.nominal", period=250, wcet=25, vm_id=ROGUE_VM,
+                criticality=Criticality.SYNTHETIC, payload_bytes=64,
+            ),
+        ],
+        name="isolation.declared",
+    )
+
+
+def dimension_servers(declared: TaskSet) -> List[ServerSpec]:
+    """Theorem-4-minimal budgets from the *declared* loads."""
+    specs = []
+    for vm_id, tasks in sorted(declared.by_vm().items()):
+        theta = minimum_budget(SERVER_PERIOD, tasks)
+        if theta is None:
+            raise ValueError(
+                f"declared load of VM {vm_id} is not servable at "
+                f"Pi={SERVER_PERIOD}"
+            )
+        specs.append(ServerSpec(vm_id, SERVER_PERIOD, theta))
+    return specs
+
+
+def _releases(
+    declared: TaskSet, rogue_factor: float, horizon: int, rng: RandomSource
+):
+    """Arrival sequence: declared releases + the rogue's excess flood.
+
+    The rogue's *actual* inter-release separation is its declared period
+    divided by ``rogue_factor`` -- a contract violation once the factor
+    exceeds 1.
+    """
+    events = []
+    for task in declared:
+        period = task.period
+        if task.vm_id == ROGUE_VM and rogue_factor > 1.0:
+            period = max(1, int(round(task.period / rogue_factor)))
+        phase = rng.randint(0, task.period - 1)
+        index = 0
+        release = phase
+        while release < horizon:
+            events.append((release, task, index))
+            index += 1
+            release = phase + index * period
+    events.sort(key=lambda entry: entry[0])
+    return events
+
+
+def _run_ioguard(declared, servers, events, horizon):
+    """Budgeted-EDF pools: the real R-channel, rogue pool included."""
+    channel = RChannel(servers, pool_capacity=4096)
+    cursor = 0
+    victim_misses = 0
+    for slot in range(horizon):
+        while cursor < len(events) and events[cursor][0] <= slot:
+            _r, task, index = events[cursor]
+            channel.submit(task.job(release=events[cursor][0], index=index))
+            cursor += 1
+        channel.tick(slot)
+        done = channel.execute_slot(slot)
+        if (
+            done is not None
+            and done.task.vm_id == VICTIM_VM
+            and slot + 1 > done.absolute_deadline
+        ):
+            victim_misses += 1
+    # Victim jobs stuck in the pool past their deadlines also missed.
+    for job in channel.pools[VICTIM_VM].queue.jobs():
+        if job.absolute_deadline <= horizon:
+            victim_misses += 1
+    return victim_misses
+
+
+def _run_fifo(events, horizon):
+    """Single shared FIFO served one slot of work per slot."""
+    queue = FIFOQueue(capacity=100_000)
+    cursor = 0
+    victim_misses = 0
+    current = None
+    for slot in range(horizon):
+        while cursor < len(events) and events[cursor][0] <= slot:
+            _r, task, index = events[cursor]
+            queue.insert(task.job(release=events[cursor][0], index=index))
+            cursor += 1
+        if current is None and queue:
+            current = queue.pop()
+        if current is not None:
+            current.execute(1)
+            if current.remaining == 0:
+                if (
+                    current.task.vm_id == VICTIM_VM
+                    and slot + 1 > current.absolute_deadline
+                ):
+                    victim_misses += 1
+                current = None
+    # Victim jobs still queued past their deadlines missed too.
+    for job in queue.jobs():
+        if job.task.vm_id == VICTIM_VM and job.absolute_deadline <= horizon:
+            victim_misses += 1
+    if (
+        current is not None
+        and current.task.vm_id == VICTIM_VM
+        and current.absolute_deadline <= horizon
+    ):
+        victim_misses += 1
+    return victim_misses
+
+
+def run_isolation(
+    *,
+    rogue_factors=(1.0, 4.0, 8.0, 16.0),
+    horizon_slots: int = 20_000,
+    seed: int = 99,
+) -> IsolationResult:
+    """Sweep the rogue's contract violation; count victim misses."""
+    declared = declared_tasks()
+    servers = dimension_servers(declared)
+    misses: Dict[str, List[int]] = {"ioguard-rchannel": [], "shared-fifo": []}
+    victim_jobs = 0
+    for factor in rogue_factors:
+        if factor < 1.0:
+            raise ValueError(
+                f"rogue factor must be >= 1 (1 = contract kept), got {factor}"
+            )
+        rng = RandomSource(seed, f"iso{factor}")
+        events = _releases(declared, factor, horizon_slots, rng)
+        victim_jobs = sum(
+            1
+            for release, task, _i in events
+            if task.vm_id == VICTIM_VM
+            and release + task.deadline <= horizon_slots
+        )
+        misses["ioguard-rchannel"].append(
+            _run_ioguard(declared, servers, events, horizon_slots)
+        )
+        misses["shared-fifo"].append(_run_fifo(events, horizon_slots))
+    return IsolationResult(
+        rogue_factors=list(rogue_factors),
+        victim_misses=misses,
+        victim_jobs=victim_jobs,
+        servers=[(s.vm_id, s.pi, s.theta) for s in servers],
+    )
+
+
+def render_isolation(result: IsolationResult) -> str:
+    rows = [
+        (discipline, *result.victim_misses[discipline])
+        for discipline in sorted(result.victim_misses)
+    ]
+    headers = ["discipline"] + [f"rogue x{f:g}" for f in result.rogue_factors]
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Victim-VM deadline misses under a contract-violating rogue "
+            f"({result.victim_jobs} victim jobs per cell; servers "
+            f"{result.servers})"
+        ),
+    )
+    return table

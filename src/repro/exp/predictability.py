@@ -1,0 +1,151 @@
+"""Predictability experiment: response-time distributions per system.
+
+The paper's motivation (Sec. I, Fig. 1) is that conventional
+virtualization adds "significant communication latency and timing
+variance" to I/O operations.  The evaluation reports aggregate success
+ratios; this experiment exposes the underlying distributions directly:
+per-job response times of the safety/function tasks at a fixed target
+utilization, summarised as mean / p95 / p99 / peak-to-peak jitter.
+
+Expected shape: I/O-GUARD's distributions are tight (slot-quantised EDF
+service, short driver path) while the baselines spread out with load --
+RT-XEN the widest (VMM quantum + backend queueing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines import (
+    IOVirtSystem,
+    TrialConfig,
+    prepare_workload,
+)
+from repro.exp.fig7 import default_systems
+from repro.exp.reporting import render_table
+from repro.metrics.stats import LatencyStats, summarize
+from repro.sim.rng import RandomSource
+from repro.tasks import build_case_study_taskset, pad_to_target_utilization
+
+
+@dataclass
+class PredictabilityResult:
+    """Per-system response-time statistics at one utilization.
+
+    Two views:
+
+    * ``stats`` -- the pooled per-job response distribution (how long do
+      I/Os take at all);
+    * ``per_task_jitter`` -- for each system, the peak-to-peak response
+      variation of every individual task, summarised over tasks.  This
+      is *the* predictability metric: a time-triggered P-channel task
+      repeats identically every hyper-period (jitter 0), while a task
+      fighting a FIFO queue sees its response wander with the queue.
+    """
+
+    target_utilization: float
+    vm_count: int
+    horizon_slots: int
+    #: system name -> latency statistics over all counted jobs.
+    stats: Dict[str, LatencyStats]
+    #: system name -> statistics of per-task peak-to-peak jitter.
+    per_task_jitter: Dict[str, LatencyStats]
+
+    def jitter_of(self, system: str) -> float:
+        """Mean per-task peak-to-peak jitter of one system (slots)."""
+        return self.per_task_jitter[system].mean
+
+    def worst_task_jitter(self, system: str) -> float:
+        return self.per_task_jitter[system].maximum
+
+
+def run_predictability(
+    *,
+    target_utilization: float = 0.6,
+    vm_count: int = 4,
+    trials: int = 3,
+    horizon_slots: int = 30_000,
+    seed: int = 2021,
+    systems: Optional[List[IOVirtSystem]] = None,
+) -> PredictabilityResult:
+    """Collect response samples for every system at one load level."""
+    if not 0 < target_utilization:
+        raise ValueError(
+            f"target utilization must be positive, got {target_utilization}"
+        )
+    systems = systems if systems is not None else default_systems()
+    base = build_case_study_taskset(vm_count=vm_count)
+    config = TrialConfig(horizon_slots=horizon_slots, collect_responses=True)
+    samples: Dict[str, List[float]] = {system.name: [] for system in systems}
+    by_task: Dict[str, Dict[str, List[float]]] = {
+        system.name: {} for system in systems
+    }
+    for trial in range(trials):
+        rng = RandomSource(seed + trial, f"pred.{vm_count}.{target_utilization}")
+        padded = pad_to_target_utilization(
+            base, target_utilization, rng.spawn("pad"), vm_count=vm_count
+        )
+        workload = prepare_workload(
+            padded, config, rng.spawn("wl"),
+            target_utilization=target_utilization,
+        )
+        for system in systems:
+            result = system.run_trial(workload, rng.spawn(system.name))
+            samples[system.name].extend(result.response_samples)
+            for task_name, values in result.response_by_task.items():
+                by_task[system.name].setdefault(task_name, []).extend(values)
+    stats = {
+        name: summarize(values) for name, values in samples.items() if values
+    }
+    per_task_jitter = {}
+    for name, tasks in by_task.items():
+        jitters = [
+            max(values) - min(values)
+            for values in tasks.values()
+            if len(values) >= 2
+        ]
+        if jitters:
+            per_task_jitter[name] = summarize(jitters)
+    return PredictabilityResult(
+        target_utilization=target_utilization,
+        vm_count=vm_count,
+        horizon_slots=horizon_slots,
+        stats=stats,
+        per_task_jitter=per_task_jitter,
+    )
+
+
+def render_predictability(result: PredictabilityResult) -> str:
+    rows = []
+    for system in sorted(result.stats):
+        stats = result.stats[system]
+        jitter = result.per_task_jitter.get(system)
+        rows.append(
+            (
+                system,
+                stats.count,
+                stats.mean,
+                stats.p99,
+                stats.maximum,
+                jitter.mean if jitter else 0.0,
+                jitter.maximum if jitter else 0.0,
+            )
+        )
+    return render_table(
+        [
+            "system",
+            "jobs",
+            "resp mean",
+            "resp p99",
+            "resp max",
+            "task jitter mean",
+            "task jitter max",
+        ],
+        rows,
+        title=(
+            "Response time and per-task jitter (slots) at target "
+            f"utilization {result.target_utilization:.0%}, "
+            f"{result.vm_count} VMs"
+        ),
+    )

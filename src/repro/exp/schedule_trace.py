@@ -1,0 +1,133 @@
+"""Schedule timeline inspection: who held each slot, as text.
+
+A debugging/teaching utility: run a hypervisor configuration for a
+window and print the slot-by-slot schedule -- P-channel bursts,
+R-channel grants per VM, idle slots -- in the style of a Gantt strip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.gsched import ServerSpec
+from repro.core.pchannel import PChannel
+from repro.core.rchannel import RChannel
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import Job
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one slot."""
+
+    slot: int
+    #: "P" (pre-defined), "R" (run-time), "." (idle)
+    channel: str
+    task_name: str = ""
+    vm_id: Optional[int] = None
+    budgeted: Optional[bool] = None
+
+
+class ScheduleTracer:
+    """Slot-stepped execution with a full per-slot record."""
+
+    def __init__(
+        self,
+        predefined: TaskSet,
+        servers: List[ServerSpec],
+        table: Optional[TimeSlotTable] = None,
+    ):
+        self.pchannel = PChannel(predefined, table=table)
+        self.rchannel = RChannel(servers)
+        self.records: List[SlotRecord] = []
+
+    def submit(self, job: Job) -> bool:
+        return self.rchannel.submit(job)
+
+    def step(self, slot: int) -> SlotRecord:
+        self.rchannel.tick(slot)
+        if self.pchannel.occupies(slot):
+            task = self.pchannel.table.task_at(slot)
+            self.pchannel.execute_slot(slot)
+            record = SlotRecord(
+                slot=slot, channel="P", task_name=task.name if task else ""
+            )
+        else:
+            staged_by_vm = {
+                vm: pool.shadow.task.name
+                for vm, pool in self.rchannel.pools.items()
+                if pool.shadow is not None
+            }
+            self.rchannel.execute_slot(slot)
+            allocation = self.rchannel.last_allocation
+            if allocation is None:
+                record = SlotRecord(slot=slot, channel=".")
+            else:
+                record = SlotRecord(
+                    slot=slot,
+                    channel="R",
+                    task_name=staged_by_vm.get(allocation.vm_id, ""),
+                    vm_id=allocation.vm_id,
+                    budgeted=allocation.budgeted,
+                )
+        self.records.append(record)
+        return record
+
+    def run(self, horizon: int, releases: List[Tuple[int, Job]]) -> None:
+        """Step ``horizon`` slots, submitting ``releases`` on schedule."""
+        ordered = sorted(releases, key=lambda pair: pair[0])
+        cursor = 0
+        for slot in range(horizon):
+            while cursor < len(ordered) and ordered[cursor][0] <= slot:
+                self.submit(ordered[cursor][1])
+                cursor += 1
+            self.step(slot)
+
+    # -- rendering ------------------------------------------------------------
+
+    def strip(self, start: int = 0, end: Optional[int] = None) -> str:
+        """One character per slot: P=pre-defined, 0-9=VM grant, .=idle,
+        lowercase letters for background (non-budgeted) grants."""
+        window = self.records[start:end]
+        chars = []
+        for record in window:
+            if record.channel == "P":
+                chars.append("P")
+            elif record.channel == ".":
+                chars.append(".")
+            else:
+                vm = record.vm_id if record.vm_id is not None else 0
+                if record.budgeted:
+                    chars.append(str(vm % 10))
+                else:
+                    chars.append("abcdefghij"[vm % 10])
+        return "".join(chars)
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Share of slots per channel over the traced window."""
+        total = len(self.records)
+        if total == 0:
+            return {"P": 0.0, "R": 0.0, "idle": 0.0}
+        p_slots = sum(1 for r in self.records if r.channel == "P")
+        r_slots = sum(1 for r in self.records if r.channel == "R")
+        return {
+            "P": p_slots / total,
+            "R": r_slots / total,
+            "idle": (total - p_slots - r_slots) / total,
+        }
+
+    def grants_by_vm(self) -> Dict[int, Tuple[int, int]]:
+        """vm -> (budgeted, background) slot counts."""
+        grants: Dict[int, Tuple[int, int]] = {}
+        for record in self.records:
+            if record.channel != "R" or record.vm_id is None:
+                continue
+            budgeted, background = grants.get(record.vm_id, (0, 0))
+            if record.budgeted:
+                budgeted += 1
+            else:
+                background += 1
+            grants[record.vm_id] = (budgeted, background)
+        return grants

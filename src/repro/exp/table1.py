@@ -1,0 +1,43 @@
+"""Table I: hardware overhead on FPGA."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exp.reporting import render_table
+from repro.hwcost.models import relative_to, table1_rows
+from repro.hwcost.resources import ResourceUsage
+
+
+def table1_report(vm_count: int = 16, io_count: int = 2) -> List[Tuple[str, ResourceUsage]]:
+    """The six Table I rows for the given hypervisor configuration."""
+    return table1_rows(vm_count=vm_count, io_count=io_count)
+
+
+def table1_ratios() -> Dict[str, Dict[str, float]]:
+    """The paper's prose comparisons of "Proposed" vs the processors."""
+    proposed = dict(table1_report())["proposed"]
+    return {
+        "vs_microblaze": relative_to("microblaze", proposed),
+        "vs_riscv": relative_to("riscv", proposed),
+    }
+
+
+def render_table1(vm_count: int = 16, io_count: int = 2) -> str:
+    rows = [
+        (name, u.luts, u.registers, u.dsp, u.ram_kb, u.power_mw)
+        for name, u in table1_report(vm_count, io_count)
+    ]
+    table = render_table(
+        ["design", "LUTs", "Registers", "DSP", "RAM (KB)", "Power (mW)"],
+        rows,
+        title=(
+            "Table I -- hardware overhead (implemented on FPGA), "
+            f"hypervisor configured for {vm_count} VMs / {io_count} I/Os"
+        ),
+    )
+    lines = [table, ""]
+    for anchor, ratios in table1_ratios().items():
+        pretty = ", ".join(f"{k}={v * 100:.1f}%" for k, v in ratios.items())
+        lines.append(f"proposed {anchor}: {pretty}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Weighted schedulability: acceptance across the server design space.
+
+The acceptance-ratio figure fixes one server; system designers pick
+``(Pi, Theta)``.  This experiment maps acceptance over the whole design
+plane (server bandwidth x task utilization) and condenses each
+bandwidth row into the standard *weighted schedulability* score
+
+    W(bw) = sum_u u * accept(u, bw) / sum_u u
+
+which weights high-utilization task sets more (they are the ones worth
+fielding).  Expected shape: W grows monotonically with the server
+bandwidth and, for a fixed bandwidth, shorter server periods beat
+longer ones (smaller blackout ``2*(Pi - Theta)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.exp.reporting import render_table
+from repro.tasks.generators import generate_random_taskset
+
+
+@dataclass
+class WeightedResult:
+    """Acceptance grid plus weighted scores per server."""
+
+    servers: List[Tuple[int, int]]
+    utilizations: List[float]
+    samples: int
+    #: (pi, theta) -> {utilization: acceptance ratio}
+    grid: Dict[Tuple[int, int], Dict[float, float]]
+
+    def weighted_score(self, server: Tuple[int, int]) -> float:
+        """The weighted-schedulability condensation of one server row."""
+        row = self.grid[server]
+        numerator = sum(u * row[u] for u in self.utilizations)
+        denominator = sum(self.utilizations)
+        return numerator / denominator if denominator else 0.0
+
+    def scores(self) -> Dict[Tuple[int, int], float]:
+        return {server: self.weighted_score(server) for server in self.servers}
+
+
+def run_weighted(
+    *,
+    servers: Sequence[Tuple[int, int]] = (
+        (10, 5), (20, 10), (40, 20),   # 50% bandwidth, growing period
+        (10, 7), (20, 14), (40, 28),   # 70% bandwidth, growing period
+    ),
+    utilizations: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6),
+    samples: int = 30,
+    task_count: int = 5,
+    seed: int = 2021,
+    period_min: int = 40,
+    period_max: int = 400,
+) -> WeightedResult:
+    """Evaluate Theorem-4 acceptance over the server design plane.
+
+    The same random task sets are reused for every server (paired
+    comparison), so differences between rows are purely the server's.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    servers = [tuple(server) for server in servers]
+    tasksets = {
+        utilization: [
+            generate_random_taskset(
+                seed + index,
+                task_count=task_count,
+                total_utilization=utilization,
+                period_min=period_min,
+                period_max=period_max,
+                name=f"w.u{utilization}.s{index}",
+            )
+            for index in range(samples)
+        ]
+        for utilization in utilizations
+    }
+    grid: Dict[Tuple[int, int], Dict[float, float]] = {}
+    for pi, theta in servers:
+        row: Dict[float, float] = {}
+        for utilization in utilizations:
+            accepted = sum(
+                1
+                for tasks in tasksets[utilization]
+                if lsched_schedulable(pi, theta, tasks).schedulable
+            )
+            row[utilization] = accepted / samples
+        grid[(pi, theta)] = row
+    return WeightedResult(
+        servers=list(servers),
+        utilizations=list(utilizations),
+        samples=samples,
+        grid=grid,
+    )
+
+
+def render_weighted(result: WeightedResult) -> str:
+    rows = []
+    for server in result.servers:
+        pi, theta = server
+        row = result.grid[server]
+        rows.append(
+            (
+                f"({pi},{theta})",
+                f"{theta / pi:.2f}",
+                *(row[u] for u in result.utilizations),
+                result.weighted_score(server),
+            )
+        )
+    headers = (
+        ["server", "bw"]
+        + [f"U={u:g}" for u in result.utilizations]
+        + ["weighted"]
+    )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Weighted schedulability over the server design plane "
+            f"({result.samples} task sets per cell)"
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Hardware substrate models: I/O controllers, devices, memory, processors.
+
+The paper's platform hosts "memory and I/O peripherals" on the NoC and
+drives external devices through standard controllers (SPI, I2C, Ethernet,
+FlexRay; Sec. III-B, Sec. V).  These models capture the two properties
+the evaluation depends on: *transfer timing* (bandwidth + fixed overhead,
+in platform cycles) and *footprint hooks* for the hardware-cost model.
+"""
+
+from repro.hw.controller import (
+    CANController,
+    EthernetController,
+    FlexRayController,
+    GPIOController,
+    I2CController,
+    IOController,
+    SPIController,
+    UARTController,
+    controller_by_name,
+)
+from repro.hw.devices import EchoDevice, IODevice, SensorDevice, ActuatorDevice
+from repro.hw.memory import MemoryBank
+from repro.hw.processor import Processor, VMContext
+
+__all__ = [
+    "ActuatorDevice",
+    "CANController",
+    "EchoDevice",
+    "EthernetController",
+    "FlexRayController",
+    "GPIOController",
+    "I2CController",
+    "IOController",
+    "IODevice",
+    "MemoryBank",
+    "Processor",
+    "SPIController",
+    "SensorDevice",
+    "UARTController",
+    "VMContext",
+    "controller_by_name",
+]

@@ -1,0 +1,167 @@
+"""Standardized I/O controllers (Sec. III-B).
+
+Each controller converts a payload size into a transfer time in platform
+cycles: a fixed per-transfer overhead (protocol framing, controller
+state-machine latency) plus a serialisation term from the link bit rate.
+The rates mirror the paper's platform: 1 Gbps Ethernet inbound, 10 Mbps
+FlexRay outbound, and the usual embedded rates for SPI/I2C/UART/CAN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Type
+
+from repro.sim.clock import DEFAULT_FREQUENCY_HZ
+
+
+class IOController:
+    """Base controller: timing model + busy accounting.
+
+    Subclasses set :attr:`bitrate_bps` and :attr:`overhead_cycles`.
+    ``frame_overhead_bytes`` charges protocol framing (preamble, CRC,
+    addressing) on every transfer.
+    """
+
+    #: Link serialisation rate in bits/second.
+    bitrate_bps: int = 1_000_000
+    #: Fixed controller latency per transfer, in platform cycles.
+    overhead_cycles: int = 50
+    #: Protocol framing bytes charged on top of the payload.
+    frame_overhead_bytes: int = 0
+    #: Protocol label used by drivers and reports.
+    protocol: str = "generic"
+
+    def __init__(self, name: str = "", frequency_hz: int = DEFAULT_FREQUENCY_HZ):
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        self.name = name or self.protocol
+        self.frequency_hz = frequency_hz
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.busy_cycles = 0
+
+    def transfer_cycles(self, payload_bytes: int) -> int:
+        """Cycles to move ``payload_bytes`` through this controller."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        wire_bits = (payload_bytes + self.frame_overhead_bytes) * 8
+        serialisation = wire_bits * self.frequency_hz / self.bitrate_bps
+        return self.overhead_cycles + int(math.ceil(serialisation))
+
+    def record_transfer(self, payload_bytes: int) -> int:
+        """Account one completed transfer; returns its cycle cost."""
+        cycles = self.transfer_cycles(payload_bytes)
+        self.transfers += 1
+        self.bytes_moved += payload_bytes
+        self.busy_cycles += cycles
+        return cycles
+
+    def throughput_bps(self, elapsed_cycles: float) -> float:
+        """Achieved payload throughput over an observation window."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles / self.frequency_hz
+        return self.bytes_moved * 8 / seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{self.bitrate_bps / 1e6:g} Mbps, {self.transfers} transfers)"
+        )
+
+
+class SPIController(IOController):
+    """Serial Peripheral Interface at a typical 10 MHz SCLK."""
+
+    bitrate_bps = 10_000_000
+    overhead_cycles = 40
+    frame_overhead_bytes = 1
+    protocol = "spi"
+
+
+class I2CController(IOController):
+    """I2C fast mode (400 kbit/s); address + ack framing."""
+
+    bitrate_bps = 400_000
+    overhead_cycles = 60
+    frame_overhead_bytes = 2
+    protocol = "i2c"
+
+
+class UARTController(IOController):
+    """UART at 115200 baud with 10-bit character frames."""
+
+    bitrate_bps = 92_160  # 115200 baud * 8/10 payload efficiency
+    overhead_cycles = 30
+    frame_overhead_bytes = 0
+    protocol = "uart"
+
+
+class EthernetController(IOController):
+    """Gigabit Ethernet MAC (the paper's inbound data path)."""
+
+    bitrate_bps = 1_000_000_000
+    overhead_cycles = 80
+    frame_overhead_bytes = 38  # preamble + header + FCS + IFG
+    protocol = "ethernet"
+
+
+class FlexRayController(IOController):
+    """FlexRay at 10 Mbps (the paper's outbound result path)."""
+
+    bitrate_bps = 10_000_000
+    overhead_cycles = 70
+    frame_overhead_bytes = 8
+    protocol = "flexray"
+
+
+class CANController(IOController):
+    """High-speed CAN at 1 Mbps; heavy framing relative to payload."""
+
+    bitrate_bps = 1_000_000
+    overhead_cycles = 50
+    frame_overhead_bytes = 6
+    protocol = "can"
+
+
+class GPIOController(IOController):
+    """Register-mapped GPIO: effectively instantaneous, overhead only."""
+
+    bitrate_bps = 100_000_000
+    overhead_cycles = 4
+    frame_overhead_bytes = 0
+    protocol = "gpio"
+
+
+_CONTROLLER_TYPES: Dict[str, Type[IOController]] = {
+    cls.protocol: cls
+    for cls in (
+        SPIController,
+        I2CController,
+        UARTController,
+        EthernetController,
+        FlexRayController,
+        CANController,
+        GPIOController,
+    )
+}
+
+
+def controller_by_name(
+    protocol: str,
+    name: str = "",
+    frequency_hz: int = DEFAULT_FREQUENCY_HZ,
+) -> IOController:
+    """Instantiate a controller from its protocol label.
+
+    Raises ``KeyError`` listing the supported protocols for typos.
+    """
+    try:
+        controller_type = _CONTROLLER_TYPES[protocol]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {protocol!r}; supported: "
+            f"{sorted(_CONTROLLER_TYPES)}"
+        ) from None
+    return controller_type(name=name, frequency_hz=frequency_hz)

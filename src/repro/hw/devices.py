@@ -1,0 +1,94 @@
+"""External I/O devices behind the controllers.
+
+A device answers controller transactions after a *service time*: sensors
+deliver readings, actuators acknowledge commands.  Service times are
+deterministic with optional bounded jitter, keeping worst cases finite as
+the analysis requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rng import RandomSource
+
+
+class IODevice:
+    """Base device: deterministic service time with bounded jitter."""
+
+    def __init__(
+        self,
+        name: str,
+        service_cycles: int = 100,
+        jitter_cycles: int = 0,
+        rng: Optional[RandomSource] = None,
+    ):
+        if service_cycles < 0 or jitter_cycles < 0:
+            raise ValueError(
+                f"device {name!r}: negative timing "
+                f"(service={service_cycles}, jitter={jitter_cycles})"
+            )
+        self.name = name
+        self.service_cycles = service_cycles
+        self.jitter_cycles = jitter_cycles
+        self.rng = rng
+        self.requests_served = 0
+
+    def wcrt_cycles(self) -> int:
+        """Worst-case device response time (service + max jitter)."""
+        return self.service_cycles + self.jitter_cycles
+
+    def serve(self, payload_bytes: int) -> int:
+        """Handle one request; returns the cycles the device needed."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        jitter = 0
+        if self.jitter_cycles > 0 and self.rng is not None:
+            jitter = self.rng.randint(0, self.jitter_cycles)
+        self.requests_served += 1
+        return self.service_cycles + jitter
+
+    def response_bytes(self, request_bytes: int) -> int:
+        """Size of the device's answer to a ``request_bytes`` request."""
+        return request_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.requests_served} served)"
+
+
+class EchoDevice(IODevice):
+    """Loops the request payload back -- the integration-test workhorse."""
+
+
+class SensorDevice(IODevice):
+    """Produces fixed-size readings regardless of the request size."""
+
+    def __init__(
+        self,
+        name: str,
+        reading_bytes: int = 16,
+        service_cycles: int = 200,
+        jitter_cycles: int = 0,
+        rng: Optional[RandomSource] = None,
+    ):
+        super().__init__(
+            name,
+            service_cycles=service_cycles,
+            jitter_cycles=jitter_cycles,
+            rng=rng,
+        )
+        if reading_bytes < 1:
+            raise ValueError(f"sensor {name!r}: reading must be >= 1 byte")
+        self.reading_bytes = reading_bytes
+
+    def response_bytes(self, request_bytes: int) -> int:
+        return self.reading_bytes
+
+
+class ActuatorDevice(IODevice):
+    """Consumes commands and answers with a short acknowledgement."""
+
+    ACK_BYTES = 2
+
+    def response_bytes(self, request_bytes: int) -> int:
+        return self.ACK_BYTES

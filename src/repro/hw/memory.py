@@ -1,0 +1,76 @@
+"""Memory banks (Secs. III-A and III-B).
+
+The hypervisor stores pre-defined tasks, timing tables and low-level I/O
+driver code in dedicated on-chip memory banks loaded at initialization.
+The model is a byte-addressed key/value store with a hard capacity --
+exactly what matters for the RAM column of Table I and for catching
+configurations that could not fit the real 256 KB banks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MemoryBankFullError(RuntimeError):
+    """Raised when a load would exceed the bank capacity."""
+
+
+class MemoryBank:
+    """Fixed-capacity on-chip memory with named segments."""
+
+    def __init__(self, name: str, capacity_bytes: int = 256 * 1024):
+        if capacity_bytes < 1:
+            raise ValueError(f"bank {name!r}: capacity must be >= 1 byte")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._segments: Dict[str, int] = {}
+
+    def load(self, segment: str, size_bytes: int) -> None:
+        """Reserve ``size_bytes`` for ``segment`` (init-time loading)."""
+        if size_bytes < 0:
+            raise ValueError(f"segment {segment!r}: negative size {size_bytes}")
+        if segment in self._segments:
+            raise ValueError(
+                f"segment {segment!r} already loaded in bank {self.name!r}"
+            )
+        if self.used_bytes + size_bytes > self.capacity_bytes:
+            raise MemoryBankFullError(
+                f"bank {self.name!r}: loading {segment!r} ({size_bytes} B) "
+                f"exceeds capacity {self.capacity_bytes} B "
+                f"(used {self.used_bytes} B)"
+            )
+        self._segments[segment] = size_bytes
+
+    def unload(self, segment: str) -> int:
+        size = self._segments.pop(segment, None)
+        if size is None:
+            raise KeyError(f"no segment {segment!r} in bank {self.name!r}")
+        return size
+
+    def size_of(self, segment: str) -> int:
+        return self._segments[segment]
+
+    def segments(self) -> List[str]:
+        return sorted(self._segments)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._segments.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    def __contains__(self, segment: str) -> bool:
+        return segment in self._segments
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBank({self.name!r}, {self.used_bytes}/"
+            f"{self.capacity_bytes} B)"
+        )

@@ -1,0 +1,128 @@
+"""Processor and VM-context models.
+
+A processor (MicroBlaze in the paper's platform) hosts up to three guest
+VMs (Sec. V); each VM context releases the I/O jobs of its task set.
+Releases are sporadic: consecutive jobs of a task are separated by at
+least the period, plus optional bounded jitter drawn per job.
+
+The release machinery is expressed in *slots* and drives whatever
+``submit`` callable the hosting system model provides, so the same
+processor model feeds I/O-GUARD and all three baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.sim.clock import GlobalTimer
+from repro.sim.rng import RandomSource
+from repro.tasks.task import IOTask, Job, TaskKind
+from repro.tasks.taskset import TaskSet
+
+#: A submit function accepts a released job and returns True when the
+#: system accepted it (False = back-pressure / drop).
+SubmitFn = Callable[[Job], bool]
+
+
+class VMContext:
+    """One guest VM: identity plus the run-time tasks it releases."""
+
+    def __init__(self, vm_id: int, tasks: TaskSet):
+        self.vm_id = vm_id
+        self.tasks = tasks
+        for task in tasks:
+            if task.vm_id != vm_id:
+                raise ValueError(
+                    f"task {task.name!r} belongs to VM {task.vm_id}, "
+                    f"not VM {vm_id}"
+                )
+        self.jobs_released = 0
+        self.jobs_rejected = 0
+
+    def runtime_tasks(self) -> List[IOTask]:
+        return [task for task in self.tasks if task.kind == TaskKind.RUNTIME]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VMContext(vm={self.vm_id}, tasks={len(self.tasks)})"
+
+
+class Processor:
+    """A core hosting guest VMs and generating their I/O job releases."""
+
+    MAX_VMS = 3  # "Each processor supported up to three guest VMs" (Sec. V)
+
+    def __init__(
+        self,
+        proc_id: int,
+        position: Tuple[int, int] = (0, 0),
+        vms: Optional[List[VMContext]] = None,
+    ):
+        self.proc_id = proc_id
+        self.position = position
+        self.vms: List[VMContext] = []
+        for vm in vms or []:
+            self.add_vm(vm)
+
+    def add_vm(self, vm: VMContext) -> None:
+        if len(self.vms) >= self.MAX_VMS:
+            raise ValueError(
+                f"processor {self.proc_id} already hosts {self.MAX_VMS} VMs"
+            )
+        self.vms.append(vm)
+
+    def start_release_processes(
+        self,
+        sim: Simulator,
+        timer: GlobalTimer,
+        submit: SubmitFn,
+        rng: RandomSource,
+        horizon_slots: int,
+    ) -> List[Process]:
+        """Spawn one release process per run-time task on this processor."""
+        processes = []
+        for vm in self.vms:
+            for task in vm.runtime_tasks():
+                generator = _release_loop(
+                    sim, timer, task, vm, submit, rng.spawn(task.name), horizon_slots
+                )
+                processes.append(
+                    sim.process(generator, name=f"release.{task.name}")
+                )
+        return processes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Processor({self.proc_id}, pos={self.position}, vms={len(self.vms)})"
+
+
+def _release_loop(
+    sim: Simulator,
+    timer: GlobalTimer,
+    task: IOTask,
+    vm: VMContext,
+    submit: SubmitFn,
+    rng: RandomSource,
+    horizon_slots: int,
+) -> Generator:
+    """Release jobs of ``task`` until the horizon.
+
+    Job k is released at ``offset + k*T + jitter_k`` slots (sporadic with
+    minimum separation T when jitter is 0; jitter only ever delays, so
+    separation never shrinks below T relative to the previous *nominal*
+    release).
+    """
+    index = 0
+    while True:
+        nominal = task.offset + index * task.period
+        if nominal >= horizon_slots:
+            return
+        jitter = rng.randint(0, task.jitter) if task.jitter > 0 else 0
+        release_slot = nominal + jitter
+        release_cycle = timer.slot_start_cycle(release_slot)
+        if release_cycle > sim.now:
+            yield Timeout(release_cycle - sim.now)
+        job = task.job(release=release_slot, index=index)
+        vm.jobs_released += 1
+        if not submit(job):
+            vm.jobs_rejected += 1
+        index += 1

@@ -1,0 +1,44 @@
+"""FPGA resource/power/frequency cost models (Table I, Fig. 8).
+
+The paper implements the hypervisor in BlueSpec and reports synthesis
+results on a Xilinx VC709.  Without the FPGA toolchain we model hardware
+cost *compositionally*: the hypervisor is a sum of micro-architecture
+blocks (I/O pools, schedulers, channels, translators) with per-block
+LUT/register anchors; reference designs (MicroBlaze, RISC-V, standard
+controllers, BlueIO) carry the constants the paper reports.  Power
+follows the area-dominated model the paper itself invokes ("the design
+area dominated the overall power consumption"), and maximum frequency
+follows critical-path depth (logarithmic comparator trees for the
+hypervisor vs. radix-bound router arbitration for the legacy NoC).
+"""
+
+from repro.hwcost.resources import ResourceUsage
+from repro.hwcost.blocks import (
+    HYPERVISOR_BLOCKS,
+    hypervisor_cost,
+)
+from repro.hwcost.models import (
+    REFERENCE_DESIGNS,
+    reference_design,
+    table1_rows,
+)
+from repro.hwcost.power import estimate_power_mw
+from repro.hwcost.fmax import hypervisor_fmax_mhz, legacy_fmax_mhz
+from repro.hwcost.scaling import (
+    ScalingPoint,
+    scaling_sweep,
+)
+
+__all__ = [
+    "HYPERVISOR_BLOCKS",
+    "REFERENCE_DESIGNS",
+    "ResourceUsage",
+    "ScalingPoint",
+    "estimate_power_mw",
+    "hypervisor_cost",
+    "hypervisor_fmax_mhz",
+    "legacy_fmax_mhz",
+    "reference_design",
+    "scaling_sweep",
+    "table1_rows",
+]

@@ -1,0 +1,31 @@
+"""Area-dominated power model.
+
+"Power consumption is usually determined by four factors: voltage, clock
+frequency, toggle rate and design area.  Because the unified voltage,
+clock frequency and simulated toggle rate were assigned to the systems
+being compared, the design area dominated the overall power consumption"
+(Sec. V-D).  The model is an affine function of logic cells and block
+RAM, with coefficients fitted to the Table I anchor rows (Proposed and
+BlueIO, which share the 256 KB memory configuration).
+"""
+
+from __future__ import annotations
+
+#: Static (leakage + clock-tree) floor for a design of this class, mW.
+STATIC_MW = 76.0
+
+#: Dynamic power per logic cell (LUT or register) at 100 MHz, mW.
+MW_PER_CELL = 0.0264
+
+#: Dynamic power per KB of active block RAM, mW.
+MW_PER_RAM_KB = 0.20
+
+
+def estimate_power_mw(luts: int, registers: int, ram_kb: int = 0) -> float:
+    """Affine area-dominated power estimate at the unified 100 MHz."""
+    if luts < 0 or registers < 0 or ram_kb < 0:
+        raise ValueError(
+            f"negative resources: luts={luts}, registers={registers}, "
+            f"ram_kb={ram_kb}"
+        )
+    return STATIC_MW + MW_PER_CELL * (luts + registers) + MW_PER_RAM_KB * ram_kb

@@ -1,0 +1,57 @@
+"""FPGA resource usage arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """LUTs, registers, DSP slices, block RAM and power of one design."""
+
+    luts: int
+    registers: int
+    dsp: int = 0
+    ram_kb: int = 0
+    power_mw: float = 0.0
+
+    def __post_init__(self):
+        if self.luts < 0 or self.registers < 0 or self.dsp < 0 or self.ram_kb < 0:
+            raise ValueError(f"negative resource count in {self!r}")
+        if self.power_mw < 0:
+            raise ValueError(f"negative power in {self!r}")
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            luts=self.luts + other.luts,
+            registers=self.registers + other.registers,
+            dsp=self.dsp + other.dsp,
+            ram_kb=self.ram_kb + other.ram_kb,
+            power_mw=self.power_mw + other.power_mw,
+        )
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        """Replicate the block ``factor`` times."""
+        if factor < 0:
+            raise ValueError(f"negative replication factor {factor}")
+        return ResourceUsage(
+            luts=self.luts * factor,
+            registers=self.registers * factor,
+            dsp=self.dsp * factor,
+            ram_kb=self.ram_kb * factor,
+            power_mw=self.power_mw * factor,
+        )
+
+    @property
+    def cells(self) -> int:
+        """LUTs + registers: the area proxy the power model uses."""
+        return self.luts + self.registers
+
+    def as_row(self) -> tuple:
+        return (self.luts, self.registers, self.dsp, self.ram_kb, self.power_mw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceUsage(luts={self.luts}, regs={self.registers}, "
+            f"dsp={self.dsp}, ram={self.ram_kb}KB, {self.power_mw:.0f}mW)"
+        )

@@ -1,0 +1,21 @@
+"""Metrics: success ratio, throughput and latency statistics (Sec. V-C).
+
+* *success ratio* -- "the percentage of trials that executed
+  successfully (i.e., without deadline miss of any safety and function
+  task), under a specified target utilization";
+* *I/O throughput* -- "the average I/O performance of each examined
+  system";
+* latency statistics -- response-time distributions used by the
+  predictability discussion and the tests.
+"""
+
+from repro.metrics.stats import LatencyStats, summarize
+from repro.metrics.success import SweepPoint, success_ratio, sweep_table
+
+__all__ = [
+    "LatencyStats",
+    "SweepPoint",
+    "success_ratio",
+    "summarize",
+    "sweep_table",
+]

@@ -1,0 +1,76 @@
+"""Latency / response-time statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def jitter(self) -> float:
+        """Peak-to-peak variation -- the predictability headline number."""
+        return self.maximum - self.minimum
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return float(sorted_values[low] * (1 - weight) + sorted_values[high] * weight)
+
+
+def summarize(values: Iterable[float]) -> LatencyStats:
+    """Compute :class:`LatencyStats` for a sample (must be non-empty)."""
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = math.fsum(data) / count
+    if count > 1:
+        variance = math.fsum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return LatencyStats(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 0.50),
+        p95=percentile(data, 0.95),
+        p99=percentile(data, 0.99),
+    )

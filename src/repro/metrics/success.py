@@ -1,0 +1,99 @@
+"""Success-ratio and throughput aggregation across trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.baselines.base import TrialResult
+
+
+def success_ratio(results: Iterable[TrialResult]) -> float:
+    """Fraction of trials without a safety/function deadline miss."""
+    results = list(results)
+    if not results:
+        raise ValueError("success ratio of zero trials")
+    return sum(1 for result in results if result.success) / len(results)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated outcome of one (system, utilization) sweep cell."""
+
+    system: str
+    target_utilization: float
+    trials: int
+    success_ratio: float
+    mean_throughput_mbps: float
+    min_throughput_mbps: float
+    max_throughput_mbps: float
+    mean_miss_ratio: float
+    #: Sample standard deviation of per-trial throughput -- the paper's
+    #: "experimental variance" comparison (Obs 3).
+    stdev_throughput_mbps: float = 0.0
+
+    @property
+    def throughput_spread(self) -> float:
+        """Peak-to-peak throughput variation across trials."""
+        return self.max_throughput_mbps - self.min_throughput_mbps
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "system": self.system,
+            "utilization": self.target_utilization,
+            "trials": self.trials,
+            "success_ratio": self.success_ratio,
+            "throughput_mbps": self.mean_throughput_mbps,
+            "throughput_stdev": self.stdev_throughput_mbps,
+            "miss_ratio": self.mean_miss_ratio,
+        }
+
+
+def aggregate(results: List[TrialResult]) -> SweepPoint:
+    """Collapse trials of one sweep cell into a :class:`SweepPoint`."""
+    if not results:
+        raise ValueError("cannot aggregate zero trials")
+    system = results[0].system
+    utilization = results[0].target_utilization
+    for result in results:
+        if result.system != system:
+            raise ValueError(
+                f"mixed systems in one cell: {system!r} vs {result.system!r}"
+            )
+    throughputs = [result.throughput_mbps for result in results]
+    miss_ratios = [
+        result.total_missed / result.total_completed
+        if result.total_completed
+        else 0.0
+        for result in results
+    ]
+    mean_throughput = sum(throughputs) / len(throughputs)
+    if len(throughputs) > 1:
+        variance = sum(
+            (value - mean_throughput) ** 2 for value in throughputs
+        ) / (len(throughputs) - 1)
+        stdev = variance**0.5
+    else:
+        stdev = 0.0
+    return SweepPoint(
+        system=system,
+        target_utilization=utilization,
+        trials=len(results),
+        success_ratio=success_ratio(results),
+        mean_throughput_mbps=mean_throughput,
+        min_throughput_mbps=min(throughputs),
+        max_throughput_mbps=max(throughputs),
+        mean_miss_ratio=sum(miss_ratios) / len(miss_ratios),
+        stdev_throughput_mbps=stdev,
+    )
+
+
+def sweep_table(
+    cells: Dict[str, Dict[float, List[TrialResult]]]
+) -> List[SweepPoint]:
+    """Aggregate a {system: {utilization: trials}} sweep into rows."""
+    rows: List[SweepPoint] = []
+    for system in sorted(cells):
+        for utilization in sorted(cells[system]):
+            rows.append(aggregate(cells[system][utilization]))
+    return rows

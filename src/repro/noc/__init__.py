@@ -1,0 +1,39 @@
+"""Network-on-Chip substrate (Sec. II, assumption (i)).
+
+The paper's platform is a predictability-focused 5x5 mesh NoC (Blueshell)
+carrying I/O requests/responses as packets.  This package provides:
+
+* :mod:`repro.noc.packet` -- flit/packet model following the Blueshell
+  convention (one header flit + 32-bit payload flits),
+* :mod:`repro.noc.topology` -- rectangular mesh topology,
+* :mod:`repro.noc.routing` -- dimension-ordered (XY) routing,
+* :mod:`repro.noc.network` -- an event-driven wormhole-style network:
+  per-output-port arbitration, per-hop forwarding latency, full
+  per-packet latency accounting,
+* :mod:`repro.noc.latency` -- a calibrated closed-form contention model
+  fitted against the event-driven network, used by the system-level
+  experiments where flit-stepping every I/O request would dominate the
+  run time.
+"""
+
+from repro.noc.packet import Flit, Packet, PacketKind
+from repro.noc.topology import MeshTopology
+from repro.noc.routing import xy_route
+from repro.noc.network import NocNetwork, PacketRecord
+from repro.noc.latency import NocLatencyModel, calibrate_latency_model
+from repro.noc.analysis import Flow, FlowLatencyBound, NocContentionAnalysis
+
+__all__ = [
+    "Flit",
+    "Flow",
+    "FlowLatencyBound",
+    "NocContentionAnalysis",
+    "MeshTopology",
+    "NocLatencyModel",
+    "NocNetwork",
+    "Packet",
+    "PacketKind",
+    "PacketRecord",
+    "calibrate_latency_model",
+    "xy_route",
+]

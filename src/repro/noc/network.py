@@ -1,0 +1,147 @@
+"""Event-driven NoC: arbitration, forwarding and latency accounting.
+
+Each *directed link* is a single-capacity resource; a packet holds a link
+for ``router_latency + flit_count`` cycles (store-and-forward of the whole
+packet at one flit per cycle after the router's pipeline delay).  Packets
+queue FIFO at contended links -- exactly the "scheduling left to the
+routers" behaviour the Legacy baseline exhibits (Sec. V): no notion of
+deadlines, so an urgent packet waits behind bulk traffic.
+
+The model is wormhole-coarse (whole-packet granularity) rather than
+flit-interleaved; for the latency phenomena the paper's evaluation relies
+on (queueing growth with load, hop-count dependence) this is the standard
+fidelity/performance trade-off, and :mod:`repro.noc.latency` calibrates
+the closed-form model against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.packet import Packet
+from repro.noc.routing import route_links
+from repro.noc.topology import Coordinate, MeshTopology
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resource import Resource
+
+#: Cycles a router needs to process a header before forwarding.
+DEFAULT_ROUTER_LATENCY = 3
+
+
+@dataclass
+class PacketRecord:
+    """Per-delivered-packet accounting."""
+
+    packet: Packet
+    hops: int
+    queueing_cycles: float
+    transfer_cycles: float
+
+    @property
+    def total_latency(self) -> float:
+        latency = self.packet.latency
+        return latency if latency is not None else 0.0
+
+
+class NocNetwork:
+    """Mesh network executing packet traversals as simulator processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[MeshTopology] = None,
+        router_latency: int = DEFAULT_ROUTER_LATENCY,
+    ):
+        if router_latency < 0:
+            raise ValueError(f"router latency must be >= 0, got {router_latency}")
+        self.sim = sim
+        self.topology = topology or MeshTopology()
+        self.router_latency = router_latency
+        self._links: Dict[Tuple[Coordinate, Coordinate], Resource] = {}
+        for link in self.topology.links():
+            self._links[link] = Resource(
+                sim, capacity=1, name=f"link{link[0]}->{link[1]}"
+            )
+        self.delivered: List[PacketRecord] = []
+        self.in_flight = 0
+        self.total_injected = 0
+
+    def link_resource(self, link: Tuple[Coordinate, Coordinate]) -> Resource:
+        return self._links[link]
+
+    def inject(
+        self,
+        packet: Packet,
+        on_delivered: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        """Start a packet traversal at the current simulation time."""
+        if not self.topology.contains(packet.source) or not self.topology.contains(
+            packet.destination
+        ):
+            raise ValueError(
+                f"packet endpoints {packet.source}->{packet.destination} "
+                "must lie in the mesh"
+            )
+        packet.injected_at = self.sim.now
+        self.total_injected += 1
+        self.in_flight += 1
+        self.sim.process(
+            self._traverse(packet, on_delivered),
+            name=f"packet{packet.packet_id}",
+        )
+
+    def _traverse(
+        self, packet: Packet, on_delivered: Optional[Callable[[Packet], None]]
+    ):
+        links = route_links(self.topology, packet.source, packet.destination)
+        queueing = 0.0
+        transfer = 0.0
+        hold_cycles = self.router_latency + packet.flit_count
+        for link in links:
+            resource = self._links[link]
+            wait_start = self.sim.now
+            yield from resource.acquire()
+            queueing += self.sim.now - wait_start
+            yield Timeout(hold_cycles)
+            transfer += hold_cycles
+            resource.release()
+        packet.delivered_at = self.sim.now
+        self.in_flight -= 1
+        self.delivered.append(
+            PacketRecord(
+                packet=packet,
+                hops=len(links),
+                queueing_cycles=queueing,
+                transfer_cycles=transfer,
+            )
+        )
+        if on_delivered is not None:
+            on_delivered(packet)
+
+    # -- statistics ------------------------------------------------------------
+
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(record.total_latency for record in self.delivered) / len(
+            self.delivered
+        )
+
+    def max_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return max(record.total_latency for record in self.delivered)
+
+    def mean_queueing(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(record.queueing_cycles for record in self.delivered) / len(
+            self.delivered
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NocNetwork({self.topology.width}x{self.topology.height}, "
+            f"delivered={len(self.delivered)}, in_flight={self.in_flight})"
+        )

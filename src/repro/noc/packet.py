@@ -1,0 +1,84 @@
+"""Packets and flits (Sec. II, assumption (ii)).
+
+I/O requests and responses "are encapsulated as packets using the
+communication protocol introduced in [Blueshell]": a header flit carrying
+routing information followed by 32-bit payload flits.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Payload bytes carried per flit (32-bit links, Blueshell convention).
+FLIT_BYTES = 4
+
+
+class PacketKind(enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One link-level transfer unit."""
+
+    packet_id: int
+    index: int
+    is_header: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_header else "P"
+        return f"Flit({self.packet_id}.{self.index}{kind})"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A routed message: header flit + ceil(payload/4) payload flits."""
+
+    source: Tuple[int, int]
+    destination: Tuple[int, int]
+    kind: PacketKind
+    payload_bytes: int
+    #: Arbitrary reference back to the originating I/O job.
+    context: object = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    injected_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload: {self.payload_bytes}")
+        if self.source == self.destination:
+            raise ValueError(
+                f"packet {self.packet_id}: source equals destination "
+                f"{self.source}; local traffic does not enter the NoC"
+            )
+
+    @property
+    def flit_count(self) -> int:
+        """Header flit plus payload flits."""
+        payload_flits = (self.payload_bytes + FLIT_BYTES - 1) // FLIT_BYTES
+        return 1 + payload_flits
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+    def flits(self):
+        """Materialise the flit sequence (tests and detailed traces)."""
+        for index in range(self.flit_count):
+            yield Flit(packet_id=self.packet_id, index=index, is_header=index == 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.packet_id} {self.kind.value} "
+            f"{self.source}->{self.destination}, {self.payload_bytes}B)"
+        )

@@ -1,0 +1,48 @@
+"""Dimension-ordered (XY) routing.
+
+XY routing is the standard deadlock-free choice on predictability-focused
+meshes: packets first travel along X to the destination column, then
+along Y.  Deterministic paths are what make per-flow interference
+analysable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.noc.topology import Coordinate, MeshTopology
+
+
+def xy_next_hop(current: Coordinate, destination: Coordinate) -> Coordinate:
+    """The next node on the XY route (current must differ from dest)."""
+    if current == destination:
+        raise ValueError(f"already at destination {destination}")
+    x, y = current
+    dx, dy = destination
+    if x != dx:
+        return (x + (1 if dx > x else -1), y)
+    return (x, y + (1 if dy > y else -1))
+
+
+def xy_route(
+    topology: MeshTopology, source: Coordinate, destination: Coordinate
+) -> List[Coordinate]:
+    """Full node sequence from source to destination, inclusive."""
+    if not topology.contains(source) or not topology.contains(destination):
+        raise ValueError(
+            f"route endpoints {source}->{destination} must lie in the mesh"
+        )
+    route = [source]
+    current = source
+    while current != destination:
+        current = xy_next_hop(current, destination)
+        route.append(current)
+    return route
+
+
+def route_links(
+    topology: MeshTopology, source: Coordinate, destination: Coordinate
+) -> List[Tuple[Coordinate, Coordinate]]:
+    """The directed links an XY-routed packet traverses."""
+    route = xy_route(topology, source, destination)
+    return list(zip(route[:-1], route[1:]))

@@ -1,0 +1,78 @@
+"""Rectangular mesh topology.
+
+The evaluation platform is a 5x5 mesh hosting 16 MicroBlaze processors,
+memory, I/O peripherals and the hypervisor (Sec. V).  Nodes are addressed
+by ``(x, y)`` coordinates; links are bidirectional between 4-neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+Coordinate = Tuple[int, int]
+
+
+class MeshTopology:
+    """A ``width x height`` mesh with optional named node roles."""
+
+    def __init__(self, width: int = 5, height: int = 5):
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._roles: Dict[Coordinate, str] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    def nodes(self) -> Iterator[Coordinate]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    @property
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    def contains(self, node: Coordinate) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbors(self, node: Coordinate) -> List[Coordinate]:
+        if not self.contains(node):
+            raise ValueError(f"node {node} outside {self.width}x{self.height} mesh")
+        x, y = node
+        candidates = [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
+        return [candidate for candidate in candidates if self.contains(candidate)]
+
+    def links(self) -> List[Tuple[Coordinate, Coordinate]]:
+        """All directed links (both directions listed)."""
+        result = []
+        for node in self.nodes():
+            for neighbor in self.neighbors(node):
+                result.append((node, neighbor))
+        return result
+
+    def manhattan(self, a: Coordinate, b: Coordinate) -> int:
+        if not self.contains(a) or not self.contains(b):
+            raise ValueError(f"nodes {a}, {b} must lie in the mesh")
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    # -- roles ---------------------------------------------------------------
+
+    def assign_role(self, node: Coordinate, role: str) -> None:
+        """Label a node (e.g. ``"processor0"``, ``"hypervisor"``)."""
+        if not self.contains(node):
+            raise ValueError(f"node {node} outside {self.width}x{self.height} mesh")
+        self._roles[node] = role
+
+    def role_of(self, node: Coordinate) -> str:
+        return self._roles.get(node, "")
+
+    def node_with_role(self, role: str) -> Coordinate:
+        for node, assigned in self._roles.items():
+            if assigned == role:
+                return node
+        raise KeyError(f"no node with role {role!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeshTopology({self.width}x{self.height})"

@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel for the I/O-GUARD reproduction.
+
+The kernel is deliberately small and dependency-free: a binary-heap event
+queue (:class:`~repro.sim.engine.Simulator`), generator-based processes
+(:class:`~repro.sim.engine.Process`), synchronisation primitives
+(:class:`~repro.sim.engine.Signal`, :class:`~repro.sim.resource.Resource`,
+:class:`~repro.sim.resource.Store`), a global timer abstraction used by the
+hypervisor (:class:`~repro.sim.clock.GlobalTimer`), deterministic seeded
+random-number helpers (:mod:`repro.sim.rng`) and structured tracing
+(:class:`~repro.sim.trace.TraceRecorder`).
+
+All hardware, NoC and hypervisor models in the reproduction are built as
+processes on this kernel, so a single ``Simulator.run()`` advances the whole
+modelled system in lock-step, exactly as the paper's single global timer
+synchronises the FPGA design (Sec. II, assumption (iii)).
+"""
+
+from repro.sim.engine import (
+    Interrupt,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.clock import GlobalTimer
+from repro.sim.resource import Resource, Store
+from repro.sim.rng import RandomSource, spawn_streams
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "GlobalTimer",
+    "Interrupt",
+    "Process",
+    "RandomSource",
+    "Resource",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceEvent",
+    "TraceRecorder",
+    "spawn_streams",
+]

@@ -1,0 +1,304 @@
+"""Event loop, processes and synchronisation primitives.
+
+The engine follows the classic event-calendar design: callbacks are stored
+in a binary heap keyed by ``(time, priority, sequence)`` so that ties are
+broken deterministically (insertion order), which keeps whole-system runs
+reproducible under a fixed seed.
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* :class:`Timeout` -- suspend for a simulated delay,
+* :class:`Signal` -- suspend until the signal fires,
+* another :class:`Process` -- suspend until the child process terminates.
+
+This mirrors the structure of SimPy but in a few hundred lines, with exact
+integer time support (the hypervisor schedules in integer time slots).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel.
+
+    Examples include running a simulator that has already been stopped,
+    yielding an unsupported object from a process, or scheduling an event
+    in the past.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload from the
+    interrupter; hypervisor models use it to signal preemption of an
+    in-flight I/O operation.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Command object: suspend the yielding process for ``delay`` time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """One-shot or repeating wake-up condition.
+
+    Processes yield a signal to block on it; :meth:`fire` wakes every
+    waiter with the fired value.  After firing, the signal automatically
+    re-arms, so the same object can be used as a repeating doorbell (the
+    I/O pools use one signal per queue to wake their local scheduler).
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "last_value", "fire_count")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.last_value: Any = None
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all currently-blocked waiters, delivering ``value``."""
+        self.last_value = value
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, value)
+
+    def add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def discard_waiter(self, process: "Process") -> None:
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A running generator inside the simulator.
+
+    The process result (``StopIteration`` value) is stored in
+    :attr:`value`; other processes yielding this process are resumed with
+    that value once it terminates.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "generator",
+        "alive",
+        "value",
+        "_completion",
+        "_blocked_on",
+    )
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.generator = generator
+        self.alive = True
+        self.value: Any = None
+        self._completion = Signal(sim, name=f"{self.name}.done")
+        self._blocked_on: Optional[Signal] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self) -> None:
+        self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, sent_value: Any) -> None:
+        if not self.alive:
+            return
+        self._blocked_on = None
+        try:
+            command = self.generator.send(sent_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        if self._blocked_on is not None:
+            self._blocked_on.discard_waiter(self)
+            self._blocked_on = None
+        try:
+            command = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.sim.schedule(command.delay, self._resume, None)
+        elif isinstance(command, Signal):
+            self._blocked_on = command
+            command.add_waiter(self)
+        elif isinstance(command, Process):
+            if command.alive:
+                self._blocked_on = command._completion
+                command._completion.add_waiter(self)
+            else:
+                self.sim.schedule(0.0, self._resume, command.value)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object "
+                f"{command!r}; expected Timeout, Signal or Process"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.value = value
+        self._completion.fire(value)
+
+    # -- public API --------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is a no-op (the race is benign and
+        common: an I/O completes in the same slot a preemption fires).
+        """
+        if not self.alive:
+            return
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    @property
+    def completion(self) -> Signal:
+        """Signal fired (with the process result) when the process ends."""
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Binary-heap discrete-event simulator with deterministic ordering."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+        self.event_count = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable,
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` simulated time.
+
+        ``priority`` breaks same-time ties (lower runs first); equal
+        priorities preserve insertion order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay!r}")
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, priority, self._sequence, callback, args)
+        )
+
+    def at(self, time: float, callback: Callable, *args: Any, priority: int = 0) -> None:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        self.schedule(time - self.now, callback, *args, priority=priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register and start a generator as a simulation process."""
+        process = Process(self, generator, name=name)
+        process._start()
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Convenience constructor mirroring SimPy's ``env.timeout``."""
+        return Timeout(delay)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or ``until`` is reached.
+
+        Returns the simulation time at which execution stopped.  When
+        ``until`` is given, :attr:`now` is advanced to exactly ``until``
+        even if the last event fired earlier, so back-to-back ``run``
+        calls observe contiguous windows.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap:
+                event_time = self._heap[0][0]
+                if until is not None and event_time > until:
+                    break
+                time, _priority, _seq, callback, args = heapq.heappop(self._heap)
+                self.now = time
+                self.event_count += 1
+                callback(*args)
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    # -- helpers -----------------------------------------------------------
+
+    def all_of(self, processes: Iterable[Process]) -> Generator:
+        """Process body that waits for every process in ``processes``."""
+        results = []
+        for process in processes:
+            value = yield process
+            results.append(value if value is not None else process.value)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now}, pending={len(self._heap)})"

@@ -1,0 +1,175 @@
+"""Blocking resources for contention modelling.
+
+:class:`Resource` is a counted semaphore with FIFO grant order -- the NoC
+links and shared I/O controllers use it to model arbitration delay.
+:class:`Store` is a blocking FIFO buffer of bounded capacity -- router
+input buffers and legacy (FIFO) I/O queues are Stores.
+
+Both are implemented on top of :class:`~repro.sim.engine.Signal` so they
+compose with generator processes: ``yield store.get(consumer)``-style usage
+is expressed through request/grant signal pairs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Signal, SimulationError, Simulator
+
+
+class Resource:
+    """Counted semaphore with deterministic FIFO grant order."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "resource"
+        self.capacity = capacity
+        self.in_use = 0
+        self._wait_queue: Deque[Signal] = deque()
+        # contention statistics
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self.peak_queue_length = 0
+
+    def acquire(self) -> Generator:
+        """Process sub-generator: ``yield from resource.acquire()``."""
+        requested_at = self.sim.now
+        if self.in_use < self.capacity and not self._wait_queue:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            return
+        grant = self.sim.signal(name=f"{self.name}.grant")
+        self._wait_queue.append(grant)
+        self.peak_queue_length = max(self.peak_queue_length, len(self._wait_queue))
+        yield grant
+        self.total_acquisitions += 1
+        self.total_wait_time += self.sim.now - requested_at
+
+    def release(self) -> None:
+        """Release one unit; wakes the head of the wait queue, if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._wait_queue:
+            # Hand the unit directly to the next waiter: in_use stays
+            # constant across the hand-off so capacity is never exceeded.
+            grant = self._wait_queue.popleft()
+            grant.fire()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._wait_queue)
+
+    @property
+    def mean_wait(self) -> float:
+        if self.total_acquisitions == 0:
+            return 0.0
+        return self.total_wait_time / self.total_acquisitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} busy, "
+            f"{len(self._wait_queue)} queued)"
+        )
+
+
+class Store:
+    """Bounded blocking FIFO buffer.
+
+    ``put`` blocks while the store is full; ``get`` blocks while it is
+    empty.  Both are process sub-generators used with ``yield from``.
+    A ``capacity`` of ``None`` means unbounded (puts never block).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "",
+    ):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "store"
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self._putters: Deque[Tuple[Signal, Any]] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+        self.peak_occupancy = 0
+
+    def put(self, item: Any) -> Generator:
+        """Process sub-generator: block until the item is accepted."""
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._accept(item)
+            return
+        gate = self.sim.signal(name=f"{self.name}.put")
+        self._putters.append((gate, item))
+        yield gate
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._accept(item)
+        return True
+
+    def _accept(self, item: Any) -> None:
+        self._items.append(item)
+        self.total_puts += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        if self._getters:
+            gate = self._getters.popleft()
+            gate.fire(self._release_head())
+
+    def get(self) -> Generator:
+        """Process sub-generator: block until an item is available.
+
+        The item is delivered as the generator's return value, so use
+        ``item = yield from store.get()``.
+        """
+        if self._items:
+            return self._release_head()
+        gate = self.sim.signal(name=f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        return True, self._release_head()
+
+    def _release_head(self) -> Any:
+        item = self._items.popleft()
+        self.total_gets += 1
+        # Space freed: admit a blocked putter, if any.
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            gate, pending = self._putters.popleft()
+            self._items.append(pending)
+            self.total_puts += 1
+            gate.fire()
+        return item
+
+    def peek(self) -> Any:
+        """Return (without removing) the head item, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def items(self) -> List[Any]:
+        """Snapshot of buffered items in FIFO order."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"Store({self.name!r}, {len(self._items)}/{cap})"

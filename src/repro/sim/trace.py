@@ -1,0 +1,89 @@
+"""Structured event tracing.
+
+Hardware models emit :class:`TraceEvent` records (release, enqueue,
+dispatch, preempt, complete, deadline-miss, ...) into a
+:class:`TraceRecorder`.  The metrics layer consumes traces to compute
+success ratios, throughput and latency statistics, and the tests use them
+to assert ordering invariants (e.g. EDF never runs a later-deadline job
+while an earlier-deadline job is ready).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence inside the simulated system."""
+
+    time: float
+    category: str
+    source: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.time}, {self.category}, {self.source})"
+
+
+class TraceRecorder:
+    """Append-only event log with per-category indexing.
+
+    Recording can be disabled wholesale (``enabled=False``) for large
+    parameter sweeps where only aggregate counters are needed, or limited
+    to a category whitelist.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[List[str]] = None,
+    ):
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.events: List[TraceEvent] = []
+        self._by_category: Dict[str, List[TraceEvent]] = {}
+        self.counters: Dict[str, int] = {}
+
+    def record(
+        self, time: float, category: str, source: str, **payload: Any
+    ) -> None:
+        """Log one event (cheap no-op when disabled/filtered)."""
+        self.counters[category] = self.counters.get(category, 0) + 1
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        event = TraceEvent(time=time, category=category, source=source, payload=payload)
+        self.events.append(event)
+        self._by_category.setdefault(category, []).append(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return list(self._by_category.get(category, []))
+
+    def count(self, category: str) -> int:
+        """Total occurrences of ``category`` (counted even when disabled)."""
+        return self.counters.get(category, 0)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [event for event in self.events if predicate(event)]
+
+    def sources(self) -> List[str]:
+        return sorted({event.source for event in self.events})
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._by_category.clear()
+        self.counters.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecorder({len(self.events)} events, enabled={self.enabled})"

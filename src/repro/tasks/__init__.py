@@ -1,0 +1,64 @@
+"""Task models and workload generation.
+
+The paper models run-time (R-channel) I/O work as sporadic tasks
+``tau_k = (T_k, C_k, D_k)`` with constrained deadlines, and pre-defined
+(P-channel) I/O work as statically-timetabled periodic jobs (Sec. II-B,
+Sec. IV).  This package provides:
+
+* :mod:`repro.tasks.task` -- the task/job dataclasses,
+* :mod:`repro.tasks.taskset` -- task-set containers with utilization and
+  hyperperiod machinery,
+* :mod:`repro.tasks.generators` -- random task-set generation (UUniFast,
+  log-uniform periods) for schedulability sweeps,
+* :mod:`repro.tasks.automotive` -- the case-study catalog mirroring the
+  Renesas safety tasks and EEMBC function tasks (Sec. V-C),
+* :mod:`repro.tasks.workload` -- synthetic padding to a target utilization.
+"""
+
+from repro.tasks.task import (
+    Criticality,
+    IOTask,
+    Job,
+    TaskKind,
+)
+from repro.tasks.taskset import TaskSet
+from repro.tasks.generators import (
+    TaskSetGenerator,
+    generate_random_taskset,
+)
+from repro.tasks.automotive import (
+    AUTOMOTIVE_FUNCTION_TASKS,
+    AUTOMOTIVE_SAFETY_TASKS,
+    AutomotiveTaskSpec,
+    build_case_study_taskset,
+)
+from repro.tasks.workload import (
+    pad_to_target_utilization,
+    synthetic_task,
+)
+from repro.tasks.serialization import (
+    load_taskset,
+    save_taskset,
+    taskset_from_json,
+    taskset_to_json,
+)
+
+__all__ = [
+    "AUTOMOTIVE_FUNCTION_TASKS",
+    "AUTOMOTIVE_SAFETY_TASKS",
+    "AutomotiveTaskSpec",
+    "Criticality",
+    "IOTask",
+    "Job",
+    "TaskKind",
+    "TaskSet",
+    "TaskSetGenerator",
+    "build_case_study_taskset",
+    "generate_random_taskset",
+    "load_taskset",
+    "pad_to_target_utilization",
+    "save_taskset",
+    "synthetic_task",
+    "taskset_from_json",
+    "taskset_to_json",
+]

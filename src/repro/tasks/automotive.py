@@ -1,0 +1,226 @@
+"""Automotive case-study task catalog (Sec. V-C).
+
+The paper draws 20 *safety* tasks from the Renesas automotive use-case
+database (CRC, RSA32, ...) and 20 *function* tasks from the EEMBC
+AutoBench suite (FFT, speed calculation, ...), each with a measured WCET,
+a period and an implicit deadline, totalling roughly 40 % utilization.
+
+We do not have the Renesas/EEMBC measurement data, so this module encodes
+a parameterised catalog with the same *structure*: 20 + 20 named tasks
+whose periods fall in the automotive-typical 1 ms - 1 s range and whose
+WCETs are sized so the catalog's aggregate utilization is ~40 %
+(documented substitution; see DESIGN.md Sec. 2).  Timing is expressed in
+physical units and converted to scheduler slots via ``slot_us``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+#: Default slot length used for the case study: 10 microseconds
+#: (1000 cycles at the paper's 100 MHz platform clock).
+DEFAULT_SLOT_US = 10.0
+
+#: Case-study hyper-period target (slots): periods snap to divisors of
+#: this value so the P-channel time slot table stays bounded (the FPGA
+#: table is a small on-chip memory; unbounded LCMs are unimplementable).
+CASE_STUDY_HYPERPERIOD = 100_000
+
+
+_divisor_cache: dict = {}
+
+
+def snap_period(period_slots: int, hyperperiod: int = CASE_STUDY_HYPERPERIOD) -> int:
+    """Nearest divisor of ``hyperperiod`` to ``period_slots``.
+
+    Divisor grids are standard practice when building static tables:
+    they bound the hyper-period while perturbing each period by at most
+    ~23 % (the worst gap of the 2^a * 5^b grid of 100000, between 1250
+    and 2000; most periods move far less).
+    """
+    if period_slots < 1:
+        raise ValueError(f"period must be >= 1 slot, got {period_slots}")
+    if hyperperiod < 1:
+        raise ValueError(f"hyperperiod must be >= 1, got {hyperperiod}")
+    divisors = _divisor_cache.get(hyperperiod)
+    if divisors is None:
+        divisors = [
+            d
+            for d in range(1, int(math.isqrt(hyperperiod)) + 1)
+            if hyperperiod % d == 0
+        ]
+        divisors += [hyperperiod // d for d in divisors]
+        divisors = sorted(set(divisors))
+        _divisor_cache[hyperperiod] = divisors
+    return min(divisors, key=lambda d: (abs(d - period_slots), d))
+
+
+@dataclass(frozen=True)
+class AutomotiveTaskSpec:
+    """Physical-unit description of one catalog task."""
+
+    name: str
+    period_ms: float
+    wcet_us: float
+    criticality: Criticality
+    device: str
+    payload_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet_us / (self.period_ms * 1_000.0)
+
+    def to_task(
+        self,
+        *,
+        slot_us: float = DEFAULT_SLOT_US,
+        vm_id: int = 0,
+        kind: TaskKind = TaskKind.RUNTIME,
+        snap: bool = True,
+        hyperperiod: int = CASE_STUDY_HYPERPERIOD,
+    ) -> IOTask:
+        """Materialise the spec as a slot-unit :class:`IOTask`.
+
+        With ``snap`` (the default) the period is snapped to the divisor
+        grid of ``hyperperiod`` so that case-study sets admit bounded
+        P-channel tables.
+        """
+        period_slots = max(2, int(round(self.period_ms * 1_000.0 / slot_us)))
+        if snap:
+            period_slots = snap_period(period_slots, hyperperiod)
+        wcet_slots = max(1, int(math.ceil(self.wcet_us / slot_us)))
+        wcet_slots = min(wcet_slots, period_slots)
+        return IOTask(
+            name=self.name,
+            period=period_slots,
+            wcet=wcet_slots,
+            deadline=period_slots,
+            vm_id=vm_id,
+            kind=kind,
+            criticality=self.criticality,
+            device=self.device,
+            payload_bytes=self.payload_bytes,
+        )
+
+
+def _safety(name, period_ms, wcet_us, device="ethernet0", payload=64):
+    return AutomotiveTaskSpec(
+        name=name,
+        period_ms=period_ms,
+        wcet_us=wcet_us,
+        criticality=Criticality.SAFETY,
+        device=device,
+        payload_bytes=payload,
+    )
+
+
+def _function(name, period_ms, wcet_us, device="ethernet0", payload=128):
+    return AutomotiveTaskSpec(
+        name=name,
+        period_ms=period_ms,
+        wcet_us=wcet_us,
+        criticality=Criticality.FUNCTION,
+        device=device,
+        payload_bytes=payload,
+    )
+
+
+#: 20 safety tasks modelled after the Renesas automotive use-case database.
+#: Names follow the examples the paper cites (CRC, RSA32) plus typical
+#: safety-monitor entries; periods follow AUTOSAR-style rates.
+#: WCETs are kept below ~200 us (20 scheduler slots) and periods at or
+#: above 2 ms: automotive I/O transactions are short; tasks with more
+#: work run at a higher rate (the same utilization split into shorter
+#: jobs).  The resulting min-deadline / max-WCET ratio of ~10 matches
+#: workloads where a single bulk transfer cannot consume a whole
+#: deadline window -- deadline misses then require sustained queue
+#: build-up, i.e. genuine overload, as in the paper's evaluation.
+AUTOMOTIVE_SAFETY_TASKS: List[AutomotiveTaskSpec] = [
+    _safety("crc32_frame_check", 2.0, 24.0, payload=32),
+    _safety("rsa32_auth", 10.0, 150.0, payload=256),
+    _safety("watchdog_heartbeat", 2.0, 8.0, payload=8),
+    _safety("brake_pressure_monitor", 5.0, 55.0, payload=16),
+    _safety("airbag_arm_check", 10.0, 95.0, payload=16),
+    _safety("lane_departure_alarm", 12.5, 120.0, payload=64),
+    _safety("obstacle_proximity", 10.0, 130.0, payload=128),
+    _safety("steering_torque_limit", 5.0, 60.0, payload=16),
+    _safety("battery_cell_guard", 12.5, 105.0, payload=64),
+    _safety("ecu_voltage_monitor", 10.0, 70.0, payload=16),
+    _safety("wheel_slip_detect", 5.0, 75.0, payload=32),
+    _safety("seatbelt_interlock", 25.0, 128.0, payload=8),
+    _safety("can_bus_guardian", 2.0, 18.0, payload=16),
+    _safety("redundant_sensor_vote", 10.0, 110.0, payload=96),
+    _safety("emergency_stop_path", 5.0, 45.0, payload=8),
+    _safety("fuel_cutoff_check", 12.5, 95.0, payload=16),
+    _safety("door_lock_integrity", 25.0, 113.0, payload=8),
+    _safety("crash_log_commit", 20.0, 125.0, payload=512),
+    _safety("tire_pressure_alert", 25.0, 113.0, payload=16),
+    _safety("adas_failover_probe", 10.0, 130.0, payload=64),
+]
+
+#: 20 function tasks modelled after EEMBC AutoBench kernels; the paper
+#: names fast Fourier transform and speed calculation as examples.
+AUTOMOTIVE_FUNCTION_TASKS: List[AutomotiveTaskSpec] = [
+    _function("fft_vibration", 10.0, 180.0, payload=512),
+    _function("speed_calculation", 5.0, 42.0, payload=16),
+    _function("engine_knock_filter", 2.0, 30.0, payload=64),
+    _function("idct_dashcam", 8.0, 130.0, payload=1024),
+    _function("matrix_ctrl_law", 10.0, 150.0, payload=128),
+    _function("table_lookup_injection", 2.0, 18.0, payload=16),
+    _function("angle_to_time_conv", 2.0, 21.0, payload=16),
+    _function("bit_manipulation_diag", 20.0, 170.0, payload=32),
+    _function("pointer_chase_map", 12.5, 103.0, payload=64),
+    _function("pulse_width_mod", 2.0, 16.0, payload=8),
+    _function("road_speed_limit_fusion", 25.0, 195.0, payload=256),
+    _function("cache_buster_infotain", 20.0, 150.0, payload=1024),
+    _function("iir_suspension_filter", 5.0, 48.0, payload=64),
+    _function("fir_audio_lane", 10.0, 120.0, payload=256),
+    _function("cruise_pid_update", 10.0, 90.0, payload=32),
+    _function("gear_shift_planner", 25.0, 175.0, payload=64),
+    _function("climate_duty_cycle", 25.0, 105.0, payload=32),
+    _function("nav_dead_reckoning", 12.5, 85.0, payload=256),
+    _function("telemetry_pack", 12.5, 83.0, payload=512),
+    _function("headlight_beam_ctrl", 25.0, 135.0, payload=16),
+]
+
+
+def catalog_utilization(slot_us: float = DEFAULT_SLOT_US) -> float:
+    """Aggregate utilization of the 40-task catalog after slot rounding."""
+    total = 0.0
+    for spec in AUTOMOTIVE_SAFETY_TASKS + AUTOMOTIVE_FUNCTION_TASKS:
+        task = spec.to_task(slot_us=slot_us)
+        total += task.utilization
+    return total
+
+
+def build_case_study_taskset(
+    *,
+    vm_count: int = 4,
+    slot_us: float = DEFAULT_SLOT_US,
+    specs: Optional[Sequence[AutomotiveTaskSpec]] = None,
+    name: str = "automotive",
+    snap: bool = True,
+) -> TaskSet:
+    """Assemble the 40-task case-study set, round-robin across VMs.
+
+    The returned set contains only the safety + function tasks; synthetic
+    padding to a target utilization is applied separately by
+    :func:`repro.tasks.workload.pad_to_target_utilization`, mirroring the
+    paper's experimental setup (Sec. V-C).
+    """
+    if vm_count < 1:
+        raise ValueError(f"vm_count must be >= 1, got {vm_count}")
+    chosen = list(specs) if specs is not None else (
+        AUTOMOTIVE_SAFETY_TASKS + AUTOMOTIVE_FUNCTION_TASKS
+    )
+    taskset = TaskSet(name=name)
+    for position, spec in enumerate(chosen):
+        taskset.add(
+            spec.to_task(slot_us=slot_us, vm_id=position % vm_count, snap=snap)
+        )
+    return taskset

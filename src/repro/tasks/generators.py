@@ -1,0 +1,166 @@
+"""Random task-set generation for schedulability sweeps.
+
+The standard recipe from the real-time literature: utilizations from
+UUniFast, periods log-uniform over a configurable range, WCETs derived as
+``C = max(1, round(U * T))`` and constrained deadlines drawn uniformly
+from ``[C, T]`` (or implicit, ``D = T``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass
+class TaskSetGenerator:
+    """Configurable random task-set factory.
+
+    Attributes
+    ----------
+    period_min, period_max:
+        Log-uniform period range, in slots.
+    implicit_deadlines:
+        When True every deadline equals the period (the case-study
+        configuration); otherwise deadlines are uniform in ``[C, T]``.
+    min_wcet:
+        Floor on generated WCETs (slots).
+    device_pool:
+        Devices assigned round-robin to generated tasks.
+    """
+
+    period_min: int = 20
+    period_max: int = 2_000
+    implicit_deadlines: bool = True
+    min_wcet: int = 1
+    device_pool: tuple = ("io0",)
+
+    def generate(
+        self,
+        rng: RandomSource,
+        task_count: int,
+        total_utilization: float,
+        *,
+        vm_count: int = 1,
+        name: str = "random",
+        criticality: Criticality = Criticality.FUNCTION,
+        kind: TaskKind = TaskKind.RUNTIME,
+    ) -> TaskSet:
+        """Draw one task set with the requested aggregate utilization.
+
+        Individual task utilizations exceeding 1.0 are re-drawn (they
+        cannot be realized with ``C <= D <= T``); after 100 failed
+        attempts a ``ValueError`` is raised, which only happens for
+        infeasible requests such as ``total_utilization > task_count``.
+        """
+        if task_count < 1:
+            raise ValueError(f"task_count must be >= 1, got {task_count}")
+        if total_utilization <= 0:
+            raise ValueError(
+                f"total_utilization must be positive, got {total_utilization}"
+            )
+        if total_utilization > task_count:
+            raise ValueError(
+                f"cannot pack utilization {total_utilization} into "
+                f"{task_count} tasks (per-task utilization is capped at 1)"
+            )
+        utilizations = self._draw_utilizations(rng, task_count, total_utilization)
+        taskset = TaskSet(name=name)
+        for i, utilization in enumerate(utilizations):
+            task = self._make_task(
+                rng,
+                f"{name}.t{i}",
+                utilization,
+                vm_id=i % vm_count,
+                criticality=criticality,
+                kind=kind,
+                device=self.device_pool[i % len(self.device_pool)],
+            )
+            taskset.add(task)
+        return taskset
+
+    def _draw_utilizations(
+        self, rng: RandomSource, n: int, total: float
+    ) -> list:
+        for _attempt in range(100):
+            utilizations = rng.uunifast(n, total)
+            if all(u <= 1.0 for u in utilizations):
+                return utilizations
+        raise ValueError(
+            f"could not draw {n} per-task utilizations <= 1 summing to {total}"
+        )
+
+    def _make_task(
+        self,
+        rng: RandomSource,
+        name: str,
+        utilization: float,
+        *,
+        vm_id: int,
+        criticality: Criticality,
+        kind: TaskKind,
+        device: str,
+    ) -> IOTask:
+        period = max(2, int(round(rng.log_uniform(self.period_min, self.period_max))))
+        wcet = max(self.min_wcet, int(round(utilization * period)))
+        wcet = min(wcet, period)
+        if self.implicit_deadlines:
+            deadline = period
+        else:
+            deadline = rng.randint(wcet, period)
+        payload = rng.choice([16, 32, 64, 128, 256, 512])
+        return IOTask(
+            name=name,
+            period=period,
+            wcet=wcet,
+            deadline=deadline,
+            vm_id=vm_id,
+            kind=kind,
+            criticality=criticality,
+            device=device,
+            payload_bytes=payload,
+        )
+
+
+def generate_random_taskset(
+    seed: int,
+    task_count: int,
+    total_utilization: float,
+    *,
+    vm_count: int = 1,
+    period_min: int = 20,
+    period_max: int = 2_000,
+    implicit_deadlines: bool = True,
+    name: Optional[str] = None,
+) -> TaskSet:
+    """One-call wrapper around :class:`TaskSetGenerator`."""
+    generator = TaskSetGenerator(
+        period_min=period_min,
+        period_max=period_max,
+        implicit_deadlines=implicit_deadlines,
+    )
+    rng = RandomSource(seed, name or "generate_random_taskset")
+    return generator.generate(
+        rng,
+        task_count,
+        total_utilization,
+        vm_count=vm_count,
+        name=name or f"random{seed}",
+    )
+
+
+def harmonic_periods(base: int, count: int) -> list:
+    """Periods ``base * 2**i`` -- handy for slot-table-friendly sets."""
+    if base < 1 or count < 1:
+        raise ValueError(f"invalid harmonic spec base={base} count={count}")
+    return [base * (2**i) for i in range(count)]
+
+
+def target_wcet(utilization: float, period: int, minimum: int = 1) -> int:
+    """WCET realizing ``utilization`` on ``period`` (clamped to [min, T])."""
+    return min(period, max(minimum, int(math.floor(utilization * period))))

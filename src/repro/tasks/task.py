@@ -1,0 +1,213 @@
+"""I/O task and job models.
+
+Units follow the paper's analysis (Sec. IV): all task parameters are
+expressed in integer *time slots* of the hypervisor scheduler.  ``T`` is
+the period / minimum inter-arrival separation, ``C`` the worst-case
+execution (slot) demand of one job, ``D`` the relative deadline with the
+constrained-deadline assumption ``D <= T``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class TaskKind(enum.Enum):
+    """Where a task is served inside the I/O-GUARD hypervisor.
+
+    ``PREDEFINED`` tasks are loaded into the P-channel's time slot table
+    before run time; ``RUNTIME`` tasks arrive sporadically and go through
+    the R-channel's two-layer scheduler (Sec. II-B).
+    """
+
+    PREDEFINED = "predefined"
+    RUNTIME = "runtime"
+
+
+class Criticality(enum.Enum):
+    """Case-study task classes (Sec. V-C).
+
+    The success ratio counts deadline misses of SAFETY and FUNCTION tasks
+    only; SYNTHETIC tasks exist to raise system utilization.
+    """
+
+    SAFETY = "safety"
+    FUNCTION = "function"
+    SYNTHETIC = "synthetic"
+
+    @property
+    def counts_for_success(self) -> bool:
+        return self in (Criticality.SAFETY, Criticality.FUNCTION)
+
+
+_task_id_counter = itertools.count()
+
+
+@dataclass
+class IOTask:
+    """A sporadic (or periodic) I/O task ``tau = (T, C, D)``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (unique inside a task set).
+    period:
+        ``T`` -- minimum job separation, in time slots.
+    wcet:
+        ``C`` -- worst-case execution demand of one job, in time slots.
+    deadline:
+        ``D`` -- relative deadline in slots; defaults to the period
+        (implicit deadline, as used by the case study).
+    vm_id:
+        Index of the virtual machine issuing the task.
+    kind:
+        P-channel (``PREDEFINED``) or R-channel (``RUNTIME``).
+    criticality:
+        Case-study class; drives success-ratio accounting.
+    device:
+        Name of the I/O device the task targets (e.g. ``"ethernet0"``).
+    payload_bytes:
+        Bytes moved per job; drives throughput accounting.
+    offset:
+        Release offset of the first job, in slots (periodic pattern).
+    jitter:
+        Maximum extra release delay drawn per job for sporadic arrival
+        patterns (0 = strictly periodic).
+    """
+
+    name: str
+    period: int
+    wcet: int
+    deadline: Optional[int] = None
+    vm_id: int = 0
+    kind: TaskKind = TaskKind.RUNTIME
+    criticality: Criticality = Criticality.FUNCTION
+    device: str = "io0"
+    payload_bytes: int = 64
+    offset: int = 0
+    jitter: int = 0
+    task_id: int = field(default_factory=lambda: next(_task_id_counter))
+
+    def __post_init__(self) -> None:
+        if self.deadline is None:
+            self.deadline = self.period
+        if self.period <= 0:
+            raise ValueError(f"task {self.name!r}: period must be > 0, got {self.period}")
+        if self.wcet <= 0:
+            raise ValueError(f"task {self.name!r}: wcet must be > 0, got {self.wcet}")
+        if self.deadline <= 0:
+            raise ValueError(
+                f"task {self.name!r}: deadline must be > 0, got {self.deadline}"
+            )
+        if self.wcet > self.deadline:
+            raise ValueError(
+                f"task {self.name!r}: wcet {self.wcet} exceeds deadline "
+                f"{self.deadline}; the job can never meet it"
+            )
+        if self.deadline > self.period:
+            raise ValueError(
+                f"task {self.name!r}: deadline {self.deadline} exceeds period "
+                f"{self.period}; the analysis assumes constrained deadlines"
+            )
+        if self.offset < 0:
+            raise ValueError(f"task {self.name!r}: negative offset {self.offset}")
+        if self.jitter < 0:
+            raise ValueError(f"task {self.name!r}: negative jitter {self.jitter}")
+
+    @property
+    def utilization(self) -> float:
+        """``C / T`` -- the long-run slot demand fraction."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """``C / D`` -- demand per deadline window."""
+        return self.wcet / self.deadline
+
+    def job(self, release: int, index: int) -> "Job":
+        """Instantiate the ``index``-th job released at slot ``release``."""
+        return Job(task=self, release=release, index=index)
+
+    def renamed(self, name: str) -> "IOTask":
+        """Copy of this task under a different name (fresh task_id)."""
+        return IOTask(
+            name=name,
+            period=self.period,
+            wcet=self.wcet,
+            deadline=self.deadline,
+            vm_id=self.vm_id,
+            kind=self.kind,
+            criticality=self.criticality,
+            device=self.device,
+            payload_bytes=self.payload_bytes,
+            offset=self.offset,
+            jitter=self.jitter,
+        )
+
+    def with_vm(self, vm_id: int) -> "IOTask":
+        """Copy of this task assigned to ``vm_id``."""
+        task = self.renamed(self.name)
+        task.vm_id = vm_id
+        return task
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IOTask({self.name!r}, T={self.period}, C={self.wcet}, "
+            f"D={self.deadline}, vm={self.vm_id}, {self.kind.value})"
+        )
+
+
+@dataclass
+class Job:
+    """One released instance of an :class:`IOTask`."""
+
+    task: IOTask
+    release: int
+    index: int
+    remaining: int = field(init=False)
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    preemption_count: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.remaining = self.task.wcet
+
+    @property
+    def absolute_deadline(self) -> int:
+        return self.release + self.task.deadline
+
+    @property
+    def name(self) -> str:
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.release
+
+    def met_deadline(self) -> Optional[bool]:
+        """True/False once completed; None while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at <= self.absolute_deadline
+
+    def execute(self, slots: int = 1) -> None:
+        """Consume ``slots`` of remaining demand (clamped at zero)."""
+        if slots < 0:
+            raise ValueError(f"cannot execute negative slots: {slots}")
+        self.remaining = max(0, self.remaining - slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job({self.name}, r={self.release}, d={self.absolute_deadline}, "
+            f"rem={self.remaining})"
+        )

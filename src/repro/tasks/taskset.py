@@ -1,0 +1,219 @@
+"""Task-set containers.
+
+:class:`TaskSet` aggregates :class:`~repro.tasks.task.IOTask` objects and
+provides the derived quantities the analysis and the experiment harness
+need: total utilization, hyperperiod, per-VM partitions and P/R channel
+splits.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.tasks.task import Criticality, IOTask, TaskKind
+
+
+class TaskSet:
+    """An ordered collection of I/O tasks with convenience queries."""
+
+    def __init__(self, tasks: Iterable[IOTask] = (), name: str = "taskset"):
+        self.name = name
+        self._tasks: List[IOTask] = []
+        self._names: Dict[str, IOTask] = {}
+        for task in tasks:
+            self.add(task)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, task: IOTask) -> None:
+        if task.name in self._names:
+            raise ValueError(
+                f"duplicate task name {task.name!r} in task set {self.name!r}"
+            )
+        self._tasks.append(task)
+        self._names[task.name] = task
+
+    def extend(self, tasks: Iterable[IOTask]) -> None:
+        for task in tasks:
+            self.add(task)
+
+    def remove(self, name: str) -> IOTask:
+        task = self._names.pop(name, None)
+        if task is None:
+            raise KeyError(f"no task named {name!r} in task set {self.name!r}")
+        self._tasks.remove(task)
+        return task
+
+    # -- access ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[IOTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __getitem__(self, name: str) -> IOTask:
+        return self._names[name]
+
+    @property
+    def tasks(self) -> List[IOTask]:
+        return list(self._tasks)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Sum of ``C/T`` over all tasks."""
+        return sum(task.utilization for task in self._tasks)
+
+    @property
+    def density(self) -> float:
+        """Sum of ``C/D`` over all tasks."""
+        return sum(task.density for task in self._tasks)
+
+    @property
+    def hyperperiod(self) -> int:
+        """LCM of all task periods (1 for an empty set)."""
+        if not self._tasks:
+            return 1
+        return reduce(math.lcm, (task.period for task in self._tasks))
+
+    @property
+    def max_laxity_gap(self) -> int:
+        """``max(T_k - D_k)`` -- appears in the Theorem-4 bound."""
+        if not self._tasks:
+            return 0
+        return max(task.period - task.deadline for task in self._tasks)
+
+    # -- partitions ----------------------------------------------------------
+
+    def by_vm(self) -> Dict[int, "TaskSet"]:
+        """Partition into per-VM task sets (keyed by ``vm_id``)."""
+        partitions: Dict[int, TaskSet] = {}
+        for task in self._tasks:
+            partitions.setdefault(
+                task.vm_id, TaskSet(name=f"{self.name}.vm{task.vm_id}")
+            ).add(task)
+        return partitions
+
+    def vm_ids(self) -> List[int]:
+        return sorted({task.vm_id for task in self._tasks})
+
+    def for_vm(self, vm_id: int) -> "TaskSet":
+        return TaskSet(
+            (task for task in self._tasks if task.vm_id == vm_id),
+            name=f"{self.name}.vm{vm_id}",
+        )
+
+    def of_kind(self, kind: TaskKind) -> "TaskSet":
+        return TaskSet(
+            (task for task in self._tasks if task.kind == kind),
+            name=f"{self.name}.{kind.value}",
+        )
+
+    def of_criticality(self, criticality: Criticality) -> "TaskSet":
+        return TaskSet(
+            (task for task in self._tasks if task.criticality == criticality),
+            name=f"{self.name}.{criticality.value}",
+        )
+
+    def predefined(self) -> "TaskSet":
+        """The P-channel share of the set."""
+        return self.of_kind(TaskKind.PREDEFINED)
+
+    def runtime(self) -> "TaskSet":
+        """The R-channel share of the set."""
+        return self.of_kind(TaskKind.RUNTIME)
+
+    def devices(self) -> List[str]:
+        return sorted({task.device for task in self._tasks})
+
+    # -- transformation --------------------------------------------------------
+
+    def split_predefined(
+        self,
+        fraction: float,
+        *,
+        prefer_periodic: bool = True,
+    ) -> "TaskSet":
+        """Mark a fraction of tasks as P-channel (pre-defined) tasks.
+
+        Implements the paper's *I/O-GUARD-x* configuration: ``x%`` of the
+        I/O tasks are pre-loaded into the P-channel, the rest go through
+        the R-channel (Sec. V-C).  Tasks are sorted by utilization
+        descending when ``prefer_periodic`` (heavier tasks benefit most
+        from static placement); the first ``round(fraction * n)`` become
+        ``PREDEFINED``.  Returns a new task set; the receiver is not
+        modified.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+        ordered = list(self._tasks)
+        if prefer_periodic:
+            ordered.sort(key=lambda task: (-task.utilization, task.name))
+        cutoff = round(fraction * len(ordered))
+        predefined_names = {task.name for task in ordered[:cutoff]}
+        result = TaskSet(name=f"{self.name}.split{int(fraction * 100)}")
+        for task in self._tasks:
+            copy = task.renamed(task.name)
+            copy.vm_id = task.vm_id
+            copy.kind = (
+                TaskKind.PREDEFINED
+                if task.name in predefined_names
+                else TaskKind.RUNTIME
+            )
+            result.add(copy)
+        return result
+
+    def assign_round_robin(self, vm_count: int) -> "TaskSet":
+        """Distribute tasks over ``vm_count`` VMs in round-robin order."""
+        if vm_count < 1:
+            raise ValueError(f"vm_count must be >= 1, got {vm_count}")
+        result = TaskSet(name=f"{self.name}.{vm_count}vm")
+        for position, task in enumerate(self._tasks):
+            result.add(task.with_vm(position % vm_count))
+        return result
+
+    def scaled_wcet(self, factor: float) -> "TaskSet":
+        """Copy with every WCET scaled (ceil) by ``factor``; D, T kept."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        result = TaskSet(name=f"{self.name}.scaled")
+        for task in self._tasks:
+            copy = task.renamed(task.name)
+            copy.wcet = max(1, math.ceil(task.wcet * factor))
+            if copy.wcet > copy.deadline:
+                copy.wcet = copy.deadline
+            result.add(copy)
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate description used by experiment logs."""
+        return {
+            "tasks": len(self._tasks),
+            "utilization": self.utilization,
+            "density": self.density,
+            "hyperperiod": self.hyperperiod,
+            "vms": len(self.vm_ids()),
+            "predefined": len(self.predefined()),
+            "runtime": len(self.runtime()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskSet({self.name!r}, n={len(self._tasks)}, "
+            f"U={self.utilization:.3f})"
+        )
+
+
+def merge(tasksets: Sequence[TaskSet], name: Optional[str] = None) -> TaskSet:
+    """Union of several task sets (names must stay unique)."""
+    merged = TaskSet(name=name or "+".join(ts.name for ts in tasksets))
+    for taskset in tasksets:
+        merged.extend(taskset)
+    return merged

@@ -1,0 +1,38 @@
+"""Software-level models: guest stacks, VMM, drivers, footprints.
+
+I/O-GUARD restructures the software level (Sec. II-A): the VMM is
+removed, RTOSs run bare-metal with full privileges, and the OS I/O
+manager is replaced by thin para-virtual drivers that only forward
+requests to the hardware hypervisor.  This package models the *costs* of
+each software organisation:
+
+* :mod:`repro.virt.footprint` -- static memory-footprint accounting per
+  component and system (reproduces Fig. 6),
+* :mod:`repro.virt.stack` -- per-I/O-operation software path timing for
+  each system architecture (feeds the case-study simulations),
+* :mod:`repro.virt.vm` -- guest VM containers binding tasks to a stack,
+* :mod:`repro.virt.vmm` -- the software VMM model used by the RT-Xen
+  baseline (trap costs, scheduling quantum, backend service).
+"""
+
+from repro.virt.footprint import (
+    Footprint,
+    FootprintReport,
+    IO_DRIVER_FOOTPRINTS,
+    system_footprints,
+)
+from repro.virt.stack import SoftwareStackModel, STACK_MODELS, stack_for
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import SoftwareVMM
+
+__all__ = [
+    "Footprint",
+    "FootprintReport",
+    "IO_DRIVER_FOOTPRINTS",
+    "STACK_MODELS",
+    "SoftwareStackModel",
+    "SoftwareVMM",
+    "VirtualMachine",
+    "stack_for",
+    "system_footprints",
+]

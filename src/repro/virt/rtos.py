@@ -1,0 +1,145 @@
+"""Guest RTOS kernel model (Fig. 3 of the paper).
+
+The paper modifies FreeRTOS: in the legacy organisation (Fig. 3(a)) an
+application's I/O request crosses the kernel -- syscall entry, the I/O
+manager (queueing, buffer management, driver demultiplexing), the
+low-level driver -- while in I/O-GUARD (Fig. 3(b)) the application calls
+a thin user-level driver that "only forwards the I/O requests to the
+hypervisor", bypassing the kernel entirely.
+
+The model is structural: a kernel is a composition of *services*, each
+with a cycle cost and a footprint contribution, and an I/O path is an
+ordered list of services.  This ties the timing numbers of
+:mod:`repro.virt.stack` and the byte counts of
+:mod:`repro.virt.footprint` to one explicit structure, and lets tests
+assert the architecture claims (the I/O-GUARD path never enters the
+kernel; removing the I/O manager shrinks the kernel) rather than just
+the constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class KernelService:
+    """One kernel component: its per-invocation cost and code size."""
+
+    name: str
+    cycles: int
+    text_bytes: int
+    #: Whether the service executes in privileged (kernel) mode.
+    privileged: bool = True
+
+    def __post_init__(self):
+        if self.cycles < 0 or self.text_bytes < 0:
+            raise ValueError(f"negative cost in service {self.name!r}")
+
+
+#: Shared service catalog (costs in cycles at 100 MHz, sizes in bytes).
+SERVICES: Dict[str, KernelService] = {
+    "syscall_entry": KernelService("syscall_entry", cycles=80, text_bytes=600),
+    "scheduler": KernelService("scheduler", cycles=150, text_bytes=9_000),
+    "io_manager": KernelService("io_manager", cycles=400, text_bytes=11_000),
+    "buffer_mgmt": KernelService("buffer_mgmt", cycles=120, text_bytes=4_500),
+    "low_level_driver": KernelService(
+        "low_level_driver", cycles=300, text_bytes=12_000
+    ),
+    "ipc": KernelService("ipc", cycles=90, text_bytes=5_000),
+    "memory_mgmt": KernelService("memory_mgmt", cycles=0, text_bytes=7_000),
+    "timers": KernelService("timers", cycles=0, text_bytes=3_500),
+    # The I/O-GUARD user-level driver: builds a descriptor and rings the
+    # hypervisor doorbell.  Unprivileged -- no kernel crossing.
+    "forwarding_driver": KernelService(
+        "forwarding_driver", cycles=90, text_bytes=1_200, privileged=False
+    ),
+}
+
+
+@dataclass
+class RTOSKernel:
+    """A kernel build: which services are compiled in, which I/O path."""
+
+    name: str
+    services: List[str]
+    io_path: List[str]
+
+    def __post_init__(self):
+        for service in self.services + self.io_path:
+            if service not in SERVICES:
+                raise KeyError(
+                    f"unknown kernel service {service!r}; "
+                    f"known: {sorted(SERVICES)}"
+                )
+        for service in self.io_path:
+            if SERVICES[service].privileged and service not in self.services:
+                raise ValueError(
+                    f"I/O path uses privileged service {service!r} that is "
+                    f"not compiled into kernel {self.name!r}"
+                )
+
+    # -- structure queries ----------------------------------------------------
+
+    def io_request_cycles(self) -> int:
+        """Cycles from the application call to the request leaving."""
+        return sum(SERVICES[name].cycles for name in self.io_path)
+
+    def kernel_text_bytes(self) -> int:
+        """Privileged code size (the kernel's text segment)."""
+        return sum(
+            SERVICES[name].text_bytes
+            for name in self.services
+            if SERVICES[name].privileged
+        )
+
+    def io_path_enters_kernel(self) -> bool:
+        """Whether any privileged service sits on the I/O path."""
+        return any(SERVICES[name].privileged for name in self.io_path)
+
+    def kernel_crossings_per_io(self) -> int:
+        """Mode switches: one entry/exit pair per privileged stretch."""
+        crossings = 0
+        in_kernel = False
+        for name in self.io_path:
+            privileged = SERVICES[name].privileged
+            if privileged and not in_kernel:
+                crossings += 1
+            in_kernel = privileged
+        return crossings
+
+
+def legacy_kernel() -> RTOSKernel:
+    """Fig. 3(a): full kernel; I/O goes through the I/O manager."""
+    return RTOSKernel(
+        name="legacy",
+        services=[
+            "syscall_entry", "scheduler", "io_manager", "buffer_mgmt",
+            "low_level_driver", "ipc", "memory_mgmt", "timers",
+        ],
+        io_path=[
+            "syscall_entry", "io_manager", "buffer_mgmt", "low_level_driver",
+        ],
+    )
+
+
+def ioguard_kernel() -> RTOSKernel:
+    """Fig. 3(b): I/O manager removed; the path is one user-level call."""
+    return RTOSKernel(
+        name="ioguard",
+        services=["scheduler", "ipc", "memory_mgmt", "timers", "syscall_entry"],
+        io_path=["forwarding_driver"],
+    )
+
+
+def compare_kernels() -> Dict[str, Tuple[int, int, int]]:
+    """(io cycles, kernel text, crossings) per organisation."""
+    result = {}
+    for kernel in (legacy_kernel(), ioguard_kernel()):
+        result[kernel.name] = (
+            kernel.io_request_cycles(),
+            kernel.kernel_text_bytes(),
+            kernel.kernel_crossings_per_io(),
+        )
+    return result

@@ -1,0 +1,95 @@
+"""Software VMM model for the BS|RT-XEN baseline.
+
+RT-Xen schedules virtual CPUs with a server-based real-time policy (RTDS:
+budget + period per vCPU) and routes guest I/O through a driver domain.
+For I/O timing the consequential behaviours are:
+
+* requests issued while the guest's vCPU has exhausted its budget wait
+  for the next replenishment (budget-induced blackout),
+* the driver domain serialises backend processing: per-request service
+  adds to a single queue shared by all VMs,
+* every request/response pair pays trap-and-switch overhead (carried by
+  :mod:`repro.virt.stack`).
+
+The model works in scheduler slots, matching the system simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class VCpuServer:
+    """RTDS-style budget/period pair for one VM's vCPU, in slots."""
+
+    vm_id: int
+    budget: int
+    period: int
+
+    def __post_init__(self):
+        if self.period < 1 or not 0 < self.budget <= self.period:
+            raise ValueError(
+                f"invalid vCPU server vm={self.vm_id}: "
+                f"budget={self.budget}, period={self.period}"
+            )
+
+
+class SoftwareVMM:
+    """Budget accounting + backend queue for the RT-Xen system model."""
+
+    def __init__(self, servers: List[VCpuServer], backend_cycles_per_op: int = 1200):
+        if backend_cycles_per_op < 0:
+            raise ValueError(
+                f"backend cost must be >= 0, got {backend_cycles_per_op}"
+            )
+        self._servers: Dict[int, VCpuServer] = {}
+        self._budget: Dict[int, int] = {}
+        for server in servers:
+            if server.vm_id in self._servers:
+                raise ValueError(f"duplicate vCPU server for VM {server.vm_id}")
+            self._servers[server.vm_id] = server
+            self._budget[server.vm_id] = server.budget
+        self.backend_cycles_per_op = backend_cycles_per_op
+        self.backend_ops = 0
+        self.budget_stalls = 0
+
+    def tick(self, slot: int) -> None:
+        """Replenish vCPU budgets at period boundaries."""
+        for vm_id, server in self._servers.items():
+            if slot % server.period == 0:
+                self._budget[vm_id] = server.budget
+
+    def can_dispatch(self, vm_id: int) -> bool:
+        """Whether the VM's vCPU currently holds budget to issue I/O."""
+        if vm_id not in self._servers:
+            raise KeyError(f"no vCPU server for VM {vm_id}")
+        return self._budget[vm_id] > 0
+
+    def consume(self, vm_id: int, slots: int = 1) -> None:
+        """Charge vCPU budget for guest-side I/O processing."""
+        if not self.can_dispatch(vm_id):
+            self.budget_stalls += 1
+            return
+        self._budget[vm_id] = max(0, self._budget[vm_id] - slots)
+
+    def next_dispatch_slot(self, vm_id: int, slot: int) -> int:
+        """Earliest slot at/after ``slot`` when the VM can issue I/O.
+
+        With remaining budget that is the current slot; otherwise the
+        next period boundary.
+        """
+        if self.can_dispatch(vm_id):
+            return slot
+        period = self._servers[vm_id].period
+        self.budget_stalls += 1
+        return ((slot // period) + 1) * period
+
+    def backend_service(self) -> int:
+        """Cycles of driver-domain processing for one operation."""
+        self.backend_ops += 1
+        return self.backend_cycles_per_op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SoftwareVMM(vms={sorted(self._servers)}, ops={self.backend_ops})"

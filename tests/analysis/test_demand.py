@@ -1,0 +1,115 @@
+"""Unit tests for demand bound functions (Eqs. 3, 9)."""
+
+import pytest
+
+from repro.analysis.demand import (
+    dbf_server,
+    dbf_sporadic,
+    dbf_step_points,
+    dbf_taskset,
+    server_step_points,
+)
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestDbfServer:
+    def test_staircase_eq3(self):
+        # Gamma=(10, 4): jumps of 4 at every multiple of 10.
+        assert dbf_server(10, 4, 0) == 0
+        assert dbf_server(10, 4, 9) == 0
+        assert dbf_server(10, 4, 10) == 4
+        assert dbf_server(10, 4, 19) == 4
+        assert dbf_server(10, 4, 100) == 40
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dbf_server(0, 1, 5)
+        with pytest.raises(ValueError):
+            dbf_server(10, 0, 5)
+        with pytest.raises(ValueError):
+            dbf_server(10, 11, 5)
+        with pytest.raises(ValueError):
+            dbf_server(10, 4, -1)
+
+
+class TestDbfSporadic:
+    def test_zero_before_deadline(self):
+        task = IOTask(name="t", period=10, wcet=3, deadline=7)
+        for t in range(7):
+            assert dbf_sporadic(task, t) == 0
+
+    def test_staircase_eq9(self):
+        task = IOTask(name="t", period=10, wcet=3, deadline=7)
+        assert dbf_sporadic(task, 7) == 3
+        assert dbf_sporadic(task, 16) == 3
+        assert dbf_sporadic(task, 17) == 6
+        assert dbf_sporadic(task, 27) == 9
+
+    def test_implicit_deadline(self):
+        task = IOTask(name="t", period=10, wcet=2)
+        assert dbf_sporadic(task, 10) == 2
+        assert dbf_sporadic(task, 100) == 2 * 10
+
+    def test_matches_job_counting(self):
+        """dbf equals max jobs with release+deadline inside the window."""
+        task = IOTask(name="t", period=7, wcet=2, deadline=5)
+        for t in range(0, 60):
+            jobs = 0
+            release = 0
+            while release + task.deadline <= t:
+                jobs += 1
+                release += task.period
+            assert dbf_sporadic(task, t) == jobs * task.wcet
+
+    def test_negative_t(self):
+        task = IOTask(name="t", period=10, wcet=1)
+        with pytest.raises(ValueError):
+            dbf_sporadic(task, -1)
+
+    def test_taskset_aggregation(self):
+        tasks = [
+            IOTask(name="a", period=10, wcet=2),
+            IOTask(name="b", period=15, wcet=3),
+        ]
+        for t in (0, 10, 15, 30):
+            assert dbf_taskset(tasks, t) == sum(
+                dbf_sporadic(task, t) for task in tasks
+            )
+
+
+class TestStepPoints:
+    def test_sporadic_step_points(self):
+        tasks = TaskSet([
+            IOTask(name="a", period=10, wcet=1, deadline=6),
+            IOTask(name="b", period=8, wcet=1),
+        ])
+        points = dbf_step_points(tasks, 30)
+        assert points == sorted(set([6, 16, 26]) | set([8, 16, 24]))
+
+    def test_step_points_capture_every_change(self):
+        tasks = TaskSet([
+            IOTask(name="a", period=9, wcet=2, deadline=4),
+            IOTask(name="b", period=5, wcet=1),
+        ])
+        horizon = 60
+        points = set(dbf_step_points(tasks, horizon))
+        previous = 0
+        for t in range(horizon + 1):
+            value = dbf_taskset(tasks, t)
+            if value != previous:
+                assert t in points, f"missed step at t={t}"
+            previous = value
+
+    def test_server_step_points(self):
+        assert server_step_points([(10, 3), (15, 4)], 30) == [10, 15, 20, 30]
+
+    def test_empty_horizon(self):
+        assert dbf_step_points(TaskSet(), 100) == []
+        assert server_step_points([], 100) == []
+
+    def test_negative_horizon(self):
+        with pytest.raises(ValueError):
+            dbf_step_points(TaskSet(), -1)
+        with pytest.raises(ValueError):
+            server_step_points([(10, 2)], -1)

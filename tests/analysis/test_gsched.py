@@ -1,0 +1,107 @@
+"""Unit tests for the G-Sched tests (Theorems 1 and 2)."""
+
+import pytest
+
+from repro.analysis.gsched_test import (
+    gsched_schedulable,
+    gsched_schedulable_exact,
+    server_bandwidth,
+    theorem2_bound,
+)
+from repro.core.timeslot import TimeSlotTable
+
+
+class TestServerBandwidth:
+    def test_sum(self):
+        assert server_bandwidth([(10, 4), (20, 5)]) == pytest.approx(0.65)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            server_bandwidth([(10, 11)])
+
+
+class TestTheorem2Bound:
+    def test_formula(self, small_table):
+        # F=7, H=10, bandwidth=0.3 -> c=0.4, bound = 7*0.9/0.4.
+        servers = [(10, 3)]
+        bound = theorem2_bound(small_table, servers)
+        assert bound == pytest.approx(7 * 0.9 / 0.4, abs=1)
+
+    def test_requires_positive_slack(self, small_table):
+        # bandwidth 0.8 > F/H = 0.7.
+        with pytest.raises(ValueError, match="slack"):
+            theorem2_bound(small_table, [(10, 8)])
+
+    def test_single_slot_table(self):
+        table = TimeSlotTable.empty(1)
+        assert theorem2_bound(table, [(10, 1)]) == 1
+
+
+class TestGschedSchedulable:
+    def test_feasible_system(self, small_table):
+        result = gsched_schedulable(small_table, [(10, 3), (20, 4)])
+        assert result.schedulable
+        assert result.failing_t is None
+        assert result.method == "theorem2"
+
+    def test_empty_servers(self, small_table):
+        assert gsched_schedulable(small_table, []).schedulable
+
+    def test_overutilized_fails_with_witness(self, small_table):
+        result = gsched_schedulable(small_table, [(10, 9)])
+        assert not result.schedulable
+        assert result.slack < 0
+        assert result.failing_demand > result.failing_supply
+
+    def test_bandwidth_fits_but_pattern_fails(self):
+        # F/H = 0.5 with all free slots clustered: a tight server with a
+        # short period cannot be served through the blackout half.
+        table = TimeSlotTable.from_pattern([1] * 10 + [0] * 10)
+        result = gsched_schedulable(table, [(4, 2)])  # bandwidth 0.5 == F/H
+        # slack == 0 -> falls back to the exact test.
+        assert not result.schedulable
+        assert result.failing_t is not None
+
+    def test_clustered_vs_spread_free_slots(self):
+        clustered = TimeSlotTable.from_pattern([1] * 5 + [0] * 5)
+        spread = TimeSlotTable.from_pattern([1, 0] * 5)
+        servers = [(4, 1)]
+        assert gsched_schedulable(spread, servers).schedulable
+        assert not gsched_schedulable(clustered, servers).schedulable
+
+    def test_result_truthiness(self, small_table):
+        assert bool(gsched_schedulable(small_table, [(10, 1)]))
+
+
+class TestExactVsTheorem2:
+    @pytest.mark.parametrize("pattern,servers", [
+        ([1, 0, 0, 0, 1, 0, 0, 0, 1, 0], [(10, 3)]),
+        ([1, 0, 0, 0, 1, 0, 0, 0, 1, 0], [(5, 2), (10, 2)]),
+        ([0, 0, 1, 1, 0, 0], [(6, 2), (12, 3)]),
+        ([1, 1, 0, 0, 0, 0, 0, 0], [(4, 2), (8, 2)]),
+        ([1, 0] * 8, [(4, 1), (8, 3)]),
+    ])
+    def test_verdicts_agree(self, pattern, servers):
+        table = TimeSlotTable.from_pattern(pattern)
+        fast = gsched_schedulable(table, servers)
+        exact = gsched_schedulable_exact(table, servers)
+        assert fast.schedulable == exact.schedulable
+
+    def test_theorem2_never_accepts_what_theorem1_rejects(self):
+        """Soundness sweep over a family of random-ish configurations."""
+        import itertools
+
+        patterns = [
+            [1, 0, 0, 1, 0, 0],
+            [1, 1, 0, 0, 0, 0],
+            [0, 1, 0, 1, 0, 1, 0, 0],
+        ]
+        server_choices = [(3, 1), (4, 2), (6, 2), (8, 3)]
+        for pattern, pair in itertools.product(
+            patterns, itertools.combinations(server_choices, 2)
+        ):
+            table = TimeSlotTable.from_pattern(pattern)
+            servers = list(pair)
+            fast = gsched_schedulable(table, servers)
+            exact = gsched_schedulable_exact(table, servers)
+            assert fast.schedulable == exact.schedulable, (pattern, servers)

@@ -1,0 +1,36 @@
+"""Unit tests for LCM utilities."""
+
+import pytest
+
+from repro.analysis.hyperperiod import lcm_all, lcm_capped
+
+
+class TestLcmAll:
+    def test_basic(self):
+        assert lcm_all([4, 6]) == 12
+        assert lcm_all([2, 3, 5]) == 30
+
+    def test_empty(self):
+        assert lcm_all([]) == 1
+
+    def test_single(self):
+        assert lcm_all([7]) == 7
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_all([4, 0])
+        with pytest.raises(ValueError):
+            lcm_all([-2])
+
+
+class TestLcmCapped:
+    def test_under_cap(self):
+        assert lcm_capped([4, 6], cap=100) == 12
+
+    def test_over_cap_raises(self):
+        with pytest.raises(OverflowError, match="pseudo-polynomial"):
+            lcm_capped([7, 11, 13, 17, 19], cap=1000)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_capped([0], cap=10)

@@ -1,0 +1,84 @@
+"""Tests for the linear sufficient test and the acceptance experiment."""
+
+import pytest
+
+from repro.analysis.linear_test import lsched_schedulable_linear
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.exp.acceptance import render_acceptance, run_acceptance
+from repro.tasks.generators import generate_random_taskset
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestLinearSufficientTest:
+    def test_accept_implies_theorem4_accepts(self):
+        """Soundness chain: linear acceptance is strictly stronger."""
+        for seed in range(30):
+            tasks = generate_random_taskset(
+                seed, task_count=4, total_utilization=0.4,
+                period_min=40, period_max=300, name=f"lin{seed}",
+            )
+            if lsched_schedulable_linear(12, 8, tasks).schedulable:
+                assert lsched_schedulable(12, 8, tasks).schedulable, seed
+
+    def test_more_pessimistic_than_theorem4(self):
+        """There exist sets Theorem 4 admits and the line rejects."""
+        found = False
+        for seed in range(60):
+            tasks = generate_random_taskset(
+                seed, task_count=4, total_utilization=0.55,
+                period_min=40, period_max=300, name=f"gap{seed}",
+            )
+            exact = lsched_schedulable(12, 8, tasks).schedulable
+            linear = lsched_schedulable_linear(12, 8, tasks).schedulable
+            if exact and not linear:
+                found = True
+                break
+        assert found
+
+    def test_overutilized_rejected(self):
+        tasks = TaskSet([IOTask(name="t", period=10, wcet=9)])
+        result = lsched_schedulable_linear(10, 5, tasks)
+        assert not result.schedulable
+        assert result.slack < 0
+
+    def test_empty_set_accepted(self):
+        assert lsched_schedulable_linear(10, 5, TaskSet()).schedulable
+
+    def test_invalid_server(self):
+        with pytest.raises(ValueError):
+            lsched_schedulable_linear(0, 1, TaskSet())
+
+
+class TestAcceptanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_acceptance(
+            samples=25, utilizations=(0.3, 0.5, 0.7)
+        )
+
+    def test_ordering_bandwidth_theorem4_linear(self, result):
+        """No sound test beats the bandwidth envelope; the linear test
+        never beats Theorem 4."""
+        for point in result.points:
+            assert point.ratios["bandwidth"] >= point.ratios["theorem4"]
+            assert point.ratios["theorem4"] >= point.ratios["linear"]
+
+    def test_acceptance_declines_with_utilization(self, result):
+        theorem4 = [p.ratios["theorem4"] for p in result.points]
+        assert theorem4[0] >= theorem4[-1]
+
+    def test_low_utilization_mostly_accepted(self, result):
+        assert result.points[0].ratios["theorem4"] >= 0.9
+
+    def test_curve_accessor(self, result):
+        curve = result.curve("theorem4")
+        assert set(curve) == {0.3, 0.5, 0.7}
+
+    def test_render(self, result):
+        text = render_acceptance(result)
+        assert "Theorem 4" in text and "bandwidth" in text
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            run_acceptance(samples=0)

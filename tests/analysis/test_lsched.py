@@ -1,0 +1,112 @@
+"""Unit tests for the L-Sched tests (Theorems 3 and 4)."""
+
+import pytest
+
+from repro.analysis.lsched_test import (
+    lsched_schedulable,
+    lsched_schedulable_exact,
+    theorem4_bound,
+)
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def taskset(*specs):
+    return TaskSet(
+        [
+            IOTask(name=f"t{i}", period=T, wcet=C, deadline=D)
+            for i, (T, C, D) in enumerate(specs)
+        ]
+    )
+
+
+class TestTheorem4Bound:
+    def test_formula(self):
+        tasks = taskset((20, 2, 15), (30, 3, 30))
+        # max(T-D) = 5, Pi=10, Theta=6 -> numerator 5+20-6-1=18,
+        # slack = 0.6 - (0.1+0.1) = 0.4 -> bound 45.
+        assert theorem4_bound(10, 6, tasks) == 45
+
+    def test_requires_positive_slack(self):
+        tasks = taskset((10, 5, 10))
+        with pytest.raises(ValueError, match="slack"):
+            theorem4_bound(10, 4, tasks)
+
+    def test_invalid_server(self):
+        with pytest.raises(ValueError):
+            theorem4_bound(0, 1, taskset((10, 1, 10)))
+
+
+class TestLschedSchedulable:
+    def test_light_load_schedulable(self):
+        tasks = taskset((20, 1, 20), (40, 2, 40))
+        result = lsched_schedulable(10, 5, tasks)
+        assert result.schedulable
+        assert result.method == "theorem4"
+
+    def test_empty_taskset(self):
+        assert lsched_schedulable(10, 5, TaskSet()).schedulable
+
+    def test_overutilized_fails(self):
+        tasks = taskset((10, 6, 10))
+        result = lsched_schedulable(10, 5, tasks)
+        assert not result.schedulable
+        assert result.slack < 0
+
+    def test_blackout_kills_tight_deadline(self):
+        # Server (10, 5): worst-case blackout 2*(10-5)=10 slots; a task
+        # with D=8 < 10 cannot be guaranteed even at tiny utilization.
+        tasks = taskset((100, 1, 8))
+        assert not lsched_schedulable(10, 5, tasks).schedulable
+
+    def test_blackout_boundary(self):
+        # Same server; deadline exactly past the blackout works.
+        tasks = taskset((100, 1, 12))
+        assert lsched_schedulable(10, 5, tasks).schedulable
+
+    def test_budget_monotonicity(self):
+        tasks = taskset((30, 4, 25), (50, 6, 50))
+        verdicts = [
+            lsched_schedulable(10, theta, tasks).schedulable
+            for theta in range(1, 11)
+        ]
+        # Once schedulable, more budget never breaks it.
+        first_true = verdicts.index(True)
+        assert all(verdicts[first_true:])
+
+    def test_failing_point_reported(self):
+        tasks = taskset((10, 6, 10))
+        result = lsched_schedulable(10, 5, tasks)
+        assert result.failing_t is not None
+        assert result.failing_demand > result.failing_supply
+
+
+class TestExactVsTheorem4:
+    @pytest.mark.parametrize("pi,theta,specs", [
+        (10, 5, [(20, 2, 20), (30, 3, 30)]),
+        (10, 5, [(100, 1, 8)]),
+        (8, 4, [(16, 2, 12), (24, 3, 24)]),
+        (5, 3, [(10, 2, 10), (20, 4, 15)]),
+        (12, 7, [(24, 5, 20), (36, 6, 36)]),
+    ])
+    def test_verdicts_agree(self, pi, theta, specs):
+        tasks = taskset(*specs)
+        fast = lsched_schedulable(pi, theta, tasks)
+        exact = lsched_schedulable_exact(pi, theta, tasks)
+        assert fast.schedulable == exact.schedulable
+
+    def test_random_agreement_sweep(self):
+        from repro.tasks.generators import generate_random_taskset
+
+        for seed in range(12):
+            tasks = generate_random_taskset(
+                seed,
+                task_count=4,
+                total_utilization=0.35,
+                period_min=10,
+                period_max=60,
+                name=f"sweep{seed}",
+            )
+            fast = lsched_schedulable(12, 8, tasks)
+            exact = lsched_schedulable_exact(12, 8, tasks)
+            assert fast.schedulable == exact.schedulable, seed

@@ -1,0 +1,118 @@
+"""Unit tests for response-time bounds."""
+
+import pytest
+
+from repro.analysis.response_time import (
+    ResponseTimeBound,
+    edf_demand_before,
+    pchannel_response_bound,
+    response_time_bound,
+    response_time_bounds,
+)
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def vm(*specs):
+    return TaskSet(
+        [
+            IOTask(name=f"t{i}", period=T, wcet=C, deadline=D)
+            for i, (T, C, D) in enumerate(specs)
+        ]
+    )
+
+
+class TestResponseTimeBound:
+    def test_single_task_full_bandwidth(self):
+        tasks = vm((20, 3, 20))
+        bound = response_time_bound(10, 10, tasks, "t0")
+        # Full-bandwidth server: done exactly after C slots.
+        assert bound.wcrt == 3
+        assert bound.meets_deadline
+        assert bound.margin == 17
+
+    def test_blackout_included(self):
+        tasks = vm((100, 2, 100))
+        bound = response_time_bound(10, 4, tasks, "t0")
+        # Worst case: 2*(10-4)=12 blackout, then budget slots arrive.
+        assert bound.wcrt >= 12 + 2
+        assert bound.meets_deadline
+
+    def test_interference_raises_bound(self):
+        alone = vm((100, 3, 100))
+        crowded = vm((100, 3, 100), (50, 5, 50))
+        lone = response_time_bound(10, 8, alone, "t0")
+        shared = response_time_bound(10, 8, crowded, "t0")
+        assert shared.wcrt > lone.wcrt
+
+    def test_unschedulable_task_misses_deadline(self):
+        tasks = vm((10, 6, 10), (10, 5, 10))  # utilization 1.1
+        bound = response_time_bound(10, 10, tasks, "t0")
+        # The bound either diverges (None) or lands past the deadline;
+        # both mean the task cannot be guaranteed.
+        assert not bound.meets_deadline
+        if bound.wcrt is not None:
+            assert bound.wcrt > bound.deadline
+
+    def test_divergent_bound_reports_none(self):
+        # Demand grows faster than supply forever: bound diverges.
+        tasks = vm((10, 6, 10), (10, 6, 10))
+        bound = response_time_bound(10, 5, tasks, "t0")
+        assert bound.wcrt is None
+        assert bound.margin is None
+
+    def test_all_tasks(self):
+        tasks = vm((40, 4, 40), (60, 6, 60))
+        bounds = response_time_bounds(10, 8, tasks)
+        assert set(bounds) == {"t0", "t1"}
+        for bound in bounds.values():
+            assert bound.meets_deadline
+
+    def test_bound_is_sound_vs_simulation(self):
+        """The WCRT bound dominates the simulated worst response."""
+        from repro.core.gsched import ServerSpec
+        from repro.core.rchannel import RChannel
+
+        tasks = vm((40, 4, 40), (60, 6, 60))
+        bounds = response_time_bounds(10, 8, tasks)
+        channel = RChannel([ServerSpec(0, 10, 8)])
+        horizon = 600
+        releases = []
+        for task in tasks:
+            copy = task.with_vm(0)
+            k = 0
+            while k * task.period < horizon:
+                releases.append((k * task.period, copy.job(k * task.period, k)))
+                k += 1
+        releases.sort(key=lambda pair: pair[0])
+        cursor = 0
+        worst = {}
+        for slot in range(horizon):
+            while cursor < len(releases) and releases[cursor][0] <= slot:
+                channel.submit(releases[cursor][1])
+                cursor += 1
+            channel.tick(slot)
+            done = channel.execute_slot(slot)
+            if done is not None:
+                response = (slot + 1) - done.release
+                name = done.task.name
+                worst[name] = max(worst.get(name, 0), response)
+        for name, observed in worst.items():
+            assert observed <= bounds[name].wcrt, name
+
+
+class TestHelpers:
+    def test_edf_demand_excludes_self(self):
+        tasks = vm((40, 4, 40), (60, 6, 60))
+        task = tasks["t0"]
+        demand = edf_demand_before(tasks, task, task.deadline)
+        # Only t1's dbf over 40 slots: zero (its deadline is 60).
+        assert demand == 0
+
+    def test_pchannel_bound_is_deadline(self):
+        task = IOTask(
+            name="p", period=50, wcet=5, kind=TaskKind.PREDEFINED
+        )
+        bound = pchannel_response_bound(task)
+        assert bound.wcrt == 50
+        assert bound.meets_deadline

@@ -1,0 +1,64 @@
+"""Unit tests for sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.analysis.sensitivity import (
+    critical_wcet_scale,
+    max_preload_fraction,
+)
+from repro.tasks import build_case_study_taskset
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def vm(*specs):
+    return TaskSet(
+        [
+            IOTask(name=f"t{i}", period=T, wcet=C, deadline=D)
+            for i, (T, C, D) in enumerate(specs)
+        ]
+    )
+
+
+class TestCriticalWcetScale:
+    def test_scale_is_feasible_boundary(self):
+        tasks = vm((40, 4, 40), (80, 8, 80))  # utilization 0.2
+        scale = critical_wcet_scale(10, 8, tasks, precision=0.02)
+        assert scale > 1.0
+        assert lsched_schedulable(10, 8, tasks.scaled_wcet(scale)).schedulable
+        # Slightly beyond the returned scale must fail (within tolerance).
+        assert not lsched_schedulable(
+            10, 8, tasks.scaled_wcet(scale + 0.25)
+        ).schedulable
+
+    def test_already_infeasible_returns_zero(self):
+        tasks = vm((10, 9, 10))
+        assert critical_wcet_scale(10, 5, tasks) == 0.0
+
+    def test_huge_headroom_capped(self):
+        tasks = vm((1000, 1, 1000))
+        scale = critical_wcet_scale(10, 10, tasks, upper=4.0)
+        assert scale == 4.0
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            critical_wcet_scale(10, 5, vm((40, 2, 40)), precision=0)
+
+    def test_monotone_in_budget(self):
+        tasks = vm((40, 4, 40), (80, 8, 80))
+        low = critical_wcet_scale(10, 4, tasks, precision=0.05)
+        high = critical_wcet_scale(10, 8, tasks, precision=0.05)
+        assert high >= low
+
+
+class TestMaxPreloadFraction:
+    def test_case_study_admits_high_preload(self):
+        taskset = build_case_study_taskset(vm_count=4)
+        best = max_preload_fraction(taskset, step=0.1)
+        assert best is not None
+        assert best >= 0.7  # the paper's I/O-GUARD-70 configuration
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            max_preload_fraction(build_case_study_taskset(), step=0)

@@ -1,0 +1,118 @@
+"""Unit tests for server dimensioning."""
+
+import pytest
+
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.analysis.servers import (
+    bandwidth_of,
+    choose_period,
+    design_servers,
+    minimum_budget,
+)
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def vm_tasks(*specs, name="vm"):
+    return TaskSet(
+        [
+            IOTask(name=f"{name}.t{i}", period=T, wcet=C, deadline=D)
+            for i, (T, C, D) in enumerate(specs)
+        ],
+        name=name,
+    )
+
+
+class TestMinimumBudget:
+    def test_minimal_and_sufficient(self):
+        tasks = vm_tasks((30, 4, 25), (50, 6, 50))
+        theta = minimum_budget(10, tasks)
+        assert theta is not None
+        assert lsched_schedulable(10, theta, tasks).schedulable
+        if theta > 1:
+            assert not lsched_schedulable(10, theta - 1, tasks).schedulable
+
+    def test_empty_taskset_gets_unit_budget(self):
+        assert minimum_budget(10, TaskSet()) == 1
+
+    def test_infeasible_under_cap_returns_none(self):
+        # Deadline 4 under a period-10 server needs theta >= 9 to shrink
+        # the blackout enough; a cap below that makes dimensioning fail.
+        tasks = vm_tasks((100, 1, 4))
+        assert minimum_budget(10, tasks, theta_cap=5) is None
+        assert minimum_budget(10, tasks) == 9
+
+    def test_overutilized_returns_none(self):
+        tasks = vm_tasks((10, 9, 10), (10, 2, 10))
+        assert minimum_budget(10, tasks) is None
+
+    def test_invalid_pi(self):
+        with pytest.raises(ValueError):
+            minimum_budget(0, TaskSet())
+
+
+class TestChoosePeriod:
+    def test_min_deadline_policy(self):
+        tasks = vm_tasks((40, 2, 30), (20, 1, 16))
+        assert choose_period(tasks, "min_deadline") == 8
+
+    def test_harmonic_policy_power_of_two(self):
+        tasks = vm_tasks((40, 2, 30), (20, 1, 17))
+        period = choose_period(tasks, "harmonic")
+        assert period & (period - 1) == 0  # power of two
+        assert period <= 17 // 2
+
+    def test_uniform_policy(self):
+        tasks = vm_tasks((40, 2, 30))
+        assert choose_period(tasks, "uniform", uniform_period=25) == 25
+
+    def test_empty_tasks_use_uniform(self):
+        assert choose_period(TaskSet(), "min_deadline", uniform_period=50) == 50
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown period policy"):
+            choose_period(TaskSet(), "bogus")
+
+
+class TestDesignServers:
+    def test_feasible_design(self):
+        table = TimeSlotTable.from_pattern([1, 0, 0, 0, 0] * 4)  # F/H = 0.8
+        vms = {
+            0: vm_tasks((40, 2, 40), (60, 3, 60), name="vm0"),
+            1: vm_tasks((50, 4, 50), name="vm1"),
+        }
+        design = design_servers(table, vms)
+        assert design.feasible
+        assert set(design.servers) == {0, 1}
+        for vm_id, (pi, theta) in design.servers.items():
+            assert lsched_schedulable(pi, theta, vms[vm_id]).schedulable
+
+    def test_infeasible_vm_reported(self):
+        table = TimeSlotTable.empty(10)
+        vms = {0: vm_tasks((10, 9, 10), (10, 3, 10), name="vm0")}
+        design = design_servers(table, vms)
+        assert not design.feasible
+        assert 0 in design.failures
+
+    def test_global_overload_reported(self):
+        # Table with tiny free bandwidth cannot host both servers.
+        table = TimeSlotTable.from_pattern([1, 1, 1, 0] * 5)  # F/H = 0.25
+        vms = {
+            0: vm_tasks((20, 4, 20), name="vm0"),
+            1: vm_tasks((20, 4, 20), name="vm1"),
+        }
+        design = design_servers(table, vms)
+        assert not design.feasible
+
+    def test_as_pairs_ordered(self):
+        table = TimeSlotTable.empty(10)
+        vms = {
+            1: vm_tasks((40, 1, 40), name="vm1"),
+            0: vm_tasks((40, 1, 40), name="vm0"),
+        }
+        design = design_servers(table, vms)
+        assert design.as_pairs() == [design.servers[0], design.servers[1]]
+
+    def test_bandwidth_of(self):
+        assert bandwidth_of([(10, 5), (20, 5)]) == pytest.approx(0.75)

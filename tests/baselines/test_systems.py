@@ -1,0 +1,199 @@
+"""Unit and behavioural tests for the four system models."""
+
+import pytest
+
+from repro.baselines import (
+    BlueVisorSystem,
+    IOGuardSystem,
+    LegacySystem,
+    RTXenSystem,
+    TrialConfig,
+    prepare_workload,
+)
+from repro.sim.rng import RandomSource
+from repro.tasks import build_case_study_taskset, pad_to_target_utilization
+from repro.tasks.task import Criticality, IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def light_workload(utilization=0.3, horizon=10_000, vm_count=2, seed=5):
+    rng = RandomSource(seed, "workload")
+    tasks = TaskSet(
+        [
+            IOTask(
+                name=f"t{i}",
+                period=200 * (i + 1),
+                wcet=max(1, int(0.5 * utilization * 200 * (i + 1) / 2)),
+                vm_id=i % vm_count,
+                criticality=Criticality.SAFETY,
+            )
+            for i in range(4)
+        ]
+    )
+    config = TrialConfig(horizon_slots=horizon)
+    return prepare_workload(tasks, config, rng, target_utilization=utilization)
+
+
+ALL_SYSTEMS = [LegacySystem, RTXenSystem, BlueVisorSystem]
+
+
+class TestFifoBaselines:
+    @pytest.mark.parametrize("system_type", ALL_SYSTEMS)
+    def test_light_load_all_succeed(self, system_type):
+        system = system_type()
+        result = system.run_trial(light_workload(), RandomSource(1, "sys"))
+        assert result.success
+        assert result.total_completed > 0
+        assert result.total_missed == 0
+
+    @pytest.mark.parametrize("system_type", ALL_SYSTEMS)
+    def test_result_fields(self, system_type):
+        system = system_type()
+        result = system.run_trial(light_workload(), RandomSource(1, "sys"))
+        assert result.system == system.name
+        assert result.bytes_transferred > 0
+        assert result.mean_response_slots > 0
+        assert result.response_slots_max >= result.mean_response_slots
+
+    @pytest.mark.parametrize("system_type", ALL_SYSTEMS)
+    def test_deterministic_under_seed(self, system_type):
+        workload = light_workload()
+        a = system_type().run_trial(workload, RandomSource(3, "x"))
+        b = system_type().run_trial(workload, RandomSource(3, "x"))
+        assert a.total_missed == b.total_missed
+        assert a.bytes_transferred == b.bytes_transferred
+
+    def test_service_cost_ordering(self):
+        """RT-Xen's full per-job service cost (inflation + backend
+        overhead) is the largest, BV's the smallest, at every load."""
+        from repro.baselines.base import ReleasedJob
+
+        for utilization in (0.4, 0.7, 1.0):
+            workload = light_workload(utilization=utilization, vm_count=4)
+            job = ReleasedJob(
+                task=workload.taskset.tasks[0],
+                index=0,
+                release_slot=0,
+                actual_slots=10,
+            )
+            rng = RandomSource(1, "svc")
+            costs = {
+                system.name: system.service_slots(job, rng, workload)
+                for system in (LegacySystem(), RTXenSystem(), BlueVisorSystem())
+            }
+            # BV (hardware-assisted) is always the cheapest; every system
+            # inflates beyond the raw 10-slot demand.  Legacy's router
+            # contention overtakes RT-Xen's backend only near saturation,
+            # so the rt-xen > legacy ordering is asserted at
+            # moderate load only.
+            assert costs["bv"] == min(costs.values())
+            assert min(costs.values()) > 10
+            if utilization <= 0.7:
+                assert costs["rt-xen"] >= costs["legacy"] * 0.95
+
+    def test_inflation_grows_with_vms(self):
+        for system_type in ALL_SYSTEMS:
+            system = system_type()
+            w4 = light_workload(vm_count=2)
+            # vm ids 0..7 present
+            w8 = prepare_workload(
+                build_case_study_taskset(vm_count=8),
+                TrialConfig(horizon_slots=1000),
+                RandomSource(1),
+                target_utilization=0.3,
+            )
+            assert system.service_inflation(w8) > system.service_inflation(w4)
+
+    def test_effective_load_clamped(self):
+        workload = light_workload(utilization=2.0)
+        for system_type in ALL_SYSTEMS:
+            assert system_type().effective_load(workload) <= 0.95
+
+
+class TestIOGuardSystem:
+    def test_light_load_succeeds(self):
+        system = IOGuardSystem(0.4)
+        result = system.run_trial(light_workload(), RandomSource(1, "io"))
+        assert result.success
+        assert result.total_missed == 0
+
+    def test_name_encodes_preload(self):
+        assert IOGuardSystem(0.4).name == "ioguard-40"
+        assert IOGuardSystem(0.7).name == "ioguard-70"
+        assert IOGuardSystem(0.0).name == "ioguard-0"
+
+    def test_invalid_preload(self):
+        with pytest.raises(ValueError):
+            IOGuardSystem(1.5)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            IOGuardSystem(0.4, server_policy="magic")
+
+    def test_zero_preload_pure_rchannel(self):
+        system = IOGuardSystem(0.0)
+        result = system.run_trial(light_workload(), RandomSource(2, "io"))
+        assert result.success
+
+    def test_full_preload_pure_pchannel(self):
+        system = IOGuardSystem(1.0)
+        result = system.run_trial(light_workload(), RandomSource(2, "io"))
+        # All tasks table-driven: every job meets its deadline.
+        assert result.total_missed == 0
+
+    def test_analytic_policy_runs(self):
+        system = IOGuardSystem(0.4, server_policy="analytic")
+        result = system.run_trial(light_workload(), RandomSource(3, "io"))
+        assert result.success
+
+    def test_deterministic(self):
+        workload = light_workload()
+        a = IOGuardSystem(0.4).run_trial(workload, RandomSource(3, "x"))
+        b = IOGuardSystem(0.4).run_trial(workload, RandomSource(3, "x"))
+        assert a.total_missed == b.total_missed
+        assert a.bytes_transferred == b.bytes_transferred
+
+
+class TestPaperShape:
+    """Reduced-scale assertions of Obs 3 / Obs 4 orderings."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = build_case_study_taskset(vm_count=4)
+        config = TrialConfig(horizon_slots=25_000)
+        systems = {
+            "rt-xen": RTXenSystem(),
+            "bv": BlueVisorSystem(),
+            "ioguard-70": IOGuardSystem(0.7),
+        }
+        outcomes = {}
+        for util in (0.4, 0.9):
+            rng = RandomSource(77, f"u{util}")
+            padded = pad_to_target_utilization(
+                base, util, rng.spawn("pad"), vm_count=4
+            )
+            workload = prepare_workload(
+                padded, config, rng.spawn("wl"), target_utilization=util
+            )
+            for name, system in systems.items():
+                outcomes[(name, util)] = system.run_trial(
+                    workload, rng.spawn(name)
+                )
+        return outcomes
+
+    def test_everyone_fine_at_40_percent(self, sweep):
+        for name in ("rt-xen", "bv", "ioguard-70"):
+            assert sweep[(name, 0.4)].success, name
+
+    def test_baselines_collapse_at_90_percent(self, sweep):
+        assert not sweep[("rt-xen", 0.9)].success
+        assert not sweep[("bv", 0.9)].success
+
+    def test_ioguard_survives_90_percent(self, sweep):
+        assert sweep[("ioguard-70", 0.9)].success
+
+    def test_ioguard_throughput_dominates_at_high_load(self, sweep):
+        assert (
+            sweep[("ioguard-70", 0.9)].throughput_mbps
+            > sweep[("rt-xen", 0.9)].throughput_mbps
+        )

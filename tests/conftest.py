@@ -1,0 +1,51 @@
+"""Shared fixtures for the I/O-GUARD reproduction test suite."""
+
+import pytest
+
+from repro.core.timeslot import TimeSlotTable
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(12345, "test")
+
+
+@pytest.fixture
+def small_table():
+    """H=10, F=7: slots 0, 4, 8 occupied."""
+    return TimeSlotTable.from_pattern([1, 0, 0, 0, 1, 0, 0, 0, 1, 0])
+
+
+@pytest.fixture
+def simple_task():
+    return IOTask(name="t", period=10, wcet=2, vm_id=0)
+
+
+@pytest.fixture
+def two_vm_taskset():
+    """Two VMs, one pre-defined and three run-time tasks."""
+    return TaskSet(
+        [
+            IOTask(
+                name="pre0",
+                period=20,
+                wcet=2,
+                vm_id=0,
+                kind=TaskKind.PREDEFINED,
+                criticality=Criticality.SAFETY,
+            ),
+            IOTask(name="run0", period=25, wcet=3, vm_id=0),
+            IOTask(name="run1a", period=40, wcet=4, vm_id=1),
+            IOTask(name="run1b", period=50, wcet=5, vm_id=1),
+        ],
+        name="two-vm",
+    )

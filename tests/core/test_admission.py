@@ -1,0 +1,145 @@
+"""Unit tests for the online admission controller."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.gsched import ServerSpec
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import IOTask, TaskKind
+
+
+def controller(free_pattern=None, servers=None):
+    table = (
+        TimeSlotTable.from_pattern(free_pattern)
+        if free_pattern is not None
+        else TimeSlotTable.empty(20)
+    )
+    servers = servers or [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)]
+    return AdmissionController(table, servers)
+
+
+def runtime_task(name, period, wcet, vm_id=0, deadline=None):
+    return IOTask(
+        name=name, period=period, wcet=wcet, deadline=deadline, vm_id=vm_id
+    )
+
+
+class TestConstruction:
+    def test_duplicate_server_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AdmissionController(
+                TimeSlotTable.empty(10),
+                [ServerSpec(0, 10, 5), ServerSpec(0, 5, 1)],
+            )
+
+    def test_globally_infeasible_servers_rejected(self):
+        # Table 50% free, cannot host 0.5 + 0.4 bandwidth of servers.
+        table = TimeSlotTable.from_pattern([1, 0] * 10)
+        with pytest.raises(ValueError, match="Theorem-2"):
+            AdmissionController(
+                table, [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)]
+            )
+
+
+class TestAdmission:
+    def test_admit_light_task(self):
+        ctrl = controller()
+        decision = ctrl.try_admit(runtime_task("a", 100, 5))
+        assert decision.admitted
+        assert "a" in ctrl.admitted_tasks(0)
+        assert ctrl.admitted_count == 1
+
+    def test_reject_overload(self):
+        ctrl = controller()
+        first = ctrl.try_admit(runtime_task("a", 40, 8))  # fits (10,5)
+        assert first.admitted
+        second = ctrl.try_admit(runtime_task("b", 40, 9))  # would exceed
+        assert not second.admitted
+        assert "Theorem 4" in second.reason
+        assert "b" not in ctrl.admitted_tasks(0)
+        assert ctrl.rejected_count == 1
+
+    def test_rejection_leaves_state_untouched(self):
+        ctrl = controller()
+        ctrl.try_admit(runtime_task("a", 40, 8))
+        before = ctrl.vm_utilization(0)
+        ctrl.try_admit(runtime_task("b", 40, 9))
+        assert ctrl.vm_utilization(0) == before
+
+    def test_reject_tight_deadline_through_blackout(self):
+        ctrl = controller()
+        # Server (10, 5) has a 10-slot blackout; D=8 is unprotectable.
+        decision = ctrl.try_admit(runtime_task("tight", 100, 1, deadline=8))
+        assert not decision.admitted
+
+    def test_reject_predefined(self):
+        ctrl = controller()
+        task = IOTask(
+            name="p", period=50, wcet=2, kind=TaskKind.PREDEFINED, vm_id=0
+        )
+        decision = ctrl.try_admit(task)
+        assert not decision.admitted
+        assert "initialization" in decision.reason
+
+    def test_reject_unknown_vm(self):
+        ctrl = controller()
+        decision = ctrl.try_admit(runtime_task("a", 100, 2, vm_id=9))
+        assert not decision.admitted
+        assert "no server" in decision.reason
+
+    def test_reject_duplicate_name(self):
+        ctrl = controller()
+        assert ctrl.try_admit(runtime_task("a", 100, 2))
+        decision = ctrl.try_admit(runtime_task("a", 200, 1))
+        assert not decision.admitted
+        assert "already admitted" in decision.reason
+
+    def test_vm_isolation(self):
+        """A saturated VM 0 does not block admissions into VM 1."""
+        ctrl = controller()
+        ctrl.try_admit(runtime_task("a", 40, 8, vm_id=0))
+        assert not ctrl.try_admit(runtime_task("b", 40, 9, vm_id=0)).admitted
+        assert ctrl.try_admit(runtime_task("c", 100, 5, vm_id=1)).admitted
+
+    def test_withdraw_frees_capacity(self):
+        ctrl = controller()
+        ctrl.try_admit(runtime_task("a", 40, 8))
+        assert not ctrl.try_admit(runtime_task("b", 40, 8)).admitted
+        withdrawn = ctrl.withdraw(0, "a")
+        assert withdrawn.name == "a"
+        assert ctrl.try_admit(runtime_task("b", 40, 8)).admitted
+
+    def test_withdraw_unknown(self):
+        ctrl = controller()
+        with pytest.raises(KeyError):
+            ctrl.withdraw(0, "ghost")
+        with pytest.raises(KeyError):
+            ctrl.withdraw(9, "a")
+
+    def test_decision_log(self):
+        ctrl = controller()
+        ctrl.try_admit(runtime_task("a", 100, 2))
+        ctrl.try_admit(runtime_task("a", 100, 2))
+        assert len(ctrl.decisions) == 2
+        assert ctrl.decisions[0].admitted
+        assert not ctrl.decisions[1].admitted
+
+    def test_admitted_sets_always_schedulable(self):
+        """Invariant: after any admission sequence, every VM's admitted
+        set passes Theorem 4 against its server."""
+        from repro.analysis.lsched_test import lsched_schedulable
+        from repro.sim.rng import RandomSource
+
+        ctrl = controller()
+        rng = RandomSource(9, "adm")
+        for i in range(30):
+            period = rng.choice([20, 40, 50, 100, 200])
+            wcet = rng.randint(1, max(1, period // 8))
+            ctrl.try_admit(
+                runtime_task(f"t{i}", period, wcet, vm_id=rng.choice([0, 1]))
+            )
+        for vm_id in (0, 1):
+            spec = ctrl.server_of(vm_id)
+            tasks = ctrl.admitted_tasks(vm_id)
+            if len(tasks):
+                assert lsched_schedulable(spec.pi, spec.theta, tasks).schedulable

@@ -1,0 +1,112 @@
+"""Unit tests for translators and the virtualization driver."""
+
+import pytest
+
+from repro.core.driver import DRIVER_CODE_BYTES, VirtualizationDriver
+from repro.core.translator import RealTimeTranslator
+from repro.hw.controller import EthernetController, SPIController
+from repro.hw.devices import EchoDevice, SensorDevice
+
+
+class TestRealTimeTranslator:
+    def test_cost_model(self):
+        translator = RealTimeTranslator(
+            "request", base_cycles=100, cycles_per_word=2, word_bytes=4
+        )
+        assert translator.translate(0) == 100
+        assert translator.translate(4) == 102
+        assert translator.translate(5) == 104  # rounds words up
+
+    def test_wcet_is_upper_bound(self):
+        translator = RealTimeTranslator("request")
+        bound = translator.wcet_cycles()
+        for payload in (0, 16, 256, 4096):
+            assert translator.translate(payload) <= bound
+
+    def test_records_every_translation(self):
+        translator = RealTimeTranslator("response")
+        translator.translate(16)
+        translator.translate(64)
+        assert len(translator.records) == 2
+        assert translator.worst_observed == translator.wcet_cycles(64)
+        assert translator.total_cycles == sum(r.cycles for r in translator.records)
+
+    def test_oversize_payload_rejected(self):
+        translator = RealTimeTranslator("request", max_payload_bytes=128)
+        with pytest.raises(ValueError, match="split"):
+            translator.translate(129)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimeTranslator("request").translate(-1)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            RealTimeTranslator("sideways")
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            RealTimeTranslator("request", base_cycles=0)
+
+
+class TestVirtualizationDriver:
+    def make(self):
+        return VirtualizationDriver(
+            EthernetController("eth0"), EchoDevice("dev", service_cycles=100)
+        )
+
+    def test_operation_timing_composition(self):
+        driver = self.make()
+        timing = driver.execute_operation(64)
+        assert timing.total == (
+            timing.request_translation
+            + timing.request_transfer
+            + timing.device_service
+            + timing.response_transfer
+            + timing.response_translation
+        )
+        assert driver.operations_executed == 1
+        assert driver.total_cycles == timing.total
+
+    def test_wcet_bounds_execution(self):
+        driver = self.make()
+        for payload in (8, 64, 512):
+            timing = driver.execute_operation(payload)
+            assert timing.total <= driver.wcet_cycles(payload)
+
+    def test_fits_slot(self):
+        driver = self.make()
+        wcet = driver.wcet_cycles(64)
+        assert driver.fits_slot(64, wcet)
+        assert not driver.fits_slot(64, wcet - 1)
+
+    def test_driver_code_loaded_into_bank(self):
+        driver = self.make()
+        assert "driver.ethernet" in driver.memory_bank
+        assert driver.memory_bank.size_of("driver.ethernet") == (
+            DRIVER_CODE_BYTES["ethernet"]
+        )
+
+    def test_sensor_response_sizing(self):
+        driver = VirtualizationDriver(
+            SPIController("spi0"),
+            SensorDevice("imu", reading_bytes=12, service_cycles=50),
+        )
+        timing = driver.execute_operation(4)
+        # Response path carries the 12-byte reading, not the request.
+        assert timing.response_transfer == driver.controller.transfer_cycles(12)
+
+    def test_wrong_translator_direction_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualizationDriver(
+                EthernetController("eth0"),
+                EchoDevice("dev"),
+                request_translator=RealTimeTranslator("response"),
+            )
+
+    def test_controller_statistics_accumulate(self):
+        driver = self.make()
+        driver.execute_operation(64)
+        driver.execute_operation(64)
+        assert driver.controller.transfers == 4  # request + response each
+        assert driver.controller.bytes_moved == 4 * 64

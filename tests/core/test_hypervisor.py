@@ -1,0 +1,206 @@
+"""Unit tests for the virtualization manager and the top-level hypervisor."""
+
+import pytest
+
+from repro.core.gsched import ServerSpec
+from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
+from repro.core.driver import VirtualizationDriver
+from repro.core.manager import VirtualizationManager
+from repro.hw.controller import EthernetController
+from repro.hw.devices import EchoDevice
+from repro.sim.clock import GlobalTimer
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def predefined_set(device="eth0"):
+    return TaskSet([
+        IOTask(
+            name="p0", period=10, wcet=2, kind=TaskKind.PREDEFINED,
+            device=device, payload_bytes=32,
+        ),
+    ])
+
+
+def runtime_task(name, vm_id=0, device="eth0", period=50, wcet=3):
+    return IOTask(
+        name=name, period=period, wcet=wcet, vm_id=vm_id, device=device,
+        payload_bytes=32,
+    )
+
+
+def make_driver():
+    return VirtualizationDriver(
+        EthernetController("eth0"), EchoDevice("dev", service_cycles=50)
+    )
+
+
+class TestVirtualizationManager:
+    def make(self):
+        return VirtualizationManager(
+            device="eth0",
+            predefined=predefined_set(),
+            servers=[ServerSpec(0, 10, 4)],
+        )
+
+    def test_predefined_submission_rejected(self):
+        manager = self.make()
+        pre = predefined_set().tasks[0]
+        with pytest.raises(ValueError, match="initialization"):
+            manager.submit(pre.job(0, 0))
+
+    def test_occupied_slots_run_pchannel(self):
+        manager = self.make()
+        table = manager.table
+        occupied = table.occupied_indices()[0]
+        manager.execute_slot(occupied)
+        assert manager.pchannel.slots_executed == 1
+
+    def test_free_slots_run_rchannel(self):
+        manager = self.make()
+        job = runtime_task("r0").job(0, 0)
+        manager.submit(job)
+        free = manager.table.free_indices()
+        manager.execute_slot(free[0])
+        manager.execute_slot(free[1])
+        manager.execute_slot(free[2])
+        assert manager.rchannel.jobs_completed == 1
+        assert manager.responses_forwarded >= 1
+
+    def test_completion_callback(self):
+        completions = []
+        manager = VirtualizationManager(
+            device="eth0",
+            predefined=TaskSet(),
+            servers=[ServerSpec(0, 10, 4)],
+            on_complete=lambda job, slot: completions.append((job.name, slot)),
+        )
+        job = runtime_task("r0", wcet=1).job(0, 0)
+        manager.submit(job)
+        manager.execute_slot(0)
+        assert completions == [("r0#0", 0)]
+
+
+class TestIOGuardHypervisor:
+    def build(self, config=None):
+        hypervisor = IOGuardHypervisor(config or HypervisorConfig())
+        hypervisor.attach_device(
+            "eth0", make_driver(), predefined_set(), [ServerSpec(0, 10, 4)]
+        )
+        return hypervisor
+
+    def test_attach_duplicate_rejected(self):
+        hypervisor = self.build()
+        with pytest.raises(ValueError, match="already attached"):
+            hypervisor.attach_device(
+                "eth0", make_driver(), TaskSet(), [ServerSpec(0, 10, 4)]
+            )
+
+    def test_predefined_for_other_device_rejected(self):
+        hypervisor = IOGuardHypervisor()
+        with pytest.raises(ValueError, match="targets"):
+            hypervisor.attach_device(
+                "eth0",
+                make_driver(),
+                predefined_set(device="spi9"),
+                [ServerSpec(0, 10, 4)],
+            )
+
+    def test_submit_unknown_device_rejected(self):
+        hypervisor = self.build()
+        job = runtime_task("r0", device="missing").job(0, 0)
+        with pytest.raises(KeyError, match="unattached"):
+            hypervisor.submit(job)
+
+    def test_slot_budget_validation(self):
+        # A 1-cycle slot cannot possibly hold an Ethernet operation.
+        config = HypervisorConfig(cycles_per_slot=1)
+        hypervisor = IOGuardHypervisor(config)
+        with pytest.raises(ValueError, match="slot"):
+            hypervisor.attach_device(
+                "eth0", make_driver(), predefined_set(), [ServerSpec(0, 10, 4)]
+            )
+
+    def test_validation_can_be_disabled(self):
+        config = HypervisorConfig(cycles_per_slot=1, validate_slot_budget=False)
+        hypervisor = IOGuardHypervisor(config)
+        hypervisor.attach_device(
+            "eth0", make_driver(), predefined_set(), [ServerSpec(0, 10, 4)]
+        )
+
+    def test_step_cursor_advances(self):
+        hypervisor = self.build()
+        hypervisor.step()
+        hypervisor.step()
+        assert hypervisor._slot_cursor == 2
+
+    def test_run_slots_completes_work(self):
+        hypervisor = self.build()
+        task = runtime_task("r0", wcet=3)
+        hypervisor.submit(task.job(0, 0))
+        completed = hypervisor.run_slots(20)
+        names = [job.task.name for job in completed]
+        assert "r0" in names
+        assert "p0" in names  # pre-defined work also ran
+
+    def test_run_slots_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().run_slots(-1)
+
+    def test_completion_hook(self):
+        hypervisor = self.build()
+        seen = []
+        hypervisor.on_complete(lambda job, slot: seen.append(job.name))
+        hypervisor.submit(runtime_task("r0", wcet=1).job(0, 0))
+        hypervisor.run_slots(10)
+        assert any(name.startswith("r0") for name in seen)
+
+    def test_trace_records_completions(self):
+        trace = TraceRecorder()
+        hypervisor = IOGuardHypervisor(HypervisorConfig(trace=trace))
+        hypervisor.attach_device(
+            "eth0", make_driver(), predefined_set(), [ServerSpec(0, 10, 4)]
+        )
+        hypervisor.run_slots(25)
+        assert trace.count("job_complete") == len(hypervisor.completed_jobs)
+
+    def test_multi_device(self):
+        hypervisor = IOGuardHypervisor()
+        hypervisor.attach_device(
+            "eth0", make_driver(), predefined_set(), [ServerSpec(0, 10, 4)]
+        )
+        driver2 = VirtualizationDriver(
+            EthernetController("eth1"), EchoDevice("dev2", service_cycles=50)
+        )
+        hypervisor.attach_device(
+            "eth1", driver2, TaskSet(), [ServerSpec(0, 10, 4)]
+        )
+        assert hypervisor.device_names() == ["eth0", "eth1"]
+        hypervisor.submit(runtime_task("r1", device="eth1", wcet=1).job(0, 0))
+        hypervisor.run_slots(5)
+        assert any(
+            job.task.device == "eth1" for job in hypervisor.completed_jobs
+        )
+
+    def test_process_embedding_in_simulator(self):
+        hypervisor = self.build()
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=1000)
+        hypervisor.submit(runtime_task("r0", wcet=2).job(0, 0))
+        process = sim.process(
+            hypervisor.process(sim, timer, horizon_slots=15), name="hv"
+        )
+        sim.run()
+        assert process.value == len(hypervisor.completed_jobs)
+        assert sim.now == 14_000  # last slot boundary reached
+
+    def test_process_slot_mismatch_rejected(self):
+        hypervisor = self.build()
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=123)
+        with pytest.raises(ValueError, match="slot length"):
+            # Generator raises on first advance.
+            sim.process(hypervisor.process(sim, timer, 5))
+            sim.run()

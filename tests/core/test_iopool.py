@@ -1,0 +1,81 @@
+"""Unit tests for the per-VM I/O pool."""
+
+import pytest
+
+from repro.core.iopool import IOPool
+from repro.tasks.task import IOTask
+
+
+def job(name, release, deadline_rel, wcet=2, vm_id=0, period=1000):
+    task = IOTask(
+        name=name, period=period, wcet=wcet, deadline=deadline_rel, vm_id=vm_id
+    )
+    return task.job(release=release, index=0)
+
+
+class TestIOPool:
+    def test_submit_stages_shadow(self):
+        pool = IOPool(vm_id=0)
+        j = job("a", 0, 50)
+        assert pool.submit(j)
+        assert pool.shadow is j
+        assert pool.staged_deadline() == 50
+        assert pool.has_pending
+
+    def test_wrong_vm_rejected(self):
+        pool = IOPool(vm_id=0)
+        with pytest.raises(ValueError, match="per-VM"):
+            pool.submit(job("a", 0, 50, vm_id=1))
+
+    def test_backpressure_on_full_queue(self):
+        pool = IOPool(vm_id=0, capacity=1)
+        assert pool.submit(job("a", 0, 50))
+        assert not pool.submit(job("b", 0, 60))
+        assert pool.rejected == 1
+
+    def test_shadow_tracks_earliest_deadline(self):
+        pool = IOPool(vm_id=0)
+        late = job("late", 0, 90)
+        pool.submit(late)
+        urgent = job("urgent", 0, 10)
+        pool.submit(urgent)
+        assert pool.shadow is urgent
+
+    def test_execute_slot_progresses_and_completes(self):
+        pool = IOPool(vm_id=0)
+        j = job("a", 0, 50, wcet=2)
+        pool.submit(j)
+        assert pool.execute_slot() is None  # 1 of 2 slots done
+        assert j.remaining == 1
+        completed = pool.execute_slot()
+        assert completed is j
+        assert len(pool) == 0
+        assert pool.shadow is None
+        assert pool.completed == 1
+
+    def test_execute_empty_pool(self):
+        pool = IOPool(vm_id=0)
+        assert pool.execute_slot() is None
+
+    def test_preemption_mid_job(self):
+        """An urgent arrival preempts the staged job between slots."""
+        pool = IOPool(vm_id=0)
+        low = job("low", 0, 90, wcet=3)
+        pool.submit(low)
+        pool.execute_slot()  # low runs one slot
+        urgent = job("urgent", 1, 10, wcet=1)
+        pool.submit(urgent)
+        completed = pool.execute_slot()  # urgent runs and completes
+        assert completed is urgent
+        assert low.remaining == 2
+        assert pool.shadow is low  # low resumes
+
+    def test_completion_after_preemption(self):
+        pool = IOPool(vm_id=0)
+        low = job("low", 0, 90, wcet=2)
+        urgent = job("urgent", 0, 10, wcet=1)
+        pool.submit(low)
+        pool.submit(urgent)
+        assert pool.execute_slot() is urgent
+        assert pool.execute_slot() is None
+        assert pool.execute_slot() is low

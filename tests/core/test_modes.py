@@ -1,0 +1,123 @@
+"""Unit tests for mode changes."""
+
+import pytest
+
+from repro.core.gsched import ServerSpec
+from repro.core.modes import Mode, ModeManager
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def predefined(name, period, wcet):
+    return IOTask(name=name, period=period, wcet=wcet, kind=TaskKind.PREDEFINED)
+
+
+def make_modes():
+    cruise = Mode.build(
+        "cruise", TaskSet([predefined("radar", 10, 2)]), stagger=False
+    )
+    parking = Mode.build(
+        "parking",
+        TaskSet([predefined("sonar", 5, 1), predefined("camera", 20, 4)]),
+        stagger=False,
+    )
+    return {"cruise": cruise, "parking": parking}
+
+
+class TestModeBuild:
+    def test_build_constructs_table(self):
+        mode = Mode.build("m", TaskSet([predefined("p", 10, 3)]))
+        assert mode.table.total_slots == 10
+        assert mode.table.occupied_slots == 3
+
+
+class TestModeManager:
+    def test_initial_mode_active(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        assert manager.active_name == "cruise"
+        assert manager.table.total_slots == 10
+
+    def test_unknown_initial(self):
+        with pytest.raises(KeyError):
+            ModeManager(make_modes(), initial="takeoff")
+
+    def test_server_validation_per_mode(self):
+        # A server needing 80% bandwidth fails against parking's table
+        # pattern? parking occupies 1/5 + 4/20 = 0.4 -> F/H = 0.6 < 0.8.
+        with pytest.raises(ValueError, match="Theorem 2"):
+            ModeManager(
+                make_modes(),
+                initial="cruise",
+                servers=[ServerSpec(0, 10, 8)],
+            )
+
+    def test_feasible_servers_accepted(self):
+        manager = ModeManager(
+            make_modes(), initial="cruise", servers=[ServerSpec(0, 10, 3)]
+        )
+        assert manager.active_name == "cruise"
+
+    def test_request_mode_aligns_to_common_boundary(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        change = manager.request_mode("parking", current_slot=7)
+        # lcm(10, 20) = 20; next boundary after 7 is 20.
+        assert change.effective_slot == 20
+
+    def test_swap_happens_at_boundary(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        manager.request_mode("parking", current_slot=0)
+        for slot in range(25):
+            swapped = manager.tick(slot)
+            if slot < 20:
+                assert swapped is None
+                assert manager.active_name == "cruise"
+            elif slot == 20:
+                assert swapped == "parking"
+        assert manager.active_name == "parking"
+        assert len(manager.history) == 1
+
+    def test_execution_continues_across_swap(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        manager.request_mode("parking", current_slot=0)
+        completed = []
+        for slot in range(60):
+            manager.tick(slot)
+            if manager.occupies(slot):
+                job = manager.execute_slot(slot)
+                if job is not None:
+                    completed.append((job.task.name, slot))
+        names = {name for name, _slot in completed}
+        assert "radar" in names  # old mode ran before the boundary
+        assert "sonar" in names and "camera" in names  # new mode after
+        # No pre-defined job may ever miss across the transition.
+        # (PChannel jobs are in-window by construction; presence of both
+        # modes' completions shows the swap was seamless.)
+
+    def test_double_request_rejected(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        manager.request_mode("parking", current_slot=0)
+        with pytest.raises(RuntimeError, match="pending"):
+            manager.request_mode("parking", current_slot=1)
+
+    def test_same_mode_rejected(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        with pytest.raises(ValueError, match="already in"):
+            manager.request_mode("cruise", current_slot=0)
+
+    def test_unknown_target(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        with pytest.raises(KeyError):
+            manager.request_mode("takeoff", current_slot=0)
+
+    def test_cancel_pending(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        manager.request_mode("parking", current_slot=0)
+        cancelled = manager.cancel_pending()
+        assert cancelled is not None and cancelled.target == "parking"
+        for slot in range(40):
+            assert manager.tick(slot) is None
+        assert manager.active_name == "cruise"
+
+    def test_cancel_nothing(self):
+        manager = ModeManager(make_modes(), initial="cruise")
+        assert manager.cancel_pending() is None

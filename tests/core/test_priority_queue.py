@@ -1,0 +1,165 @@
+"""Unit tests for the random-access priority queue and the FIFO queue."""
+
+import pytest
+
+from repro.core.priority_queue import FIFOQueue, PriorityQueue, QueueFullError
+from repro.tasks.task import IOTask
+
+
+def job(name, release, deadline_rel, period=1000):
+    task = IOTask(name=name, period=period, wcet=1, deadline=deadline_rel)
+    return task.job(release=release, index=0)
+
+
+class TestPriorityQueue:
+    def test_peek_pop_deadline_order(self):
+        queue = PriorityQueue()
+        late = job("late", 0, 50)
+        early = job("early", 0, 10)
+        mid = job("mid", 0, 30)
+        for j in (late, early, mid):
+            queue.insert(j)
+        assert queue.peek() is early
+        assert queue.pop() is early
+        assert queue.pop() is mid
+        assert queue.pop() is late
+
+    def test_fifo_tiebreak_on_equal_deadline(self):
+        queue = PriorityQueue()
+        first = job("first", 0, 10)
+        second = job("second", 0, 10)
+        queue.insert(first)
+        queue.insert(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_capacity_enforced(self):
+        queue = PriorityQueue(capacity=2)
+        queue.insert(job("a", 0, 10))
+        queue.insert(job("b", 0, 20))
+        assert queue.is_full
+        with pytest.raises(QueueFullError):
+            queue.insert(job("c", 0, 30))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PriorityQueue(capacity=0)
+
+    def test_double_insert_rejected(self):
+        queue = PriorityQueue()
+        j = job("a", 0, 10)
+        queue.insert(j)
+        with pytest.raises(ValueError, match="already"):
+            queue.insert(j)
+
+    def test_random_access_removal(self):
+        queue = PriorityQueue()
+        a, b, c = job("a", 0, 10), job("b", 0, 20), job("c", 0, 30)
+        for j in (a, b, c):
+            queue.insert(j)
+        assert queue.remove(b) is True
+        assert queue.remove(b) is False  # already gone
+        assert len(queue) == 2
+        assert queue.pop() is a
+        assert queue.pop() is c
+
+    def test_removal_frees_capacity(self):
+        queue = PriorityQueue(capacity=1)
+        a = job("a", 0, 10)
+        queue.insert(a)
+        queue.remove(a)
+        queue.insert(job("b", 0, 20))  # must not raise
+
+    def test_contains(self):
+        queue = PriorityQueue()
+        a = job("a", 0, 10)
+        queue.insert(a)
+        assert a in queue
+        queue.pop()
+        assert a not in queue
+
+    def test_jobs_snapshot_sorted(self):
+        queue = PriorityQueue()
+        jobs = [job(f"j{i}", 0, deadline) for i, deadline in enumerate([40, 10, 30])]
+        for j in jobs:
+            queue.insert(j)
+        snapshot = queue.jobs()
+        deadlines = [j.absolute_deadline for j in snapshot]
+        assert deadlines == sorted(deadlines)
+
+    def test_find_and_jobs_of_task(self):
+        queue = PriorityQueue()
+        a = job("alpha", 0, 10)
+        b = job("beta", 0, 20)
+        queue.insert(a)
+        queue.insert(b)
+        assert queue.find(lambda j: j.task.name == "beta") is b
+        assert queue.find(lambda j: False) is None
+        assert queue.jobs_of_task("alpha") == [a]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityQueue().pop()
+
+    def test_peek_empty_none(self):
+        assert PriorityQueue().peek() is None
+
+    def test_statistics(self):
+        queue = PriorityQueue()
+        a, b = job("a", 0, 10), job("b", 0, 20)
+        queue.insert(a)
+        queue.insert(b)
+        queue.pop()
+        queue.remove(b)
+        assert queue.total_inserted == 2
+        assert queue.total_removed == 2
+        assert queue.peak_occupancy == 2
+
+    def test_lazy_deletion_invisible(self):
+        """Removed jobs never surface through peek/pop/len/iter."""
+        queue = PriorityQueue()
+        jobs = [job(f"j{i}", 0, 10 + i) for i in range(10)]
+        for j in jobs:
+            queue.insert(j)
+        for j in jobs[:5]:
+            queue.remove(j)
+        assert len(queue) == 5
+        assert queue.peek() is jobs[5]
+        assert [j.task.name for j in queue] == [f"j{i}" for i in range(5, 10)]
+
+
+class TestFIFOQueue:
+    def test_arrival_order(self):
+        queue = FIFOQueue()
+        a = job("a", 0, 50)
+        b = job("b", 0, 10)  # earlier deadline but arrives later
+        queue.insert(a)
+        queue.insert(b)
+        assert queue.pop() is a  # FIFO ignores deadlines
+        assert queue.pop() is b
+
+    def test_capacity(self):
+        queue = FIFOQueue(capacity=1)
+        queue.insert(job("a", 0, 10))
+        with pytest.raises(QueueFullError):
+            queue.insert(job("b", 0, 10))
+
+    def test_peek_and_len(self):
+        queue = FIFOQueue()
+        assert queue.peek() is None
+        a = job("a", 0, 10)
+        queue.insert(a)
+        assert queue.peek() is a
+        assert len(queue) == 1
+        assert bool(queue)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            FIFOQueue().pop()
+
+    def test_contains_identity(self):
+        queue = FIFOQueue()
+        a = job("a", 0, 10)
+        queue.insert(a)
+        assert a in queue
+        assert job("a", 0, 10) not in queue  # different instance

@@ -1,0 +1,157 @@
+"""Unit tests for L-Sched and G-Sched."""
+
+import pytest
+
+from repro.core.gsched import Allocation, GlobalScheduler, ServerSpec
+from repro.core.lsched import LocalScheduler, edf_policy, fifo_policy
+from repro.core.priority_queue import PriorityQueue
+from repro.tasks.task import IOTask
+
+
+def job(name, release, deadline_rel, period=1000):
+    task = IOTask(name=name, period=period, wcet=2, deadline=deadline_rel)
+    return task.job(release=release, index=0)
+
+
+class TestLocalScheduler:
+    def test_edf_selects_earliest_deadline(self):
+        queue = PriorityQueue()
+        lsched = LocalScheduler(queue)
+        late, early = job("late", 0, 90), job("early", 5, 20)
+        queue.insert(late)
+        queue.insert(early)
+        assert lsched.select() is early
+
+    def test_fifo_policy_selects_first_arrival(self):
+        queue = PriorityQueue()
+        lsched = LocalScheduler(queue, policy=fifo_policy)
+        first = job("first", 0, 90)
+        second = job("second", 5, 20)
+        queue.insert(first)
+        queue.insert(second)
+        assert lsched.select() is first
+
+    def test_empty_queue_selects_none(self):
+        lsched = LocalScheduler(PriorityQueue())
+        assert lsched.select() is None
+
+    def test_preemption_counted(self):
+        queue = PriorityQueue()
+        lsched = LocalScheduler(queue)
+        low = job("low", 0, 90)
+        queue.insert(low)
+        lsched.select()
+        urgent = job("urgent", 1, 10)
+        queue.insert(urgent)
+        lsched.select()
+        assert lsched.preemption_count == 1
+        assert low.preemption_count == 1
+
+    def test_completion_is_not_preemption(self):
+        queue = PriorityQueue()
+        lsched = LocalScheduler(queue)
+        a = job("a", 0, 10)
+        queue.insert(a)
+        lsched.select()
+        a.remaining = 0
+        queue.remove(a)
+        b = job("b", 1, 20)
+        queue.insert(b)
+        lsched.select()
+        assert lsched.preemption_count == 0
+
+
+class TestServerSpec:
+    def test_bandwidth(self):
+        assert ServerSpec(0, 10, 4).bandwidth == pytest.approx(0.4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ServerSpec(0, 0, 1)
+        with pytest.raises(ValueError):
+            ServerSpec(0, 10, 0)
+        with pytest.raises(ValueError):
+            ServerSpec(0, 10, 11)
+
+
+class TestGlobalScheduler:
+    def make(self):
+        return GlobalScheduler([
+            ServerSpec(0, 10, 2),
+            ServerSpec(1, 20, 5),
+        ])
+
+    def test_duplicate_vm_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GlobalScheduler([ServerSpec(0, 10, 2), ServerSpec(0, 5, 1)])
+
+    def test_replenishment_at_period_boundaries(self):
+        gsched = self.make()
+        gsched.tick(0)
+        assert gsched.budget_of(0) == 2
+        assert gsched.budget_of(1) == 5
+
+    def test_budget_consumed_on_grant(self):
+        gsched = self.make()
+        gsched.tick(0)
+        allocation = gsched.allocate(0, {0: 100})
+        assert allocation == Allocation(vm_id=0, budgeted=True)
+        assert gsched.budget_of(0) == 1
+
+    def test_idle_when_no_pending(self):
+        gsched = self.make()
+        gsched.tick(0)
+        assert gsched.allocate(0, {}) is None
+        assert gsched.idle_slots == 1
+
+    def test_edf_by_server_deadline(self):
+        # VM0 server deadline 10, VM1 server deadline 20: VM0 wins.
+        gsched = self.make()
+        gsched.tick(0)
+        allocation = gsched.allocate(0, {0: 500, 1: 100})
+        assert allocation.vm_id == 0
+
+    def test_background_when_budget_exhausted(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 1)])
+        gsched.tick(0)
+        first = gsched.allocate(0, {0: 100})
+        assert first.budgeted
+        second = gsched.allocate(1, {0: 100})
+        assert second is not None and not second.budgeted
+        assert gsched.background_grants == 1
+
+    def test_background_uses_job_edf(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 1), ServerSpec(1, 10, 1)])
+        gsched.tick(0)
+        gsched.allocate(0, {0: 100, 1: 100})
+        gsched.allocate(0, {0: 100, 1: 100})
+        # Both budgets exhausted: the staged job with the earlier
+        # deadline gets the background slot.
+        allocation = gsched.allocate(1, {0: 100, 1: 50})
+        assert allocation.vm_id == 1
+        assert not allocation.budgeted
+
+    def test_replenishment_restores_budget(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 1)])
+        gsched.tick(0)
+        gsched.allocate(0, {0: 100})
+        assert gsched.budget_of(0) == 0
+        for slot in range(1, 11):
+            gsched.tick(slot)
+        assert gsched.budget_of(0) == 1
+
+    def test_total_bandwidth(self):
+        assert self.make().total_bandwidth == pytest.approx(0.2 + 0.25)
+
+    def test_guarantee_over_window(self):
+        """A backlogged VM receives at least Theta slots per Pi."""
+        gsched = GlobalScheduler([ServerSpec(0, 10, 3), ServerSpec(1, 10, 3)])
+        grants = {0: 0, 1: 0}
+        for slot in range(100):
+            gsched.tick(slot)
+            allocation = gsched.allocate(slot, {0: 1000, 1: 1000})
+            if allocation is not None and allocation.budgeted:
+                grants[allocation.vm_id] += 1
+        # 10 periods, 3 budgeted slots each, both VMs always pending.
+        assert grants[0] >= 30
+        assert grants[1] >= 30

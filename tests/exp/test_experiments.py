@@ -1,0 +1,135 @@
+"""Unit tests for the experiment drivers and reporting."""
+
+import pytest
+
+from repro.exp.fig6 import fig6_report, fig6_rows, render_fig6
+from repro.exp.fig7 import (
+    CaseStudyConfig,
+    default_systems,
+    render_fig7,
+    run_case_study,
+)
+from repro.exp.fig8 import fig8_report, render_fig8
+from repro.exp.reporting import render_table
+from repro.exp.table1 import render_table1, table1_ratios, table1_report
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456], [2.0], [True]])
+        assert "1.235" in text
+        assert "\n2 " in text or text.endswith("2")
+        assert "yes" in text
+
+
+class TestFig6:
+    def test_report_covers_four_systems(self):
+        report = fig6_report()
+        assert set(report) == {"legacy", "rt-xen", "bv", "ioguard"}
+
+    def test_rows_in_kb(self):
+        rows = fig6_rows()
+        assert all(len(row) == 6 for row in rows)
+        legacy_kernel = [
+            row for row in rows if row[0] == "legacy" and row[1] == "os-kernel"
+        ][0]
+        assert legacy_kernel[5] == pytest.approx(47, abs=1)
+
+    def test_render_contains_headline(self):
+        text = render_fig6()
+        assert "+129.8%" in text
+        assert "ioguard" in text
+
+
+class TestTable1:
+    def test_report_rows(self):
+        rows = dict(table1_report())
+        assert rows["proposed"].dsp == 0
+
+    def test_ratios(self):
+        ratios = table1_ratios()
+        assert ratios["vs_microblaze"]["luts"] == pytest.approx(0.566, abs=0.01)
+
+    def test_render(self):
+        text = render_table1()
+        assert "Table I" in text
+        assert "proposed" in text
+        assert "blueio" in text
+
+
+class TestFig8:
+    def test_report_default_range(self):
+        points = fig8_report()
+        assert [p.eta for p in points] == [0, 1, 2, 3, 4, 5]
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            fig8_report(-1)
+
+    def test_render_sections(self):
+        text = render_fig8()
+        assert "Fig. 8(a)" in text
+        assert "Fig. 8(b)" in text
+        assert "Fig. 8(c)" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        config = CaseStudyConfig(
+            utilizations=(0.4, 0.9),
+            vm_groups=(4,),
+            trials=2,
+            horizon_slots=10_000,
+            use_env_scale=False,
+        )
+        return run_case_study(config)
+
+    def test_grid_complete(self, tiny_result):
+        points = tiny_result.groups[4]
+        systems = {point.system for point in points}
+        assert systems == {s.name for s in default_systems()}
+        assert len(points) == len(systems) * 2
+
+    def test_success_curves_extractable(self, tiny_result):
+        curve = tiny_result.success_curve(4, "ioguard-70")
+        assert set(curve) == {0.4, 0.9}
+        assert curve[0.4] == 1.0
+
+    def test_throughput_grows_with_utilization(self, tiny_result):
+        for system in ("ioguard-70", "ioguard-40"):
+            curve = tiny_result.throughput_curve(4, system)
+            assert curve[0.9] > curve[0.4]
+
+    def test_render(self, tiny_result):
+        text = render_fig7(tiny_result)
+        assert "4-VM group" in text
+        assert "ioguard-70" in text
+
+    def test_env_scale_applied(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        config = CaseStudyConfig(trials=10, horizon_slots=50_000)
+        effective = config.effective()
+        assert effective.trials == 5
+        assert effective.horizon_slots == 25_000
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ValueError):
+            CaseStudyConfig().effective()
+
+    def test_env_scale_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            CaseStudyConfig().effective()

@@ -1,0 +1,53 @@
+"""Unit tests for the inter-VM isolation experiment."""
+
+import pytest
+
+from repro.exp.isolation import (
+    declared_tasks,
+    dimension_servers,
+    render_isolation,
+    run_isolation,
+)
+
+
+@pytest.fixture(scope="module")
+def isolation_result():
+    return run_isolation(
+        rogue_factors=(1.0, 8.0, 16.0), horizon_slots=12_000
+    )
+
+
+class TestIsolation:
+    def test_servers_dimensioned_from_declarations(self):
+        servers = dimension_servers(declared_tasks())
+        assert [s.vm_id for s in servers] == [0, 1]
+        for spec in servers:
+            assert 1 <= spec.theta <= spec.pi
+
+    def test_victim_protected_under_ioguard(self, isolation_result):
+        """Footnote 1: pool partitioning isolates VMs -- the victim
+        never misses, at any rogue intensity."""
+        assert all(
+            misses == 0
+            for misses in isolation_result.miss_curve("ioguard-rchannel")
+        )
+
+    def test_fifo_collapses_under_flood(self, isolation_result):
+        """The conventional shared FIFO lets the rogue starve the
+        victim once the flood saturates the device."""
+        curve = isolation_result.miss_curve("shared-fifo")
+        assert curve[0] == 0  # contract kept: FIFO is fine
+        assert curve[-1] > isolation_result.victim_jobs * 0.5
+
+    def test_contract_kept_both_fine(self, isolation_result):
+        for discipline in ("ioguard-rchannel", "shared-fifo"):
+            assert isolation_result.miss_curve(discipline)[0] == 0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            run_isolation(rogue_factors=(0.5,), horizon_slots=1_000)
+
+    def test_render(self, isolation_result):
+        text = render_isolation(isolation_result)
+        assert "rogue x16" in text
+        assert "ioguard-rchannel" in text

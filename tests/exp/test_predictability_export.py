@@ -1,0 +1,109 @@
+"""Unit tests for the predictability experiment and result export."""
+
+import json
+
+import pytest
+
+from repro.baselines import IOGuardSystem, LegacySystem, RTXenSystem
+from repro.exp.export import (
+    export_fig7_csv,
+    export_fig7_json,
+    export_fig8_csv,
+    export_predictability_csv,
+    read_csv_rows,
+)
+from repro.exp.fig7 import CaseStudyConfig, run_case_study
+from repro.exp.predictability import (
+    render_predictability,
+    run_predictability,
+)
+
+
+@pytest.fixture(scope="module")
+def predictability_result():
+    return run_predictability(
+        target_utilization=0.6,
+        trials=1,
+        horizon_slots=15_000,
+        systems=[LegacySystem(), RTXenSystem(), IOGuardSystem(0.4)],
+    )
+
+
+class TestPredictability:
+    def test_stats_per_system(self, predictability_result):
+        assert set(predictability_result.stats) == {
+            "legacy", "rt-xen", "ioguard-40"
+        }
+        for stats in predictability_result.stats.values():
+            assert stats.count > 100
+
+    def test_per_task_jitter_computed(self, predictability_result):
+        for system, jitter in predictability_result.per_task_jitter.items():
+            assert jitter.count > 10, system
+            assert jitter.minimum >= 0
+
+    def test_paper_shape_ioguard_tighter_than_rtxen(
+        self, predictability_result
+    ):
+        """The motivation claim (Sec. I): conventional virtualization
+        adds timing variance; the hypervisor removes it."""
+        assert predictability_result.jitter_of(
+            "ioguard-40"
+        ) < predictability_result.jitter_of("rt-xen")
+
+    def test_render(self, predictability_result):
+        text = render_predictability(predictability_result)
+        assert "jitter" in text
+        assert "ioguard-40" in text
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            run_predictability(target_utilization=0)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        config = CaseStudyConfig(
+            utilizations=(0.4, 0.7),
+            vm_groups=(4,),
+            trials=1,
+            horizon_slots=8_000,
+            use_env_scale=False,
+        )
+        return run_case_study(config)
+
+    def test_fig7_csv_roundtrip(self, tiny_sweep, tmp_path):
+        path = export_fig7_csv(tiny_sweep, tmp_path / "fig7.csv")
+        rows = read_csv_rows(path)
+        assert len(rows) == 5 * 2  # systems x utilizations
+        assert {row["system"] for row in rows} == {
+            "legacy", "rt-xen", "bv", "ioguard-40", "ioguard-70"
+        }
+        for row in rows:
+            assert 0.0 <= float(row["success_ratio"]) <= 1.0
+
+    def test_fig7_json(self, tiny_sweep, tmp_path):
+        path = export_fig7_json(tiny_sweep, tmp_path / "fig7.json")
+        payload = json.loads(path.read_text())
+        assert payload["config"]["trials"] == 1
+        assert "4" in payload["groups"]
+        curves = payload["groups"]["4"]["ioguard-70"]
+        assert curves["utilization"] == [0.4, 0.7]
+        assert len(curves["success_ratio"]) == 2
+
+    def test_fig8_csv(self, tmp_path):
+        path = export_fig8_csv(tmp_path / "fig8.csv", eta_max=3)
+        rows = read_csv_rows(path)
+        assert [int(row["eta"]) for row in rows] == [0, 1, 2, 3]
+        for row in rows:
+            assert float(row["ioguard_fmax_mhz"]) > float(row["legacy_fmax_mhz"])
+
+    def test_predictability_csv(self, predictability_result, tmp_path):
+        path = export_predictability_csv(
+            predictability_result, tmp_path / "pred.csv"
+        )
+        rows = read_csv_rows(path)
+        assert {row["system"] for row in rows} == {
+            "legacy", "rt-xen", "ioguard-40"
+        }

@@ -1,0 +1,94 @@
+"""Unit tests for the schedule tracer."""
+
+import pytest
+
+from repro.core.gsched import ServerSpec
+from repro.exp.schedule_trace import ScheduleTracer
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def tracer():
+    predefined = TaskSet([
+        IOTask(name="poll", period=10, wcet=2, kind=TaskKind.PREDEFINED)
+    ])
+    return ScheduleTracer(
+        predefined, [ServerSpec(0, 10, 4), ServerSpec(1, 10, 4)]
+    )
+
+
+def runtime_job(name, release, wcet=2, vm_id=0, deadline=100):
+    task = IOTask(
+        name=name, period=1000, wcet=wcet, deadline=deadline, vm_id=vm_id
+    )
+    return task.job(release=release, index=0)
+
+
+class TestScheduleTracer:
+    def test_records_every_slot(self):
+        t = tracer()
+        t.run(20, [])
+        assert len(t.records) == 20
+        channels = {record.channel for record in t.records}
+        assert channels <= {"P", "R", "."}
+
+    def test_pchannel_slots_marked(self):
+        t = tracer()
+        t.run(10, [])
+        p_slots = [r.slot for r in t.records if r.channel == "P"]
+        assert len(p_slots) == 2  # poll's 2 WCET slots per period
+        for record in t.records:
+            if record.channel == "P":
+                assert record.task_name == "poll"
+
+    def test_rchannel_grants_recorded(self):
+        t = tracer()
+        t.run(10, [(0, runtime_job("io", 0, wcet=3))])
+        r_records = [r for r in t.records if r.channel == "R"]
+        assert len(r_records) == 3
+        assert all(r.vm_id == 0 for r in r_records)
+        assert all(r.task_name == "io" for r in r_records)
+
+    def test_strip_rendering(self):
+        t = tracer()
+        t.run(10, [(0, runtime_job("io", 0, wcet=3))])
+        strip = t.strip()
+        assert len(strip) == 10
+        assert strip.count("P") == 2
+        assert strip.count("0") == 3
+        assert strip.count(".") == 5
+
+    def test_background_grants_lowercase(self):
+        t = tracer()
+        # 5 slots of work against a 4-slot budget: the fifth grant is
+        # background (lowercase in the strip).
+        t.run(10, [(0, runtime_job("big", 0, wcet=5))])
+        strip = t.strip()
+        assert "a" in strip
+        assert strip.count("0") == 4
+
+    def test_utilization_summary(self):
+        t = tracer()
+        t.run(10, [(0, runtime_job("io", 0, wcet=3))])
+        summary = t.utilization_summary()
+        assert summary["P"] == pytest.approx(0.2)
+        assert summary["R"] == pytest.approx(0.3)
+        assert summary["idle"] == pytest.approx(0.5)
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+    def test_grants_by_vm(self):
+        t = tracer()
+        t.run(
+            20,
+            [
+                (0, runtime_job("a", 0, wcet=3, vm_id=0)),
+                (0, runtime_job("b", 0, wcet=2, vm_id=1)),
+            ],
+        )
+        grants = t.grants_by_vm()
+        assert grants[0][0] + grants[0][1] == 3
+        assert grants[1][0] + grants[1][1] == 2
+
+    def test_empty_summary(self):
+        t = tracer()
+        assert t.utilization_summary() == {"P": 0.0, "R": 0.0, "idle": 0.0}

@@ -1,0 +1,56 @@
+"""Unit tests for the weighted-schedulability experiment."""
+
+import pytest
+
+from repro.exp.weighted import render_weighted, run_weighted
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_weighted(
+        servers=((10, 5), (40, 20), (10, 7)),
+        utilizations=(0.2, 0.4, 0.6),
+        samples=15,
+    )
+
+
+class TestWeighted:
+    def test_grid_complete(self, result):
+        assert set(result.grid) == {(10, 5), (40, 20), (10, 7)}
+        for row in result.grid.values():
+            assert set(row) == {0.2, 0.4, 0.6}
+            assert all(0.0 <= ratio <= 1.0 for ratio in row.values())
+
+    def test_acceptance_declines_with_utilization(self, result):
+        for row in result.grid.values():
+            assert row[0.2] >= row[0.6]
+
+    def test_shorter_period_wins_at_fixed_bandwidth(self, result):
+        """Smaller blackout 2*(Pi-Theta): (10,5) dominates (40,20)."""
+        short = result.grid[(10, 5)]
+        long = result.grid[(40, 20)]
+        for utilization in result.utilizations:
+            assert short[utilization] >= long[utilization]
+        assert result.weighted_score((10, 5)) >= result.weighted_score(
+            (40, 20)
+        )
+
+    def test_higher_bandwidth_wins(self, result):
+        assert result.weighted_score((10, 7)) >= result.weighted_score((10, 5))
+
+    def test_weighted_score_definition(self, result):
+        server = (10, 5)
+        row = result.grid[server]
+        expected = sum(u * row[u] for u in result.utilizations) / sum(
+            result.utilizations
+        )
+        assert result.weighted_score(server) == pytest.approx(expected)
+
+    def test_render(self, result):
+        text = render_weighted(result)
+        assert "weighted" in text
+        assert "(10,5)" in text
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            run_weighted(samples=0)

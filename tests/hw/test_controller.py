@@ -1,0 +1,96 @@
+"""Unit tests for I/O controllers."""
+
+import pytest
+
+from repro.hw.controller import (
+    CANController,
+    EthernetController,
+    FlexRayController,
+    GPIOController,
+    I2CController,
+    IOController,
+    SPIController,
+    UARTController,
+    controller_by_name,
+)
+
+ALL_TYPES = [
+    SPIController,
+    I2CController,
+    UARTController,
+    EthernetController,
+    FlexRayController,
+    CANController,
+    GPIOController,
+]
+
+
+class TestTimingModel:
+    @pytest.mark.parametrize("controller_type", ALL_TYPES)
+    def test_transfer_cycles_positive_and_monotone(self, controller_type):
+        controller = controller_type()
+        a = controller.transfer_cycles(8)
+        b = controller.transfer_cycles(64)
+        assert 0 < a <= b
+
+    def test_ethernet_fast_spi_slow(self):
+        payload = 256
+        eth = EthernetController().transfer_cycles(payload)
+        spi = SPIController().transfer_cycles(payload)
+        i2c = I2CController().transfer_cycles(payload)
+        assert eth < spi < i2c
+
+    def test_serialisation_math(self):
+        # 1 Gbps at 100 MHz: 10 bits per cycle; 100 payload + 38 framing
+        # bytes = 1104 bits -> 111 cycles (ceil) + 80 overhead.
+        eth = EthernetController()
+        assert eth.transfer_cycles(100) == 80 + 111
+
+    def test_flexray_rate_matches_paper(self):
+        # The paper's result path: FlexRay at 10 Mbps.
+        assert FlexRayController.bitrate_bps == 10_000_000
+
+    def test_ethernet_rate_matches_paper(self):
+        assert EthernetController.bitrate_bps == 1_000_000_000
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            SPIController().transfer_cycles(-1)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            SPIController(frequency_hz=0)
+
+
+class TestAccounting:
+    def test_record_transfer_accumulates(self):
+        controller = SPIController("spi0")
+        c1 = controller.record_transfer(16)
+        c2 = controller.record_transfer(32)
+        assert controller.transfers == 2
+        assert controller.bytes_moved == 48
+        assert controller.busy_cycles == c1 + c2
+
+    def test_throughput(self):
+        controller = EthernetController()
+        controller.record_transfer(1000)
+        bps = controller.throughput_bps(elapsed_cycles=100_000_000)  # 1 s
+        assert bps == pytest.approx(8000)
+
+    def test_throughput_zero_window(self):
+        assert SPIController().throughput_bps(0) == 0.0
+
+
+class TestRegistry:
+    def test_lookup_all_protocols(self):
+        for protocol in ("spi", "i2c", "uart", "ethernet", "flexray", "can", "gpio"):
+            controller = controller_by_name(protocol, name=f"{protocol}0")
+            assert controller.protocol == protocol
+            assert controller.name == f"{protocol}0"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError, match="supported"):
+            controller_by_name("usb4")
+
+    def test_default_name_is_protocol(self):
+        assert SPIController().name == "spi"

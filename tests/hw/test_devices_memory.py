@@ -1,0 +1,89 @@
+"""Unit tests for devices and memory banks."""
+
+import pytest
+
+from repro.hw.devices import ActuatorDevice, EchoDevice, IODevice, SensorDevice
+from repro.hw.memory import MemoryBank, MemoryBankFullError
+from repro.sim.rng import RandomSource
+
+
+class TestDevices:
+    def test_deterministic_service(self):
+        device = IODevice("d", service_cycles=100)
+        assert device.serve(16) == 100
+        assert device.requests_served == 1
+
+    def test_jitter_bounded(self):
+        device = IODevice(
+            "d", service_cycles=100, jitter_cycles=20, rng=RandomSource(1)
+        )
+        for _ in range(50):
+            cycles = device.serve(16)
+            assert 100 <= cycles <= 120
+        assert device.wcrt_cycles() == 120
+
+    def test_echo_response(self):
+        assert EchoDevice("e").response_bytes(48) == 48
+
+    def test_sensor_fixed_reading(self):
+        sensor = SensorDevice("imu", reading_bytes=12)
+        assert sensor.response_bytes(4) == 12
+        assert sensor.response_bytes(4000) == 12
+
+    def test_actuator_ack(self):
+        assert ActuatorDevice("act").response_bytes(128) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IODevice("d", service_cycles=-1)
+        with pytest.raises(ValueError):
+            SensorDevice("s", reading_bytes=0)
+        with pytest.raises(ValueError):
+            IODevice("d").serve(-1)
+
+
+class TestMemoryBank:
+    def test_load_and_accounting(self):
+        bank = MemoryBank("b", capacity_bytes=1000)
+        bank.load("seg1", 300)
+        bank.load("seg2", 200)
+        assert bank.used_bytes == 500
+        assert bank.free_bytes == 500
+        assert bank.utilization == pytest.approx(0.5)
+        assert bank.segments() == ["seg1", "seg2"]
+        assert "seg1" in bank
+
+    def test_overflow_rejected(self):
+        bank = MemoryBank("b", capacity_bytes=100)
+        bank.load("a", 80)
+        with pytest.raises(MemoryBankFullError):
+            bank.load("b", 30)
+
+    def test_duplicate_segment_rejected(self):
+        bank = MemoryBank("b")
+        bank.load("x", 10)
+        with pytest.raises(ValueError, match="already"):
+            bank.load("x", 10)
+
+    def test_unload(self):
+        bank = MemoryBank("b", capacity_bytes=100)
+        bank.load("x", 60)
+        assert bank.unload("x") == 60
+        bank.load("y", 100)  # space reclaimed
+        with pytest.raises(KeyError):
+            bank.unload("x")
+
+    def test_size_of(self):
+        bank = MemoryBank("b")
+        bank.load("x", 42)
+        assert bank.size_of("x") == 42
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryBank("b", capacity_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryBank("b").load("x", -1)
+
+    def test_paper_bank_size_default(self):
+        # Table I: 256 KB RAM for the hypervisor memory.
+        assert MemoryBank("b").capacity_bytes == 256 * 1024

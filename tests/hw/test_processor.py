@@ -1,0 +1,95 @@
+"""Unit tests for processors and VM contexts."""
+
+import pytest
+
+from repro.hw.processor import Processor, VMContext
+from repro.sim.clock import GlobalTimer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def vm_with_task(vm_id=0, period=10, wcet=2, jitter=0, kind=TaskKind.RUNTIME):
+    task = IOTask(
+        name=f"vm{vm_id}.t", period=period, wcet=wcet, vm_id=vm_id,
+        jitter=jitter, kind=kind,
+    )
+    return VMContext(vm_id, TaskSet([task]))
+
+
+class TestVMContext:
+    def test_task_vm_mismatch_rejected(self):
+        task = IOTask(name="t", period=10, wcet=1, vm_id=3)
+        with pytest.raises(ValueError):
+            VMContext(0, TaskSet([task]))
+
+    def test_runtime_tasks_filter(self):
+        runtime = IOTask(name="r", period=10, wcet=1, vm_id=0)
+        pre = IOTask(
+            name="p", period=10, wcet=1, vm_id=0, kind=TaskKind.PREDEFINED
+        )
+        vm = VMContext(0, TaskSet([runtime, pre]))
+        assert [t.name for t in vm.runtime_tasks()] == ["r"]
+
+
+class TestProcessor:
+    def test_vm_cap_three(self):
+        processor = Processor(0)
+        for vm_id in range(3):
+            processor.add_vm(vm_with_task(vm_id))
+        with pytest.raises(ValueError, match="3 VMs"):
+            processor.add_vm(vm_with_task(3))
+
+    def test_release_process_generates_periodic_jobs(self):
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        vm = vm_with_task(period=10)
+        processor = Processor(0, vms=[vm])
+        released = []
+        processor.start_release_processes(
+            sim, timer, lambda job: released.append(job) or True,
+            RandomSource(1), horizon_slots=50,
+        )
+        sim.run()
+        assert len(released) == 5  # releases at 0, 10, 20, 30, 40
+        assert vm.jobs_released == 5
+        assert vm.jobs_rejected == 0
+        releases = [job.release for job in released]
+        assert releases == [0, 10, 20, 30, 40]
+
+    def test_rejected_submissions_counted(self):
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        vm = vm_with_task(period=10)
+        processor = Processor(0, vms=[vm])
+        processor.start_release_processes(
+            sim, timer, lambda job: False, RandomSource(1), horizon_slots=30
+        )
+        sim.run()
+        assert vm.jobs_rejected == 3
+
+    def test_jitter_delays_but_preserves_separation(self):
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        vm = vm_with_task(period=20, jitter=5)
+        processor = Processor(0, vms=[vm])
+        released = []
+        processor.start_release_processes(
+            sim, timer, lambda job: released.append(job) or True,
+            RandomSource(7), horizon_slots=200,
+        )
+        sim.run()
+        for index, job in enumerate(released):
+            nominal = index * 20
+            assert nominal <= job.release <= nominal + 5
+
+    def test_predefined_tasks_not_released(self):
+        sim = Simulator()
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        vm = vm_with_task(kind=TaskKind.PREDEFINED)
+        processor = Processor(0, vms=[vm])
+        processes = processor.start_release_processes(
+            sim, timer, lambda job: True, RandomSource(1), horizon_slots=100
+        )
+        assert processes == []

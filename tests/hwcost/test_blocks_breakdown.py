@@ -1,0 +1,41 @@
+"""Unit tests for the per-block hypervisor cost breakdown."""
+
+import pytest
+
+from repro.hwcost.blocks import block_breakdown, hypervisor_cost
+
+
+class TestBlockBreakdown:
+    def test_breakdown_sums_to_total(self):
+        for vm_count, io_count in ((4, 1), (16, 2), (32, 2)):
+            breakdown = block_breakdown(vm_count, io_count)
+            total = hypervisor_cost(vm_count, io_count)
+            assert sum(b.luts for b in breakdown.values()) == total.luts
+            assert (
+                sum(b.registers for b in breakdown.values()) == total.registers
+            )
+            assert sum(b.ram_kb for b in breakdown.values()) == total.ram_kb
+
+    def test_pools_dominate_at_scale(self):
+        """At large VM counts the per-VM structures are the cost."""
+        breakdown = block_breakdown(64, 2)
+        pools_and_gsched = (
+            breakdown["iopools"].luts + breakdown["gsched"].luts
+        )
+        fixed = breakdown["pchannel"].luts + breakdown["driver"].luts
+        assert pools_and_gsched > 2 * fixed
+
+    def test_fixed_blocks_dominate_when_small(self):
+        breakdown = block_breakdown(1, 1)
+        assert breakdown["driver"].luts > breakdown["iopools"].luts
+
+    def test_memory_is_pure_ram(self):
+        breakdown = block_breakdown(16, 2)
+        assert breakdown["memory"].luts == 0
+        assert breakdown["memory"].ram_kb == 256
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            block_breakdown(0, 2)
+        with pytest.raises(ValueError):
+            block_breakdown(4, 0)

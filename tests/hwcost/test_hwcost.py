@@ -1,0 +1,183 @@
+"""Unit tests for the FPGA cost models (Table I, Fig. 8)."""
+
+import pytest
+
+from repro.hwcost.blocks import HYPERVISOR_BLOCKS, hypervisor_cost
+from repro.hwcost.fmax import hypervisor_fmax_mhz, legacy_fmax_mhz
+from repro.hwcost.models import (
+    REFERENCE_DESIGNS,
+    reference_design,
+    relative_to,
+    table1_rows,
+)
+from repro.hwcost.power import estimate_power_mw
+from repro.hwcost.resources import ResourceUsage
+from repro.hwcost.scaling import (
+    ioguard_system_cost,
+    legacy_system_cost,
+    scaling_sweep,
+)
+
+
+class TestResourceUsage:
+    def test_addition_and_scaling(self):
+        a = ResourceUsage(luts=10, registers=20, dsp=1, ram_kb=2, power_mw=5)
+        b = ResourceUsage(luts=1, registers=2)
+        total = a + b
+        assert (total.luts, total.registers) == (11, 22)
+        tripled = b.scaled(3)
+        assert (tripled.luts, tripled.registers) == (3, 6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceUsage(luts=-1, registers=0)
+
+    def test_cells(self):
+        assert ResourceUsage(luts=3, registers=4).cells == 7
+
+
+class TestHypervisorCost:
+    def test_paper_configuration_matches_table1(self):
+        """16 VMs / 2 I/Os must reproduce the 'Proposed' row within 1%."""
+        cost = hypervisor_cost(16, 2)
+        assert cost.luts == pytest.approx(2777, rel=0.01)
+        assert cost.registers == pytest.approx(2974, rel=0.01)
+        assert cost.dsp == 0
+        assert cost.ram_kb == 256
+        assert cost.power_mw == pytest.approx(279, rel=0.01)
+
+    def test_scales_with_vms(self):
+        small = hypervisor_cost(4, 2)
+        large = hypervisor_cost(32, 2)
+        assert large.luts > small.luts
+        assert large.registers > small.registers
+
+    def test_scales_with_ios(self):
+        one = hypervisor_cost(16, 1)
+        two = hypervisor_cost(16, 2)
+        assert two.luts == 2 * one.luts
+        assert two.ram_kb == 2 * one.ram_kb
+
+    def test_no_dsp_anywhere(self):
+        assert all(block.dsp == 0 for block in HYPERVISOR_BLOCKS.values())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            hypervisor_cost(0, 2)
+        with pytest.raises(ValueError):
+            hypervisor_cost(16, 0)
+
+
+class TestReferenceDesigns:
+    def test_table1_anchor_values(self):
+        mb = reference_design("microblaze")
+        assert (mb.luts, mb.registers, mb.dsp) == (4908, 4385, 6)
+        rv = reference_design("riscv")
+        assert (rv.luts, rv.registers) == (7432, 16321)
+        assert reference_design("blueio").power_mw == 297
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            reference_design("cortex")
+
+    def test_table1_rows_complete(self):
+        rows = dict(table1_rows())
+        assert set(rows) == {
+            "microblaze", "riscv", "spi", "ethernet", "blueio", "proposed"
+        }
+
+    def test_paper_headline_ratios(self):
+        """Obs 2: 56.6% LUTs, 67.8% registers, 77.7% power vs MicroBlaze;
+        37.4% / 18.2% / 47.9% vs RISC-V."""
+        proposed = dict(table1_rows())["proposed"]
+        vs_mb = relative_to("microblaze", proposed)
+        assert vs_mb["luts"] == pytest.approx(0.566, abs=0.01)
+        assert vs_mb["registers"] == pytest.approx(0.678, abs=0.01)
+        assert vs_mb["power"] == pytest.approx(0.777, abs=0.01)
+        vs_rv = relative_to("riscv", proposed)
+        assert vs_rv["luts"] == pytest.approx(0.374, abs=0.01)
+        assert vs_rv["registers"] == pytest.approx(0.182, abs=0.01)
+        assert vs_rv["power"] == pytest.approx(0.479, abs=0.01)
+
+    def test_proposed_cheaper_than_blueio(self):
+        """Obs 2: same memory, fewer LUTs/registers than BS|BV."""
+        rows = dict(table1_rows())
+        proposed, blueio = rows["proposed"], rows["blueio"]
+        assert proposed.luts < blueio.luts
+        assert proposed.registers < blueio.registers
+        assert proposed.ram_kb == blueio.ram_kb
+        assert proposed.power_mw < blueio.power_mw
+
+    def test_proposed_bigger_than_bare_controllers(self):
+        rows = dict(table1_rows())
+        assert rows["proposed"].luts > rows["ethernet"].luts > rows["spi"].luts
+
+
+class TestPowerModel:
+    def test_affine_in_area(self):
+        base = estimate_power_mw(0, 0, 0)
+        assert estimate_power_mw(1000, 0, 0) > base
+        assert estimate_power_mw(0, 1000, 0) > base
+        assert estimate_power_mw(0, 0, 100) > base
+
+    def test_blueio_anchor_within_5_percent(self):
+        blueio = reference_design("blueio")
+        estimate = estimate_power_mw(blueio.luts, blueio.registers, blueio.ram_kb)
+        assert estimate == pytest.approx(297, rel=0.05)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_power_mw(-1, 0, 0)
+
+
+class TestFmax:
+    def test_hypervisor_above_legacy_everywhere(self):
+        """Obs 6: hypervisor never the critical path."""
+        for eta in range(0, 7):
+            vms = 2**eta
+            assert hypervisor_fmax_mhz(vms) > legacy_fmax_mhz(vms)
+
+    def test_degrades_with_scale(self):
+        assert hypervisor_fmax_mhz(32) < hypervisor_fmax_mhz(2)
+        assert legacy_fmax_mhz(32) < legacy_fmax_mhz(2)
+
+    def test_above_platform_clock(self):
+        # Both systems must close timing at the 100 MHz platform clock
+        # up to the evaluated eta=5.
+        assert legacy_fmax_mhz(32) >= 95
+        assert hypervisor_fmax_mhz(32) >= 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hypervisor_fmax_mhz(0)
+        with pytest.raises(ValueError):
+            legacy_fmax_mhz(0)
+
+
+class TestScaling:
+    def test_sweep_shape(self):
+        points = scaling_sweep(range(0, 6))
+        assert [p.vm_count for p in points] == [1, 2, 4, 8, 16, 32]
+
+    def test_obs5_overhead_bounded_20_percent(self):
+        for point in scaling_sweep():
+            assert 0 < point.area_overhead < 0.20
+
+    def test_obs5_monotone_growth(self):
+        points = scaling_sweep()
+        legacy_areas = [p.legacy_area for p in points]
+        ioguard_areas = [p.ioguard_area for p in points]
+        assert all(b >= a for a, b in zip(legacy_areas, legacy_areas[1:]))
+        assert all(b >= a for a, b in zip(ioguard_areas, ioguard_areas[1:]))
+
+    def test_power_tracks_area(self):
+        for point in scaling_sweep():
+            assert point.ioguard.power_mw > point.legacy.power_mw
+
+    def test_ioguard_always_larger(self):
+        for vms in (1, 2, 4, 8, 16, 32):
+            assert ioguard_system_cost(vms).luts > legacy_system_cost(vms).luts
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            scaling_sweep(range(-1, 3))

@@ -1,0 +1,131 @@
+"""Unit tests for metrics: latency stats, success ratio, aggregation."""
+
+import pytest
+
+from repro.baselines.base import TrialResult
+from repro.metrics.stats import LatencyStats, percentile, summarize
+from repro.metrics.success import aggregate, success_ratio, sweep_table
+from repro.tasks.task import Criticality
+
+
+def make_result(system="sys", util=0.5, miss_safety=0, complete_safety=10,
+                bytes_=1000):
+    result = TrialResult(
+        system=system,
+        target_utilization=util,
+        horizon_slots=10_000,
+        slot_seconds=1e-5,
+    )
+    for i in range(complete_safety):
+        result.record(Criticality.SAFETY, missed=i < miss_safety)
+    result.bytes_transferred = bytes_
+    return result
+
+
+class TestLatencyStats:
+    def test_summarize_basic(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.p50 == 3
+        assert stats.jitter == 4
+
+    def test_single_sample(self):
+        stats = summarize([7.0])
+        assert stats.stdev == 0.0
+        assert stats.p99 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_interpolation(self):
+        assert percentile([0, 10], 0.5) == 5
+        assert percentile([0, 10, 20], 0.25) == 5
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_as_dict(self):
+        stats = summarize([1, 2])
+        assert set(stats.as_dict()) == {
+            "count", "mean", "stdev", "min", "max", "p50", "p95", "p99"
+        }
+
+
+class TestTrialResult:
+    def test_success_requires_zero_critical_misses(self):
+        assert make_result(miss_safety=0).success
+        assert not make_result(miss_safety=1).success
+
+    def test_synthetic_misses_do_not_fail_trial(self):
+        result = make_result(miss_safety=0)
+        result.record(Criticality.SYNTHETIC, missed=True)
+        assert result.success
+
+    def test_critical_unfinished_fails_trial(self):
+        result = make_result(miss_safety=0)
+        result.critical_unfinished = 1
+        assert not result.success
+
+    def test_throughput(self):
+        result = make_result(bytes_=12_500)
+        # 10_000 slots * 1e-5 s = 0.1 s; 12500 B = 1e5 bits -> 1 Mbps.
+        assert result.throughput_mbps == pytest.approx(1.0)
+
+
+class TestAggregation:
+    def test_success_ratio(self):
+        results = [make_result(miss_safety=0)] * 3 + [make_result(miss_safety=1)]
+        assert success_ratio(results) == pytest.approx(0.75)
+
+    def test_success_ratio_empty_rejected(self):
+        with pytest.raises(ValueError):
+            success_ratio([])
+
+    def test_aggregate(self):
+        results = [
+            make_result(miss_safety=0, bytes_=1000),
+            make_result(miss_safety=2, bytes_=2000),
+        ]
+        point = aggregate(results)
+        assert point.trials == 2
+        assert point.success_ratio == 0.5
+        assert point.min_throughput_mbps < point.max_throughput_mbps
+        assert point.mean_miss_ratio == pytest.approx((0 + 0.2) / 2)
+
+    def test_aggregate_stdev(self):
+        results = [
+            make_result(bytes_=1000),
+            make_result(bytes_=2000),
+            make_result(bytes_=3000),
+        ]
+        point = aggregate(results)
+        assert point.stdev_throughput_mbps > 0
+        assert point.throughput_spread == pytest.approx(
+            point.max_throughput_mbps - point.min_throughput_mbps
+        )
+        single = aggregate([make_result()])
+        assert single.stdev_throughput_mbps == 0.0
+
+    def test_aggregate_mixed_systems_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([make_result(system="a"), make_result(system="b")])
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_sweep_table_ordering(self):
+        cells = {
+            "b": {0.5: [make_result("b", 0.5)]},
+            "a": {0.7: [make_result("a", 0.7)], 0.4: [make_result("a", 0.4)]},
+        }
+        rows = sweep_table(cells)
+        assert [(r.system, r.target_utilization) for r in rows] == [
+            ("a", 0.4), ("a", 0.7), ("b", 0.5)
+        ]

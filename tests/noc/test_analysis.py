@@ -1,0 +1,119 @@
+"""Unit tests for the static NoC contention analysis."""
+
+import pytest
+
+from repro.noc.analysis import Flow, NocContentionAnalysis
+from repro.noc.network import NocNetwork
+from repro.noc.packet import Packet, PacketKind
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator, Timeout
+
+
+def flow(name, src, dst, payload=4):
+    return Flow(name=name, source=src, destination=dst, payload_bytes=payload)
+
+
+class TestFlow:
+    def test_flit_count_and_hold(self):
+        f = flow("f", (0, 0), (1, 0), payload=8)
+        assert f.flit_count == 3
+        assert f.hold_cycles(router_latency=3) == 6
+
+
+class TestContentionAnalysis:
+    def test_duplicate_flow_rejected(self):
+        analysis = NocContentionAnalysis()
+        analysis.add_flow(flow("a", (0, 0), (1, 0)))
+        with pytest.raises(ValueError, match="duplicate"):
+            analysis.add_flow(flow("a", (0, 0), (2, 0)))
+
+    def test_unknown_flow(self):
+        with pytest.raises(KeyError, match="registered"):
+            NocContentionAnalysis().latency_bound("ghost")
+
+    def test_isolated_flow_base_latency(self):
+        analysis = NocContentionAnalysis()
+        f = flow("solo", (0, 0), (3, 0))
+        analysis.add_flow(f)
+        bound = analysis.latency_bound("solo")
+        assert bound.hops == 3
+        assert bound.interference_cycles == 0
+        assert bound.worst_case_cycles == 3 * f.hold_cycles()
+
+    def test_disjoint_flows_do_not_interfere(self):
+        analysis = NocContentionAnalysis()
+        analysis.add_flow(flow("north", (0, 0), (1, 0)))
+        analysis.add_flow(flow("south", (0, 4), (1, 4)))
+        for name in ("north", "south"):
+            assert analysis.latency_bound(name).interference_cycles == 0
+
+    def test_shared_link_counted_once_per_link(self):
+        analysis = NocContentionAnalysis()
+        analysis.add_flow(flow("long", (0, 0), (4, 0)))
+        analysis.add_flow(flow("short", (2, 0), (4, 0)))
+        bound = analysis.latency_bound("short")
+        # Both of short's links are shared with long.
+        other_hold = flow("long", (0, 0), (4, 0)).hold_cycles()
+        assert bound.interference_cycles == 2 * other_hold
+        assert all(interferers == {"long"} for interferers in bound.interferers)
+
+    def test_link_load_and_bottleneck(self):
+        analysis = NocContentionAnalysis()
+        analysis.add_flow(flow("a", (0, 0), (2, 0)))
+        analysis.add_flow(flow("b", (1, 0), (2, 0)))
+        analysis.add_flow(flow("c", (3, 0), (2, 0)))
+        link, flows = analysis.bottleneck_link()
+        assert link == ((1, 0), (2, 0))
+        assert flows == ["a", "b"]
+
+    def test_bottleneck_empty(self):
+        assert NocContentionAnalysis().bottleneck_link() is None
+
+    def test_all_bounds(self):
+        analysis = NocContentionAnalysis()
+        analysis.add_flow(flow("a", (0, 0), (2, 2)))
+        analysis.add_flow(flow("b", (0, 1), (2, 2)))
+        bounds = analysis.all_bounds()
+        assert set(bounds) == {"a", "b"}
+
+
+class TestBoundSoundness:
+    def test_bound_dominates_simulation(self):
+        """Observed event-network latencies never exceed the WCL bound
+        when each flow keeps at most one packet in flight."""
+        mesh = MeshTopology(5, 5)
+        analysis = NocContentionAnalysis(topology=mesh)
+        flows = [
+            flow("f0", (0, 0), (4, 4), payload=16),
+            flow("f1", (0, 4), (4, 4), payload=32),
+            flow("f2", (2, 0), (4, 4), payload=8),
+            flow("f3", (0, 2), (4, 2), payload=16),
+        ]
+        for f in flows:
+            analysis.add_flow(f)
+        bounds = analysis.all_bounds()
+
+        sim = Simulator()
+        network = NocNetwork(sim, topology=mesh)
+        worst = {f.name: 0.0 for f in flows}
+
+        def sender(f):
+            # One packet in flight at a time, back-to-back (max pressure).
+            for _ in range(30):
+                packet = Packet(
+                    source=f.source, destination=f.destination,
+                    kind=PacketKind.REQUEST, payload_bytes=f.payload_bytes,
+                )
+                done = {"flag": False}
+                network.inject(
+                    packet, on_delivered=lambda p: done.update(flag=True)
+                )
+                while not done["flag"]:
+                    yield Timeout(1)
+                worst[f.name] = max(worst[f.name], packet.latency)
+
+        for f in flows:
+            sim.process(sender(f), name=f.name)
+        sim.run()
+        for f in flows:
+            assert worst[f.name] <= bounds[f.name].worst_case_cycles, f.name

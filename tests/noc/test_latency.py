@@ -1,0 +1,76 @@
+"""Unit tests for the closed-form NoC latency model."""
+
+import pytest
+
+from repro.noc.latency import (
+    MAX_MODEL_LOAD,
+    NocLatencyModel,
+    calibrate_latency_model,
+)
+from repro.sim.rng import RandomSource
+
+
+class TestNocLatencyModel:
+    def test_zero_hops_zero_latency(self):
+        model = NocLatencyModel()
+        assert model.mean_latency(0, 5, 0.5) == 0.0
+
+    def test_base_latency_at_zero_load(self):
+        model = NocLatencyModel(router_latency=3, contention_gain=0.1)
+        assert model.mean_latency(4, 10, 0.0) == 4 * 13
+
+    def test_monotone_in_load(self):
+        model = NocLatencyModel()
+        values = [model.mean_latency(5, 10, load / 10) for load in range(10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_hops_and_flits(self):
+        model = NocLatencyModel()
+        assert model.mean_latency(6, 10, 0.5) > model.mean_latency(3, 10, 0.5)
+        assert model.mean_latency(3, 20, 0.5) > model.mean_latency(3, 10, 0.5)
+
+    def test_load_clamped(self):
+        model = NocLatencyModel()
+        assert model.mean_latency(3, 5, 10.0) == model.mean_latency(
+            3, 5, MAX_MODEL_LOAD
+        )
+
+    def test_sample_within_jitter_envelope(self):
+        model = NocLatencyModel(jitter_amplitude=0.5)
+        rng = RandomSource(1)
+        for load in (0.2, 0.7):
+            mean = model.mean_latency(5, 10, load)
+            for _ in range(50):
+                sample = model.sample(5, 10, load, rng)
+                assert sample <= model.worst_case(5, 10, load) + 1e-9
+                assert sample >= mean * (1 - 0.5 * load) - 1e-9
+
+    def test_sample_zero_hops(self):
+        model = NocLatencyModel()
+        assert model.sample(0, 5, 0.5, RandomSource(1)) == 0.0
+
+    def test_invalid_inputs(self):
+        model = NocLatencyModel()
+        with pytest.raises(ValueError):
+            model.mean_latency(-1, 5, 0.1)
+        with pytest.raises(ValueError):
+            model.mean_latency(3, 0, 0.1)
+        with pytest.raises(ValueError):
+            model.mean_latency(3, 5, -0.1)
+
+
+class TestCalibration:
+    def test_calibration_returns_nonnegative_gain(self):
+        model = calibrate_latency_model(seed=1, packets_per_load=100)
+        assert model.contention_gain >= 0.0
+
+    def test_calibration_deterministic(self):
+        a = calibrate_latency_model(seed=5, packets_per_load=80)
+        b = calibrate_latency_model(seed=5, packets_per_load=80)
+        assert a.contention_gain == b.contention_gain
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_latency_model(loads=[0.0])
+        with pytest.raises(ValueError):
+            calibrate_latency_model(loads=[1.0])

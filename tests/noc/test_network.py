@@ -1,0 +1,126 @@
+"""Unit tests for the event-driven NoC."""
+
+import pytest
+
+from repro.noc.network import NocNetwork
+from repro.noc.packet import Packet, PacketKind
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator, Timeout
+
+
+def make_packet(src, dst, payload=4):
+    return Packet(
+        source=src, destination=dst, kind=PacketKind.REQUEST,
+        payload_bytes=payload,
+    )
+
+
+class TestNocNetwork:
+    def test_single_packet_latency(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        packet = make_packet((0, 0), (2, 0), payload=4)  # 2 flits, 2 hops
+        network.inject(packet)
+        sim.run()
+        hold = network.router_latency + packet.flit_count
+        assert packet.latency == 2 * hold
+        record = network.delivered[0]
+        assert record.hops == 2
+        assert record.queueing_cycles == 0
+
+    def test_latency_scales_with_hops(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        near = make_packet((0, 0), (1, 0))
+        far = make_packet((0, 0), (4, 4))
+        network.inject(near)
+        network.inject(far)
+        sim.run()
+        assert far.latency > near.latency
+
+    def test_latency_scales_with_payload(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        small = make_packet((0, 0), (3, 0), payload=4)
+        big = make_packet((0, 0), (3, 0), payload=256)
+        network.inject(small)
+        sim.run()
+        network.inject(big)
+        sim.run()
+        assert big.latency > small.latency
+
+    def test_contention_delays_second_packet(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        a = make_packet((0, 0), (2, 0))
+        b = make_packet((0, 0), (2, 0))
+        network.inject(a)
+        network.inject(b)
+        sim.run()
+        assert b.delivered_at > a.delivered_at
+        record_b = network.delivered[1]
+        assert record_b.queueing_cycles > 0
+
+    def test_disjoint_paths_no_interference(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        a = make_packet((0, 0), (1, 0))
+        b = make_packet((0, 4), (1, 4))
+        network.inject(a)
+        network.inject(b)
+        sim.run()
+        assert a.latency == b.latency
+        assert network.mean_queueing() == 0
+
+    def test_no_packet_lost(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        rngish = [(x, y) for x in range(5) for y in range(5)]
+        count = 0
+        for i, src in enumerate(rngish):
+            dst = rngish[(i + 7) % len(rngish)]
+            if src == dst:
+                continue
+            network.inject(make_packet(src, dst))
+            count += 1
+        sim.run()
+        assert len(network.delivered) == count
+        assert network.in_flight == 0
+        assert network.total_injected == count
+
+    def test_delivery_callback(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+        seen = []
+        network.inject(make_packet((0, 0), (1, 1)), on_delivered=seen.append)
+        sim.run()
+        assert len(seen) == 1
+
+    def test_outside_mesh_rejected(self):
+        sim = Simulator()
+        network = NocNetwork(sim, topology=MeshTopology(3, 3))
+        with pytest.raises(ValueError):
+            network.inject(make_packet((0, 0), (4, 4)))
+
+    def test_staggered_injection_via_process(self):
+        sim = Simulator()
+        network = NocNetwork(sim)
+
+        def injector():
+            for i in range(5):
+                network.inject(make_packet((0, 0), (3, 3)))
+                yield Timeout(100)
+
+        sim.process(injector())
+        sim.run()
+        assert len(network.delivered) == 5
+
+    def test_statistics_empty_network(self):
+        network = NocNetwork(Simulator())
+        assert network.mean_latency() == 0.0
+        assert network.max_latency() == 0.0
+        assert network.mean_queueing() == 0.0
+
+    def test_invalid_router_latency(self):
+        with pytest.raises(ValueError):
+            NocNetwork(Simulator(), router_latency=-1)

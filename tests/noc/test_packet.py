@@ -1,0 +1,54 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.noc.packet import FLIT_BYTES, Flit, Packet, PacketKind
+
+
+class TestPacket:
+    def make(self, payload=64):
+        return Packet(
+            source=(0, 0),
+            destination=(1, 1),
+            kind=PacketKind.REQUEST,
+            payload_bytes=payload,
+        )
+
+    def test_flit_count_header_plus_payload(self):
+        assert self.make(0).flit_count == 1
+        assert self.make(1).flit_count == 2
+        assert self.make(4).flit_count == 2
+        assert self.make(5).flit_count == 3
+        assert self.make(64).flit_count == 1 + 64 // FLIT_BYTES
+
+    def test_unique_ids(self):
+        assert self.make().packet_id != self.make().packet_id
+
+    def test_latency_lifecycle(self):
+        packet = self.make()
+        assert packet.latency is None
+        packet.injected_at = 10.0
+        assert packet.latency is None
+        packet.delivered_at = 35.0
+        assert packet.latency == 25.0
+
+    def test_flits_sequence(self):
+        packet = self.make(8)
+        flits = list(packet.flits())
+        assert len(flits) == packet.flit_count
+        assert flits[0].is_header
+        assert not any(f.is_header for f in flits[1:])
+        assert all(f.packet_id == packet.packet_id for f in flits)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="local"):
+            Packet(
+                source=(2, 2),
+                destination=(2, 2),
+                kind=PacketKind.REQUEST,
+                payload_bytes=4,
+            )
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(payload=-1)

@@ -1,0 +1,107 @@
+"""Unit tests for the mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc.routing import route_links, xy_next_hop, xy_route
+from repro.noc.topology import MeshTopology
+
+
+class TestMeshTopology:
+    def test_node_count(self):
+        assert MeshTopology(5, 5).node_count == 25
+        assert MeshTopology(3, 2).node_count == 6
+
+    def test_nodes_enumeration(self):
+        mesh = MeshTopology(2, 2)
+        assert list(mesh.nodes()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_contains(self):
+        mesh = MeshTopology(3, 3)
+        assert mesh.contains((0, 0)) and mesh.contains((2, 2))
+        assert not mesh.contains((3, 0)) and not mesh.contains((0, -1))
+
+    def test_neighbors_corner_edge_center(self):
+        mesh = MeshTopology(3, 3)
+        assert sorted(mesh.neighbors((0, 0))) == [(0, 1), (1, 0)]
+        assert len(mesh.neighbors((1, 0))) == 3
+        assert len(mesh.neighbors((1, 1))) == 4
+
+    def test_neighbors_outside_rejected(self):
+        with pytest.raises(ValueError):
+            MeshTopology(2, 2).neighbors((5, 5))
+
+    def test_links_bidirectional(self):
+        mesh = MeshTopology(2, 2)
+        links = mesh.links()
+        assert ((0, 0), (1, 0)) in links
+        assert ((1, 0), (0, 0)) in links
+        # 4 undirected edges in a 2x2 mesh -> 8 directed links.
+        assert len(links) == 8
+
+    def test_manhattan(self):
+        mesh = MeshTopology(5, 5)
+        assert mesh.manhattan((0, 0), (4, 4)) == 8
+        assert mesh.manhattan((2, 3), (2, 3)) == 0
+
+    def test_roles(self):
+        mesh = MeshTopology(3, 3)
+        mesh.assign_role((1, 1), "hypervisor")
+        assert mesh.role_of((1, 1)) == "hypervisor"
+        assert mesh.role_of((0, 0)) == ""
+        assert mesh.node_with_role("hypervisor") == (1, 1)
+        with pytest.raises(KeyError):
+            mesh.node_with_role("missing")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 5)
+
+
+class TestXYRouting:
+    def test_next_hop_x_first(self):
+        assert xy_next_hop((0, 0), (3, 2)) == (1, 0)
+        assert xy_next_hop((3, 0), (3, 2)) == (3, 1)
+        assert xy_next_hop((3, 2), (1, 2)) == (2, 2)
+
+    def test_next_hop_at_destination_rejected(self):
+        with pytest.raises(ValueError):
+            xy_next_hop((1, 1), (1, 1))
+
+    def test_route_endpoints_and_length(self):
+        mesh = MeshTopology(5, 5)
+        route = xy_route(mesh, (0, 0), (4, 3))
+        assert route[0] == (0, 0)
+        assert route[-1] == (4, 3)
+        assert len(route) == mesh.manhattan((0, 0), (4, 3)) + 1
+
+    def test_route_is_x_then_y(self):
+        mesh = MeshTopology(5, 5)
+        route = xy_route(mesh, (1, 1), (4, 4))
+        # Once Y changes, X must stay fixed.
+        y_started = False
+        for (x1, y1), (x2, y2) in zip(route[:-1], route[1:]):
+            if y1 != y2:
+                y_started = True
+            if y_started:
+                assert x1 == x2
+
+    def test_route_all_hops_adjacent(self):
+        mesh = MeshTopology(4, 4)
+        route = xy_route(mesh, (3, 0), (0, 3))
+        for a, b in zip(route[:-1], route[1:]):
+            assert mesh.manhattan(a, b) == 1
+
+    def test_route_outside_mesh_rejected(self):
+        mesh = MeshTopology(3, 3)
+        with pytest.raises(ValueError):
+            xy_route(mesh, (0, 0), (5, 5))
+
+    def test_route_links(self):
+        mesh = MeshTopology(3, 3)
+        links = route_links(mesh, (0, 0), (2, 1))
+        assert links == [((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1))]
+
+    def test_deterministic_paths(self):
+        """XY routing is deterministic: same endpoints, same path."""
+        mesh = MeshTopology(5, 5)
+        assert xy_route(mesh, (0, 4), (4, 0)) == xy_route(mesh, (0, 4), (4, 0))

@@ -1,0 +1,89 @@
+"""Property tests: the theorems against a brute-force EDF oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exact import (
+    server_worst_pattern,
+    simulate_edf,
+    simulate_edf_under_server,
+)
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.analysis.supply import sbf_server
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+@st.composite
+def small_tasksets(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    for i in range(count):
+        period = draw(st.sampled_from([6, 8, 12, 24]))
+        wcet = draw(st.integers(min_value=1, max_value=max(1, period // 3)))
+        deadline = draw(st.integers(min_value=wcet, max_value=period))
+        tasks.append(
+            IOTask(name=f"o{i}", period=period, wcet=wcet, deadline=deadline)
+        )
+    return TaskSet(tasks)
+
+
+@st.composite
+def servers(draw):
+    pi = draw(st.sampled_from([4, 6, 8, 12]))
+    theta = draw(st.integers(min_value=1, max_value=pi))
+    return pi, theta
+
+
+class TestWorstPatternRealisesSbf:
+    @settings(max_examples=60)
+    @given(servers(), st.integers(min_value=0, max_value=80))
+    def test_pattern_window_minimum_is_sbf(self, server, t):
+        """The adversarial pattern's worst window equals sbf(Gamma, t)."""
+        pi, theta = server
+        pattern = server_worst_pattern(pi, theta)
+        horizon = t + 4 * pi
+        supply = [1 if pattern(slot) else 0 for slot in range(horizon + t)]
+        worst = min(
+            sum(supply[start : start + t]) for start in range(horizon)
+        ) if t > 0 else 0
+        assert worst == sbf_server(pi, theta, t)
+
+
+class TestTheoremsDominateOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(servers(), small_tasksets())
+    def test_admitted_sets_survive_adversarial_edf(self, server, tasks):
+        """Theorem 4 admits a set => brute-force EDF over the worst
+        supply with synchronous releases meets every deadline."""
+        pi, theta = server
+        verdict = lsched_schedulable(pi, theta, tasks)
+        if not verdict.schedulable:
+            return  # only the admit direction is guaranteed
+        outcome = simulate_edf_under_server(pi, theta, tasks)
+        assert outcome.all_met, (
+            pi, theta,
+            [(t.period, t.wcet, t.deadline) for t in tasks],
+            outcome.missed[:5],
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_tasksets())
+    def test_full_supply_equals_plain_edf_bound(self, tasks):
+        """With full supply, EDF meets everything iff demand fits: a
+        utilization-1 sanity anchor for the oracle itself."""
+        outcome = simulate_edf(tasks, lambda slot: True)
+        if tasks.utilization <= 1.0 and all(
+            task.deadline == task.period for task in tasks
+        ):
+            # Implicit-deadline synchronous EDF on a unit supply is
+            # schedulable iff U <= 1 (Liu & Layland optimality).
+            assert outcome.all_met
+
+    def test_oracle_detects_infeasible(self):
+        tasks = TaskSet([
+            IOTask(name="a", period=4, wcet=3),
+            IOTask(name="b", period=4, wcet=3),
+        ])
+        outcome = simulate_edf(tasks, lambda slot: True)
+        assert not outcome.all_met

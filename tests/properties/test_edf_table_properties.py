@@ -1,0 +1,141 @@
+"""Property-based tests: EDF execution invariants and table construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gsched import ServerSpec
+from repro.core.rchannel import RChannel
+from repro.core.timeslot import (
+    TableOverflowError,
+    build_pchannel_table,
+    stagger_offsets,
+)
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+@st.composite
+def runtime_job_specs(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    specs = []
+    for i in range(count):
+        release = draw(st.integers(min_value=0, max_value=40))
+        wcet = draw(st.integers(min_value=1, max_value=5))
+        margin = draw(st.integers(min_value=0, max_value=60))
+        specs.append((release, wcet, wcet + margin))
+    return specs
+
+
+@st.composite
+def predefined_tasksets(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    total = 0.0
+    for i in range(count):
+        period = draw(st.sampled_from([8, 16, 32, 64]))
+        wcet = draw(st.integers(min_value=1, max_value=3))
+        if total + wcet / period > 0.7:
+            continue
+        total += wcet / period
+        tasks.append(
+            IOTask(
+                name=f"p{i}", period=period, wcet=wcet,
+                kind=TaskKind.PREDEFINED,
+            )
+        )
+    if not tasks:
+        tasks = [IOTask(name="p0", period=16, wcet=1, kind=TaskKind.PREDEFINED)]
+    return TaskSet(tasks)
+
+
+class TestEdfExecutionInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(runtime_job_specs())
+    def test_never_runs_later_deadline_while_earlier_ready(self, specs):
+        """The R-channel executor is EDF: in every slot, the executed
+        job's absolute deadline is minimal among all ready jobs."""
+        channel = RChannel([ServerSpec(0, 8, 8)])  # full-bandwidth server
+        jobs = []
+        for i, (release, wcet, deadline) in enumerate(specs):
+            task = IOTask(
+                name=f"t{i}", period=10_000, wcet=wcet, deadline=deadline,
+                vm_id=0,
+            )
+            jobs.append((release, task.job(release=release, index=0)))
+        jobs.sort(key=lambda pair: pair[0])
+        cursor = 0
+        horizon = max(release for release, _ in jobs) + sum(
+            wcet for _, wcet, _d in specs
+        ) + 10
+        for slot in range(horizon):
+            while cursor < len(jobs) and jobs[cursor][0] <= slot:
+                channel.submit(jobs[cursor][1])
+                cursor += 1
+            ready = [
+                job for _r, job in jobs[:cursor]
+                if job.remaining > 0
+            ]
+            channel.tick(slot)
+            staged = channel.pools[0].shadow
+            channel.execute_slot(slot)
+            if staged is not None and ready:
+                best = min(job.absolute_deadline for job in ready)
+                assert staged.absolute_deadline == best
+
+    @settings(max_examples=40, deadline=None)
+    @given(runtime_job_specs())
+    def test_work_conservation(self, specs):
+        """With a full-bandwidth server, the channel never idles while
+        work is pending."""
+        channel = RChannel([ServerSpec(0, 4, 4)])
+        jobs = sorted(
+            (
+                (release, IOTask(
+                    name=f"t{i}", period=10_000, wcet=wcet, deadline=deadline,
+                    vm_id=0,
+                ).job(release=release, index=0))
+                for i, (release, wcet, deadline) in enumerate(specs)
+            ),
+            key=lambda pair: pair[0],
+        )
+        cursor = 0
+        executed = 0
+        total_work = sum(wcet for _r, wcet, _d in specs)
+        horizon = max(r for r, _w, _d in specs) + total_work + 5
+        for slot in range(horizon):
+            while cursor < len(jobs) and jobs[cursor][0] <= slot:
+                channel.submit(jobs[cursor][1])
+                cursor += 1
+            channel.tick(slot)
+            had_pending = channel.pending_jobs > 0
+            channel.execute_slot(slot)
+            if had_pending:
+                executed += 1
+        assert executed == total_work
+
+
+class TestTableConstructionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(predefined_tasksets())
+    def test_occupancy_conservation(self, tasks):
+        """Occupied slots == sum over tasks of (H/T) * C."""
+        staggered = stagger_offsets(tasks)
+        table = build_pchannel_table(staggered)
+        expected = sum(
+            (table.total_slots // task.period) * task.wcet for task in staggered
+        )
+        assert table.occupied_slots == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(predefined_tasksets())
+    def test_entries_cover_every_occupied_slot(self, tasks):
+        staggered = stagger_offsets(tasks)
+        table = build_pchannel_table(staggered)
+        for slot in table.occupied_indices():
+            assert table.entries.get(slot) is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(predefined_tasksets())
+    def test_sbf_consistent_with_free_count(self, tasks):
+        table = build_pchannel_table(stagger_offsets(tasks))
+        assert table.sbf(table.total_slots) == table.free_slots

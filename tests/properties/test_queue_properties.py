@@ -1,0 +1,84 @@
+"""Property-based tests for the random-access priority queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.priority_queue import PriorityQueue, QueueFullError
+from repro.tasks.task import IOTask
+
+
+def make_job(deadline, tag):
+    task = IOTask(
+        name=f"t{tag}", period=10_000, wcet=1, deadline=min(deadline, 10_000)
+    )
+    return task.job(release=0, index=0)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=1, max_value=500)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("remove_random"), st.integers(min_value=0, max_value=10)),
+    ),
+    max_size=60,
+)
+
+
+class TestQueueVsSortedReference:
+    @settings(max_examples=80)
+    @given(operations)
+    def test_matches_reference_model(self, ops):
+        """The queue behaves exactly like a sorted-list reference under
+        an arbitrary interleaving of inserts, pops and random removals."""
+        queue = PriorityQueue(capacity=1000)
+        reference = []  # list of jobs, kept sorted by (deadline, seq)
+        seq = 0
+        for op, arg in ops:
+            if op == "insert":
+                job = make_job(arg, seq)
+                queue.insert(job)
+                reference.append((job.absolute_deadline, seq, job))
+                reference.sort(key=lambda entry: entry[:2])
+                seq += 1
+            elif op == "pop":
+                if reference:
+                    expected = reference.pop(0)[2]
+                    assert queue.pop() is expected
+            elif op == "remove_random":
+                if reference:
+                    index = arg % len(reference)
+                    _d, _s, job = reference.pop(index)
+                    assert queue.remove(job)
+            # Invariants after every operation.
+            assert len(queue) == len(reference)
+            if reference:
+                assert queue.peek() is reference[0][2]
+            else:
+                assert queue.peek() is None
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=300), max_size=30))
+    def test_pop_order_is_sorted(self, deadlines):
+        queue = PriorityQueue(capacity=100)
+        for i, deadline in enumerate(deadlines):
+            queue.insert(make_job(deadline, i))
+        popped = []
+        while queue:
+            popped.append(queue.pop().absolute_deadline)
+        assert popped == sorted(popped)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30),
+    )
+    def test_capacity_never_exceeded(self, capacity, deadlines):
+        queue = PriorityQueue(capacity=capacity)
+        accepted = 0
+        for i, deadline in enumerate(deadlines):
+            try:
+                queue.insert(make_job(deadline, i))
+                accepted += 1
+            except QueueFullError:
+                assert len(queue) == capacity
+        assert len(queue) == min(accepted, capacity)

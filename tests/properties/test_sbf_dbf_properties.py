@@ -1,0 +1,128 @@
+"""Property-based tests for the supply/demand bound functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.demand import dbf_server, dbf_sporadic
+from repro.analysis.supply import (
+    sbf_server,
+    sbf_server_exact_blackout,
+    sbf_sigma,
+)
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import IOTask
+
+
+patterns = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=24)
+
+
+@st.composite
+def servers(draw):
+    pi = draw(st.integers(min_value=1, max_value=20))
+    theta = draw(st.integers(min_value=1, max_value=pi))
+    return pi, theta
+
+
+@st.composite
+def sporadic_tasks(draw):
+    period = draw(st.integers(min_value=2, max_value=50))
+    wcet = draw(st.integers(min_value=1, max_value=period))
+    deadline = draw(st.integers(min_value=wcet, max_value=period))
+    return IOTask(name="h", period=period, wcet=wcet, deadline=deadline)
+
+
+class TestSbfSigmaProperties:
+    @given(patterns, st.integers(min_value=0, max_value=100))
+    def test_bounded_by_window_and_free_count(self, pattern, t):
+        table = TimeSlotTable.from_pattern(pattern)
+        value = sbf_sigma(table, t)
+        assert 0 <= value <= t
+        # Per hyper-period the supply is exactly F.
+        h, f = table.total_slots, table.free_slots
+        assert value <= ((t // h) + 1) * f
+
+    @given(patterns, st.integers(min_value=0, max_value=80))
+    def test_monotone(self, pattern, t):
+        table = TimeSlotTable.from_pattern(pattern)
+        assert sbf_sigma(table, t + 1) >= sbf_sigma(table, t)
+
+    @given(patterns, st.integers(min_value=0, max_value=40),
+           st.integers(min_value=0, max_value=40))
+    def test_superadditive(self, pattern, a, b):
+        """Worst windows can only lose supply when split:
+        sbf(a+b) >= sbf(a) + sbf(b)."""
+        table = TimeSlotTable.from_pattern(pattern)
+        assert sbf_sigma(table, a + b) >= sbf_sigma(table, a) + sbf_sigma(table, b)
+
+    @given(patterns, st.integers(min_value=1, max_value=3))
+    def test_hyperperiod_additivity(self, pattern, k):
+        table = TimeSlotTable.from_pattern(pattern)
+        h, f = table.total_slots, table.free_slots
+        assert sbf_sigma(table, k * h) == k * f
+
+    @given(patterns, st.integers(min_value=0, max_value=40))
+    def test_window_growth_at_most_one(self, pattern, t):
+        table = TimeSlotTable.from_pattern(pattern)
+        assert sbf_sigma(table, t + 1) - sbf_sigma(table, t) <= 1
+
+
+class TestSbfServerProperties:
+    @settings(max_examples=60)
+    @given(servers(), st.integers(min_value=0, max_value=120))
+    def test_matches_exact_blackout_reference(self, server, t):
+        pi, theta = server
+        assert sbf_server(pi, theta, t) == sbf_server_exact_blackout(pi, theta, t)
+
+    @given(servers(), st.integers(min_value=0, max_value=200))
+    def test_bounded_by_bandwidth(self, server, t):
+        pi, theta = server
+        value = sbf_server(pi, theta, t)
+        assert 0 <= value <= t
+        # Cannot exceed the server bandwidth plus one budget chunk.
+        assert value <= t * theta / pi + theta
+
+    @given(servers(), st.integers(min_value=0, max_value=150))
+    def test_monotone(self, server, t):
+        pi, theta = server
+        assert sbf_server(pi, theta, t + 1) >= sbf_server(pi, theta, t)
+
+    @given(servers())
+    def test_blackout_length(self, server):
+        """Zero supply through the 2*(pi-theta) blackout, positive right
+        after the first budget slot must land."""
+        pi, theta = server
+        blackout = 2 * (pi - theta)
+        assert sbf_server(pi, theta, blackout) == 0
+        assert sbf_server(pi, theta, blackout + 1) >= 1
+
+
+class TestDbfProperties:
+    @given(sporadic_tasks(), st.integers(min_value=0, max_value=300))
+    def test_nonnegative_and_monotone(self, task, t):
+        assert dbf_sporadic(task, t) >= 0
+        assert dbf_sporadic(task, t + 1) >= dbf_sporadic(task, t)
+
+    @given(sporadic_tasks(), st.integers(min_value=0, max_value=300))
+    def test_demand_rate_bounded(self, task, t):
+        """dbf never exceeds utilization * t + C (one carry-in job)."""
+        assert dbf_sporadic(task, t) <= task.utilization * t + task.wcet
+
+    @given(sporadic_tasks())
+    def test_first_jump_at_deadline(self, task):
+        assert dbf_sporadic(task, task.deadline - 1) == 0
+        assert dbf_sporadic(task, task.deadline) == task.wcet
+
+    @given(servers(), st.integers(min_value=0, max_value=200))
+    def test_server_demand_never_exceeds_its_own_supply_need(self, server, t):
+        """dbf(Gamma, t) <= sbf would be wrong in general, but demand is
+        always within bandwidth * t (implicit deadline servers)."""
+        pi, theta = server
+        assert dbf_server(pi, theta, t) <= t * theta / pi
+
+    @given(servers(), st.integers(min_value=0, max_value=100))
+    def test_supply_covers_demand_shifted_by_blackout(self, server, t):
+        """The periodic server honours its own contract:
+        sbf(Gamma, t + 2*(pi - theta)) >= dbf(Gamma, t)."""
+        pi, theta = server
+        blackout = 2 * (pi - theta)
+        assert sbf_server(pi, theta, t + blackout) >= dbf_server(pi, theta, t)

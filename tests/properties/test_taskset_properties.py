@@ -1,0 +1,117 @@
+"""Property-based tests for task-set transforms and serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RandomSource
+from repro.tasks.serialization import taskset_from_json, taskset_to_json
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+from repro.tasks.workload import pad_to_target_utilization
+
+
+@st.composite
+def arbitrary_tasks(draw, index=0):
+    period = draw(st.integers(min_value=2, max_value=10_000))
+    wcet = draw(st.integers(min_value=1, max_value=period))
+    deadline = draw(st.integers(min_value=wcet, max_value=period))
+    return IOTask(
+        name=f"t{index}_{draw(st.integers(min_value=0, max_value=10**6))}",
+        period=period,
+        wcet=wcet,
+        deadline=deadline,
+        vm_id=draw(st.integers(min_value=0, max_value=7)),
+        kind=draw(st.sampled_from(list(TaskKind))),
+        criticality=draw(st.sampled_from(list(Criticality))),
+        device=draw(st.sampled_from(["eth0", "spi0", "can0"])),
+        payload_bytes=draw(st.integers(min_value=1, max_value=4096)),
+        offset=draw(st.integers(min_value=0, max_value=100)),
+        jitter=draw(st.integers(min_value=0, max_value=50)),
+    )
+
+
+@st.composite
+def tasksets(draw):
+    count = draw(st.integers(min_value=0, max_value=8))
+    tasks = []
+    for i in range(count):
+        tasks.append(draw(arbitrary_tasks(index=i)))
+    # Ensure unique names.
+    seen = set()
+    unique = []
+    for task in tasks:
+        if task.name not in seen:
+            seen.add(task.name)
+            unique.append(task)
+    return TaskSet(unique, name="prop")
+
+
+class TestSerializationProperties:
+    @settings(max_examples=80)
+    @given(tasksets())
+    def test_json_roundtrip_preserves_everything(self, taskset):
+        restored = taskset_from_json(taskset_to_json(taskset))
+        assert len(restored) == len(taskset)
+        for task in taskset:
+            twin = restored[task.name]
+            for attr in (
+                "period", "wcet", "deadline", "vm_id", "kind",
+                "criticality", "device", "payload_bytes", "offset", "jitter",
+            ):
+                assert getattr(twin, attr) == getattr(task, attr), attr
+
+
+class TestSplitProperties:
+    @settings(max_examples=60)
+    @given(tasksets(), st.floats(min_value=0.0, max_value=1.0))
+    def test_split_preserves_population_and_utilization(self, taskset, fraction):
+        split = taskset.split_predefined(fraction)
+        assert len(split) == len(taskset)
+        assert split.utilization == sum(t.utilization for t in taskset)
+        assert {t.name for t in split} == {t.name for t in taskset}
+
+    @settings(max_examples=60)
+    @given(tasksets(), st.floats(min_value=0.0, max_value=1.0))
+    def test_split_counts_match_fraction(self, taskset, fraction):
+        split = taskset.split_predefined(fraction)
+        assert len(split.predefined()) == round(fraction * len(taskset))
+
+    @settings(max_examples=40)
+    @given(tasksets(), st.integers(min_value=1, max_value=8))
+    def test_round_robin_balance(self, taskset, vm_count):
+        assigned = taskset.assign_round_robin(vm_count)
+        sizes = [len(tasks) for tasks in assigned.by_vm().values()]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestPaddingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.0, max_value=1.2),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_padding_hits_target_within_tolerance(
+        self, base_util, target, seed
+    ):
+        period = 1_000
+        base = TaskSet([
+            IOTask(
+                name="base", period=period,
+                wcet=max(1, int(base_util * period)),
+            )
+        ])
+        padded = pad_to_target_utilization(
+            base, target, RandomSource(seed, "prop")
+        )
+        if target <= base.utilization:
+            assert padded.utilization == base.utilization
+        else:
+            assert abs(padded.utilization - target) <= 0.03
+        # Base tasks always survive padding.
+        assert "base" in padded
+        # Padding only ever adds synthetic tasks.
+        for task in padded:
+            if task.name != "base":
+                assert task.criticality == Criticality.SYNTHETIC

@@ -1,0 +1,102 @@
+"""Property-based soundness of the pseudo-polynomial theorems.
+
+Theorem 2 (resp. 4) must agree with the exact Theorem 1 (resp. 3) test
+on every instance where both apply -- the pseudo-polynomial horizon is a
+sound truncation, not an approximation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.gsched_test import (
+    gsched_schedulable,
+    gsched_schedulable_exact,
+)
+from repro.analysis.lsched_test import (
+    lsched_schedulable,
+    lsched_schedulable_exact,
+)
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+@st.composite
+def tables(draw):
+    pattern = draw(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=16)
+    )
+    return TimeSlotTable.from_pattern(pattern)
+
+
+@st.composite
+def server_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    result = []
+    for _ in range(count):
+        pi = draw(st.sampled_from([2, 3, 4, 6, 8, 12]))
+        theta = draw(st.integers(min_value=1, max_value=pi))
+        result.append((pi, theta))
+    return result
+
+
+@st.composite
+def small_tasksets(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    for i in range(count):
+        period = draw(st.sampled_from([4, 6, 8, 12, 16, 24]))
+        wcet = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+        deadline = draw(st.integers(min_value=wcet, max_value=period))
+        tasks.append(
+            IOTask(name=f"h{i}", period=period, wcet=wcet, deadline=deadline)
+        )
+    return TaskSet(tasks)
+
+
+class TestTheorem2Soundness:
+    @settings(max_examples=120, deadline=None)
+    @given(tables(), server_lists())
+    def test_agrees_with_theorem1(self, table, servers):
+        fast = gsched_schedulable(table, servers)
+        exact = gsched_schedulable_exact(table, servers)
+        assert fast.schedulable == exact.schedulable, (
+            table.occupancy_pattern(),
+            servers,
+            fast.failing_t,
+            exact.failing_t,
+        )
+
+
+class TestTheorem4Soundness:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.sampled_from([4, 6, 8, 10, 12]),
+        st.integers(min_value=1, max_value=12),
+        small_tasksets(),
+    )
+    def test_agrees_with_theorem3(self, pi, theta_raw, tasks):
+        theta = min(theta_raw, pi)
+        fast = lsched_schedulable(pi, theta, tasks)
+        exact = lsched_schedulable_exact(pi, theta, tasks)
+        assert fast.schedulable == exact.schedulable, (
+            pi,
+            theta,
+            [(t.period, t.wcet, t.deadline) for t in tasks],
+            fast.failing_t,
+            exact.failing_t,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from([4, 6, 8, 10]),
+        small_tasksets(),
+    )
+    def test_budget_monotonicity(self, pi, tasks):
+        """If (pi, theta) passes, (pi, theta+1) must pass too."""
+        verdicts = [
+            lsched_schedulable(pi, theta, tasks).schedulable
+            for theta in range(1, pi + 1)
+        ]
+        for a, b in zip(verdicts, verdicts[1:]):
+            assert (not a) or b

@@ -1,0 +1,53 @@
+"""Unit tests for the global timer."""
+
+import pytest
+
+from repro.sim.clock import GlobalTimer
+from repro.sim.engine import SimulationError
+
+
+class TestGlobalTimer:
+    def test_defaults(self, sim):
+        timer = GlobalTimer(sim)
+        assert timer.frequency_hz == 100_000_000
+        assert timer.cycles_per_slot == 1_000
+
+    def test_conversions_roundtrip(self, sim):
+        timer = GlobalTimer(sim, frequency_hz=100_000_000, cycles_per_slot=500)
+        assert timer.slots_to_cycles(4) == 2_000
+        assert timer.cycles_to_slots(2_000) == 4
+        assert timer.seconds_to_cycles(0.001) == 100_000
+        assert timer.cycles_to_seconds(100_000) == 0.001
+
+    def test_now_views(self, sim):
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        sim.schedule(250, lambda: None)
+        sim.run()
+        assert timer.now_cycles == 250
+        assert timer.now_slots == 2
+        assert timer.now_seconds == 250 / 100_000_000
+
+    def test_slot_start_cycle(self, sim):
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        assert timer.slot_start_cycle(0) == 0
+        assert timer.slot_start_cycle(7) == 700
+
+    def test_next_slot_boundary_mid_slot(self, sim):
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        sim.schedule(150, lambda: None)
+        sim.run()
+        assert timer.next_slot_boundary() == 200
+
+    def test_next_slot_boundary_on_boundary(self, sim):
+        timer = GlobalTimer(sim, cycles_per_slot=100)
+        sim.schedule(200, lambda: None)
+        sim.run()
+        assert timer.next_slot_boundary() == 300
+
+    def test_invalid_frequency(self, sim):
+        with pytest.raises(SimulationError):
+            GlobalTimer(sim, frequency_hz=0)
+
+    def test_invalid_slot_size(self, sim):
+        with pytest.raises(SimulationError):
+            GlobalTimer(sim, cycles_per_slot=0)

@@ -1,0 +1,258 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    Interrupt,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(5, order.append, "b")
+        sim.schedule(1, order.append, "a")
+        sim.schedule(9, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self, sim):
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(3, order.append, tag)
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_priority_breaks_ties(self, sim):
+        order = []
+        sim.schedule(3, order.append, "late", priority=1)
+        sim.schedule(3, order.append, "early", priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule(-1, lambda: None)
+
+    def test_at_schedules_absolute_time(self, sim):
+        seen = []
+        sim.schedule(5, lambda: sim.at(12, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [12]
+
+    def test_now_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(7, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [7]
+        assert sim.now == 7
+
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(5, seen.append, "early")
+        sim.schedule(50, seen.append, "late")
+        sim.run(until=10)
+        assert seen == ["early"]
+        assert sim.now == 10
+        assert sim.pending_events == 1
+
+    def test_run_until_then_resume(self, sim):
+        seen = []
+        sim.schedule(5, seen.append, 1)
+        sim.schedule(15, seen.append, 2)
+        sim.run(until=10)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_stop_halts_run(self, sim):
+        seen = []
+        sim.schedule(1, seen.append, 1)
+        sim.schedule(2, sim.stop)
+        sim.schedule(3, seen.append, 3)
+        sim.run()
+        assert seen == [1]
+        assert sim.pending_events == 1
+
+    def test_event_count_tracks_executions(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.event_count == 5
+
+
+class TestProcesses:
+    def test_timeout_advances_process(self, sim):
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield Timeout(10)
+            trace.append(("mid", sim.now))
+            yield Timeout(5)
+            trace.append(("end", sim.now))
+
+        sim.process(body())
+        sim.run()
+        assert trace == [("start", 0), ("mid", 10), ("end", 15)]
+
+    def test_process_return_value_captured(self, sim):
+        def body():
+            yield Timeout(1)
+            return 42
+
+        process = sim.process(body())
+        sim.run()
+        assert process.value == 42
+        assert not process.alive
+
+    def test_waiting_on_child_process(self, sim):
+        def child():
+            yield Timeout(10)
+            return "result"
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child(), name="child")
+            results.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [("result", 10)]
+
+    def test_waiting_on_already_dead_process(self, sim):
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        def parent(child_process):
+            value = yield child_process
+            return value
+
+        child_process = sim.process(child())
+        sim.run()
+        parent_process = sim.process(parent(child_process))
+        sim.run()
+        assert parent_process.value == "early"
+
+    def test_signal_wakes_all_waiters(self, sim):
+        signal = sim.signal("door")
+        woken = []
+
+        def waiter(tag):
+            value = yield signal
+            woken.append((tag, value))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(5, signal.fire, "opened")
+        sim.run()
+        assert sorted(woken) == [("a", "opened"), ("b", "opened")]
+
+    def test_signal_rearms_after_fire(self, sim):
+        signal = sim.signal()
+        values = []
+
+        def waiter():
+            first = yield signal
+            values.append(first)
+            second = yield signal
+            values.append(second)
+
+        sim.process(waiter())
+        sim.schedule(1, signal.fire, 1)
+        sim.schedule(2, signal.fire, 2)
+        sim.run()
+        assert values == [1, 2]
+        assert signal.fire_count == 2
+
+    def test_interrupt_raises_inside_process(self, sim):
+        caught = []
+
+        def body():
+            try:
+                yield Timeout(100)
+            except Interrupt as interrupt:
+                caught.append((sim.now, interrupt.cause))
+
+        process = sim.process(body())
+        sim.schedule(5, process.interrupt, "preempted")
+        sim.run()
+        assert caught == [(5, "preempted")]
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def body():
+            yield Timeout(1)
+
+        process = sim.process(body())
+        sim.run()
+        process.interrupt("late")  # must not raise
+        sim.run()
+
+    def test_interrupt_removes_from_signal_waiters(self, sim):
+        signal = sim.signal()
+
+        def body():
+            try:
+                yield signal
+            except Interrupt:
+                pass
+
+        process = sim.process(body())
+        sim.schedule(1, process.interrupt)
+        sim.run()
+        assert signal.waiter_count == 0
+
+    def test_unsupported_yield_raises(self, sim):
+        def body():
+            yield "nonsense"
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.5)
+
+    def test_all_of_waits_for_everything(self, sim):
+        def worker(delay, value):
+            yield Timeout(delay)
+            return value
+
+        children = [sim.process(worker(d, d * 10)) for d in (3, 1, 2)]
+        collector = sim.process(sim.all_of(children))
+        sim.run()
+        assert collector.value == [30, 10, 20]
+        assert sim.now == 3
+
+    def test_reentrant_run_rejected(self, sim):
+        def body():
+            sim.run()
+            yield Timeout(1)
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+
+class TestCompletionSignal:
+    def test_completion_fires_with_value(self, sim):
+        observed = []
+
+        def child():
+            yield Timeout(2)
+            return "done"
+
+        process = sim.process(child())
+
+        def observer():
+            value = yield process.completion
+            observed.append(value)
+
+        sim.process(observer())
+        sim.run()
+        assert observed == ["done"]

@@ -1,0 +1,199 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Timeout
+from repro.sim.resource import Resource, Store
+
+
+class TestResource:
+    def test_acquire_when_free_is_immediate(self, sim):
+        resource = Resource(sim, capacity=1)
+        done = []
+
+        def body():
+            yield from resource.acquire()
+            done.append(sim.now)
+            resource.release()
+
+        sim.process(body())
+        sim.run()
+        assert done == [0]
+        assert resource.in_use == 0
+
+    def test_contention_serialises_fifo(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def body(tag, hold):
+            yield from resource.acquire()
+            order.append((tag, sim.now))
+            yield Timeout(hold)
+            resource.release()
+
+        sim.process(body("a", 10))
+        sim.process(body("b", 10))
+        sim.process(body("c", 10))
+        sim.run()
+        assert order == [("a", 0), ("b", 10), ("c", 20)]
+
+    def test_capacity_two_admits_two(self, sim):
+        resource = Resource(sim, capacity=2)
+        starts = []
+
+        def body(tag):
+            yield from resource.acquire()
+            starts.append((tag, sim.now))
+            yield Timeout(5)
+            resource.release()
+
+        for tag in "abc":
+            sim.process(body(tag))
+        sim.run()
+        assert starts == [("a", 0), ("b", 0), ("c", 5)]
+
+    def test_release_idle_raises(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(SimulationError, match="idle"):
+            resource.release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_wait_statistics(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def body(hold):
+            yield from resource.acquire()
+            yield Timeout(hold)
+            resource.release()
+
+        sim.process(body(10))
+        sim.process(body(10))
+        sim.run()
+        assert resource.total_acquisitions == 2
+        assert resource.total_wait_time == 10
+        assert resource.mean_wait == 5
+        assert resource.peak_queue_length == 1
+
+    def test_queue_length_live_view(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            yield from resource.acquire()
+            yield Timeout(100)
+            resource.release()
+
+        def waiter():
+            yield from resource.acquire()
+            resource.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=50)
+        assert resource.queue_length == 1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            yield from store.put("item")
+
+        def consumer():
+            item = yield from store.get()
+            got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield Timeout(7)
+            yield from store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 7)]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield from store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield from store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield from store.put("a")
+            events.append(("put-a", sim.now))
+            yield from store.put("b")
+            events.append(("put-b", sim.now))
+
+        def consumer():
+            yield Timeout(10)
+            item = yield from store.get()
+            events.append((f"got-{item}", sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0) in events
+        assert ("put-b", 10) in events
+
+    def test_try_put_and_try_get(self, sim):
+        store = Store(sim, capacity=1)
+        assert store.try_put("x") is True
+        assert store.try_put("y") is False
+        ok, item = store.try_get()
+        assert ok and item == "x"
+        ok, item = store.try_get()
+        assert not ok and item is None
+
+    def test_peek_and_items(self, sim):
+        store = Store(sim)
+        store.try_put(1)
+        store.try_put(2)
+        assert store.peek() == 1
+        assert store.items() == [1, 2]
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_statistics(self, sim):
+        store = Store(sim, capacity=2)
+        store.try_put("a")
+        store.try_put("b")
+        store.try_get()
+        assert store.total_puts == 2
+        assert store.total_gets == 1
+        assert store.peak_occupancy == 2

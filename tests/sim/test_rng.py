@@ -1,0 +1,95 @@
+"""Unit tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RandomSource, derive_seed, spawn_streams
+
+
+class TestRandomSource:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawn_is_deterministic(self):
+        a = RandomSource(42).spawn("child")
+        b = RandomSource(42).spawn("child")
+        assert a.random() == b.random()
+
+    def test_spawn_children_independent(self):
+        parent = RandomSource(42)
+        x = parent.spawn("x")
+        y = parent.spawn("y")
+        assert x.seed_value != y.seed_value
+
+    def test_spawn_unaffected_by_parent_draws(self):
+        parent_a = RandomSource(42)
+        parent_b = RandomSource(42)
+        parent_b.random()  # extra draw must not change child stream
+        assert parent_a.spawn("c").random() == parent_b.spawn("c").random()
+
+    def test_log_uniform_range(self):
+        rng = RandomSource(7)
+        for _ in range(100):
+            value = rng.log_uniform(10, 1000)
+            assert 10 <= value <= 1000
+
+    def test_log_uniform_invalid(self):
+        rng = RandomSource(7)
+        with pytest.raises(ValueError):
+            rng.log_uniform(0, 10)
+        with pytest.raises(ValueError):
+            rng.log_uniform(10, 5)
+
+    def test_uunifast_sums_to_target(self):
+        rng = RandomSource(3)
+        for total in (0.3, 0.7, 1.5):
+            utilizations = rng.uunifast(8, total)
+            assert len(utilizations) == 8
+            assert sum(utilizations) == pytest.approx(total)
+            assert all(u >= 0 for u in utilizations)
+
+    def test_uunifast_single_task(self):
+        rng = RandomSource(3)
+        assert rng.uunifast(1, 0.5) == [0.5]
+
+    def test_uunifast_invalid(self):
+        rng = RandomSource(3)
+        with pytest.raises(ValueError):
+            rng.uunifast(0, 0.5)
+        with pytest.raises(ValueError):
+            rng.uunifast(3, -0.1)
+
+    def test_choice_weighted(self):
+        rng = RandomSource(5)
+        picks = {rng.choice_weighted("ab", [1, 0]) for _ in range(20)}
+        assert picks == {"a"}
+
+
+class TestSeedDerivation:
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_varies_by_name(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_derive_seed_positive_63_bit(self):
+        for name in ("a", "b", "c"):
+            seed = derive_seed(999, name)
+            assert 0 <= seed < 2**63
+
+    def test_spawn_streams(self):
+        streams = spawn_streams(42, ["noc", "tasks"], prefix="exp")
+        assert set(streams) == {"noc", "tasks"}
+        again = spawn_streams(42, ["noc"], prefix="exp")
+        assert streams["noc"].random() == again["noc"].random()
+
+    def test_spawn_streams_prefix_matters(self):
+        a = spawn_streams(42, ["s"], prefix="p1")["s"]
+        b = spawn_streams(42, ["s"], prefix="p2")["s"]
+        assert a.seed_value != b.seed_value

@@ -1,0 +1,61 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "release", "taskA", job=1)
+        trace.record(2.0, "complete", "taskA", job=1)
+        assert len(trace) == 2
+        assert trace.events[0].payload == {"job": 1}
+
+    def test_by_category(self):
+        trace = TraceRecorder()
+        trace.record(1, "a", "s1")
+        trace.record(2, "b", "s1")
+        trace.record(3, "a", "s2")
+        assert [e.time for e in trace.by_category("a")] == [1, 3]
+        assert trace.by_category("missing") == []
+
+    def test_count_works_when_disabled(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1, "miss", "x")
+        trace.record(2, "miss", "y")
+        assert len(trace) == 0
+        assert trace.count("miss") == 2
+
+    def test_category_whitelist(self):
+        trace = TraceRecorder(categories=["keep"])
+        trace.record(1, "keep", "s")
+        trace.record(2, "drop", "s")
+        assert len(trace) == 1
+        assert trace.count("drop") == 1  # counted but not stored
+
+    def test_filter_predicate(self):
+        trace = TraceRecorder()
+        for t in range(5):
+            trace.record(t, "tick", "s")
+        late = trace.filter(lambda e: e.time >= 3)
+        assert [e.time for e in late] == [3, 4]
+
+    def test_sources_sorted_unique(self):
+        trace = TraceRecorder()
+        trace.record(1, "x", "beta")
+        trace.record(2, "x", "alpha")
+        trace.record(3, "x", "beta")
+        assert trace.sources() == ["alpha", "beta"]
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1, "x", "s")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.count("x") == 0
+
+    def test_iteration(self):
+        trace = TraceRecorder()
+        trace.record(1, "x", "s")
+        trace.record(2, "y", "s")
+        assert [e.category for e in trace] == ["x", "y"]

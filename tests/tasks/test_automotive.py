@@ -1,0 +1,118 @@
+"""Unit tests for the automotive case-study catalog."""
+
+import pytest
+
+from repro.tasks.automotive import (
+    AUTOMOTIVE_FUNCTION_TASKS,
+    AUTOMOTIVE_SAFETY_TASKS,
+    CASE_STUDY_HYPERPERIOD,
+    build_case_study_taskset,
+    catalog_utilization,
+    snap_period,
+)
+from repro.tasks.task import Criticality, TaskKind
+
+
+class TestCatalog:
+    def test_twenty_plus_twenty(self):
+        assert len(AUTOMOTIVE_SAFETY_TASKS) == 20
+        assert len(AUTOMOTIVE_FUNCTION_TASKS) == 20
+
+    def test_catalog_utilization_near_forty_percent(self):
+        # Paper: "overall system utilization approximately 40%".
+        assert 0.36 <= catalog_utilization() <= 0.44
+
+    def test_criticalities(self):
+        assert all(
+            spec.criticality == Criticality.SAFETY
+            for spec in AUTOMOTIVE_SAFETY_TASKS
+        )
+        assert all(
+            spec.criticality == Criticality.FUNCTION
+            for spec in AUTOMOTIVE_FUNCTION_TASKS
+        )
+
+    def test_names_unique(self):
+        names = [
+            spec.name
+            for spec in AUTOMOTIVE_SAFETY_TASKS + AUTOMOTIVE_FUNCTION_TASKS
+        ]
+        assert len(names) == len(set(names))
+
+    def test_wcets_short_relative_to_min_deadline(self):
+        """Max WCET stays well below the tightest deadline (DESIGN.md)."""
+        tasks = [
+            spec.to_task()
+            for spec in AUTOMOTIVE_SAFETY_TASKS + AUTOMOTIVE_FUNCTION_TASKS
+        ]
+        max_wcet = max(task.wcet for task in tasks)
+        min_deadline = min(task.deadline for task in tasks)
+        assert max_wcet * 5 <= min_deadline
+
+
+class TestSnapPeriod:
+    def test_snaps_to_divisor(self):
+        for period in (97, 100, 333, 1999, 49_000):
+            snapped = snap_period(period)
+            assert CASE_STUDY_HYPERPERIOD % snapped == 0
+
+    def test_exact_divisor_unchanged(self):
+        assert snap_period(100) == 100
+        assert snap_period(2_500) == 2_500
+
+    def test_small_relative_error(self):
+        # The 2^a * 5^b divisor grid's widest relative gap sits between
+        # 1250 and 2000: worst-case snap error is 23 %.
+        for period in range(100, 5_000, 137):
+            snapped = snap_period(period)
+            assert abs(snapped - period) / period < 0.24
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            snap_period(0)
+        with pytest.raises(ValueError):
+            snap_period(100, hyperperiod=0)
+
+
+class TestBuildTaskset:
+    def test_default_build(self):
+        ts = build_case_study_taskset(vm_count=4)
+        assert len(ts) == 40
+        assert ts.vm_ids() == [0, 1, 2, 3]
+        assert all(task.kind == TaskKind.RUNTIME for task in ts)
+
+    def test_hyperperiod_bounded(self):
+        ts = build_case_study_taskset(vm_count=4)
+        assert CASE_STUDY_HYPERPERIOD % ts.hyperperiod == 0
+
+    def test_vm_count_spread(self):
+        ts = build_case_study_taskset(vm_count=8)
+        per_vm = ts.by_vm()
+        assert len(per_vm) == 8
+        assert all(len(tasks) == 5 for tasks in per_vm.values())
+
+    def test_invalid_vm_count(self):
+        with pytest.raises(ValueError):
+            build_case_study_taskset(vm_count=0)
+
+    def test_spec_subset(self):
+        ts = build_case_study_taskset(specs=AUTOMOTIVE_SAFETY_TASKS[:5])
+        assert len(ts) == 5
+
+    def test_unsnapped_build(self):
+        ts = build_case_study_taskset(snap=False)
+        assert len(ts) == 40
+
+
+class TestSpec:
+    def test_to_task_units(self):
+        spec = AUTOMOTIVE_SAFETY_TASKS[0]
+        task = spec.to_task(slot_us=10.0)
+        assert task.period == snap_period(int(spec.period_ms * 100))
+        assert task.wcet >= 1
+
+    def test_utilization_property(self):
+        spec = AUTOMOTIVE_SAFETY_TASKS[0]
+        assert spec.utilization == pytest.approx(
+            spec.wcet_us / (spec.period_ms * 1000)
+        )

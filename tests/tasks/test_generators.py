@@ -1,0 +1,78 @@
+"""Unit tests for random task-set generation."""
+
+import pytest
+
+from repro.sim.rng import RandomSource
+from repro.tasks.generators import (
+    TaskSetGenerator,
+    generate_random_taskset,
+    harmonic_periods,
+    target_wcet,
+)
+
+
+class TestGenerator:
+    def test_requested_count_and_utilization(self):
+        ts = generate_random_taskset(1, 10, 0.5)
+        assert len(ts) == 10
+        # Rounding WCETs to integers perturbs utilization slightly.
+        assert ts.utilization == pytest.approx(0.5, abs=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = generate_random_taskset(7, 5, 0.4, name="x")
+        b = generate_random_taskset(7, 5, 0.4, name="x")
+        for task_a, task_b in zip(a, b):
+            assert (task_a.period, task_a.wcet) == (task_b.period, task_b.wcet)
+
+    def test_different_seeds_differ(self):
+        a = generate_random_taskset(1, 5, 0.4, name="x")
+        b = generate_random_taskset(2, 5, 0.4, name="x")
+        assert any(
+            (ta.period, ta.wcet) != (tb.period, tb.wcet)
+            for ta, tb in zip(a, b)
+        )
+
+    def test_periods_within_range(self):
+        generator = TaskSetGenerator(period_min=50, period_max=100)
+        ts = generator.generate(RandomSource(3), 20, 0.5)
+        for task in ts:
+            assert 50 <= task.period <= 101  # rounding tolerance
+
+    def test_implicit_deadlines_default(self):
+        ts = generate_random_taskset(5, 8, 0.4)
+        assert all(task.deadline == task.period for task in ts)
+
+    def test_constrained_deadlines(self):
+        ts = generate_random_taskset(5, 20, 0.6, implicit_deadlines=False)
+        assert all(task.wcet <= task.deadline <= task.period for task in ts)
+
+    def test_vm_assignment_round_robin(self):
+        ts = generate_random_taskset(5, 8, 0.4, vm_count=4)
+        assert ts.vm_ids() == [0, 1, 2, 3]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_random_taskset(1, 0, 0.5)
+        with pytest.raises(ValueError):
+            generate_random_taskset(1, 5, -0.5)
+        with pytest.raises(ValueError):
+            generate_random_taskset(1, 2, 3.0)  # > per-task cap
+
+    def test_every_task_valid(self):
+        ts = generate_random_taskset(11, 30, 0.9)
+        for task in ts:
+            assert 1 <= task.wcet <= task.deadline <= task.period
+
+
+class TestHelpers:
+    def test_harmonic_periods(self):
+        assert harmonic_periods(10, 4) == [10, 20, 40, 80]
+
+    def test_harmonic_invalid(self):
+        with pytest.raises(ValueError):
+            harmonic_periods(0, 3)
+
+    def test_target_wcet(self):
+        assert target_wcet(0.5, 10) == 5
+        assert target_wcet(0.001, 10) == 1  # floor at minimum
+        assert target_wcet(2.0, 10) == 10  # capped at period

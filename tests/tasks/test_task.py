@@ -1,0 +1,107 @@
+"""Unit tests for IOTask and Job."""
+
+import pytest
+
+from repro.tasks.task import Criticality, IOTask, Job, TaskKind
+
+
+class TestIOTaskValidation:
+    def test_basic_construction(self):
+        task = IOTask(name="t", period=10, wcet=3)
+        assert task.deadline == 10  # implicit deadline defaults to period
+        assert task.utilization == pytest.approx(0.3)
+        assert task.density == pytest.approx(0.3)
+
+    def test_constrained_deadline_allowed(self):
+        task = IOTask(name="t", period=10, wcet=3, deadline=5)
+        assert task.density == pytest.approx(0.6)
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ValueError, match="constrained"):
+            IOTask(name="t", period=10, wcet=3, deadline=11)
+
+    def test_wcet_beyond_deadline_rejected(self):
+        with pytest.raises(ValueError, match="never meet"):
+            IOTask(name="t", period=10, wcet=6, deadline=5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("period", 0), ("period", -3), ("wcet", 0), ("offset", -1), ("jitter", -2),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        kwargs = dict(name="t", period=10, wcet=2)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            IOTask(**kwargs)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            IOTask(name="t", period=10, wcet=1, deadline=0)
+
+    def test_task_ids_unique(self):
+        a = IOTask(name="a", period=10, wcet=1)
+        b = IOTask(name="b", period=10, wcet=1)
+        assert a.task_id != b.task_id
+
+    def test_renamed_copies_fields_fresh_id(self):
+        task = IOTask(
+            name="orig", period=20, wcet=4, deadline=15, vm_id=2,
+            criticality=Criticality.SAFETY, device="eth0", payload_bytes=128,
+        )
+        copy = task.renamed("copy")
+        assert copy.name == "copy"
+        assert copy.period == 20 and copy.wcet == 4 and copy.deadline == 15
+        assert copy.vm_id == 2 and copy.device == "eth0"
+        assert copy.task_id != task.task_id
+
+    def test_with_vm(self):
+        task = IOTask(name="t", period=10, wcet=1, vm_id=0)
+        moved = task.with_vm(3)
+        assert moved.vm_id == 3
+        assert task.vm_id == 0  # original untouched
+
+
+class TestCriticality:
+    def test_counts_for_success(self):
+        assert Criticality.SAFETY.counts_for_success
+        assert Criticality.FUNCTION.counts_for_success
+        assert not Criticality.SYNTHETIC.counts_for_success
+
+
+class TestJob:
+    def test_job_fields(self):
+        task = IOTask(name="t", period=10, wcet=3, deadline=8)
+        job = task.job(release=20, index=2)
+        assert job.absolute_deadline == 28
+        assert job.remaining == 3
+        assert job.name == "t#2"
+        assert not job.completed
+        assert job.met_deadline() is None
+        assert job.response_time is None
+
+    def test_execute_decrements(self):
+        job = IOTask(name="t", period=10, wcet=3).job(0, 0)
+        job.execute()
+        assert job.remaining == 2
+        job.execute(5)
+        assert job.remaining == 0  # clamped
+
+    def test_execute_negative_rejected(self):
+        job = IOTask(name="t", period=10, wcet=3).job(0, 0)
+        with pytest.raises(ValueError):
+            job.execute(-1)
+
+    def test_deadline_met_and_missed(self):
+        task = IOTask(name="t", period=10, wcet=2)
+        met = task.job(0, 0)
+        met.completed_at = 9.0
+        assert met.met_deadline() is True
+        assert met.response_time == 9.0
+        missed = task.job(0, 1)
+        missed.completed_at = 10.5
+        assert missed.met_deadline() is False
+
+    def test_deadline_boundary_is_met(self):
+        task = IOTask(name="t", period=10, wcet=2)
+        job = task.job(0, 0)
+        job.completed_at = 10.0
+        assert job.met_deadline() is True

@@ -1,0 +1,164 @@
+"""Unit tests for TaskSet."""
+
+import pytest
+
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet, merge
+
+
+def make_set():
+    return TaskSet(
+        [
+            IOTask(name="a", period=10, wcet=2, vm_id=0),
+            IOTask(name="b", period=20, wcet=4, vm_id=1),
+            IOTask(name="c", period=40, wcet=4, vm_id=0,
+                   kind=TaskKind.PREDEFINED),
+        ],
+        name="s",
+    )
+
+
+class TestContainer:
+    def test_len_iter_contains_getitem(self):
+        ts = make_set()
+        assert len(ts) == 3
+        assert {t.name for t in ts} == {"a", "b", "c"}
+        assert "a" in ts and "z" not in ts
+        assert ts["b"].period == 20
+
+    def test_duplicate_name_rejected(self):
+        ts = make_set()
+        with pytest.raises(ValueError, match="duplicate"):
+            ts.add(IOTask(name="a", period=5, wcet=1))
+
+    def test_remove(self):
+        ts = make_set()
+        removed = ts.remove("b")
+        assert removed.name == "b"
+        assert len(ts) == 2
+        with pytest.raises(KeyError):
+            ts.remove("b")
+
+    def test_extend(self):
+        ts = TaskSet(name="x")
+        ts.extend([IOTask(name=f"t{i}", period=10, wcet=1) for i in range(3)])
+        assert len(ts) == 3
+
+
+class TestDerived:
+    def test_utilization(self):
+        ts = make_set()
+        assert ts.utilization == pytest.approx(0.2 + 0.2 + 0.1)
+
+    def test_hyperperiod(self):
+        assert make_set().hyperperiod == 40
+        assert TaskSet().hyperperiod == 1
+
+    def test_max_laxity_gap(self):
+        ts = TaskSet([
+            IOTask(name="x", period=10, wcet=1, deadline=6),
+            IOTask(name="y", period=20, wcet=1, deadline=20),
+        ])
+        assert ts.max_laxity_gap == 4
+        assert TaskSet().max_laxity_gap == 0
+
+    def test_summary(self):
+        summary = make_set().summary()
+        assert summary["tasks"] == 3
+        assert summary["predefined"] == 1
+        assert summary["runtime"] == 2
+        assert summary["vms"] == 2
+
+
+class TestPartitions:
+    def test_by_vm(self):
+        partitions = make_set().by_vm()
+        assert set(partitions) == {0, 1}
+        assert {t.name for t in partitions[0]} == {"a", "c"}
+
+    def test_for_vm_and_vm_ids(self):
+        ts = make_set()
+        assert ts.vm_ids() == [0, 1]
+        assert {t.name for t in ts.for_vm(1)} == {"b"}
+
+    def test_kind_partitions(self):
+        ts = make_set()
+        assert {t.name for t in ts.predefined()} == {"c"}
+        assert {t.name for t in ts.runtime()} == {"a", "b"}
+
+    def test_criticality_partition(self):
+        ts = TaskSet([
+            IOTask(name="s", period=10, wcet=1, criticality=Criticality.SAFETY),
+            IOTask(name="f", period=10, wcet=1, criticality=Criticality.FUNCTION),
+        ])
+        assert {t.name for t in ts.of_criticality(Criticality.SAFETY)} == {"s"}
+
+    def test_devices(self):
+        ts = TaskSet([
+            IOTask(name="x", period=10, wcet=1, device="eth0"),
+            IOTask(name="y", period=10, wcet=1, device="spi0"),
+        ])
+        assert ts.devices() == ["eth0", "spi0"]
+
+
+class TestTransforms:
+    def test_split_predefined_fraction(self):
+        ts = TaskSet([
+            IOTask(name=f"t{i}", period=100, wcet=10 - i) for i in range(10)
+        ])
+        split = ts.split_predefined(0.4)
+        assert len(split.predefined()) == 4
+        assert len(split.runtime()) == 6
+        # Heaviest-utilization tasks go first.
+        predefined_names = {t.name for t in split.predefined()}
+        assert predefined_names == {"t0", "t1", "t2", "t3"}
+
+    def test_split_predefined_extremes(self):
+        ts = make_set()
+        assert len(ts.split_predefined(0.0).predefined()) == 0
+        assert len(ts.split_predefined(1.0).runtime()) == 0
+
+    def test_split_predefined_invalid(self):
+        with pytest.raises(ValueError):
+            make_set().split_predefined(1.5)
+
+    def test_split_does_not_mutate_original(self):
+        ts = make_set()
+        ts.split_predefined(1.0)
+        assert len(ts.runtime()) == 2
+
+    def test_assign_round_robin(self):
+        ts = TaskSet([IOTask(name=f"t{i}", period=10, wcet=1) for i in range(6)])
+        assigned = ts.assign_round_robin(3)
+        by_vm = assigned.by_vm()
+        assert set(by_vm) == {0, 1, 2}
+        assert all(len(tasks) == 2 for tasks in by_vm.values())
+
+    def test_assign_round_robin_invalid(self):
+        with pytest.raises(ValueError):
+            make_set().assign_round_robin(0)
+
+    def test_scaled_wcet(self):
+        ts = make_set()
+        scaled = ts.scaled_wcet(2.0)
+        assert scaled["a"].wcet == 4
+        # WCET capped at the deadline.
+        capped = ts.scaled_wcet(100.0)
+        for task in capped:
+            assert task.wcet <= task.deadline
+
+    def test_scaled_wcet_invalid(self):
+        with pytest.raises(ValueError):
+            make_set().scaled_wcet(0)
+
+    def test_merge(self):
+        a = TaskSet([IOTask(name="x", period=10, wcet=1)], name="a")
+        b = TaskSet([IOTask(name="y", period=10, wcet=1)], name="b")
+        merged = merge([a, b])
+        assert len(merged) == 2
+
+    def test_merge_name_clash_rejected(self):
+        a = TaskSet([IOTask(name="x", period=10, wcet=1)], name="a")
+        b = TaskSet([IOTask(name="x", period=10, wcet=1)], name="b")
+        with pytest.raises(ValueError):
+            merge([a, b])

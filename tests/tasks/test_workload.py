@@ -1,0 +1,85 @@
+"""Unit tests for synthetic workload padding."""
+
+import pytest
+
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask
+from repro.tasks.taskset import TaskSet
+from repro.tasks.workload import (
+    SYNTHETIC_PERIODS,
+    pad_to_target_utilization,
+    synthetic_task,
+)
+
+
+def base_set(utilization=0.4):
+    wcet = int(utilization * 100)
+    return TaskSet([IOTask(name="base", period=100, wcet=wcet, vm_id=0)])
+
+
+class TestSyntheticTask:
+    def test_construction(self):
+        task = synthetic_task("s0", period=100, utilization=0.05)
+        assert task.criticality == Criticality.SYNTHETIC
+        assert task.wcet == 5
+        assert not task.criticality.counts_for_success
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            synthetic_task("s", 100, 0.0)
+        with pytest.raises(ValueError):
+            synthetic_task("s", 100, 1.5)
+
+
+class TestPadding:
+    def test_reaches_target(self, rng):
+        padded = pad_to_target_utilization(base_set(), 0.8, rng)
+        assert padded.utilization == pytest.approx(0.8, abs=0.03)
+
+    def test_base_tasks_preserved(self, rng):
+        padded = pad_to_target_utilization(base_set(), 0.7, rng)
+        assert "base" in padded
+
+    def test_original_not_mutated(self, rng):
+        base = base_set()
+        pad_to_target_utilization(base, 0.9, rng)
+        assert len(base) == 1
+
+    def test_already_above_target_returns_copy(self, rng):
+        base = base_set(0.5)
+        padded = pad_to_target_utilization(base, 0.3, rng)
+        assert len(padded) == 1
+        assert padded.utilization == base.utilization
+
+    def test_padding_tasks_synthetic_only(self, rng):
+        padded = pad_to_target_utilization(base_set(), 0.9, rng)
+        for task in padded:
+            if task.name != "base":
+                assert task.criticality == Criticality.SYNTHETIC
+                assert task.period in SYNTHETIC_PERIODS
+
+    def test_vm_spread(self, rng):
+        padded = pad_to_target_utilization(
+            base_set(), 0.9, rng, vm_count=4
+        )
+        synthetic_vms = {
+            task.vm_id for task in padded if task.name != "base"
+        }
+        assert synthetic_vms == {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        a = pad_to_target_utilization(base_set(), 0.8, RandomSource(1, "p"))
+        b = pad_to_target_utilization(base_set(), 0.8, RandomSource(1, "p"))
+        assert [(t.name, t.period, t.wcet) for t in a] == [
+            (t.name, t.period, t.wcet) for t in b
+        ]
+
+    def test_negative_target_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pad_to_target_utilization(base_set(), -0.1, rng)
+
+    def test_all_synthetic_periods_divide_case_study_hyperperiod(self):
+        from repro.tasks.automotive import CASE_STUDY_HYPERPERIOD
+
+        for period in SYNTHETIC_PERIODS:
+            assert CASE_STUDY_HYPERPERIOD % period == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the memory-footprint model (Fig. 6)."""
+
+import pytest
+
+from repro.virt.footprint import (
+    DRIVER_SET,
+    Footprint,
+    IO_DRIVER_FOOTPRINTS,
+    SYSTEMS,
+    overhead_vs_legacy,
+    system_footprints,
+)
+
+
+class TestFootprint:
+    def test_total(self):
+        fp = Footprint(text=100, data=20, bss=30)
+        assert fp.total == 150
+        assert fp.total_kb == pytest.approx(150 / 1024)
+
+    def test_addition(self):
+        a = Footprint(1, 2, 3)
+        b = Footprint(10, 20, 30)
+        assert (a + b).total == 66
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Footprint(-1, 0, 0)
+
+
+class TestSystemFootprints:
+    def test_all_systems_compose(self):
+        for system in SYSTEMS:
+            report = system_footprints(system)
+            assert set(report.drivers) == set(DRIVER_SET)
+            assert report.grand_total > 0
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            system_footprints("vmware")
+
+    def test_unknown_driver(self):
+        with pytest.raises(KeyError):
+            system_footprints("legacy", drivers=("pcie",))
+
+    def test_rows_shape(self):
+        rows = system_footprints("legacy").rows()
+        assert rows[0][0] == "hypervisor"
+        assert rows[1][0] == "os-kernel"
+        assert len(rows) == 2 + len(DRIVER_SET)
+        for row in rows:
+            _name, text, data, bss, total = row
+            assert total == text + data + bss
+
+
+class TestPaperShape:
+    """Obs 1 of the paper, as assertable inequalities."""
+
+    def test_rtxen_adds_129_8_percent(self):
+        assert overhead_vs_legacy("rt-xen") == pytest.approx(1.298, abs=0.01)
+
+    def test_hardware_assisted_cheaper_than_software(self):
+        rtxen = system_footprints("rt-xen").core_total
+        bv = system_footprints("bv").core_total
+        ioguard = system_footprints("ioguard").core_total
+        assert ioguard < bv < rtxen
+
+    def test_ioguard_eliminates_vmm_software(self):
+        report = system_footprints("ioguard")
+        assert report.hypervisor.total == 0
+
+    def test_ioguard_kernel_smaller_than_legacy(self):
+        # The I/O manager is removed from the kernel (Fig. 3(b)).
+        legacy = system_footprints("legacy").kernel.total
+        ioguard = system_footprints("ioguard").kernel.total
+        assert ioguard < legacy
+
+    @pytest.mark.parametrize("protocol", DRIVER_SET)
+    def test_driver_ordering_per_protocol(self, protocol):
+        # RT-XEN largest, I/O-GUARD smallest, for every driver.
+        sizes = {
+            system: IO_DRIVER_FOOTPRINTS[system][protocol].total
+            for system in SYSTEMS
+        }
+        assert sizes["rt-xen"] > sizes["legacy"] > sizes["bv"] > sizes["ioguard"]
+
+    def test_legacy_kernel_about_47_kb(self):
+        assert system_footprints("legacy").kernel.total == pytest.approx(
+            47 * 1024, rel=0.02
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for the structural RTOS kernel model (Fig. 3)."""
+
+import pytest
+
+from repro.virt.rtos import (
+    RTOSKernel,
+    SERVICES,
+    compare_kernels,
+    ioguard_kernel,
+    legacy_kernel,
+)
+from repro.virt.stack import stack_for
+
+
+class TestKernelStructure:
+    def test_unknown_service_rejected(self):
+        with pytest.raises(KeyError):
+            RTOSKernel(name="x", services=["warp_drive"], io_path=[])
+
+    def test_privileged_path_requires_compiled_service(self):
+        with pytest.raises(ValueError, match="not compiled"):
+            RTOSKernel(
+                name="x", services=["scheduler"], io_path=["io_manager"]
+            )
+
+    def test_unprivileged_path_needs_no_kernel_service(self):
+        kernel = RTOSKernel(
+            name="thin", services=["scheduler"], io_path=["forwarding_driver"]
+        )
+        assert not kernel.io_path_enters_kernel()
+
+
+class TestPaperArchitectureClaims:
+    def test_ioguard_path_bypasses_kernel(self):
+        """Fig. 3(b): 'without the involvement of OS kernel'."""
+        assert legacy_kernel().io_path_enters_kernel()
+        assert not ioguard_kernel().io_path_enters_kernel()
+
+    def test_ioguard_zero_mode_switches(self):
+        """Bare-metal para-virtualization avoids 'trap into VMM' style
+        mode switches on the I/O path."""
+        assert legacy_kernel().kernel_crossings_per_io() >= 1
+        assert ioguard_kernel().kernel_crossings_per_io() == 0
+
+    def test_io_path_cost_ordering(self):
+        comparison = compare_kernels()
+        legacy_cycles, _, _ = comparison["legacy"]
+        ioguard_cycles, _, _ = comparison["ioguard"]
+        assert ioguard_cycles < legacy_cycles / 5
+
+    def test_kernel_shrinks_without_io_manager(self):
+        """'Para-virtualization simplifies the OS kernel' (Sec. II-A)."""
+        legacy_text = legacy_kernel().kernel_text_bytes()
+        ioguard_text = ioguard_kernel().kernel_text_bytes()
+        assert ioguard_text < legacy_text
+        removed = (
+            SERVICES["io_manager"].text_bytes
+            + SERVICES["buffer_mgmt"].text_bytes
+            + SERVICES["low_level_driver"].text_bytes
+        )
+        assert legacy_text - ioguard_text == removed
+
+    def test_structural_costs_consistent_with_stack_model(self):
+        """The structural path cost matches the timing model used by the
+        system simulations within a factor of ~2 (the stack model adds
+        interconnect/doorbell costs the kernel model does not)."""
+        structural_legacy = legacy_kernel().io_request_cycles()
+        structural_ioguard = ioguard_kernel().io_request_cycles()
+        assert structural_legacy == pytest.approx(
+            stack_for("legacy").request_path_cycles, rel=0.5
+        )
+        assert structural_ioguard == pytest.approx(
+            stack_for("ioguard").request_path_cycles, rel=0.5
+        )
