@@ -13,16 +13,26 @@
 * :mod:`repro.analysis.schedulability` -- end-to-end system test
   combining table construction, server design and Theorems 2 + 4.
 * :mod:`repro.analysis.hyperperiod` -- LCM utilities.
+* :mod:`repro.analysis.cache` -- registry over the memoized kernels
+  (``clear_caches``, ``cache_stats``); the cached and uncached paths are
+  value-identical by construction and cross-checked by the property
+  tests.
 """
 
+from repro.analysis.cache import (
+    cache_stats,
+    clear_caches,
+)
 from repro.analysis.supply import (
     sbf_server,
+    sbf_server_uncached,
     sbf_sigma,
 )
 from repro.analysis.demand import (
     dbf_server,
     dbf_sporadic,
     dbf_taskset,
+    dbf_taskset_uncached,
 )
 from repro.analysis.gsched_test import (
     GSchedResult,
@@ -58,6 +68,8 @@ from repro.analysis.sensitivity import (
 
 __all__ = [
     "ResponseTimeBound",
+    "cache_stats",
+    "clear_caches",
     "critical_wcet_scale",
     "max_preload_fraction",
     "response_time_bound",
@@ -69,6 +81,7 @@ __all__ = [
     "dbf_server",
     "dbf_sporadic",
     "dbf_taskset",
+    "dbf_taskset_uncached",
     "design_servers",
     "gsched_schedulable",
     "gsched_schedulable_exact",
@@ -78,6 +91,7 @@ __all__ = [
     "lsched_schedulable_exact",
     "minimum_budget",
     "sbf_server",
+    "sbf_server_uncached",
     "sbf_sigma",
     "theorem2_bound",
     "theorem4_bound",

@@ -2,10 +2,23 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Tuple
 
+from repro.analysis.cache import register_cache
 from repro.tasks.task import IOTask
 from repro.tasks.taskset import TaskSet
+
+#: Hashable demand signature: one ``(deadline, period, wcet)`` triple per
+#: task.  Two task sets with equal signatures have identical dbf curves,
+#: so the memoized kernels key on it instead of the (mutable, unhashable)
+#: task objects.
+DemandSignature = Tuple[Tuple[int, int, int], ...]
+
+
+def demand_signature(tasks: Iterable[IOTask]) -> DemandSignature:
+    """The hashable dbf key of a task collection."""
+    return tuple((task.deadline, task.period, task.wcet) for task in tasks)
 
 
 def dbf_server(pi: int, theta: int, t: int) -> int:
@@ -39,9 +52,50 @@ def dbf_sporadic(task: IOTask, t: int) -> int:
     return ((t - task.deadline) // task.period + 1) * task.wcet
 
 
+def dbf_taskset_uncached(tasks: Iterable[IOTask], t: int) -> int:
+    """Aggregate Eq. (9) demand, summed directly (reference path)."""
+    return sum(dbf_sporadic(task, t) for task in tasks)
+
+
+@lru_cache(maxsize=1 << 16)
+def dbf_signature_demand(signature: DemandSignature, t: int) -> int:
+    """Aggregate Eq. (9) over a demand signature (memoized).
+
+    The step-point scans of Theorems 3/4 and the linear test evaluate
+    the *same* task set at overlapping ``t`` grids; keying on the
+    signature shares those evaluations across tests and sweep samples.
+    """
+    if t < 0:
+        raise ValueError(f"dbf requires t >= 0, got {t}")
+    total = 0
+    for deadline, period, wcet in signature:
+        if t >= deadline:
+            total += ((t - deadline) // period + 1) * wcet
+    return total
+
+
+register_cache("demand.dbf_signature_demand", dbf_signature_demand)
+
+
 def dbf_taskset(tasks: Iterable[IOTask], t: int) -> int:
     """Aggregate Eq. (9) demand over a task collection."""
-    return sum(dbf_sporadic(task, t) for task in tasks)
+    return dbf_signature_demand(demand_signature(tasks), t)
+
+
+@lru_cache(maxsize=1 << 12)
+def _step_points_cached(
+    signature: Tuple[Tuple[int, int], ...], horizon: int
+) -> Tuple[int, ...]:
+    points = set()
+    for deadline, period in signature:
+        t = deadline
+        while t <= horizon:
+            points.add(t)
+            t += period
+    return tuple(sorted(points))
+
+
+register_cache("demand.dbf_step_points", _step_points_cached)
 
 
 def dbf_step_points(tasks: TaskSet, horizon: int) -> list:
@@ -53,13 +107,24 @@ def dbf_step_points(tasks: TaskSet, horizon: int) -> list:
     """
     if horizon < 0:
         raise ValueError(f"horizon must be >= 0, got {horizon}")
+    signature = tuple((task.deadline, task.period) for task in tasks)
+    return list(_step_points_cached(signature, horizon))
+
+
+@lru_cache(maxsize=1 << 12)
+def _server_step_points_cached(
+    periods: Tuple[int, ...], horizon: int
+) -> Tuple[int, ...]:
     points = set()
-    for task in tasks:
-        t = task.deadline
+    for pi in periods:
+        t = pi
         while t <= horizon:
             points.add(t)
-            t += task.period
-    return sorted(points)
+            t += pi
+    return tuple(sorted(points))
+
+
+register_cache("demand.server_step_points", _server_step_points_cached)
 
 
 def server_step_points(servers: Iterable[tuple], horizon: int) -> list:
@@ -70,10 +135,5 @@ def server_step_points(servers: Iterable[tuple], horizon: int) -> list:
     """
     if horizon < 0:
         raise ValueError(f"horizon must be >= 0, got {horizon}")
-    points = set()
-    for pi, _theta in servers:
-        t = pi
-        while t <= horizon:
-            points.add(t)
-            t += pi
-    return sorted(points)
+    periods = tuple(pi for pi, _theta in servers)
+    return list(_server_step_points_cached(periods, horizon))

@@ -3,21 +3,33 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Tuple
+
+from repro.analysis.cache import register_cache
 
 
-def lcm_all(values: Iterable[int]) -> int:
-    """LCM of all values (1 for the empty iterable).
-
-    Raises ``ValueError`` for non-positive inputs: periods of zero or
-    below have no hyper-period.
-    """
+@lru_cache(maxsize=1 << 16)
+def _lcm_cached(values: Tuple[int, ...]) -> int:
     result = 1
     for value in values:
         if value <= 0:
             raise ValueError(f"hyper-period needs positive values, got {value}")
         result = math.lcm(result, value)
     return result
+
+
+register_cache("hyperperiod.lcm", _lcm_cached)
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """LCM of all values (1 for the empty iterable).
+
+    Raises ``ValueError`` for non-positive inputs: periods of zero or
+    below have no hyper-period.  Memoized on the value tuple: task sets
+    are re-analyzed across sweep cells with identical periods.
+    """
+    return _lcm_cached(tuple(values))
 
 
 def lcm_capped(values: Iterable[int], cap: int) -> int:
@@ -27,13 +39,12 @@ def lcm_capped(values: Iterable[int], cap: int) -> int:
     the input values; callers pass a cap and fall back to the
     pseudo-polynomial tests when it is exceeded.
     """
-    result = 1
-    for value in values:
-        if value <= 0:
-            raise ValueError(f"hyper-period needs positive values, got {value}")
-        result = math.lcm(result, value)
-        if result > cap:
-            raise OverflowError(
-                f"hyper-period exceeds cap {cap}; use the pseudo-polynomial test"
-            )
+    values = tuple(values)
+    # Pre-screen cheaply through the shared memo; only the cap check is
+    # recomputed, so failing calls keep raising on every invocation.
+    result = _lcm_cached(values)
+    if result > cap:
+        raise OverflowError(
+            f"hyper-period exceeds cap {cap}; use the pseudo-polynomial test"
+        )
     return result

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.analysis.demand import dbf_step_points, dbf_taskset
+from repro.analysis.demand import (
+    dbf_signature_demand,
+    dbf_step_points,
+    demand_signature,
+)
 from repro.analysis.lsched_test import LSchedResult, theorem4_bound
 from repro.analysis.supply import linear_supply_lower_bound
 from repro.tasks.taskset import TaskSet
@@ -51,8 +55,9 @@ def lsched_schedulable_linear(
             task_names=names,
         )
     horizon = theorem4_bound(pi, theta, tasks)
+    signature = demand_signature(tasks)
     for t in dbf_step_points(tasks, horizon):
-        demand = dbf_taskset(tasks, t)
+        demand = dbf_signature_demand(signature, t)
         supply = linear_supply_lower_bound(pi, theta, t)
         if demand > supply:
             return LSchedResult(

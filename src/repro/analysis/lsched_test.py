@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional, Tuple
 
-from repro.analysis.demand import dbf_step_points, dbf_taskset
+from repro.analysis.demand import (
+    dbf_signature_demand,
+    dbf_step_points,
+    dbf_taskset,
+    demand_signature,
+)
 from repro.analysis.hyperperiod import lcm_capped
 from repro.analysis.supply import sbf_server
 from repro.tasks.taskset import TaskSet
@@ -167,8 +172,9 @@ def _check_window(
     method: str,
 ) -> LSchedResult:
     names = [task.name for task in tasks]
+    signature = demand_signature(tasks)
     for t in dbf_step_points(tasks, horizon):
-        demand = dbf_taskset(tasks, t)
+        demand = dbf_signature_demand(signature, t)
         supply = sbf_server(pi, theta, t)
         if demand > supply:
             return LSchedResult(

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro.analysis.cache import register_cache
 from repro.core.timeslot import TimeSlotTable
 
 
@@ -10,19 +13,21 @@ def sbf_sigma(table: TimeSlotTable, t: int) -> int:
 
     Computed from the time slot table via the enumeration look-up of
     Eq. (1) for ``t < H`` and the periodic extension of Eq. (2) for
-    ``t >= H``.  Delegates to :meth:`TimeSlotTable.sbf`, which caches the
-    enumeration.
+    ``t >= H``.  Delegates to :meth:`TimeSlotTable.sbf`, which memoizes
+    the enumeration in the table's :class:`~repro.core.timeslot.SbfCache`.
     """
     return table.sbf(t)
 
 
-def sbf_server(pi: int, theta: int, t: int) -> int:
+def sbf_server_uncached(pi: int, theta: int, t: int) -> int:
     """``sbf(Gamma_i, t)`` of the periodic resource model, Eq. (8).
 
     ``Gamma = (pi, theta)`` guarantees ``theta`` slots in every ``pi``;
     the worst-case phasing delays supply by up to ``2*(pi - theta)``
     slots, which Eq. (8) captures with the shifted time
     ``t' = t - (pi - theta)``.
+
+    Reference implementation; :func:`sbf_server` adds memoization.
     """
     _validate_server(pi, theta)
     if t < 0:
@@ -33,6 +38,15 @@ def sbf_server(pi: int, theta: int, t: int) -> int:
     whole = t_shift // pi
     theta_tail = max(t_shift - pi * whole - (pi - theta), 0)
     return whole * theta + theta_tail
+
+
+#: Memoized Eq. (8).  Step-point scans re-evaluate the same (pi, theta, t)
+#: triples across sweep cells (every acceptance sample shares the server,
+#: every server search probes neighbouring budgets), so a process-wide
+#: LRU pays for itself quickly; entries are three ints -> int.
+sbf_server = register_cache(
+    "supply.sbf_server", lru_cache(maxsize=1 << 18)(sbf_server_uncached)
+)
 
 
 def sbf_server_exact_blackout(pi: int, theta: int, t: int) -> int:

@@ -25,6 +25,7 @@ from repro.core.driver import VirtualizationDriver
 from repro.core.gsched import ServerSpec
 from repro.core.lsched import SelectionPolicy, edf_policy
 from repro.core.manager import VirtualizationManager
+from repro.core.timeslot import as_slot_count
 from repro.sim.clock import DEFAULT_CYCLES_PER_SLOT, GlobalTimer
 from repro.sim.engine import Simulator, Timeout
 from repro.sim.trace import TraceRecorder
@@ -143,6 +144,8 @@ class IOGuardHypervisor:
         """
         if slot is None:
             slot = self._slot_cursor
+        else:
+            slot = as_slot_count(slot, "hypervisor step slot")
         completed: List[Job] = []
         for manager in self.managers.values():
             job = manager.execute_slot(slot)
@@ -153,9 +156,14 @@ class IOGuardHypervisor:
 
     def run_slots(self, count: int, start: Optional[int] = None) -> List[Job]:
         """Step ``count`` consecutive slots; returns all completions."""
+        count = as_slot_count(count, "slot count")
         if count < 0:
             raise ValueError(f"cannot run a negative slot count: {count}")
-        slot = self._slot_cursor if start is None else start
+        slot = (
+            self._slot_cursor
+            if start is None
+            else as_slot_count(start, "start slot")
+        )
         completed: List[Job] = []
         for offset in range(count):
             completed.extend(self.step(slot + offset))

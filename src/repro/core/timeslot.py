@@ -28,6 +28,107 @@ class TableOverflowError(ValueError):
     """Raised when pre-defined jobs cannot be packed into the table."""
 
 
+def as_slot_count(value, what: str = "slot value") -> int:
+    """Normalize a time quantity to an integer slot count.
+
+    The hypervisor schedules in whole slots (every quantity in Sec. IV is
+    an integer number of slots), but the surrounding simulation measures
+    time as floats -- :class:`~repro.sim.engine.Timeout` happily accepts
+    ``2.5``.  Slot-table and executor entry points route their time
+    arguments through here: integral values (``7``, ``7.0``, numpy
+    integer scalars) are normalized to ``int``; fractional values are a
+    caller bug and raise ``ValueError`` instead of silently truncating a
+    deadline or supply window.
+    """
+    if isinstance(value, (bool, str, bytes)):
+        raise ValueError(f"{what} must be an integer slot count, got {value!r}")
+    if isinstance(value, int):
+        return value
+    try:
+        as_int = int(value)
+        integral = value == as_int
+    except (TypeError, OverflowError, ValueError):
+        raise ValueError(
+            f"{what} must be an integer slot count, got {value!r}"
+        ) from None
+    if not integral:
+        raise ValueError(
+            f"{what} must be a whole number of slots, got {value!r}; "
+            "the hypervisor schedules in integer slots"
+        )
+    return as_int
+
+
+class SbfCache:
+    """Explicit per-table memo for the Eq. (1)/(2) supply computation.
+
+    One instance per :class:`TimeSlotTable`.  Holds the doubled prefix-sum
+    array (built lazily from the occupancy bitmap) and the per-window
+    enumeration results, and counts hits/misses so the experiment
+    runner's timing summary can report cache effectiveness.  Dropping the
+    cache (:meth:`clear`) is always safe -- it only costs recomputation.
+    """
+
+    __slots__ = ("_table", "_windows", "_free_prefix", "hits", "misses")
+
+    def __init__(self, table: "TimeSlotTable"):
+        self._table = table
+        self._windows: Dict[int, int] = {}
+        self._free_prefix: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+
+    def free_prefix(self) -> np.ndarray:
+        """Prefix sums of free slots over two repetitions of sigma*."""
+        if self._free_prefix is None:
+            free = (~self._table._occupied).astype(np.int64)
+            doubled = np.concatenate([free, free])
+            self._free_prefix = np.concatenate([[0], np.cumsum(doubled)])
+        return self._free_prefix
+
+    def enum(self, window: int) -> int:
+        """Memoized Eq. (1) enumeration for ``0 <= window <= H``."""
+        cached = self._windows.get(window)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if window == 0:
+            value = 0
+        else:
+            prefix = self.free_prefix()
+            length = self._table.length
+            # window starting at s covers [s, s+window); minimise over
+            # s in [0, H).
+            sums = prefix[window : window + length] - prefix[:length]
+            value = int(sums.min())
+        self._windows[window] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop memoized windows and the prefix array."""
+        self._windows.clear()
+        self._free_prefix = None
+        self.hits = 0
+        self.misses = 0
+
+    # lru_cache-style protocol, so tables can sit in the central registry.
+    cache_clear = clear
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "currsize": len(self._windows),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SbfCache(windows={len(self._windows)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
 class TimeSlotTable:
     """Occupancy of one hyper-period of the static P-channel schedule.
 
@@ -56,9 +157,11 @@ class TimeSlotTable:
                 f"hyper-period {length} exceeds the table cap "
                 f"{MAX_TABLE_LENGTH}; reduce pre-defined task periods"
             )
-        self.length = length
+        self.length = as_slot_count(length, "table length")
+        length = self.length
         self._occupied = np.zeros(length, dtype=bool)
         for slot in occupied:
+            slot = as_slot_count(slot, "occupied slot")
             if not 0 <= slot < length:
                 raise ValueError(f"slot {slot} outside table of length {length}")
             if self._occupied[slot]:
@@ -70,8 +173,7 @@ class TimeSlotTable:
                 raise ValueError(
                     f"entry at slot {slot} has no matching occupied slot"
                 )
-        self._sbf_cache: Dict[int, int] = {}
-        self._free_prefix: Optional[np.ndarray] = None
+        self.sbf_cache = SbfCache(self)
 
     # -- construction helpers ------------------------------------------------
 
@@ -108,6 +210,7 @@ class TimeSlotTable:
         return self.free_slots / self.length
 
     def is_occupied(self, slot: int) -> bool:
+        slot = as_slot_count(slot, "slot index")
         return bool(self._occupied[slot % self.length])
 
     def is_free(self, slot: int) -> bool:
@@ -116,6 +219,7 @@ class TimeSlotTable:
 
     def task_at(self, slot: int) -> Optional[IOTask]:
         """Pre-defined task scheduled at absolute slot ``slot``, if any."""
+        slot = as_slot_count(slot, "slot index")
         return self.entries.get(slot % self.length)
 
     def occupied_indices(self) -> List[int]:
@@ -130,48 +234,29 @@ class TimeSlotTable:
 
     # -- supply-bound function ---------------------------------------------------
 
-    def _ensure_prefix(self) -> np.ndarray:
-        """Prefix sums of free slots over two repetitions of sigma*."""
-        if self._free_prefix is None:
-            free = (~self._occupied).astype(np.int64)
-            doubled = np.concatenate([free, free])
-            self._free_prefix = np.concatenate(
-                [[0], np.cumsum(doubled)]
-            )
-        return self._free_prefix
-
     def enum(self, window: int) -> int:
         """Eq. (1): minimum free slots over all windows of ``window`` slots.
 
         Valid for ``0 <= window <= H``; windows are slid over the infinite
         repetition sigma, and since sigma repeats sigma* there are at most
-        H distinct placements.
+        H distinct placements.  Memoized in :attr:`sbf_cache`.
         """
+        window = as_slot_count(window, "enum window")
         if not 0 <= window <= self.length:
             raise ValueError(
                 f"enum window must lie in [0, H={self.length}], got {window}"
             )
-        cached = self._sbf_cache.get(window)
-        if cached is not None:
-            return cached
-        if window == 0:
-            self._sbf_cache[0] = 0
-            return 0
-        prefix = self._ensure_prefix()
-        # window starting at s covers [s, s+window); minimise over s in [0, H).
-        sums = prefix[window : window + self.length] - prefix[: self.length]
-        value = int(sums.min())
-        self._sbf_cache[window] = value
-        return value
+        return self.sbf_cache.enum(window)
 
     def sbf(self, t: int) -> int:
         """``sbf(sigma, t)`` via Eqs. (1) and (2) for any ``t >= 0``."""
+        t = as_slot_count(t, "sbf window")
         if t < 0:
             raise ValueError(f"sbf requires t >= 0, got {t}")
         if t < self.length:
-            return self.enum(t)
+            return self.sbf_cache.enum(t)
         whole, rest = divmod(t, self.length)
-        return self.enum(rest) + whole * self.free_slots
+        return self.sbf_cache.enum(rest) + whole * self.free_slots
 
     # -- free-slot iteration (run-time use) -----------------------------------------
 
@@ -182,7 +267,7 @@ class TimeSlotTable:
         """
         if self.free_slots == 0:
             raise ValueError("time slot table has no free slots")
-        slot = from_slot
+        slot = as_slot_count(from_slot, "from_slot")
         # At most one full hyper-period of probing is needed.
         for _ in range(self.length + 1):
             if self.is_free(slot):
@@ -283,6 +368,7 @@ def build_pchannel_table(
     table = TimeSlotTable(hyperperiod)
     table._occupied = occupied
     table.entries = entries
+    table.sbf_cache.clear()  # occupancy replaced wholesale
     return table
 
 

@@ -5,7 +5,7 @@ Usage::
     python -m repro.exp            # everything (fig7 at reduced scale)
     python -m repro.exp fig6
     python -m repro.exp table1
-    python -m repro.exp fig7 [--trials N] [--horizon SLOTS]
+    python -m repro.exp fig7 [--trials N] [--horizon SLOTS] [--jobs N]
     python -m repro.exp fig8
     python -m repro.exp predictability
     python -m repro.exp isolation
@@ -13,7 +13,13 @@ Usage::
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
 Set ``REPRO_SCALE`` (e.g. 0.2 for a smoke run, 5 for a long run) to
-scale the fig7 trials/horizon without editing flags.
+scale the fig7 trials/horizon without editing flags.  Set ``REPRO_JOBS``
+(or pass ``--jobs``; ``0`` = one worker per CPU) to fan trials out over
+worker processes -- results are bit-identical for every worker count,
+because all randomness is derived per cell from the experiment seed
+(see :mod:`repro.exp.runner`).  The ``export`` subcommand additionally
+writes ``timing.json``, a machine-readable wall-clock/cache summary of
+the run.
 """
 
 from __future__ import annotations
@@ -28,12 +34,14 @@ from repro.exp.export import (
     export_fig7_json,
     export_fig8_csv,
     export_predictability_csv,
+    export_timing_json,
 )
 from repro.exp.fig6 import render_fig6
 from repro.exp.fig7 import CaseStudyConfig, render_fig7, run_case_study
 from repro.exp.fig8 import render_fig8
 from repro.exp.isolation import render_isolation, run_isolation
 from repro.exp.predictability import render_predictability, run_predictability
+from repro.exp.runner import ExperimentRunner
 from repro.exp.table1 import render_table1
 
 EXPERIMENTS = [
@@ -63,10 +71,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweeps (default: REPRO_JOBS or 1 "
+        "= serial; 0 = one per CPU); any value yields identical results",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="force progress/ETA lines on stderr (default: only on a TTY)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results"),
         help="output directory for the export subcommand",
     )
     args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(
+        args.jobs, progress=True if args.progress else None
+    )
 
     if args.experiment in ("all", "fig6"):
         print(render_fig6())
@@ -81,13 +102,14 @@ def main(argv=None) -> int:
         config = CaseStudyConfig(
             trials=args.trials, horizon_slots=args.horizon, seed=args.seed
         )
-        print(render_fig7(run_case_study(config)))
+        print(render_fig7(run_case_study(config, runner=runner)))
         print()
     if args.experiment in ("all", "predictability"):
         result = run_predictability(
             trials=max(1, args.trials // 3),
             horizon_slots=args.horizon,
             seed=args.seed,
+            runner=runner,
         )
         print(render_predictability(result))
         print()
@@ -95,13 +117,13 @@ def main(argv=None) -> int:
         print(render_isolation(run_isolation(horizon_slots=args.horizon // 2)))
         print()
     if args.experiment in ("all", "acceptance"):
-        print(render_acceptance(run_acceptance(seed=args.seed)))
+        print(render_acceptance(run_acceptance(seed=args.seed, runner=runner)))
     if args.experiment == "export":
         args.out.mkdir(parents=True, exist_ok=True)
         config = CaseStudyConfig(
             trials=args.trials, horizon_slots=args.horizon, seed=args.seed
         )
-        sweep = run_case_study(config)
+        sweep = run_case_study(config, runner=runner)
         written = [
             export_fig7_csv(sweep, args.out / "fig7.csv"),
             export_fig7_json(sweep, args.out / "fig7.json"),
@@ -111,10 +133,15 @@ def main(argv=None) -> int:
                     trials=max(1, args.trials // 3),
                     horizon_slots=args.horizon,
                     seed=args.seed,
+                    runner=runner,
                 ),
                 args.out / "predictability.csv",
             ),
         ]
+        # Timing last, so it covers every phase mapped above.
+        written.append(
+            export_timing_json(runner.timing, args.out / "timing.json")
+        )
         for path in written:
             print(f"wrote {path}")
     return 0

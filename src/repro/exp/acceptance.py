@@ -17,11 +17,12 @@ linear test falling away first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.linear_test import lsched_schedulable_linear
 from repro.analysis.lsched_test import lsched_schedulable
 from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
 from repro.tasks.generators import generate_random_taskset
 
 
@@ -32,6 +33,53 @@ class AcceptancePoint:
     utilization: float
     samples: int
     ratios: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class AcceptanceCell:
+    """One utilization level of the sweep: an independent, picklable unit.
+
+    Task-set draws are keyed by ``seed + sample index`` and a name
+    encoding the cell's utilization, exactly as in the serial loop, so
+    parallel execution reproduces serial ratios bit for bit.
+    """
+
+    pi: int
+    theta: int
+    utilization: float
+    samples: int
+    task_count: int
+    seed: int
+    period_min: int
+    period_max: int
+    implicit_deadlines: bool
+
+
+def run_acceptance_cell(cell: AcceptanceCell) -> AcceptancePoint:
+    """Evaluate all three tests over one utilization level's samples."""
+    bandwidth = cell.theta / cell.pi
+    counts = {"theorem4": 0, "linear": 0, "bandwidth": 0}
+    for index in range(cell.samples):
+        tasks = generate_random_taskset(
+            cell.seed + index,
+            task_count=cell.task_count,
+            total_utilization=cell.utilization,
+            period_min=cell.period_min,
+            period_max=cell.period_max,
+            implicit_deadlines=cell.implicit_deadlines,
+            name=f"acc.u{cell.utilization}.s{index}",
+        )
+        if tasks.utilization <= bandwidth:
+            counts["bandwidth"] += 1
+        if lsched_schedulable(cell.pi, cell.theta, tasks).schedulable:
+            counts["theorem4"] += 1
+        if lsched_schedulable_linear(cell.pi, cell.theta, tasks).schedulable:
+            counts["linear"] += 1
+    return AcceptancePoint(
+        utilization=cell.utilization,
+        samples=cell.samples,
+        ratios={name: count / cell.samples for name, count in counts.items()},
+    )
 
 
 @dataclass
@@ -54,39 +102,33 @@ def run_acceptance(
     period_min: int = 40,
     period_max: int = 400,
     implicit_deadlines: bool = True,
+    jobs: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> AcceptanceResult:
-    """Sweep utilization; return acceptance ratios per test."""
+    """Sweep utilization; return acceptance ratios per test.
+
+    Utilization levels fan out over the :mod:`repro.exp.runner` backend
+    when ``jobs``/``runner`` ask for parallelism; each level's draws are
+    independently seeded, so the ratios never depend on worker count.
+    """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
-    bandwidth = theta / pi
-    points: List[AcceptancePoint] = []
-    for utilization in utilizations:
-        counts = {"theorem4": 0, "linear": 0, "bandwidth": 0}
-        for index in range(samples):
-            tasks = generate_random_taskset(
-                seed + index,
-                task_count=task_count,
-                total_utilization=utilization,
-                period_min=period_min,
-                period_max=period_max,
-                implicit_deadlines=implicit_deadlines,
-                name=f"acc.u{utilization}.s{index}",
-            )
-            if tasks.utilization <= bandwidth:
-                counts["bandwidth"] += 1
-            if lsched_schedulable(pi, theta, tasks).schedulable:
-                counts["theorem4"] += 1
-            if lsched_schedulable_linear(pi, theta, tasks).schedulable:
-                counts["linear"] += 1
-        points.append(
-            AcceptancePoint(
-                utilization=utilization,
-                samples=samples,
-                ratios={
-                    name: count / samples for name, count in counts.items()
-                },
-            )
+    runner = runner if runner is not None else ExperimentRunner(jobs)
+    cells = [
+        AcceptanceCell(
+            pi=pi,
+            theta=theta,
+            utilization=utilization,
+            samples=samples,
+            task_count=task_count,
+            seed=seed,
+            period_min=period_min,
+            period_max=period_max,
+            implicit_deadlines=implicit_deadlines,
         )
+        for utilization in utilizations
+    ]
+    points = runner.map(run_acceptance_cell, cells, label="acceptance")
     return AcceptanceResult(server=(pi, theta), points=points)
 
 

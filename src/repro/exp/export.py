@@ -11,11 +11,35 @@ import json
 from pathlib import Path
 from typing import List, Union
 
+from repro.analysis.cache import cache_stats
 from repro.exp.fig7 import CaseStudyResult
 from repro.exp.fig8 import fig8_report
 from repro.exp.predictability import PredictabilityResult
+from repro.exp.runner import TimingSummary
 
 PathLike = Union[str, Path]
+
+
+def export_timing_json(
+    summary: TimingSummary,
+    path: PathLike,
+    *,
+    include_cache_stats: bool = True,
+) -> Path:
+    """Machine-readable account of an experiment run's wall-clock cost.
+
+    Schema: ``{"jobs", "total_seconds", "phases": [{"label", "items",
+    "jobs", "elapsed_seconds", "items_per_second"}, ...],
+    "analysis_caches": {name: {hits, misses, currsize, maxsize}}}``.
+    The cache section reflects the coordinating process only -- worker
+    processes hold their own cache state.
+    """
+    path = Path(path)
+    payload = summary.as_dict()
+    if include_cache_stats:
+        payload["analysis_caches"] = cache_stats()
+    path.write_text(json.dumps(payload, indent=2))
+    return path
 
 
 def export_fig7_csv(result: CaseStudyResult, path: PathLike) -> Path:

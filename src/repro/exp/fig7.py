@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import (
     BlueVisorSystem,
@@ -28,9 +29,11 @@ from repro.baselines import (
     prepare_workload,
 )
 from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
 from repro.metrics.success import SweepPoint, aggregate
 from repro.sim.rng import RandomSource
 from repro.tasks import build_case_study_taskset, pad_to_target_utilization
+from repro.tasks.taskset import TaskSet
 
 #: Default sweep grid, the paper's 40..100 % in 5 % steps.
 DEFAULT_UTILIZATIONS = tuple(round(0.40 + 0.05 * i, 2) for i in range(13))
@@ -116,49 +119,113 @@ class CaseStudyResult:
         }
 
 
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of the Fig. 7 sweep: a (vm group, system,
+    utilization) point with all its trials.
+
+    Everything stochastic inside a cell derives from ``(seed + trial,
+    stream name)`` where the stream name encodes the cell coordinates,
+    so cells share no random state: they can run in any process, in any
+    order, and reproduce the serial results bit for bit.  Cells are
+    frozen dataclasses of primitives plus the system object, which keeps
+    them picklable for the parallel runner.
+    """
+
+    seed: int
+    vm_count: int
+    utilization: float
+    trials: int
+    horizon_slots: int
+    system: IOVirtSystem
+
+
+@lru_cache(maxsize=8)
+def _cached_base_taskset(vm_count: int) -> TaskSet:
+    """Per-process memo of the deterministic 40-task case-study set.
+
+    ``build_case_study_taskset`` draws no randomness and the padding /
+    workload steps never mutate the base set, so sharing one instance
+    across cells (as the serial loop always did) is safe.
+    """
+    return build_case_study_taskset(vm_count=vm_count)
+
+
+def run_sweep_cell(cell: SweepCell) -> SweepPoint:
+    """Execute one sweep cell: ``cell.trials`` paired trials, aggregated.
+
+    Module-level (not a closure) so the parallel runner can pickle it to
+    worker processes; the serial path calls the very same function.
+    """
+    base = _cached_base_taskset(cell.vm_count)
+    trial_config = TrialConfig(horizon_slots=cell.horizon_slots)
+    trials = []
+    for trial in range(cell.trials):
+        # Workload draws are keyed by (seed, vm, util, trial)
+        # only -- identical across systems, as in the paper.
+        workload_rng = RandomSource(
+            cell.seed + trial, f"wl.{cell.vm_count}.{cell.utilization}"
+        )
+        padded = pad_to_target_utilization(
+            base,
+            cell.utilization,
+            workload_rng.spawn("pad"),
+            vm_count=cell.vm_count,
+        )
+        workload = prepare_workload(
+            padded,
+            trial_config,
+            workload_rng.spawn("draws"),
+            target_utilization=cell.utilization,
+        )
+        system_rng = RandomSource(
+            cell.seed + trial,
+            f"sys.{cell.system.name}.{cell.vm_count}.{cell.utilization}",
+        )
+        trials.append(cell.system.run_trial(workload, system_rng))
+    return aggregate(trials)
+
+
+def sweep_cells(
+    config: CaseStudyConfig, systems: List[IOVirtSystem]
+) -> List[SweepCell]:
+    """All cells of the sweep, in the canonical (group, system, U) order."""
+    return [
+        SweepCell(
+            seed=config.seed,
+            vm_count=vm_count,
+            utilization=utilization,
+            trials=config.trials,
+            horizon_slots=config.horizon_slots,
+            system=system,
+        )
+        for vm_count in config.vm_groups
+        for system in systems
+        for utilization in config.utilizations
+    ]
+
+
 def run_case_study(
     config: CaseStudyConfig = None,
     systems: List[IOVirtSystem] = None,
+    *,
+    jobs: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> CaseStudyResult:
-    """Run the full sweep: groups x utilizations x systems x trials."""
+    """Run the full sweep: groups x utilizations x systems x trials.
+
+    ``jobs``/``runner`` select the execution backend (see
+    :mod:`repro.exp.runner`); results are identical for every worker
+    count because each :class:`SweepCell` is seeded independently.
+    """
     config = (config or CaseStudyConfig()).effective()
     systems = systems if systems is not None else default_systems()
-    trial_config = TrialConfig(horizon_slots=config.horizon_slots)
+    runner = runner if runner is not None else ExperimentRunner(jobs)
+    cells = sweep_cells(config, systems)
+    points = runner.map(run_sweep_cell, cells, label="fig7")
     result = CaseStudyResult(config=config)
-    for vm_count in config.vm_groups:
-        base = build_case_study_taskset(vm_count=vm_count)
-        points: List[SweepPoint] = []
-        for system in systems:
-            per_util: Dict[float, list] = {}
-            for utilization in config.utilizations:
-                trials = []
-                for trial in range(config.trials):
-                    # Workload draws are keyed by (seed, vm, util, trial)
-                    # only -- identical across systems, as in the paper.
-                    workload_rng = RandomSource(
-                        config.seed + trial, f"wl.{vm_count}.{utilization}"
-                    )
-                    padded = pad_to_target_utilization(
-                        base,
-                        utilization,
-                        workload_rng.spawn("pad"),
-                        vm_count=vm_count,
-                    )
-                    workload = prepare_workload(
-                        padded,
-                        trial_config,
-                        workload_rng.spawn("draws"),
-                        target_utilization=utilization,
-                    )
-                    system_rng = RandomSource(
-                        config.seed + trial,
-                        f"sys.{system.name}.{vm_count}.{utilization}",
-                    )
-                    trials.append(system.run_trial(workload, system_rng))
-                per_util[utilization] = trials
-            for utilization in config.utilizations:
-                points.append(aggregate(per_util[utilization]))
-        result.groups[vm_count] = points
+    for cell, point in zip(cells, points):
+        result.groups.setdefault(cell.vm_count, []).append(point)
     return result
 
 

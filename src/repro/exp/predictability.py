@@ -15,7 +15,7 @@ RT-XEN the widest (VMM quantum + backend queueing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import (
     IOVirtSystem,
@@ -24,6 +24,7 @@ from repro.baselines import (
 )
 from repro.exp.fig7 import default_systems
 from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
 from repro.metrics.stats import LatencyStats, summarize
 from repro.sim.rng import RandomSource
 from repro.tasks import build_case_study_taskset, pad_to_target_utilization
@@ -60,6 +61,50 @@ class PredictabilityResult:
         return self.per_task_jitter[system].maximum
 
 
+@dataclass(frozen=True)
+class PredictabilityCell:
+    """One trial of the predictability experiment (all systems).
+
+    The workload is drawn once from the trial's own seeded stream and
+    shared across systems (the paper's paired-comparison requirement);
+    nothing crosses trial boundaries, so trials parallelize freely.
+    """
+
+    trial: int
+    seed: int
+    target_utilization: float
+    vm_count: int
+    horizon_slots: int
+    systems: Tuple[IOVirtSystem, ...]
+
+
+def run_predictability_cell(
+    cell: PredictabilityCell,
+) -> Dict[str, Tuple[List[float], Dict[str, List[float]]]]:
+    """One trial: per-system ``(pooled samples, per-task samples)``."""
+    base = build_case_study_taskset(vm_count=cell.vm_count)
+    config = TrialConfig(
+        horizon_slots=cell.horizon_slots, collect_responses=True
+    )
+    rng = RandomSource(
+        cell.seed + cell.trial,
+        f"pred.{cell.vm_count}.{cell.target_utilization}",
+    )
+    padded = pad_to_target_utilization(
+        base, cell.target_utilization, rng.spawn("pad"),
+        vm_count=cell.vm_count,
+    )
+    workload = prepare_workload(
+        padded, config, rng.spawn("wl"),
+        target_utilization=cell.target_utilization,
+    )
+    out: Dict[str, Tuple[List[float], Dict[str, List[float]]]] = {}
+    for system in cell.systems:
+        result = system.run_trial(workload, rng.spawn(system.name))
+        out[system.name] = (result.response_samples, result.response_by_task)
+    return out
+
+
 def run_predictability(
     *,
     target_utilization: float = 0.6,
@@ -68,32 +113,44 @@ def run_predictability(
     horizon_slots: int = 30_000,
     seed: int = 2021,
     systems: Optional[List[IOVirtSystem]] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> PredictabilityResult:
-    """Collect response samples for every system at one load level."""
+    """Collect response samples for every system at one load level.
+
+    Trials fan out over the :mod:`repro.exp.runner` backend; samples are
+    merged back in trial order, so the statistics are identical for any
+    worker count.
+    """
     if not 0 < target_utilization:
         raise ValueError(
             f"target utilization must be positive, got {target_utilization}"
         )
     systems = systems if systems is not None else default_systems()
-    base = build_case_study_taskset(vm_count=vm_count)
-    config = TrialConfig(horizon_slots=horizon_slots, collect_responses=True)
+    runner = runner if runner is not None else ExperimentRunner(jobs)
+    cells = [
+        PredictabilityCell(
+            trial=trial,
+            seed=seed,
+            target_utilization=target_utilization,
+            vm_count=vm_count,
+            horizon_slots=horizon_slots,
+            systems=tuple(systems),
+        )
+        for trial in range(trials)
+    ]
+    per_trial = runner.map(
+        run_predictability_cell, cells, label="predictability"
+    )
     samples: Dict[str, List[float]] = {system.name: [] for system in systems}
     by_task: Dict[str, Dict[str, List[float]]] = {
         system.name: {} for system in systems
     }
-    for trial in range(trials):
-        rng = RandomSource(seed + trial, f"pred.{vm_count}.{target_utilization}")
-        padded = pad_to_target_utilization(
-            base, target_utilization, rng.spawn("pad"), vm_count=vm_count
-        )
-        workload = prepare_workload(
-            padded, config, rng.spawn("wl"),
-            target_utilization=target_utilization,
-        )
+    for trial_result in per_trial:
         for system in systems:
-            result = system.run_trial(workload, rng.spawn(system.name))
-            samples[system.name].extend(result.response_samples)
-            for task_name, values in result.response_by_task.items():
+            pooled, per_task = trial_result[system.name]
+            samples[system.name].extend(pooled)
+            for task_name, values in per_task.items():
                 by_task[system.name].setdefault(task_name, []).extend(values)
     stats = {
         name: summarize(values) for name, values in samples.items() if values

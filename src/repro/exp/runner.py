@@ -1,0 +1,265 @@
+"""Parallel experiment execution: deterministic fan-out over worker processes.
+
+The sweep experiments (:mod:`repro.exp.fig7`, ``acceptance``,
+``predictability``) decompose into *cells* -- independent units such as
+one (vm group, system, utilization) point with its trials -- whose only
+inputs are a cell spec and seeds derived from the experiment seed.
+Nothing stochastic is shared between cells (every draw comes from a
+:class:`~repro.sim.rng.RandomSource` keyed by the cell's own
+coordinates), so cells may execute in any order, in any process, and
+still produce bit-identical results.
+
+:class:`ExperimentRunner` exploits exactly that contract:
+
+* ``jobs=1`` (the default) runs cells inline -- the reference serial
+  path;
+* ``jobs>1`` fans cells out over a ``concurrent.futures``
+  ``ProcessPoolExecutor`` and reassembles results **in submission
+  order**, so the output is independent of worker count and completion
+  order.  ``jobs=0`` means "one worker per CPU".
+
+The worker count resolves with the precedence *explicit argument* >
+``REPRO_JOBS`` environment variable > serial.  Cell functions and specs
+must be picklable (module-level functions, plain dataclasses) for the
+parallel path; the serial path has no such requirement, which is why it
+remains the default.
+
+Progress/ETA lines go to ``stderr`` (never ``stdout``, which carries the
+rendered tables), and every mapped phase is timed into a
+:class:`TimingSummary` whose :meth:`TimingSummary.as_dict` feeds the
+machine-readable ``timing.json`` artefact of ``python -m repro.exp
+export``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Environment knob consulted when no explicit ``jobs`` is given,
+#: mirroring ``REPRO_SCALE``.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_JOBS`` > 1 (serial).
+
+    ``0`` (from either source) requests one worker per available CPU.
+    Negative counts are rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Wall-clock record of one mapped phase."""
+
+    label: str
+    items: int
+    jobs: int
+    elapsed_seconds: float
+
+    @property
+    def items_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.items / self.elapsed_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "items": self.items,
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "items_per_second": self.items_per_second,
+        }
+
+
+@dataclass
+class TimingSummary:
+    """Machine-readable account of where an experiment run spent time."""
+
+    jobs: int
+    phases: List[PhaseTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(phase.elapsed_seconds for phase in self.phases)
+
+    def add(self, phase: PhaseTiming) -> None:
+        self.phases.append(phase)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "total_seconds": self.total_seconds,
+            "phases": [phase.as_dict() for phase in self.phases],
+        }
+
+
+class ProgressReporter:
+    """Throttled progress/ETA lines on a text stream.
+
+    One line per report -- plain ``label: done/total | elapsed | eta`` --
+    so output stays readable in logs and CI transcripts (no carriage
+    returns, no terminal control sequences).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        stream=None,
+        min_interval_seconds: float = 1.0,
+    ):
+        self.label = label
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_seconds = min_interval_seconds
+        self._started = time.perf_counter()
+        self._last_report = 0.0
+        self._done = 0
+
+    def advance(self, count: int = 1) -> None:
+        self._done += count
+        now = time.perf_counter()
+        finished = self._done >= self.total
+        if not finished and now - self._last_report < self.min_interval_seconds:
+            return
+        self._last_report = now
+        elapsed = now - self._started
+        if self._done > 0 and not finished:
+            eta = elapsed / self._done * (self.total - self._done)
+            eta_text = f" | eta {eta:6.1f}s"
+        else:
+            eta_text = ""
+        percent = 100.0 * self._done / self.total if self.total else 100.0
+        print(
+            f"{self.label}: {self._done}/{self.total} "
+            f"({percent:3.0f}%) | elapsed {elapsed:6.1f}s{eta_text}",
+            file=self.stream,
+        )
+
+
+class ExperimentRunner:
+    """Order-preserving map over experiment cells, serial or parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; resolved via :func:`resolve_jobs` (``None``
+        consults ``REPRO_JOBS``, ``1`` is serial, ``0`` is per-CPU).
+    progress:
+        ``True``/``False`` force progress reporting on or off; ``None``
+        enables it only when ``stream`` is a TTY.
+    stream:
+        Destination for progress lines (default ``sys.stderr``).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        progress: Optional[bool] = None,
+        stream=None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        if progress is None:
+            progress = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.progress = progress
+        self.timing = TimingSummary(jobs=self.jobs)
+
+    def map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        *,
+        label: str = "cells",
+    ) -> List[ResultT]:
+        """Apply ``fn`` to every item; results are in item order.
+
+        The parallel path requires ``fn`` and the items to be picklable;
+        any worker exception propagates to the caller (the remaining
+        futures are cancelled by pool shutdown).  The serial path and the
+        parallel path run the *same* cell function, so ``jobs`` can never
+        change results -- only wall-clock time.
+        """
+        items = list(items)
+        reporter = (
+            ProgressReporter(label, len(items), stream=self.stream)
+            if self.progress and items
+            else None
+        )
+        started = time.perf_counter()
+        workers = min(self.jobs, len(items)) if items else 0
+        if workers <= 1:
+            results = []
+            for item in items:
+                results.append(fn(item))
+                if reporter:
+                    reporter.advance()
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(fn, item) for item in items]
+                if reporter:
+                    for _ in as_completed(futures):
+                        reporter.advance()
+                # Reassembly in submission order makes the output
+                # independent of completion order.
+                results = [future.result() for future in futures]
+        self.timing.add(
+            PhaseTiming(
+                label=label,
+                items=len(items),
+                jobs=workers if workers > 0 else 1,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        )
+        return results
+
+    def starmap(
+        self,
+        fn: Callable[..., ResultT],
+        items: Iterable[Sequence],
+        *,
+        label: str = "cells",
+    ) -> List[ResultT]:
+        """:meth:`map` over argument tuples (picklable convenience)."""
+        return self.map(_StarCall(fn), [tuple(item) for item in items], label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExperimentRunner(jobs={self.jobs})"
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (lambdas cannot cross processes)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, args: Sequence):
+        return self.fn(*args)

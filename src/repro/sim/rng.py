@@ -24,8 +24,23 @@ class RandomSource(random.Random):
         super().__init__(seed)
 
     def spawn(self, child_name: str) -> "RandomSource":
-        """Derive an independent child stream keyed by ``child_name``."""
+        """Derive an independent child stream keyed by ``child_name``.
+
+        Derivation is *stateless* -- it hashes ``(seed_value, name)`` and
+        never touches this generator's position -- so children can be
+        spawned in any order, or in different processes, and still yield
+        the same draws.  The parallel experiment runner relies on this.
+        """
         return RandomSource(derive_seed(self.seed_value, child_name), child_name)
+
+    def streams(self, *child_names: str) -> "List[RandomSource]":
+        """Spawn several named children at once, in argument order.
+
+        Convenience over repeated :meth:`spawn`; ``pad, wl = rng.streams(
+        "pad", "wl")`` derives exactly the same streams as two spawn
+        calls, so it is safe to adopt without perturbing replay.
+        """
+        return [self.spawn(name) for name in child_names]
 
     # -- domain helpers ----------------------------------------------------
 

@@ -2,6 +2,22 @@
 
 import pytest
 
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # The analysis kernels are memoized (repro.analysis.cache): the first
+    # evaluation of an input is much slower than replays, which trips
+    # hypothesis's wall-clock deadline and too_slow health check on
+    # loaded CI boxes.  Timing is not a property under test here.
+    _hyp_settings.register_profile(
+        "repro",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+
 from repro.core.timeslot import TimeSlotTable
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomSource

@@ -149,6 +149,24 @@ class TestIOGuardHypervisor:
         with pytest.raises(ValueError):
             self.build().run_slots(-1)
 
+    def test_step_fractional_slot_rejected(self):
+        # Timeout upstream accepts float delays; the executor schedules
+        # whole slots, so a fractional slot leaking in is a caller bug.
+        with pytest.raises(ValueError, match="whole number of slots"):
+            self.build().step(1.5)
+
+    def test_step_integral_float_slot_normalized(self):
+        hypervisor = self.build()
+        hypervisor.step(3.0)  # same as step(3), no error
+
+    def test_run_slots_fractional_count_rejected(self):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            self.build().run_slots(2.5)
+
+    def test_run_slots_fractional_start_rejected(self):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            self.build().run_slots(4, start=0.5)
+
     def test_completion_hook(self):
         hypervisor = self.build()
         seen = []

@@ -5,6 +5,7 @@ import pytest
 from repro.core.timeslot import (
     TableOverflowError,
     TimeSlotTable,
+    as_slot_count,
     build_pchannel_table,
     merge_tables,
     stagger_offsets,
@@ -79,6 +80,69 @@ class TestTimeSlotTable:
     def test_length_cap(self):
         with pytest.raises(TableOverflowError):
             TimeSlotTable(10_000_000)
+
+
+class TestIntegerSlotTime:
+    """Slot-table time arguments must be whole slots.
+
+    The simulation layer measures time in floats (``Timeout`` accepts
+    ``2.5``); the hypervisor schedules in integer slots.  The slot-table
+    entry points normalize integral floats and reject fractional ones
+    instead of silently truncating a supply window or deadline.
+    """
+
+    def test_as_slot_count_passes_ints(self):
+        assert as_slot_count(7) == 7
+        assert as_slot_count(0) == 0
+
+    def test_as_slot_count_normalizes_integral_floats(self):
+        value = as_slot_count(7.0)
+        assert value == 7
+        assert isinstance(value, int)
+
+    def test_as_slot_count_rejects_fractions(self):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            as_slot_count(2.5, "delay")
+
+    def test_as_slot_count_rejects_bool_and_junk(self):
+        with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count(True)
+        with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count("3")
+        with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count(float("nan"))
+
+    def test_sbf_fractional_window_rejected(self, small_table):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            small_table.sbf(2.5)
+
+    def test_sbf_integral_float_window_normalized(self, small_table):
+        assert small_table.sbf(4.0) == small_table.sbf(4)
+
+    def test_enum_fractional_window_rejected(self, small_table):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            small_table.enum(1.5)
+
+    def test_is_occupied_fractional_slot_rejected(self, small_table):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            small_table.is_occupied(0.25)
+
+    def test_next_free_slot_fractional_rejected(self, small_table):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            small_table.next_free_slot(1.5)
+
+    def test_fractional_table_length_rejected(self):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            TimeSlotTable(5.5)
+
+    def test_fractional_occupied_slot_rejected(self):
+        with pytest.raises(ValueError, match="whole number of slots"):
+            TimeSlotTable(10, [0, 1.5])
+
+    def test_integral_float_table_arguments_normalized(self):
+        table = TimeSlotTable(10.0, [0.0, 4])
+        assert table.total_slots == 10
+        assert table.occupied_indices() == [0, 4]
 
 
 class TestBuildPchannelTable:

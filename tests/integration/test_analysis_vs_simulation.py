@@ -7,9 +7,12 @@ releases -- the analysis covers the worst case, the simulation is one
 realisation of it.
 """
 
+import random
+
 import pytest
 
 from repro.analysis import analyze_system
+from repro.analysis.lsched_test import lsched_schedulable
 from repro.core.gsched import ServerSpec
 from repro.core.pchannel import PChannel
 from repro.core.rchannel import RChannel
@@ -98,6 +101,87 @@ class TestSoundness:
         completed, _ = simulate(taskset, servers, 30_000)
         assert completed
         assert all(job.met_deadline() for job in completed)
+
+
+class TestDifferentialAdmissionSweep:
+    """Differential check of the admission tests against the simulator.
+
+    A seeded sweep over random (server, task set) instances spanning the
+    admission boundary: every L-Sched "yes" must survive simulation
+    without a miss, and the sweep must actually exercise both verdicts
+    (a test that only ever skips proves nothing).
+    """
+
+    def test_lsched_admissions_survive_simulation(self):
+        rng = random.Random(20210)
+        admitted = rejected = 0
+        for case in range(30):
+            pi = rng.randint(5, 20)
+            theta = rng.randint(2, pi)
+            bandwidth = theta / pi
+            tasks = generate_random_taskset(
+                9000 + case,
+                task_count=rng.randint(2, 5),
+                # Straddle the admission boundary so both verdicts occur.
+                total_utilization=bandwidth * rng.uniform(0.3, 1.2),
+                period_min=20,
+                period_max=200,
+                name=f"diff.lsched.{case}",
+            )
+            verdict = lsched_schedulable(pi, theta, tasks)
+            if not verdict.schedulable:
+                rejected += 1
+                continue
+            admitted += 1
+            horizon = min(20_000, 2 * tasks.hyperperiod)
+            completed, rchannel = simulate(
+                tasks, [ServerSpec(0, pi, theta)], horizon
+            )
+            misses = [
+                job for job in completed if job.met_deadline() is False
+            ]
+            assert not misses, (
+                f"L-Sched admitted case {case} (Pi={pi}, Theta={theta}) "
+                f"but simulation missed {[job.name for job in misses[:5]]}"
+            )
+            for pool in rchannel.pools.values():
+                for job in pool.queue.jobs():
+                    assert job.absolute_deadline > horizon
+        # Non-vacuity: the sweep crossed the boundary in both directions.
+        assert admitted >= 5, f"only {admitted} admitted instances"
+        assert rejected >= 5, f"only {rejected} rejected instances"
+
+    def test_gsched_designs_survive_simulation(self):
+        rng = random.Random(40)
+        admitted = rejected = 0
+        for case in range(12):
+            taskset = generate_random_taskset(
+                7000 + case,
+                task_count=rng.randint(4, 8),
+                total_utilization=rng.uniform(0.3, 0.8),
+                vm_count=2,
+                period_min=20,
+                period_max=200,
+                name=f"diff.gsched.{case}",
+            ).split_predefined(0.3)
+            verdict = analyze_system(taskset)
+            if not verdict.schedulable:
+                rejected += 1
+                continue
+            admitted += 1
+            servers = [
+                ServerSpec(vm, pi, theta)
+                for vm, (pi, theta) in sorted(verdict.design.servers.items())
+            ]
+            horizon = min(20_000, 2 * taskset.hyperperiod)
+            completed, _ = simulate(taskset, servers, horizon)
+            assert all(
+                job.met_deadline() is not False for job in completed
+            ), f"G-Sched admitted case {case} but simulation missed"
+        assert admitted >= 3, f"only {admitted} admitted designs"
+        # The utilization range reaches loads G-Sched must turn away;
+        # if it never does, the sweep is not testing the boundary.
+        assert rejected >= 1, "sweep never exercised a rejection"
 
 
 class TestUnschedulableSystemsDoMiss:

@@ -1,0 +1,183 @@
+"""Property tests locking down the parallel runner and the memo layer.
+
+Two families of guarantees, both stdlib-``random`` seeded (no hypothesis
+needed -- the draws themselves are the fixed property inputs):
+
+* **parallel == serial** -- the experiment sweeps produce identical
+  results for any worker count, because every cell derives its own
+  randomness from the experiment seed;
+* **cached == uncached** -- the memoized analysis kernels agree with
+  their retained reference implementations on randomized inputs, and a
+  warm cache agrees with a cold one.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.cache import cache_stats, clear_caches
+from repro.analysis.demand import (
+    dbf_step_points,
+    dbf_taskset,
+    dbf_taskset_uncached,
+)
+from repro.analysis.hyperperiod import lcm_all
+from repro.analysis.supply import sbf_server, sbf_server_uncached
+from repro.core.timeslot import TimeSlotTable
+from repro.exp.acceptance import run_acceptance
+from repro.exp.fig7 import CaseStudyConfig, run_case_study
+from repro.exp.runner import ExperimentRunner, resolve_jobs
+from repro.tasks.generators import generate_random_taskset
+
+SMOKE_CONFIG = CaseStudyConfig(
+    utilizations=(0.5, 0.7),
+    vm_groups=(4,),
+    trials=2,
+    horizon_slots=3_000,
+    use_env_scale=False,
+)
+
+
+class TestParallelEqualsSerial:
+    """The headline runner guarantee, at smoke scale."""
+
+    def test_fig7_sweep_identical(self):
+        serial = run_case_study(SMOKE_CONFIG, runner=ExperimentRunner(1))
+        parallel = run_case_study(SMOKE_CONFIG, runner=ExperimentRunner(3))
+        assert serial.groups.keys() == parallel.groups.keys()
+        for vm_count in serial.groups:
+            assert serial.groups[vm_count] == parallel.groups[vm_count]
+
+    def test_acceptance_sweep_identical(self):
+        kwargs = dict(
+            utilizations=(0.4, 0.6), samples=8, task_count=4, seed=7
+        )
+        serial = run_acceptance(runner=ExperimentRunner(1), **kwargs)
+        parallel = run_acceptance(runner=ExperimentRunner(2), **kwargs)
+        assert serial.points == parallel.points
+
+    def test_map_preserves_submission_order(self):
+        items = list(range(40))
+        runner = ExperimentRunner(4, progress=False)
+        assert runner.map(_square, items, label="order") == [
+            n * n for n in items
+        ]
+
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # one per CPU
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+def _square(n):
+    return n * n
+
+
+class TestCachedEqualsUncached:
+    """Memoized kernels agree with their reference implementations."""
+
+    def test_sbf_server_matches_reference(self):
+        rng = random.Random(1234)
+        for _ in range(300):
+            pi = rng.randint(2, 60)
+            theta = rng.randint(1, pi)
+            t = rng.randint(0, 6 * pi)
+            assert sbf_server(pi, theta, t) == sbf_server_uncached(
+                pi, theta, t
+            ), (pi, theta, t)
+
+    def test_sbf_server_warm_equals_cold(self):
+        rng = random.Random(99)
+        queries = [
+            (rng.randint(2, 40), None, rng.randint(0, 200))
+            for _ in range(100)
+        ]
+        queries = [(pi, max(1, pi // 2), t) for pi, _, t in queries]
+        clear_caches()
+        cold = [sbf_server(*q) for q in queries]
+        warm = [sbf_server(*q) for q in queries]
+        assert cold == warm
+        stats = cache_stats()["supply.sbf_server"]
+        assert stats["hits"] >= len(queries)
+
+    def test_dbf_taskset_matches_reference(self):
+        rng = random.Random(4321)
+        for case in range(25):
+            tasks = generate_random_taskset(
+                seed=1000 + case,
+                task_count=rng.randint(1, 6),
+                total_utilization=rng.uniform(0.2, 0.8),
+                period_min=10,
+                period_max=200,
+                implicit_deadlines=bool(case % 2),
+                name=f"prop.dbf.{case}",
+            )
+            for _ in range(20):
+                t = rng.randint(0, 500)
+                assert dbf_taskset(tasks, t) == dbf_taskset_uncached(
+                    tasks, t
+                ), (case, t)
+
+    def test_dbf_step_points_fresh_copies(self):
+        tasks = generate_random_taskset(
+            seed=5, task_count=4, total_utilization=0.5, name="prop.steps"
+        )
+        first = dbf_step_points(tasks, 300)
+        first.append(-1)  # caller mutation must not poison the cache
+        second = dbf_step_points(tasks, 300)
+        assert -1 not in second
+        assert second == sorted(second)
+
+    def test_mutated_taskset_not_served_stale(self):
+        # dbf_taskset keys on the task parameters, not the TaskSet
+        # object, so adding a task must change the demand immediately.
+        tasks = generate_random_taskset(
+            seed=11, task_count=3, total_utilization=0.4, name="prop.mut"
+        )
+        before = dbf_taskset(tasks, 400)
+        extra = generate_random_taskset(
+            seed=12, task_count=1, total_utilization=0.2, name="prop.extra"
+        )
+        for task in extra:
+            tasks.add(task)
+        after = dbf_taskset(tasks, 400)
+        assert after > before
+
+    def test_lcm_matches_math(self):
+        import math
+
+        rng = random.Random(777)
+        for _ in range(100):
+            values = [rng.randint(1, 40) for _ in range(rng.randint(1, 6))]
+            assert lcm_all(values) == math.lcm(*values)
+
+    def test_timeslot_sbf_cache_consistent(self):
+        rng = random.Random(2021)
+        for _ in range(20):
+            length = rng.randint(4, 60)
+            occupied = sorted(
+                rng.sample(range(length), rng.randint(0, length // 2))
+            )
+            table = TimeSlotTable(length, occupied)
+            fresh = TimeSlotTable(length, occupied)
+            windows = [rng.randint(0, length) for _ in range(30)]
+            # Query the cached table twice (cold then warm) against a
+            # fresh table queried once.
+            assert [table.sbf(w) for w in windows] == [
+                fresh.sbf(w) for w in windows
+            ]
+            assert [table.sbf(w) for w in windows] == [
+                fresh.sbf(w) for w in windows
+            ]
+            assert table.sbf_cache.hits > 0
+
+    def test_clear_caches_resets_stats(self):
+        sbf_server(10, 5, 17)
+        clear_caches()
+        stats = cache_stats()["supply.sbf_server"]
+        assert stats["currsize"] == 0

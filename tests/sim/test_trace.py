@@ -1,6 +1,14 @@
 """Unit tests for the trace recorder."""
 
+from repro.core.gsched import ServerSpec
+from repro.core.driver import VirtualizationDriver
+from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
+from repro.hw.controller import EthernetController
+from repro.hw.devices import EchoDevice
+from repro.sim.rng import RandomSource
 from repro.sim.trace import TraceRecorder
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
 
 
 class TestTraceRecorder:
@@ -59,3 +67,76 @@ class TestTraceRecorder:
         trace.record(1, "x", "s")
         trace.record(2, "y", "s")
         assert [e.category for e in trace] == ["x", "y"]
+
+
+def _run_platform(seed: int, horizon: int = 400):
+    """One full I/O-GUARD platform run with tracing: hypervisor +
+    P-channel table + R-channel servers + randomized runtime arrivals,
+    everything stochastic drawn from ``seed``."""
+    trace = TraceRecorder()
+    hypervisor = IOGuardHypervisor(HypervisorConfig(trace=trace))
+    predefined = TaskSet([
+        IOTask(
+            name="p0", period=10, wcet=2, kind=TaskKind.PREDEFINED,
+            device="eth0", payload_bytes=32,
+        ),
+    ])
+    driver = VirtualizationDriver(
+        EthernetController("eth0"), EchoDevice("dev", service_cycles=50)
+    )
+    hypervisor.attach_device(
+        "eth0", driver, predefined, [ServerSpec(0, 10, 4)]
+    )
+    rng = RandomSource(seed, "trace.regression")
+    tasks = [
+        IOTask(
+            name=f"r{i}", period=rng.randint(30, 80), wcet=rng.randint(1, 3),
+            vm_id=0, device="eth0", payload_bytes=32,
+        )
+        for i in range(4)
+    ]
+    arrivals = sorted(
+        (rng.randint(0, horizon // 2), task, index)
+        for index, task in enumerate(tasks)
+    )
+    cursor = 0
+    for slot in range(horizon):
+        while cursor < len(arrivals) and arrivals[cursor][0] == slot:
+            _slot, task, index = arrivals[cursor]
+            hypervisor.submit(task.job(release=slot, index=index))
+            cursor += 1
+        hypervisor.step(slot)
+    return trace
+
+
+class TestFullPlatformTraceRegression:
+    """Two identically-seeded platform runs must trace identically.
+
+    This is the end-to-end determinism contract the parallel experiment
+    runner builds on: all platform state evolves from the seed alone, so
+    a re-run (in any process) replays event for event.
+    """
+
+    @staticmethod
+    def _comparable(trace):
+        return [
+            (event.time, event.category, event.source,
+             sorted(event.payload.items()))
+            for event in trace.events
+        ]
+
+    def test_identical_seeds_identical_traces(self):
+        first = _run_platform(seed=2021)
+        second = _run_platform(seed=2021)
+        assert len(first) > 0, "run produced no trace events"
+        assert self._comparable(first) == self._comparable(second)
+        assert first.counters == second.counters
+
+    def test_different_seeds_diverge(self):
+        # Sanity: the trace actually depends on the seed (otherwise the
+        # regression above is vacuous).
+        baseline = self._comparable(_run_platform(seed=2021))
+        for other in (2022, 2023, 2024):
+            if self._comparable(_run_platform(seed=other)) != baseline:
+                return
+        raise AssertionError("traces never vary with the seed")
