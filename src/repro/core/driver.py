@@ -21,10 +21,11 @@ relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.translator import RealTimeTranslator
 from repro.hw.controller import IOController
-from repro.hw.devices import IODevice
+from repro.hw.devices import DeviceStalledError, IODevice
 from repro.hw.memory import MemoryBank
 
 #: Nominal size of the low-level controller driver code loaded into the
@@ -62,6 +63,64 @@ class OperationTiming:
         )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + bounded-retry/backoff parameters of the guarded path.
+
+    A stalled device must cost a *bounded* number of cycles: each failed
+    attempt charges ``timeout_cycles`` (the controller's transaction
+    timeout) plus a linearly growing ``backoff_cycles`` gap before the
+    next attempt, and after ``max_attempts`` the operation is abandoned
+    -- the executor never wedges on a dead device.
+    """
+
+    max_attempts: int = 3
+    timeout_cycles: int = 2_000
+    backoff_cycles: int = 500
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_cycles < 1:
+            raise ValueError(
+                f"timeout_cycles must be >= 1, got {self.timeout_cycles}"
+            )
+        if self.backoff_cycles < 0:
+            raise ValueError(
+                f"backoff_cycles must be >= 0, got {self.backoff_cycles}"
+            )
+
+    def penalty_cycles(self, attempt: int) -> int:
+        """Cycles one timed-out attempt costs (``attempt`` is 1-based)."""
+        return self.timeout_cycles + self.backoff_cycles * (attempt - 1)
+
+    @property
+    def worst_case_penalty_cycles(self) -> int:
+        """Bound on the cycles a fully-failed operation can burn."""
+        return sum(
+            self.penalty_cycles(attempt)
+            for attempt in range(1, self.max_attempts + 1)
+        )
+
+
+@dataclass(frozen=True)
+class GuardedOperation:
+    """Outcome of one guarded (timeout-protected) operation."""
+
+    timing: Optional[OperationTiming]
+    attempts: int
+    penalty_cycles: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.timing is not None
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles the executor actually spent, retries included."""
+        return self.penalty_cycles + (self.timing.total if self.timing else 0)
+
+
 class VirtualizationDriver:
     """Translator pair + standardized I/O controller + memory banks."""
 
@@ -90,6 +149,8 @@ class VirtualizationDriver:
         self.memory_bank.load(f"driver.{controller.protocol}", code_bytes)
         self.operations_executed = 0
         self.total_cycles = 0
+        self.retries_performed = 0
+        self.operations_timed_out = 0
 
     def execute_operation(self, payload_bytes: int) -> OperationTiming:
         """Run one I/O operation end to end; returns its cycle breakdown."""
@@ -109,6 +170,38 @@ class VirtualizationDriver:
         self.operations_executed += 1
         self.total_cycles += timing.total
         return timing
+
+    def execute_guarded(
+        self, payload_bytes: int, policy: Optional[RetryPolicy] = None
+    ) -> GuardedOperation:
+        """Run one operation under timeout + bounded retry/backoff.
+
+        A :class:`~repro.hw.devices.DeviceStalledError` from the device
+        costs ``policy.penalty_cycles(attempt)`` and triggers a retry;
+        after ``policy.max_attempts`` failures the operation is reported
+        as timed out (``succeeded == False``) so the caller -- typically
+        the manager's degradation policy -- can quarantine the device
+        instead of wedging the executor.
+        """
+        policy = policy or RetryPolicy()
+        penalty = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                timing = self.execute_operation(payload_bytes)
+            except DeviceStalledError:
+                penalty += policy.penalty_cycles(attempt)
+                if attempt < policy.max_attempts:
+                    self.retries_performed += 1
+                continue
+            self.total_cycles += penalty
+            return GuardedOperation(
+                timing=timing, attempts=attempt, penalty_cycles=penalty
+            )
+        self.operations_timed_out += 1
+        self.total_cycles += penalty
+        return GuardedOperation(
+            timing=None, attempts=policy.max_attempts, penalty_cycles=penalty
+        )
 
     def wcet_cycles(self, payload_bytes: int) -> int:
         """Bound on one operation's cycles for a given payload size."""

@@ -46,19 +46,32 @@ class ServerSpec:
 class _ServerState:
     """Run-time budget accounting for one server."""
 
-    __slots__ = ("spec", "budget", "deadline", "slots_consumed")
+    __slots__ = ("spec", "budget", "deadline", "slots_consumed", "_last_boundary")
 
     def __init__(self, spec: ServerSpec):
         self.spec = spec
         self.budget = 0
         self.deadline = 0
         self.slots_consumed = 0
+        self._last_boundary: Optional[int] = None
 
     def replenish_if_due(self, slot: int) -> None:
-        """Full replenishment at every multiple of the server period."""
-        if slot % self.spec.pi == 0:
-            self.budget = self.spec.theta
-            self.deadline = slot + self.spec.pi
+        """Full replenishment at the latest period boundary <= ``slot``.
+
+        A caller is allowed to advance the clock by more than one slot
+        (a fault-stalled executor, a hypervisor skipping P-channel
+        windows); every period boundary crossed since the last call
+        triggers a catch-up replenishment from the *most recent*
+        boundary, so servers never starve after a jump.  Budget does not
+        accumulate across missed periods -- unused budget is discarded
+        at each boundary, exactly as slot-by-slot ticking would have.
+        """
+        boundary = slot - slot % self.spec.pi
+        if self._last_boundary is not None and boundary <= self._last_boundary:
+            return
+        self.budget = self.spec.theta
+        self.deadline = boundary + self.spec.pi
+        self._last_boundary = boundary
 
 
 @dataclass(frozen=True)

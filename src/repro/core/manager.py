@@ -10,7 +10,8 @@ one level up in the hypervisor.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.gsched import ServerSpec
 from repro.core.lsched import SelectionPolicy, edf_policy
@@ -19,6 +20,109 @@ from repro.core.rchannel import RChannel
 from repro.core.timeslot import TimeSlotTable
 from repro.tasks.task import Job, TaskKind
 from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One graceful-degradation decision."""
+
+    slot: int
+    category: str  # "device" or "vm"
+    target: str
+    reason: str
+
+
+class DegradationPolicy:
+    """Quarantine faulting devices/VMs instead of wedging the executor.
+
+    Two symptom streams feed it:
+
+    * **device stalls** -- consecutive slots in which a device timed out
+      (reported via :meth:`note_stall`); after ``stall_limit`` the
+      device is quarantined and jobs targeting it should be dropped;
+    * **submission rejections** -- consecutive ``QueueFullError``
+      back-pressure from one VM (reported via :meth:`note_rejection`);
+      after ``reject_limit`` the VM is treated as a babbling idiot and
+      quarantined.
+
+    Both streaks reset on the first success, so transient overload or a
+    recovering device never trips the policy.  Decisions are a pure
+    function of the reported symptom sequence -- no clock or RNG -- so
+    replays are bit-identical.
+    """
+
+    def __init__(self, stall_limit: int = 3, reject_limit: int = 64):
+        if stall_limit < 1:
+            raise ValueError(f"stall_limit must be >= 1, got {stall_limit}")
+        if reject_limit < 1:
+            raise ValueError(f"reject_limit must be >= 1, got {reject_limit}")
+        self.stall_limit = stall_limit
+        self.reject_limit = reject_limit
+        self._stall_streaks: Dict[str, int] = {}
+        self._reject_streaks: Dict[int, int] = {}
+        self._quarantined: set = set()
+        self.log: List[QuarantineEvent] = []
+
+    # -- symptom reporting --------------------------------------------------
+
+    def note_stall(self, device: str, slot: int) -> bool:
+        """Record one stalled slot; True when this trips quarantine."""
+        key = ("device", device)
+        if key in self._quarantined:
+            return False
+        streak = self._stall_streaks.get(device, 0) + 1
+        self._stall_streaks[device] = streak
+        if streak >= self.stall_limit:
+            self._quarantine(key, slot, f"{streak} consecutive stalled slots")
+            return True
+        return False
+
+    def note_service(self, device: str) -> None:
+        """A request completed on ``device``; its streak resets."""
+        self._stall_streaks[device] = 0
+
+    def note_rejection(self, vm_id: int, slot: int) -> bool:
+        """Record one rejected submission; True when this trips quarantine."""
+        key = ("vm", vm_id)
+        if key in self._quarantined:
+            return False
+        streak = self._reject_streaks.get(vm_id, 0) + 1
+        self._reject_streaks[vm_id] = streak
+        if streak >= self.reject_limit:
+            self._quarantine(key, slot, f"{streak} consecutive rejections")
+            return True
+        return False
+
+    def note_accept(self, vm_id: int) -> None:
+        """A submission was accepted; the VM's streak resets."""
+        self._reject_streaks[vm_id] = 0
+
+    # -- state --------------------------------------------------------------
+
+    def _quarantine(self, key: Tuple[str, object], slot: int, reason: str) -> None:
+        self._quarantined.add(key)
+        self.log.append(
+            QuarantineEvent(
+                slot=slot, category=key[0], target=str(key[1]), reason=reason
+            )
+        )
+
+    def device_quarantined(self, device: str) -> bool:
+        return ("device", device) in self._quarantined
+
+    def vm_quarantined(self, vm_id: int) -> bool:
+        return ("vm", vm_id) in self._quarantined
+
+    @property
+    def quarantine_count(self) -> int:
+        return len(self._quarantined)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DegradationPolicy(stall_limit={self.stall_limit}, "
+            f"reject_limit={self.reject_limit}, "
+            f"quarantined={sorted(self._quarantined)})"
+        )
 
 
 class VirtualizationManager:
@@ -34,9 +138,11 @@ class VirtualizationManager:
         pool_capacity: int = 64,
         policy: SelectionPolicy = edf_policy,
         on_complete: Optional[Callable[[Job, int], None]] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         self.device = device
         self.on_complete = on_complete
+        self.degradation = degradation
         self.pchannel = PChannel(
             predefined, table=table, on_complete=self._completed
         )
@@ -51,28 +157,77 @@ class VirtualizationManager:
         #: processors is hundreds of times faster than the I/O devices",
         #: so the channel never blocks; we only count them.
         self.responses_forwarded = 0
+        #: Submissions refused because their target device is quarantined.
+        self.device_rejects = 0
 
     # -- request side -----------------------------------------------------------
 
-    def submit(self, job: Job) -> bool:
-        """Accept a run-time I/O job from a VM (R-channel path)."""
+    def submit(self, job: Job, slot: int = 0) -> bool:
+        """Accept a run-time I/O job from a VM (R-channel path).
+
+        With a :class:`DegradationPolicy` attached, rejections feed the
+        per-VM back-pressure streak; a VM that keeps flooding a full
+        pool is quarantined (its pool drained and masked from the
+        scheduler) instead of degrading every other VM's service.
+        """
         if job.task.kind != TaskKind.RUNTIME:
             raise ValueError(
                 f"job {job.name} is {job.task.kind.value}; pre-defined tasks "
                 "are loaded at initialization, not submitted at run time"
             )
-        return self.rchannel.submit(job)
+        if self.degradation is not None and self.degradation.device_quarantined(
+            job.task.device
+        ):
+            self.device_rejects += 1
+            return False
+        accepted = self.rchannel.submit(job)
+        if self.degradation is not None:
+            vm_id = job.task.vm_id
+            if accepted:
+                self.degradation.note_accept(vm_id)
+            elif vm_id not in self.rchannel.quarantined_vms:
+                if self.degradation.note_rejection(vm_id, slot):
+                    self.rchannel.quarantine_vm(vm_id)
+        return accepted
+
+    def report_device_stall(self, device: str, slot: int) -> bool:
+        """Feed one device-timeout symptom to the degradation policy.
+
+        Returns True when this report trips the quarantine: jobs
+        targeting the device are dropped from every pool (with a shadow
+        refresh) so the executor never re-selects a doomed job.
+        """
+        if self.degradation is None:
+            return False
+        tripped = self.degradation.note_stall(device, slot)
+        if tripped:
+            for pool in self.rchannel.pools.values():
+                pool.drop_matching(lambda job: job.task.device == device)
+        return tripped
+
+    def report_device_service(self, device: str) -> None:
+        """A request completed on ``device``; reset its stall streak."""
+        if self.degradation is not None:
+            self.degradation.note_service(device)
 
     # -- executor ---------------------------------------------------------------
 
-    def execute_slot(self, slot: int) -> Optional[Job]:
+    def execute_slot(
+        self,
+        slot: int,
+        guard: Optional[Callable[[Job, int], bool]] = None,
+    ) -> Optional[Job]:
         """Run one time slot: table-occupied slots go to the P-channel,
         free slots to the R-channel.  Returns a job completed this slot.
+
+        ``guard`` is forwarded to the R-channel executor (see
+        :meth:`repro.core.rchannel.RChannel.execute_slot`): it vetoes
+        the staged job for this slot when its device timed out.
         """
         self.rchannel.tick(slot)
         if self.pchannel.occupies(slot):
             return self.pchannel.execute_slot(slot)
-        return self.rchannel.execute_slot(slot)
+        return self.rchannel.execute_slot(slot, guard=guard)
 
     def _completed(self, job: Job, slot: int) -> None:
         self.completed_jobs.append(job)

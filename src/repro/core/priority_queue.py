@@ -44,7 +44,16 @@ class PriorityQueue:
         self.capacity = capacity
         self.name = name
         self._heap: List[Tuple[int, int, Job]] = []
+        #: Live entries keyed by insertion sequence number.  Sequence
+        #: numbers are monotonic and never reused, unlike ``id(job)``:
+        #: CPython recycles object ids after garbage collection, so an
+        #: id-keyed table can alias a lazily-deleted heap entry with an
+        #: unrelated live job under heavy job churn.
         self._live: Dict[int, Job] = {}
+        #: id(job) -> sequence, for O(1) random access on *live* jobs
+        #: (ids are unambiguous among concurrently-live objects; every
+        #: liveness decision goes through the sequence number).
+        self._seq_of: Dict[int, int] = {}
         self._sequence = itertools.count()
         # statistics
         self.total_inserted = 0
@@ -60,11 +69,12 @@ class PriorityQueue:
                 f"queue {self.name!r} full ({self.capacity} slots); "
                 f"cannot buffer {job.name}"
             )
-        key = id(job)
-        if key in self._live:
+        if id(job) in self._seq_of:
             raise ValueError(f"job {job.name} is already buffered in {self.name!r}")
-        heapq.heappush(self._heap, (job.absolute_deadline, next(self._sequence), job))
-        self._live[key] = job
+        seq = next(self._sequence)
+        heapq.heappush(self._heap, (job.absolute_deadline, seq, job))
+        self._live[seq] = job
+        self._seq_of[id(job)] = seq
         self.total_inserted += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._live))
 
@@ -80,32 +90,43 @@ class PriorityQueue:
         self._prune()
         if not self._heap:
             raise IndexError(f"pop from empty queue {self.name!r}")
-        _deadline, _seq, job = heapq.heappop(self._heap)
-        del self._live[id(job)]
+        _deadline, seq, job = heapq.heappop(self._heap)
+        del self._live[seq]
+        del self._seq_of[id(job)]
         self.total_removed += 1
         return job
 
     def remove(self, job: Job) -> bool:
         """Random-access removal; True when the job was buffered."""
-        key = id(job)
-        if key not in self._live:
+        seq = self._seq_of.get(id(job))
+        if seq is None or self._live.get(seq) is not job:
             return False
-        del self._live[key]
+        del self._live[seq]
+        del self._seq_of[id(job)]
         self.total_removed += 1
         # The heap entry stays until pruned (lazy deletion).
         return True
 
     def __contains__(self, job: Job) -> bool:
-        return id(job) in self._live
+        seq = self._seq_of.get(id(job))
+        return seq is not None and self._live.get(seq) is job
 
     # -- random-access parameter interface --------------------------------------
 
     def jobs(self) -> List[Job]:
-        """Snapshot of buffered jobs in deadline order (random access)."""
-        return sorted(
-            self._live.values(),
-            key=lambda job: (job.absolute_deadline, id(job)),
-        )
+        """Snapshot of buffered jobs in deadline order (random access).
+
+        Deadline ties break by insertion sequence -- the same order the
+        heap serves them -- so the snapshot is reproducible across runs
+        (an ``id``-based tie-break would depend on memory layout).
+        """
+        return [
+            job
+            for _seq, job in sorted(
+                self._live.items(),
+                key=lambda entry: (entry[1].absolute_deadline, entry[0]),
+            )
+        ]
 
     def find(self, predicate: Callable[[Job], bool]) -> Optional[Job]:
         """First job (deadline order) satisfying ``predicate``."""
@@ -120,7 +141,7 @@ class PriorityQueue:
     # -- bookkeeping ---------------------------------------------------------
 
     def _prune(self) -> None:
-        while self._heap and id(self._heap[0][2]) not in self._live:
+        while self._heap and self._heap[0][1] not in self._live:
             heapq.heappop(self._heap)
 
     def __len__(self) -> int:

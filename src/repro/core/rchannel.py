@@ -9,7 +9,7 @@ and completed jobs are removed from their priority queue.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.gsched import Allocation, GlobalScheduler, ServerSpec
 from repro.core.iopool import IOPool
@@ -39,6 +39,13 @@ class RChannel:
         self.jobs_completed = 0
         self.completed_jobs: List[Job] = []
         self.last_allocation: Optional[Allocation] = None
+        #: VMs removed from scheduling by the degradation policy; their
+        #: pools stop presenting work and their submissions bounce.
+        self.quarantined_vms: Set[int] = set()
+        self.quarantine_rejects = 0
+        #: Slots granted to a VM whose staged job could not run (device
+        #: timeout burned the slot without progress).
+        self.blocked_slots = 0
 
     # -- VM-side interface -----------------------------------------------------
 
@@ -50,7 +57,32 @@ class RChannel:
                 f"no I/O pool for VM {job.task.vm_id}; configured VMs: "
                 f"{sorted(self.pools)}"
             )
+        if job.task.vm_id in self.quarantined_vms:
+            self.quarantine_rejects += 1
+            return False
         return pool.submit(job)
+
+    # -- containment -----------------------------------------------------------
+
+    def quarantine_vm(self, vm_id: int) -> List[Job]:
+        """Mask a VM out of scheduling and drain its pool.
+
+        Graceful degradation for a babbling-idiot VM: its buffered jobs
+        are discarded (returned for accounting), further submissions are
+        rejected, and the G-Sched stops seeing the pool -- the idiot can
+        no longer consume even background slots.  Idempotent.
+        """
+        pool = self.pools.get(vm_id)
+        if pool is None:
+            raise KeyError(f"no I/O pool for VM {vm_id}")
+        if vm_id in self.quarantined_vms:
+            return []
+        self.quarantined_vms.add(vm_id)
+        return pool.drain()
+
+    def release_vm(self, vm_id: int) -> None:
+        """Lift a VM quarantine (operator action / fault cleared)."""
+        self.quarantined_vms.discard(vm_id)
 
     # -- executor ---------------------------------------------------------------
 
@@ -58,16 +90,26 @@ class RChannel:
         """Advance server budgets to ``slot`` (every slot, free or not)."""
         self.gsched.tick(slot)
 
-    def execute_slot(self, slot: int) -> Optional[Job]:
+    def execute_slot(
+        self,
+        slot: int,
+        guard: Optional[Callable[[Job, int], bool]] = None,
+    ) -> Optional[Job]:
         """Run one free slot of R-channel work; returns a completed job.
 
         Returns None when the slot idles or the staged job needs more
-        slots.
+        slots.  ``guard`` is the containment hook: called with the
+        allocated staged job, a False return means the job's device
+        timed out this slot -- the slot is *burned* (budget already
+        consumed, no progress made) and counted in
+        :attr:`blocked_slots`.  The burn is charged to the faulting
+        VM's own allocation, never to another VM's budget.
         """
         pending = {
             vm_id: deadline
             for vm_id, pool in self.pools.items()
-            if (deadline := pool.staged_deadline()) is not None
+            if vm_id not in self.quarantined_vms
+            and (deadline := pool.staged_deadline()) is not None
         }
         allocation = self.gsched.allocate(slot, pending)
         self.last_allocation = allocation
@@ -75,6 +117,9 @@ class RChannel:
             return None
         pool = self.pools[allocation.vm_id]
         job = pool.shadow
+        if guard is not None and job is not None and not guard(job, slot):
+            self.blocked_slots += 1
+            return None
         if job is not None and job.started_at is None:
             job.started_at = float(slot)
         completed = pool.execute_slot()

@@ -40,7 +40,9 @@ def as_slot_count(value, what: str = "slot value") -> int:
     caller bug and raise ``ValueError`` instead of silently truncating a
     deadline or supply window.
     """
-    if isinstance(value, (bool, str, bytes)):
+    if isinstance(value, (bool, np.bool_, str, bytes)):
+        # bool is an int subclass (and numpy bools compare equal to 0/1),
+        # so without this guard True would silently normalize to 1 slot.
         raise ValueError(f"{what} must be an integer slot count, got {value!r}")
     if isinstance(value, int):
         return value

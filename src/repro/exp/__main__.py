@@ -9,6 +9,7 @@ Usage::
     python -m repro.exp fig8
     python -m repro.exp predictability
     python -m repro.exp isolation
+    python -m repro.exp faults [--fault-trace PATH]
     python -m repro.exp acceptance
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
@@ -39,7 +40,12 @@ from repro.exp.export import (
 from repro.exp.fig6 import render_fig6
 from repro.exp.fig7 import CaseStudyConfig, render_fig7, run_case_study
 from repro.exp.fig8 import render_fig8
-from repro.exp.isolation import render_isolation, run_isolation
+from repro.exp.isolation import (
+    render_fault_isolation,
+    render_isolation,
+    run_fault_isolation,
+    run_isolation,
+)
 from repro.exp.predictability import render_predictability, run_predictability
 from repro.exp.runner import ExperimentRunner
 from repro.exp.table1 import render_table1
@@ -52,6 +58,7 @@ EXPERIMENTS = [
     "fig8",
     "predictability",
     "isolation",
+    "faults",
     "acceptance",
     "export",
 ]
@@ -82,6 +89,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=Path("results"),
         help="output directory for the export subcommand",
+    )
+    parser.add_argument(
+        "--fault-trace", type=Path, default=None,
+        help="write the faults subcommand's fault trace (JSONL) here; "
+        "byte-identical for identical --seed (the determinism contract)",
     )
     args = parser.parse_args(argv)
 
@@ -116,6 +128,18 @@ def main(argv=None) -> int:
     if args.experiment in ("all", "isolation"):
         print(render_isolation(run_isolation(horizon_slots=args.horizon // 2)))
         print()
+    if args.experiment in ("all", "faults"):
+        fault_result = run_fault_isolation(
+            seed=args.seed, horizon_slots=args.horizon // 6
+        )
+        print(render_fault_isolation(fault_result))
+        print()
+        if args.fault_trace is not None:
+            args.fault_trace.parent.mkdir(parents=True, exist_ok=True)
+            args.fault_trace.write_text(fault_result.fault_trace_jsonl)
+            # stderr keeps stdout byte-comparable across runs with
+            # different trace paths (the CI determinism check).
+            print(f"wrote {args.fault_trace}", file=sys.stderr)
     if args.experiment in ("all", "acceptance"):
         print(render_acceptance(run_acceptance(seed=args.seed, runner=runner)))
     if args.experiment == "export":

@@ -1,0 +1,54 @@
+"""Deterministic fault injection (robustness layer).
+
+The reproduction's isolation claim -- victim VMs keep their deadlines
+while other VMs or devices misbehave -- is only testable with
+reproducible hostility.  This package provides it:
+
+* :mod:`repro.faults.plan` -- seed-derived, serializable
+  :class:`~repro.faults.plan.FaultPlan` (device stalls, NoC link faults,
+  packet drops, babbling-idiot queue storms);
+* :mod:`repro.faults.injectors` -- wiring a plan into
+  :mod:`repro.hw.devices`, :mod:`repro.noc` and the I/O-pool submission
+  path, in slot-loop or event-engine mode;
+* :mod:`repro.faults.trace` -- the canonical
+  :class:`~repro.faults.trace.FaultTrace` whose digest states the
+  determinism contract (same seed + plan => byte-identical trace).
+
+Containment lives on the hypervisor side, not here: bounded
+retry/backoff in :mod:`repro.core.driver`, quarantine policy in
+:mod:`repro.core.manager`, back-pressure accounting in
+:mod:`repro.metrics.backpressure`.
+"""
+
+from repro.faults.plan import (
+    DeviceStallFault,
+    FaultPlan,
+    FaultWindow,
+    NocLinkFault,
+    PacketDropFault,
+    QueueStormFault,
+    generate_fault_plan,
+)
+from repro.faults.injectors import (
+    DeviceStallInjector,
+    FaultController,
+    NocFaultInjector,
+    StormInjector,
+)
+from repro.faults.trace import FaultEvent, FaultTrace
+
+__all__ = [
+    "DeviceStallFault",
+    "DeviceStallInjector",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTrace",
+    "FaultWindow",
+    "NocFaultInjector",
+    "NocLinkFault",
+    "PacketDropFault",
+    "QueueStormFault",
+    "StormInjector",
+    "generate_fault_plan",
+]

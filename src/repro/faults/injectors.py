@@ -1,0 +1,267 @@
+"""Injectors: wire a :class:`~repro.faults.plan.FaultPlan` into the
+hardware models.
+
+Two consumption modes, both deterministic:
+
+* **slot-loop** -- slot-granular experiments call
+  :meth:`FaultController.on_slot` once per slot; window edges toggle,
+  storm jobs materialize, everything lands in the
+  :class:`~repro.faults.trace.FaultTrace` in slot order;
+* **event-engine** -- engine-driven models call
+  :meth:`FaultController.attach`, which hands the plan to
+  :meth:`repro.sim.engine.Simulator.consume_fault_plan`; edges fire as
+  simulator events at :data:`~repro.sim.engine.FAULT_EVENT_PRIORITY`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import (
+    DeviceStallFault,
+    FaultPlan,
+    NocLinkFault,
+    PacketDropFault,
+    QueueStormFault,
+)
+from repro.faults.trace import FaultTrace
+from repro.hw.devices import IODevice
+from repro.tasks.task import Criticality, IOTask, Job
+from repro.tasks.taskset import TaskSet
+
+
+class DeviceStallInjector:
+    """Toggles a device's stalled state at the fault's window edges."""
+
+    def __init__(
+        self,
+        fault: DeviceStallFault,
+        device: IODevice,
+        trace: Optional[FaultTrace] = None,
+    ):
+        if device.name != fault.device:
+            raise ValueError(
+                f"fault targets device {fault.device!r}, got {device.name!r}"
+            )
+        self.fault = fault
+        self.device = device
+        self.trace = trace
+
+    def apply(self, action: str, slot: int) -> None:
+        if action == "activate":
+            self.device.begin_stall()
+        else:
+            self.device.end_stall()
+        if self.trace is not None:
+            self.trace.record(slot, self.fault.kind, self.fault.target, action)
+
+    def on_slot(self, slot: int) -> None:
+        if slot == self.fault.window.start_slot:
+            self.apply("activate", slot)
+        if slot == self.fault.window.end_slot:
+            self.apply("clear", slot)
+
+
+class StormInjector:
+    """Materializes a babbling-idiot VM's flood, slot by slot.
+
+    Job identity is a pure function of ``(fault, slot, position)``, so
+    two runs -- or two disciplines inside one experiment facing "the
+    same" attack -- obtain identical job sequences without sharing
+    mutable state.
+    """
+
+    def __init__(
+        self, fault: QueueStormFault, trace: Optional[FaultTrace] = None
+    ):
+        self.fault = fault
+        self.trace = trace
+        # Storm jobs masquerade as a legitimate runtime task of the VM;
+        # period == deadline keeps the IOTask invariants satisfied while
+        # the *actual* release rate violates the declared contract
+        # (that's the attack).
+        self.task = IOTask(
+            name=f"storm.vm{fault.vm_id}",
+            period=fault.deadline_slots,
+            wcet=fault.wcet_slots,
+            deadline=fault.deadline_slots,
+            vm_id=fault.vm_id,
+            criticality=Criticality.SYNTHETIC,
+            device=fault.device,
+            payload_bytes=fault.payload_bytes,
+        )
+        self.jobs_generated = 0
+
+    def jobs_for_slot(self, slot: int) -> List[Job]:
+        """Storm releases at ``slot`` (empty outside the window)."""
+        if not self.fault.window.active(slot):
+            return []
+        base = (slot - self.fault.window.start_slot) * self.fault.jobs_per_slot
+        jobs = [
+            self.task.job(release=slot, index=base + position)
+            for position in range(self.fault.jobs_per_slot)
+        ]
+        self.jobs_generated += len(jobs)
+        return jobs
+
+    def apply(self, action: str, slot: int) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                slot,
+                self.fault.kind,
+                self.fault.target,
+                action,
+                jobs_per_slot=self.fault.jobs_per_slot,
+            )
+
+    def on_slot_edges(self, slot: int) -> None:
+        if slot == self.fault.window.start_slot:
+            self.apply("activate", slot)
+        if slot == self.fault.window.end_slot:
+            self.apply("clear", slot)
+
+
+class NocFaultInjector:
+    """Applies link-down and packet-drop faults to a ``NocNetwork``."""
+
+    def __init__(
+        self,
+        network,
+        faults: Sequence,
+        trace: Optional[FaultTrace] = None,
+    ):
+        self.network = network
+        self.faults = list(faults)
+        self.trace = trace
+        self._active_drops: List[PacketDropFault] = []
+        for fault in self.faults:
+            if not isinstance(fault, (NocLinkFault, PacketDropFault)):
+                raise TypeError(
+                    f"NocFaultInjector handles NoC faults only, got "
+                    f"{type(fault).__name__}"
+                )
+
+    def _refresh_drop_rule(self) -> None:
+        if self._active_drops:
+            active = tuple(self._active_drops)
+            self.network.drop_rule = lambda packet: any(
+                fault.matches(packet.packet_id) for fault in active
+            )
+        else:
+            self.network.drop_rule = None
+
+    def apply(self, action: str, fault, slot: int) -> None:
+        if isinstance(fault, NocLinkFault):
+            if action == "activate":
+                self.network.fail_link(fault.link)
+            else:
+                self.network.restore_link(fault.link)
+        else:
+            if action == "activate":
+                if fault not in self._active_drops:
+                    self._active_drops.append(fault)
+            else:
+                if fault in self._active_drops:
+                    self._active_drops.remove(fault)
+            self._refresh_drop_rule()
+        if self.trace is not None:
+            self.trace.record(slot, fault.kind, fault.target, action)
+
+    def on_slot(self, slot: int) -> None:
+        for fault in self.faults:
+            if slot == fault.window.start_slot:
+                self.apply("activate", fault, slot)
+            if slot == fault.window.end_slot:
+                self.apply("clear", fault, slot)
+
+
+class FaultController:
+    """One object wiring a whole plan into a run.
+
+    ``devices`` maps device name -> :class:`IODevice` for stall faults;
+    ``network`` (optional) receives NoC faults.  Storm faults always get
+    a :class:`StormInjector`; their jobs are returned from
+    :meth:`on_slot` for the harness to submit through the normal driver
+    path (back-pressure and containment must see them like any other
+    submission).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        devices: Optional[Dict[str, IODevice]] = None,
+        network=None,
+        trace: Optional[FaultTrace] = None,
+    ):
+        self.plan = plan
+        self.trace = trace if trace is not None else FaultTrace()
+        devices = devices or {}
+        self.device_injectors: List[DeviceStallInjector] = []
+        for fault in plan.device_stalls:
+            if fault.device not in devices:
+                raise ValueError(
+                    f"plan stalls device {fault.device!r} but no such device "
+                    f"was provided (have {sorted(devices)})"
+                )
+            self.device_injectors.append(
+                DeviceStallInjector(fault, devices[fault.device], self.trace)
+            )
+        self.storm_injectors: List[StormInjector] = [
+            StormInjector(fault, self.trace) for fault in plan.storms
+        ]
+        noc_faults = list(plan.link_faults) + list(plan.drop_faults)
+        self.noc_injector: Optional[NocFaultInjector] = None
+        if noc_faults:
+            if network is None:
+                raise ValueError(
+                    "plan contains NoC faults but no network was provided"
+                )
+            self.noc_injector = NocFaultInjector(network, noc_faults, self.trace)
+
+    # -- slot-loop mode -----------------------------------------------------
+
+    def on_slot(self, slot: int) -> List[Job]:
+        """Apply window edges for ``slot``; return storm jobs to submit."""
+        for injector in self.device_injectors:
+            injector.on_slot(slot)
+        if self.noc_injector is not None:
+            self.noc_injector.on_slot(slot)
+        jobs: List[Job] = []
+        for injector in self.storm_injectors:
+            injector.on_slot_edges(slot)
+            jobs.extend(injector.jobs_for_slot(slot))
+        return jobs
+
+    # -- event-engine mode ---------------------------------------------------
+
+    def attach(self, sim, cycles_per_slot: int = 1) -> int:
+        """Schedule every fault edge on ``sim``; returns the edge count.
+
+        Storm faults stay slot-loop-only (they need a submission path);
+        attach accepts them but only their activate/clear edges fire, so
+        harnesses can log the window even in engine mode.
+        """
+        return sim.consume_fault_plan(
+            self.plan, self._dispatch, cycles_per_slot=cycles_per_slot
+        )
+
+    def _dispatch(self, action: str, fault, slot: int) -> None:
+        if isinstance(fault, DeviceStallFault):
+            for injector in self.device_injectors:
+                if injector.fault == fault:
+                    injector.apply(action, slot)
+        elif isinstance(fault, (NocLinkFault, PacketDropFault)):
+            if self.noc_injector is not None:
+                self.noc_injector.apply(action, fault, slot)
+        elif isinstance(fault, QueueStormFault):
+            for injector in self.storm_injectors:
+                if injector.fault == fault:
+                    injector.apply(action, slot)
+
+    def storm_taskset(self) -> TaskSet:
+        """The storm tasks as a task set (admission-test comparisons)."""
+        return TaskSet(
+            [injector.task for injector in self.storm_injectors],
+            name=f"{self.plan.name}.storms",
+        )

@@ -1,0 +1,410 @@
+"""Seeded, deterministic fault plans.
+
+The paper claims *guaranteed* real-time I/O even when other VMs or
+devices misbehave (per-VM I/O pools, footnote 1); exercising that claim
+needs reproducible hostility.  A :class:`FaultPlan` is a static,
+seed-derived description of every fault a run will see:
+
+* :class:`DeviceStallFault` -- an external device stops answering for a
+  bounded window (wedged sensor bus, brown-out);
+* :class:`NocLinkFault` -- a directed NoC link goes down;
+* :class:`PacketDropFault` -- routers discard a deterministic subset of
+  packets (corrupted headers);
+* :class:`QueueStormFault` -- a babbling-idiot VM floods its I/O pool
+  with contract-violating short-deadline jobs.
+
+Like PR 1's sweep cells, every parameter derives *statelessly* from the
+experiment seed (:func:`repro.sim.rng.derive_seed`), so two runs with
+the same seed build byte-identical plans -- the determinism contract the
+fault trace and the CI smoke job assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.sim.rng import RandomSource, derive_seed
+
+
+@dataclass(frozen=True, order=True)
+class FaultWindow:
+    """Half-open activity interval ``[start_slot, end_slot)``."""
+
+    start_slot: int
+    duration_slots: int
+
+    def __post_init__(self):
+        if self.start_slot < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start_slot}")
+        if self.duration_slots < 1:
+            raise ValueError(
+                f"fault duration must be >= 1 slot, got {self.duration_slots}"
+            )
+
+    @property
+    def end_slot(self) -> int:
+        return self.start_slot + self.duration_slots
+
+    def active(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class DeviceStallFault:
+    """Device ``device`` answers nothing during the window."""
+
+    kind: ClassVar[str] = "device-stall"
+    window: FaultWindow
+    device: str
+
+    @property
+    def target(self) -> str:
+        return self.device
+
+
+@dataclass(frozen=True)
+class NocLinkFault:
+    """Directed mesh link ``source -> destination`` is down."""
+
+    kind: ClassVar[str] = "noc-link-down"
+    window: FaultWindow
+    source: Tuple[int, int]
+    destination: Tuple[int, int]
+
+    @property
+    def link(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        return (self.source, self.destination)
+
+    @property
+    def target(self) -> str:
+        return f"{self.source}->{self.destination}"
+
+
+@dataclass(frozen=True)
+class PacketDropFault:
+    """Drop packets with ``packet_id % modulus == phase`` in the window.
+
+    Modulus-based selection is a deterministic function of the packet,
+    not of a shared RNG stream, so the set of dropped packets is
+    independent of injection order -- the property that keeps parallel
+    and serial replays identical.
+    """
+
+    kind: ClassVar[str] = "noc-packet-drop"
+    window: FaultWindow
+    modulus: int
+    phase: int
+
+    def __post_init__(self):
+        if self.modulus < 2:
+            raise ValueError(f"drop modulus must be >= 2, got {self.modulus}")
+        if not 0 <= self.phase < self.modulus:
+            raise ValueError(
+                f"drop phase must lie in [0, {self.modulus}), got {self.phase}"
+            )
+
+    @property
+    def target(self) -> str:
+        return f"id%{self.modulus}=={self.phase}"
+
+    def matches(self, packet_id: int) -> bool:
+        return packet_id % self.modulus == self.phase
+
+
+@dataclass(frozen=True)
+class QueueStormFault:
+    """Babbling-idiot VM: ``jobs_per_slot`` extra jobs every storm slot.
+
+    The storm jobs carry deliberately tight deadlines (``deadline_slots``)
+    so that schedulers without per-VM budgets -- global EDF, shared FIFO
+    -- are forced to serve the idiot ahead of well-behaved traffic.
+    """
+
+    kind: ClassVar[str] = "queue-storm"
+    window: FaultWindow
+    vm_id: int
+    jobs_per_slot: int
+    deadline_slots: int
+    wcet_slots: int = 1
+    payload_bytes: int = 64
+    device: str = "io0"
+
+    def __post_init__(self):
+        if self.vm_id < 0:
+            raise ValueError(f"storm vm_id must be >= 0, got {self.vm_id}")
+        if self.jobs_per_slot < 1:
+            raise ValueError(
+                f"storm rate must be >= 1 job/slot, got {self.jobs_per_slot}"
+            )
+        if not 0 < self.wcet_slots <= self.deadline_slots:
+            raise ValueError(
+                f"storm wcet must satisfy 0 < wcet <= deadline, got "
+                f"wcet={self.wcet_slots}, deadline={self.deadline_slots}"
+            )
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative storm payload: {self.payload_bytes}")
+
+    @property
+    def target(self) -> str:
+        return f"vm{self.vm_id}"
+
+
+#: Registry used by (de)serialization; insertion order is the canonical
+#: kind order for tie-breaking simultaneous fault edges.
+FAULT_TYPES = {
+    DeviceStallFault.kind: DeviceStallFault,
+    NocLinkFault.kind: NocLinkFault,
+    PacketDropFault.kind: PacketDropFault,
+    QueueStormFault.kind: QueueStormFault,
+}
+
+FaultSpec = Any  # union of the dataclasses above (py3.9-friendly alias)
+
+
+def _fault_to_dict(fault: FaultSpec) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "kind": fault.kind,
+        "start_slot": fault.window.start_slot,
+        "duration_slots": fault.window.duration_slots,
+    }
+    if isinstance(fault, DeviceStallFault):
+        data["device"] = fault.device
+    elif isinstance(fault, NocLinkFault):
+        data["source"] = list(fault.source)
+        data["destination"] = list(fault.destination)
+    elif isinstance(fault, PacketDropFault):
+        data["modulus"] = fault.modulus
+        data["phase"] = fault.phase
+    elif isinstance(fault, QueueStormFault):
+        data.update(
+            vm_id=fault.vm_id,
+            jobs_per_slot=fault.jobs_per_slot,
+            deadline_slots=fault.deadline_slots,
+            wcet_slots=fault.wcet_slots,
+            payload_bytes=fault.payload_bytes,
+            device=fault.device,
+        )
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown fault type {type(fault).__name__}")
+    return data
+
+
+def _fault_from_dict(data: Dict[str, Any]) -> FaultSpec:
+    kind = data.get("kind")
+    if kind not in FAULT_TYPES:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    window = FaultWindow(
+        start_slot=int(data["start_slot"]),
+        duration_slots=int(data["duration_slots"]),
+    )
+    if kind == DeviceStallFault.kind:
+        return DeviceStallFault(window=window, device=str(data["device"]))
+    if kind == NocLinkFault.kind:
+        return NocLinkFault(
+            window=window,
+            source=tuple(data["source"]),
+            destination=tuple(data["destination"]),
+        )
+    if kind == PacketDropFault.kind:
+        return PacketDropFault(
+            window=window,
+            modulus=int(data["modulus"]),
+            phase=int(data["phase"]),
+        )
+    return QueueStormFault(
+        window=window,
+        vm_id=int(data["vm_id"]),
+        jobs_per_slot=int(data["jobs_per_slot"]),
+        deadline_slots=int(data["deadline_slots"]),
+        wcet_slots=int(data.get("wcet_slots", 1)),
+        payload_bytes=int(data.get("payload_bytes", 64)),
+        device=str(data.get("device", "io0")),
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seed-stamped collection of fault specifications."""
+
+    name: str
+    seed: int
+    faults: Tuple[FaultSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[FaultSpec]:
+        if kind not in FAULT_TYPES:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return [fault for fault in self.faults if fault.kind == kind]
+
+    @property
+    def device_stalls(self) -> List[DeviceStallFault]:
+        return self.of_kind(DeviceStallFault.kind)
+
+    @property
+    def link_faults(self) -> List[NocLinkFault]:
+        return self.of_kind(NocLinkFault.kind)
+
+    @property
+    def drop_faults(self) -> List[PacketDropFault]:
+        return self.of_kind(PacketDropFault.kind)
+
+    @property
+    def storms(self) -> List[QueueStormFault]:
+        return self.of_kind(QueueStormFault.kind)
+
+    def events(self) -> Iterator[Tuple[int, str, int, FaultSpec]]:
+        """Activation/clear edges: ``(slot, action, fault_index, fault)``.
+
+        Sorted by ``(slot, action, kind-order, index)`` with ``clear``
+        before ``activate`` at equal slots (a window ending exactly when
+        another begins never yields a double-active instant).  The order
+        is a pure function of the plan -- the simulator relies on that
+        for replay (:meth:`repro.sim.engine.Simulator.consume_fault_plan`).
+        """
+        kind_order = {kind: rank for rank, kind in enumerate(FAULT_TYPES)}
+        edges = []
+        for index, fault in enumerate(self.faults):
+            edges.append(
+                (fault.window.start_slot, 1, kind_order[fault.kind], index, "activate", fault)
+            )
+            edges.append(
+                (fault.window.end_slot, 0, kind_order[fault.kind], index, "clear", fault)
+            )
+        edges.sort(key=lambda edge: edge[:4])
+        for slot, _rank, _kind_rank, index, action, fault in edges:
+            yield (slot, action, index, fault)
+
+    @property
+    def horizon_hint(self) -> int:
+        """Last slot any fault is active (sizing aid for harnesses)."""
+        return max((fault.window.end_slot for fault in self.faults), default=0)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [_fault_to_dict(fault) for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            name=str(data["name"]),
+            seed=int(data["seed"]),
+            faults=tuple(_fault_from_dict(entry) for entry in data["faults"]),
+        )
+
+    def canonical_json(self) -> str:
+        """Stable byte representation (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical form; the plan's replay identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {}
+        for fault in self.faults:
+            kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        return f"FaultPlan({self.name!r}, seed={self.seed}, {kinds})"
+
+
+def _window_in(
+    rng: RandomSource, horizon: int, start_frac: Tuple[float, float],
+    dur_frac: Tuple[float, float],
+) -> FaultWindow:
+    start = rng.randint(
+        max(0, int(horizon * start_frac[0])), max(1, int(horizon * start_frac[1]))
+    )
+    duration = rng.randint(
+        max(1, int(horizon * dur_frac[0])), max(2, int(horizon * dur_frac[1]))
+    )
+    return FaultWindow(start_slot=start, duration_slots=duration)
+
+
+def generate_fault_plan(
+    seed: int,
+    *,
+    horizon_slots: int,
+    devices: Sequence[str] = (),
+    storm_vms: Sequence[int] = (),
+    links: Sequence[Tuple[Tuple[int, int], Tuple[int, int]]] = (),
+    packet_drop: bool = False,
+    storm_jobs_per_slot: int = 0,
+    storm_device: str = "io0",
+    name: str = "faultplan",
+) -> FaultPlan:
+    """Derive a :class:`FaultPlan` statelessly from ``seed``.
+
+    Each fault draws its parameters from its own child stream keyed by
+    ``(seed, name, kind, target)``, so adding or removing one fault
+    never perturbs the draws of another -- the same discipline the
+    parallel experiment runner applies to sweep cells.
+
+    ``storm_jobs_per_slot`` overrides the drawn storm rate when > 0
+    (experiments that must guarantee overload use this).
+    """
+    if horizon_slots < 10:
+        raise ValueError(f"horizon too short for faults: {horizon_slots}")
+    faults: List[FaultSpec] = []
+    for device in devices:
+        rng = RandomSource(derive_seed(seed, f"{name}.stall.{device}"))
+        faults.append(
+            DeviceStallFault(
+                window=_window_in(rng, horizon_slots, (0.25, 0.45), (0.08, 0.15)),
+                device=device,
+            )
+        )
+    for vm_id in storm_vms:
+        rng = RandomSource(derive_seed(seed, f"{name}.storm.{vm_id}"))
+        window = _window_in(rng, horizon_slots, (0.10, 0.30), (0.15, 0.30))
+        rate = storm_jobs_per_slot or rng.randint(2, 6)
+        faults.append(
+            QueueStormFault(
+                window=window,
+                vm_id=vm_id,
+                jobs_per_slot=rate,
+                deadline_slots=rng.randint(8, 24),
+                wcet_slots=1,
+                payload_bytes=rng.choice((16, 32, 64)),
+                device=storm_device,
+            )
+        )
+    for link in links:
+        source, destination = tuple(link[0]), tuple(link[1])
+        rng = RandomSource(
+            derive_seed(seed, f"{name}.link.{source}->{destination}")
+        )
+        faults.append(
+            NocLinkFault(
+                window=_window_in(rng, horizon_slots, (0.30, 0.55), (0.05, 0.12)),
+                source=source,
+                destination=destination,
+            )
+        )
+    if packet_drop:
+        rng = RandomSource(derive_seed(seed, f"{name}.drop"))
+        modulus = rng.randint(5, 13)
+        faults.append(
+            PacketDropFault(
+                window=_window_in(rng, horizon_slots, (0.20, 0.50), (0.10, 0.25)),
+                modulus=modulus,
+                phase=rng.randint(0, modulus - 1),
+            )
+        )
+    return FaultPlan(name=name, seed=seed, faults=tuple(faults))

@@ -1,0 +1,83 @@
+"""Deterministic fault trace.
+
+Every observable fault-layer occurrence -- a window activating or
+clearing, a storm job injected, a packet dropped, a pool rejecting a
+submission, a device or VM quarantined -- lands in a :class:`FaultTrace`
+as a :class:`FaultEvent`.  The trace serializes to canonical JSONL and
+hashes to a single digest, which is the artefact the determinism
+contract is stated over: *identical seed + fault plan => byte-identical
+fault trace*.  The CI smoke job compares digests across two runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-layer occurrence at slot granularity."""
+
+    slot: int
+    kind: str
+    target: str
+    action: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "slot": self.slot,
+            "kind": self.kind,
+            "target": self.target,
+            "action": self.action,
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+
+class FaultTrace:
+    """Append-only, canonically-serializable fault event log."""
+
+    def __init__(self):
+        self.events: List[FaultEvent] = []
+        self.counters: Dict[str, int] = {}
+
+    def record(
+        self, slot: int, kind: str, target: str, action: str, **detail: Any
+    ) -> FaultEvent:
+        event = FaultEvent(
+            slot=slot, kind=kind, target=target, action=action, detail=detail
+        )
+        self.events.append(event)
+        self.counters[action] = self.counters.get(action, 0) + 1
+        return event
+
+    def count(self, action: str) -> int:
+        return self.counters.get(action, 0)
+
+    def by_action(self, action: str) -> List[FaultEvent]:
+        return [event for event in self.events if event.action == action]
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per line, in recording order."""
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+            for event in self.events
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSONL -- the replay identity."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultTrace({len(self.events)} events, {self.counters})"

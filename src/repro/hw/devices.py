@@ -13,8 +13,32 @@ from typing import Optional
 from repro.sim.rng import RandomSource
 
 
+class DeviceStalledError(RuntimeError):
+    """A transaction hit a stalled (non-answering) device.
+
+    The fault model for a wedged sensor bus or a powered-down
+    peripheral: the controller issues the transaction and nothing comes
+    back, so the driver's timeout fires.  The guarded driver path
+    (:meth:`repro.core.driver.VirtualizationDriver.execute_guarded`)
+    converts this into bounded retry/backoff instead of an unbounded
+    wait.
+    """
+
+    def __init__(self, device_name: str):
+        super().__init__(
+            f"device {device_name!r} is stalled; transaction timed out"
+        )
+        self.device_name = device_name
+
+
 class IODevice:
-    """Base device: deterministic service time with bounded jitter."""
+    """Base device: deterministic service time with bounded jitter.
+
+    A device can be *stalled* by the fault layer
+    (:mod:`repro.faults.injectors`): while stalled, :meth:`serve` raises
+    :class:`DeviceStalledError` instead of answering, modelling a device
+    that stops responding for a bounded window.
+    """
 
     def __init__(
         self,
@@ -33,15 +57,39 @@ class IODevice:
         self.jitter_cycles = jitter_cycles
         self.rng = rng
         self.requests_served = 0
+        self._stalled = False
+        self.stalled_requests = 0
+        self.stall_windows = 0
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def begin_stall(self) -> None:
+        """Enter the stalled state (idempotent within one window)."""
+        if not self._stalled:
+            self._stalled = True
+            self.stall_windows += 1
+
+    def end_stall(self) -> None:
+        """Leave the stalled state; subsequent requests serve normally."""
+        self._stalled = False
 
     def wcrt_cycles(self) -> int:
         """Worst-case device response time (service + max jitter)."""
         return self.service_cycles + self.jitter_cycles
 
     def serve(self, payload_bytes: int) -> int:
-        """Handle one request; returns the cycles the device needed."""
+        """Handle one request; returns the cycles the device needed.
+
+        Raises :class:`DeviceStalledError` while the device is stalled;
+        the request is counted but never answered.
+        """
         if payload_bytes < 0:
             raise ValueError(f"negative payload: {payload_bytes}")
+        if self._stalled:
+            self.stalled_requests += 1
+            raise DeviceStalledError(self.name)
         jitter = 0
         if self.jitter_cycles > 0 and self.rng is not None:
             jitter = self.rng.randint(0, self.jitter_cycles)

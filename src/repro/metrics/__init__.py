@@ -6,14 +6,20 @@
 * *I/O throughput* -- "the average I/O performance of each examined
   system";
 * latency statistics -- response-time distributions used by the
-  predictability discussion and the tests.
+  predictability discussion and the tests;
+* back-pressure accounting -- per-pool rejection/drop counters
+  surfacing the overload and containment behaviour
+  (:mod:`repro.metrics.backpressure`).
 """
 
+from repro.metrics.backpressure import BackPressureReport, PoolPressure
 from repro.metrics.stats import LatencyStats, summarize
 from repro.metrics.success import SweepPoint, success_ratio, sweep_table
 
 __all__ = [
+    "BackPressureReport",
     "LatencyStats",
+    "PoolPressure",
     "SweepPoint",
     "success_ratio",
     "summarize",

@@ -1,0 +1,125 @@
+"""Per-pool back-pressure accounting.
+
+The overload/containment story is only auditable if rejection pressure
+is *observable*: each I/O pool counts accepted, rejected and dropped
+jobs plus its consecutive-rejection streak, and this module rolls those
+counters up into one immutable report the experiments render and the
+tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.core.iopool import IOPool
+from repro.core.rchannel import RChannel
+
+
+@dataclass(frozen=True)
+class PoolPressure:
+    """Snapshot of one I/O pool's back-pressure counters."""
+
+    vm_id: int
+    capacity: int
+    occupancy: int
+    peak_occupancy: int
+    submitted: int
+    rejected: int
+    dropped: int
+    completed: int
+    max_reject_streak: int
+
+    @classmethod
+    def from_pool(cls, pool: IOPool) -> "PoolPressure":
+        return cls(
+            vm_id=pool.vm_id,
+            capacity=pool.queue.capacity,
+            occupancy=len(pool.queue),
+            peak_occupancy=pool.queue.peak_occupancy,
+            submitted=pool.submitted,
+            rejected=pool.rejected,
+            dropped=pool.dropped,
+            completed=pool.completed,
+            max_reject_streak=pool.max_reject_streak,
+        )
+
+    @property
+    def offered(self) -> int:
+        """Submissions the VM attempted (accepted + rejected)."""
+        return self.submitted + self.rejected
+
+    @property
+    def rejection_ratio(self) -> float:
+        offered = self.offered
+        if offered == 0:
+            return 0.0
+        return self.rejected / offered
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "vm_id": self.vm_id,
+            "capacity": self.capacity,
+            "occupancy": self.occupancy,
+            "peak_occupancy": self.peak_occupancy,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "max_reject_streak": self.max_reject_streak,
+            "rejection_ratio": self.rejection_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class BackPressureReport:
+    """All pools' pressure, ordered by VM id."""
+
+    pools: Tuple[PoolPressure, ...]
+
+    @classmethod
+    def from_pools(cls, pools: Iterable[IOPool]) -> "BackPressureReport":
+        return cls(
+            pools=tuple(
+                sorted(
+                    (PoolPressure.from_pool(pool) for pool in pools),
+                    key=lambda pressure: pressure.vm_id,
+                )
+            )
+        )
+
+    @classmethod
+    def from_rchannel(cls, channel: RChannel) -> "BackPressureReport":
+        return cls.from_pools(channel.pools.values())
+
+    def for_vm(self, vm_id: int) -> PoolPressure:
+        for pressure in self.pools:
+            if pressure.vm_id == vm_id:
+                return pressure
+        raise KeyError(f"no pool pressure recorded for VM {vm_id}")
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(pressure.rejected for pressure in self.pools)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(pressure.dropped for pressure in self.pools)
+
+    @property
+    def total_submitted(self) -> int:
+        return sum(pressure.submitted for pressure in self.pools)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pools": [pressure.as_dict() for pressure in self.pools],
+            "total_submitted": self.total_submitted,
+            "total_rejected": self.total_rejected,
+            "total_dropped": self.total_dropped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackPressureReport(pools={len(self.pools)}, "
+            f"rejected={self.total_rejected}, dropped={self.total_dropped})"
+        )

@@ -44,6 +44,17 @@ class PacketRecord:
         return latency if latency is not None else 0.0
 
 
+@dataclass
+class DropRecord:
+    """One packet lost to a fault (filtered at injection or mid-route)."""
+
+    packet: Packet
+    time: float
+    reason: str
+    #: Link the packet died on; None when filtered at injection.
+    link: Optional[Tuple[Coordinate, Coordinate]] = None
+
+
 class NocNetwork:
     """Mesh network executing packet traversals as simulator processes."""
 
@@ -64,18 +75,65 @@ class NocNetwork:
                 sim, capacity=1, name=f"link{link[0]}->{link[1]}"
             )
         self.delivered: List[PacketRecord] = []
+        self.dropped: List[DropRecord] = []
         self.in_flight = 0
         self.total_injected = 0
+        self.total_dropped = 0
+        self._failed_links: set = set()
+        #: Fault-layer hook: packets for which this predicate returns
+        #: True are discarded at injection (corrupted-header model).
+        #: Must be a *deterministic* function of the packet for replay.
+        self.drop_rule: Optional[Callable[[Packet], bool]] = None
 
     def link_resource(self, link: Tuple[Coordinate, Coordinate]) -> Resource:
         return self._links[link]
+
+    # -- fault hooks -----------------------------------------------------------
+
+    def fail_link(self, link: Tuple[Coordinate, Coordinate]) -> None:
+        """Take a directed link down; packets routed over it are dropped."""
+        if link not in self._links:
+            raise ValueError(f"no such link {link[0]}->{link[1]} in the mesh")
+        self._failed_links.add(link)
+
+    def restore_link(self, link: Tuple[Coordinate, Coordinate]) -> None:
+        """Bring a failed link back; in-flight routes re-check per hop."""
+        self._failed_links.discard(link)
+
+    def link_failed(self, link: Tuple[Coordinate, Coordinate]) -> bool:
+        return link in self._failed_links
+
+    @property
+    def failed_links(self) -> List[Tuple[Coordinate, Coordinate]]:
+        return sorted(self._failed_links)
+
+    def _drop(
+        self,
+        packet: Packet,
+        reason: str,
+        link: Optional[Tuple[Coordinate, Coordinate]],
+        on_dropped: Optional[Callable[[Packet], None]],
+    ) -> None:
+        self.total_dropped += 1
+        self.dropped.append(
+            DropRecord(packet=packet, time=self.sim.now, reason=reason, link=link)
+        )
+        if on_dropped is not None:
+            on_dropped(packet)
 
     def inject(
         self,
         packet: Packet,
         on_delivered: Optional[Callable[[Packet], None]] = None,
+        on_dropped: Optional[Callable[[Packet], None]] = None,
     ) -> None:
-        """Start a packet traversal at the current simulation time."""
+        """Start a packet traversal at the current simulation time.
+
+        Packets matching :attr:`drop_rule` are discarded immediately;
+        packets that reach a failed link are discarded mid-route.  Both
+        are counted in :attr:`dropped` (and reported via ``on_dropped``)
+        rather than silently lost.
+        """
         if not self.topology.contains(packet.source) or not self.topology.contains(
             packet.destination
         ):
@@ -85,24 +143,40 @@ class NocNetwork:
             )
         packet.injected_at = self.sim.now
         self.total_injected += 1
+        if self.drop_rule is not None and self.drop_rule(packet):
+            self._drop(packet, "drop-rule", None, on_dropped)
+            return
         self.in_flight += 1
         self.sim.process(
-            self._traverse(packet, on_delivered),
+            self._traverse(packet, on_delivered, on_dropped),
             name=f"packet{packet.packet_id}",
         )
 
     def _traverse(
-        self, packet: Packet, on_delivered: Optional[Callable[[Packet], None]]
+        self,
+        packet: Packet,
+        on_delivered: Optional[Callable[[Packet], None]],
+        on_dropped: Optional[Callable[[Packet], None]] = None,
     ):
         links = route_links(self.topology, packet.source, packet.destination)
         queueing = 0.0
         transfer = 0.0
         hold_cycles = self.router_latency + packet.flit_count
         for link in links:
+            if link in self._failed_links:
+                self.in_flight -= 1
+                self._drop(packet, "link-down", link, on_dropped)
+                return
             resource = self._links[link]
             wait_start = self.sim.now
             yield from resource.acquire()
             queueing += self.sim.now - wait_start
+            if link in self._failed_links:
+                # The link died while the packet queued for it.
+                resource.release()
+                self.in_flight -= 1
+                self._drop(packet, "link-down", link, on_dropped)
+                return
             yield Timeout(hold_cycles)
             transfer += hold_cycles
             resource.release()

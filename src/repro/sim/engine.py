@@ -21,6 +21,14 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
+#: Event priority used for fault activation/clear edges scheduled via
+#: :meth:`Simulator.consume_fault_plan`.  Faults toggle *before* any
+#: same-time workload event (lower priority runs first), so whether a
+#: request observes a fault window never depends on event insertion
+#: order -- a prerequisite for bit-identical replay.
+FAULT_EVENT_PRIORITY = -100
+
+
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel.
 
@@ -250,6 +258,42 @@ class Simulator:
     def timeout(self, delay: float) -> Timeout:
         """Convenience constructor mirroring SimPy's ``env.timeout``."""
         return Timeout(delay)
+
+    def consume_fault_plan(
+        self,
+        plan: Any,
+        dispatcher: Callable[[str, Any, int], None],
+        cycles_per_slot: int = 1,
+    ) -> int:
+        """Schedule a fault plan's activation/clear edges as events.
+
+        ``plan`` is any object exposing ``events()`` yielding
+        ``(slot, action, index, fault)`` tuples in deterministic order
+        (:class:`repro.faults.plan.FaultPlan` does); the engine stays
+        free of fault-model imports.  Each edge becomes one event at
+        ``slot * cycles_per_slot`` calling ``dispatcher(action, fault,
+        slot)`` with :data:`FAULT_EVENT_PRIORITY`, so fault toggles
+        always precede same-time workload events.  Returns the number of
+        edges scheduled.
+        """
+        if cycles_per_slot < 1:
+            raise SimulationError(
+                f"cycles_per_slot must be >= 1, got {cycles_per_slot}"
+            )
+        scheduled = 0
+        for slot, action, _index, fault in plan.events():
+            time = slot * cycles_per_slot
+            if time < self.now:
+                raise SimulationError(
+                    f"fault edge at slot {slot} (t={time}) lies in the past "
+                    f"(now={self.now}); attach the plan before running"
+                )
+            self.at(
+                time, dispatcher, action, fault, slot,
+                priority=FAULT_EVENT_PRIORITY,
+            )
+            scheduled += 1
+        return scheduled
 
     # -- execution ---------------------------------------------------------
 

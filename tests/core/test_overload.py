@@ -1,0 +1,124 @@
+"""Regression tests for the overload path: rejection accounting,
+QueueFullError back-pressure, and shadow-register refresh on removal."""
+
+import pytest
+
+from repro.core.iopool import IOPool
+from repro.core.priority_queue import PriorityQueue, QueueFullError
+from repro.tasks.task import IOTask
+
+
+def job(name, deadline=50, vm_id=0, device="io0", release=0, index=0):
+    task = IOTask(
+        name=name, period=1000, wcet=1, deadline=deadline, vm_id=vm_id,
+        device=device,
+    )
+    return task.job(release=release, index=index)
+
+
+class TestSubmitRejectionAccounting:
+    def test_full_pool_rejects_and_counts(self):
+        pool = IOPool(vm_id=0, capacity=2)
+        assert pool.submit(job("a"))
+        assert pool.submit(job("b"))
+        assert not pool.submit(job("c"))
+        assert not pool.submit(job("d"))
+        assert pool.submitted == 2
+        assert pool.rejected == 2
+        assert pool.reject_streak == 2
+        assert pool.max_reject_streak == 2
+
+    def test_accept_resets_streak_but_not_max(self):
+        pool = IOPool(vm_id=0, capacity=1)
+        pool.submit(job("a"))
+        pool.submit(job("b"))  # rejected
+        pool.submit(job("c"))  # rejected
+        assert pool.reject_streak == 2
+        # Drain one slot of work, freeing capacity.
+        pool.execute_slot()
+        assert pool.submit(job("d"))
+        assert pool.reject_streak == 0
+        assert pool.max_reject_streak == 2
+
+    def test_wrong_vm_rejected_loudly_not_counted(self):
+        pool = IOPool(vm_id=0, capacity=4)
+        with pytest.raises(ValueError, match="per-VM partitioned"):
+            pool.submit(job("x", vm_id=3))
+        assert pool.rejected == 0
+
+
+class TestQueueFullBackPressure:
+    def test_queue_raises_pool_translates(self):
+        """The raw queue raises; the pool converts it to a False return
+        the issuing driver can observe as back-pressure."""
+        queue = PriorityQueue(capacity=1)
+        queue.insert(job("a"))
+        with pytest.raises(QueueFullError):
+            queue.insert(job("b"))
+        pool = IOPool(vm_id=0, capacity=1)
+        assert pool.submit(job("a"))
+        assert pool.submit(job("b")) is False  # no exception escapes
+
+    def test_rejected_job_not_buffered(self):
+        pool = IOPool(vm_id=0, capacity=1)
+        pool.submit(job("a"))
+        loser = job("b")
+        pool.submit(loser)
+        assert loser not in pool.queue
+        assert len(pool) == 1
+
+
+class TestShadowRegisterRefresh:
+    def test_refresh_after_staged_job_removed(self):
+        pool = IOPool(vm_id=0, capacity=8)
+        urgent = job("urgent", deadline=10)
+        backup = job("backup", deadline=40)
+        pool.submit(urgent)
+        pool.submit(backup)
+        assert pool.shadow is urgent
+        dropped = pool.drop_matching(lambda j: j is urgent)
+        assert dropped == [urgent]
+        assert pool.shadow is backup
+        assert pool.staged_deadline() == backup.absolute_deadline
+
+    def test_refresh_after_drain(self):
+        pool = IOPool(vm_id=0, capacity=8)
+        pool.submit(job("a"))
+        pool.submit(job("b"))
+        drained = pool.drain()
+        assert len(drained) == 2
+        assert pool.shadow is None
+        assert pool.staged_deadline() is None
+        assert not pool.has_pending
+        assert pool.dropped == 2
+
+    def test_refresh_after_completion(self):
+        pool = IOPool(vm_id=0, capacity=8)
+        first = job("first", deadline=10)
+        second = job("second", deadline=20)
+        pool.submit(first)
+        pool.submit(second)
+        completed = pool.execute_slot()
+        assert completed is first
+        assert pool.shadow is second
+
+    def test_drop_matching_leaves_nonmatching(self):
+        pool = IOPool(vm_id=0, capacity=8)
+        sens = job("s", device="sens1", deadline=10)
+        eth = job("e", device="eth0", deadline=20)
+        pool.submit(sens)
+        pool.submit(eth)
+        dropped = pool.drop_matching(lambda j: j.task.device == "sens1")
+        assert dropped == [sens]
+        assert eth in pool.queue
+        assert pool.shadow is eth
+        assert pool.dropped == 1
+
+    def test_drained_pool_invisible_to_gsched_view(self):
+        """A drained pool must not advertise a stale staged deadline --
+        that is how the executor avoids re-selecting a doomed job."""
+        pool = IOPool(vm_id=0, capacity=8)
+        pool.submit(job("a"))
+        assert pool.staged_deadline() is not None
+        pool.drain()
+        assert pool.staged_deadline() is None

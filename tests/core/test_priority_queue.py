@@ -1,5 +1,7 @@
 """Unit tests for the random-access priority queue and the FIFO queue."""
 
+import gc
+
 import pytest
 
 from repro.core.priority_queue import FIFOQueue, PriorityQueue, QueueFullError
@@ -126,6 +128,99 @@ class TestPriorityQueue:
         assert len(queue) == 5
         assert queue.peek() is jobs[5]
         assert [j.task.name for j in queue] == [f"j{i}" for i in range(5, 10)]
+
+
+class TestChurnAndIdReuse:
+    """Heavy insert/remove churn with garbage collection in between.
+
+    CPython recycles object ids after collection, so any id-keyed
+    liveness table can alias a lazily-deleted heap entry with an
+    unrelated new job.  The queue keys liveness by monotonic insertion
+    sequence precisely to survive this; these tests provoke the reuse.
+    """
+
+    def test_churn_with_gc_keeps_invariants(self):
+        queue = PriorityQueue(capacity=64)
+        survivors = []
+        for round_number in range(50):
+            batch = [
+                job(f"r{round_number}b{i}", 0, 100 + i) for i in range(8)
+            ]
+            for j in batch:
+                queue.insert(j)
+            # Remove most of the batch (leaving lazy heap entries),
+            # drop every reference, and force id recycling.
+            for j in batch[:7]:
+                assert queue.remove(j)
+            survivors.append(batch[7])
+            del batch
+            gc.collect()
+            assert len(queue) == len(survivors)
+        drained = []
+        while queue:
+            drained.append(queue.pop())
+        # Every survivor comes back exactly once, nothing phantom.
+        assert len(drained) == 50
+        assert {id(j) for j in drained} == {id(j) for j in survivors}
+
+    def test_recycled_id_is_distinct_entry(self):
+        """A new job whose id matches a dead one must be independent.
+
+        ``pop`` releases the queue's last reference to the job, so the
+        allocator is free to hand its id to the next job created; the
+        queue must treat that newcomer as a fresh entry, never as the
+        ghost of the popped one.
+        """
+        queue = PriorityQueue()
+        task = job("template", 0, 20).task
+        replacement = None
+        for attempt in range(200):
+            victim = task.job(release=0, index=attempt)
+            queue.insert(victim)
+            assert queue.pop() is victim  # queue drops all references
+            victim_id = id(victim)
+            # Refcount release frees the block immediately; the next
+            # same-sized allocation typically reuses it.
+            del victim
+            candidate = task.job(release=0, index=1000 + attempt)
+            if id(candidate) == victim_id:
+                replacement = candidate
+                break
+        if replacement is None:
+            pytest.skip("allocator never recycled the id; cannot provoke")
+        assert replacement not in queue
+        assert queue.remove(replacement) is False
+        queue.insert(replacement)
+        assert replacement in queue
+        assert len(queue) == 1
+        assert queue.peek() is replacement
+        assert queue.pop() is replacement
+        assert len(queue) == 0
+
+    def test_snapshot_tiebreak_is_insertion_order(self):
+        """Equal deadlines order by insertion sequence, not memory id."""
+        queue = PriorityQueue()
+        jobs = [job(f"j{i}", 0, 10) for i in range(6)]
+        for j in jobs:
+            queue.insert(j)
+        assert queue.jobs() == jobs
+
+    def test_interleaved_remove_insert_at_capacity(self):
+        queue = PriorityQueue(capacity=4)
+        window = [job(f"w{i}", 0, 10 + i) for i in range(4)]
+        for j in window:
+            queue.insert(j)
+        for i in range(4, 200):
+            evicted = window.pop(0)
+            assert queue.remove(evicted)
+            fresh = job(f"w{i}", 0, 10 + i)
+            queue.insert(fresh)
+            window.append(fresh)
+            if i % 13 == 0:
+                gc.collect()
+        assert [j.task.name for j in queue.jobs()] == [
+            j.task.name for j in window
+        ]
 
 
 class TestFIFOQueue:

@@ -143,6 +143,61 @@ class TestGlobalScheduler:
     def test_total_bandwidth(self):
         assert self.make().total_bandwidth == pytest.approx(0.2 + 0.25)
 
+    def test_tick_catches_up_after_slot_jump(self):
+        """A clock jump over several period boundaries still replenishes.
+
+        Regression: replenishment used to fire only at exact
+        ``slot % pi == 0`` ticks, so an executor that skipped those
+        slots (P-channel windows, a fault-stalled run) starved the
+        server forever.
+        """
+        gsched = GlobalScheduler([ServerSpec(0, 10, 2)])
+        gsched.tick(0)
+        gsched.allocate(0, {0: 100})
+        gsched.allocate(0, {0: 100})
+        assert gsched.budget_of(0) == 0
+        # Jump straight past three boundaries to a non-boundary slot.
+        gsched.tick(35)
+        assert gsched.budget_of(0) == 2
+
+    def test_catchup_deadline_from_most_recent_boundary(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 2)])
+        gsched.tick(0)
+        gsched.tick(37)  # most recent boundary is 30
+        assert gsched._states[0].deadline == 40
+
+    def test_budget_does_not_accumulate_across_missed_periods(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 2)])
+        gsched.tick(0)
+        gsched.tick(95)  # nine boundaries skipped
+        assert gsched.budget_of(0) == 2  # theta, not 9 * theta
+
+    def test_mid_period_tick_does_not_replenish(self):
+        gsched = GlobalScheduler([ServerSpec(0, 10, 2)])
+        gsched.tick(0)
+        gsched.allocate(0, {0: 100})
+        for slot in range(1, 10):
+            gsched.tick(slot)
+            assert gsched.budget_of(0) == 1
+        gsched.tick(10)
+        assert gsched.budget_of(0) == 2
+
+    def test_jump_equivalent_to_slot_by_slot(self):
+        """Jumping the clock gives the same state as ticking every slot."""
+        specs = [ServerSpec(0, 7, 3), ServerSpec(1, 13, 5)]
+        stepped, jumped = GlobalScheduler(specs), GlobalScheduler(specs)
+        for slot in range(60):
+            stepped.tick(slot)
+        jumped.tick(59)
+        for spec in specs:
+            assert (
+                stepped.budget_of(spec.vm_id) == jumped.budget_of(spec.vm_id)
+            )
+            assert (
+                stepped._states[spec.vm_id].deadline
+                == jumped._states[spec.vm_id].deadline
+            )
+
     def test_guarantee_over_window(self):
         """A backlogged VM receives at least Theta slots per Pi."""
         gsched = GlobalScheduler([ServerSpec(0, 10, 3), ServerSpec(1, 10, 3)])

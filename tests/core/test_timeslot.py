@@ -108,9 +108,25 @@ class TestIntegerSlotTime:
         with pytest.raises(ValueError, match="integer slot count"):
             as_slot_count(True)
         with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count(False)
+        with pytest.raises(ValueError, match="integer slot count"):
             as_slot_count("3")
         with pytest.raises(ValueError, match="integer slot count"):
             as_slot_count(float("nan"))
+
+    def test_as_slot_count_rejects_numpy_bool(self):
+        """Regression: ``np.True_`` is not a ``bool`` subclass but
+        compares equal to 1, so it used to slip through as one slot."""
+        np = pytest.importorskip("numpy")
+        with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count(np.True_)
+        with pytest.raises(ValueError, match="integer slot count"):
+            as_slot_count(np.False_, "delay")
+
+    def test_as_slot_count_still_accepts_numpy_ints(self):
+        np = pytest.importorskip("numpy")
+        assert as_slot_count(np.int64(9)) == 9
+        assert as_slot_count(np.int32(0)) == 0
 
     def test_sbf_fractional_window_rejected(self, small_table):
         with pytest.raises(ValueError, match="whole number of slots"):

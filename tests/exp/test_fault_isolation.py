@@ -1,0 +1,82 @@
+"""Acceptance tests for the fault-plan isolation experiment.
+
+ISSUE acceptance criteria: under the seeded fault plan, I/O-GUARD's
+victim VM misses zero deadlines while at least one baseline misses, and
+identical seeds reproduce byte-identical fault and simulation traces.
+"""
+
+import json
+
+from repro.exp.isolation import (
+    FAULT_DISCIPLINES,
+    build_isolation_fault_plan,
+    fault_declared_tasks,
+    render_fault_isolation,
+    run_fault_isolation,
+)
+
+SEED = 2021
+HORIZON = 4_000
+
+
+def run_once():
+    return run_fault_isolation(seed=SEED, horizon_slots=HORIZON)
+
+
+class TestAcceptance:
+    def test_victim_protected_only_under_ioguard(self):
+        result = run_once()
+        assert result.victim_jobs > 0
+        assert result.victim_misses["ioguard"] == 0
+        baseline_misses = [
+            result.victim_misses[d] for d in FAULT_DISCIPLINES if d != "ioguard"
+        ]
+        assert all(m >= 1 for m in baseline_misses)
+
+    def test_rogue_quarantined_and_victim_unpressured(self):
+        result = run_once()
+        assert any(e.category == "vm" and e.target == "1"
+                   for e in result.quarantine_log)
+        victim = result.backpressure.for_vm(0)
+        assert victim.rejected == 0
+        rogue = result.backpressure.for_vm(1)
+        assert rogue.rejected > 0
+
+    def test_same_seed_byte_identical(self):
+        first = run_once()
+        second = run_once()
+        assert first.plan.digest() == second.plan.digest()
+        assert first.fault_trace_jsonl == second.fault_trace_jsonl
+        assert first.fault_trace_digest == second.fault_trace_digest
+        assert first.sim_trace_digests == second.sim_trace_digests
+        assert first.victim_misses == second.victim_misses
+
+    def test_different_seed_different_plan(self):
+        assert (
+            build_isolation_fault_plan(1, HORIZON).digest()
+            != build_isolation_fault_plan(2, HORIZON).digest()
+        )
+
+    def test_trace_is_canonical_jsonl(self):
+        result = run_once()
+        lines = result.fault_trace_jsonl.splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) >= {"slot", "kind", "target", "action"}
+            # Canonical form: sorted keys, compact separators.
+            assert line == json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_devices_partitioned_by_vm(self):
+        declared = fault_declared_tasks()
+        for task in declared:
+            expected = "eth0" if task.vm_id == 0 else "sens1"
+            assert task.device == expected
+
+    def test_render_mentions_every_discipline(self):
+        text = render_fault_isolation(run_once())
+        for discipline in FAULT_DISCIPLINES:
+            assert discipline in text
+        assert "fault trace digest" in text

@@ -1,0 +1,276 @@
+"""Unit tests for hypervisor-side containment: guarded driver path,
+degradation policy, R-channel quarantine and the manager integration."""
+
+import pytest
+
+from repro.core.driver import GuardedOperation, RetryPolicy, VirtualizationDriver
+from repro.core.gsched import ServerSpec
+from repro.core.manager import DegradationPolicy, VirtualizationManager
+from repro.core.rchannel import RChannel
+from repro.hw.controller import SPIController
+from repro.hw.devices import EchoDevice
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def runtime_job(name, vm_id=0, release=0, deadline=50, wcet=2, device="io0",
+                index=0):
+    task = IOTask(
+        name=name, period=1000, wcet=wcet, deadline=deadline, vm_id=vm_id,
+        device=device,
+    )
+    return task.job(release=release, index=index)
+
+
+def make_driver():
+    return VirtualizationDriver(
+        SPIController("spi0"), EchoDevice("dev", service_cycles=100)
+    )
+
+
+class TestRetryPolicy:
+    def test_penalty_grows_linearly(self):
+        policy = RetryPolicy(
+            max_attempts=3, timeout_cycles=1000, backoff_cycles=200
+        )
+        assert policy.penalty_cycles(1) == 1000
+        assert policy.penalty_cycles(2) == 1200
+        assert policy.penalty_cycles(3) == 1400
+        assert policy.worst_case_penalty_cycles == 3600
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_cycles=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_cycles=-1)
+
+
+class TestGuardedDriverPath:
+    def test_healthy_device_single_attempt(self):
+        driver = make_driver()
+        outcome = driver.execute_guarded(64)
+        assert outcome.succeeded
+        assert outcome.attempts == 1
+        assert outcome.penalty_cycles == 0
+        assert outcome.total_cycles == outcome.timing.total
+        assert driver.retries_performed == 0
+        assert driver.operations_timed_out == 0
+
+    def test_stalled_device_bounded_timeout(self):
+        driver = make_driver()
+        driver.device.begin_stall()
+        policy = RetryPolicy(
+            max_attempts=3, timeout_cycles=500, backoff_cycles=100
+        )
+        outcome = driver.execute_guarded(64, policy)
+        assert not outcome.succeeded
+        assert outcome.timing is None
+        assert outcome.attempts == 3
+        # Cost is exactly the policy's worst case -- never unbounded.
+        assert outcome.penalty_cycles == policy.worst_case_penalty_cycles
+        assert outcome.total_cycles == policy.worst_case_penalty_cycles
+        assert driver.retries_performed == 2
+        assert driver.operations_timed_out == 1
+        assert driver.device.stalled_requests == 3
+
+    def test_penalty_charged_to_driver_cycles(self):
+        driver = make_driver()
+        driver.device.begin_stall()
+        policy = RetryPolicy(max_attempts=2, timeout_cycles=300,
+                             backoff_cycles=0)
+        driver.execute_guarded(16, policy)
+        assert driver.total_cycles == 600
+
+    def test_recovered_device_serves_again(self):
+        driver = make_driver()
+        driver.device.begin_stall()
+        driver.execute_guarded(16, RetryPolicy(max_attempts=1))
+        driver.device.end_stall()
+        outcome = driver.execute_guarded(16)
+        assert outcome.succeeded
+
+    def test_stall_idempotent(self):
+        device = EchoDevice("dev")
+        device.begin_stall()
+        device.begin_stall()
+        assert device.stall_windows == 1
+        device.end_stall()
+        assert not device.stalled
+
+
+class TestDegradationPolicy:
+    def test_stall_streak_trips_at_limit(self):
+        policy = DegradationPolicy(stall_limit=3)
+        assert not policy.note_stall("sens1", 10)
+        assert not policy.note_stall("sens1", 11)
+        assert policy.note_stall("sens1", 12)
+        assert policy.device_quarantined("sens1")
+        (event,) = policy.log
+        assert (event.slot, event.category, event.target) == (12, "device", "sens1")
+
+    def test_service_resets_stall_streak(self):
+        policy = DegradationPolicy(stall_limit=2)
+        policy.note_stall("sens1", 1)
+        policy.note_service("sens1")
+        assert not policy.note_stall("sens1", 2)
+        assert not policy.device_quarantined("sens1")
+
+    def test_rejection_streak_trips_vm(self):
+        policy = DegradationPolicy(reject_limit=3)
+        for slot in range(2):
+            assert not policy.note_rejection(7, slot)
+        assert policy.note_rejection(7, 2)
+        assert policy.vm_quarantined(7)
+        assert policy.quarantine_count == 1
+
+    def test_accept_resets_rejection_streak(self):
+        policy = DegradationPolicy(reject_limit=2)
+        policy.note_rejection(7, 0)
+        policy.note_accept(7)
+        assert not policy.note_rejection(7, 1)
+
+    def test_quarantined_target_reports_false(self):
+        policy = DegradationPolicy(stall_limit=1)
+        assert policy.note_stall("sens1", 0)
+        assert not policy.note_stall("sens1", 1)
+        assert len(policy.log) == 1
+
+    def test_streaks_are_per_target(self):
+        policy = DegradationPolicy(stall_limit=2)
+        policy.note_stall("a", 0)
+        policy.note_stall("b", 0)
+        assert not policy.device_quarantined("a")
+        assert not policy.device_quarantined("b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(stall_limit=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(reject_limit=0)
+
+
+class TestRChannelQuarantine:
+    def make(self):
+        return RChannel(
+            [ServerSpec(0, 10, 3), ServerSpec(1, 10, 3)], pool_capacity=8
+        )
+
+    def test_quarantine_drains_and_masks(self):
+        channel = self.make()
+        for i in range(3):
+            channel.submit(runtime_job(f"r{i}", vm_id=1, index=i))
+        drained = channel.quarantine_vm(1)
+        assert len(drained) == 3
+        assert len(channel.pools[1]) == 0
+        assert channel.pools[1].dropped == 3
+        # Masked from scheduling: only VM0 work would be picked.
+        channel.tick(0)
+        assert channel.execute_slot(0) is None
+
+    def test_quarantined_submissions_bounce(self):
+        channel = self.make()
+        channel.quarantine_vm(1)
+        assert channel.submit(runtime_job("r", vm_id=1)) is False
+        assert channel.quarantine_rejects == 1
+
+    def test_quarantine_idempotent_and_releasable(self):
+        channel = self.make()
+        channel.submit(runtime_job("r", vm_id=1))
+        assert len(channel.quarantine_vm(1)) == 1
+        assert channel.quarantine_vm(1) == []
+        channel.release_vm(1)
+        assert channel.submit(runtime_job("r2", vm_id=1)) is True
+
+    def test_unknown_vm_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().quarantine_vm(9)
+
+    def test_guard_burns_slot_without_progress(self):
+        channel = self.make()
+        job = runtime_job("j", vm_id=0, wcet=2)
+        channel.submit(job)
+        channel.tick(0)
+        budget_before = channel.gsched.budget_of(0)
+        completed = channel.execute_slot(0, guard=lambda j, s: False)
+        assert completed is None
+        assert channel.blocked_slots == 1
+        assert job.remaining == 2  # no progress
+        # The burned slot came out of the faulting VM's own budget.
+        assert channel.gsched.budget_of(0) == budget_before - 1
+
+    def test_guard_true_executes_normally(self):
+        channel = self.make()
+        job = runtime_job("j", vm_id=0, wcet=1)
+        channel.submit(job)
+        channel.tick(0)
+        completed = channel.execute_slot(0, guard=lambda j, s: True)
+        assert completed is job
+
+
+class TestManagerIntegration:
+    def make(self, **policy_kwargs):
+        policy = DegradationPolicy(**policy_kwargs) if policy_kwargs else None
+        manager = VirtualizationManager(
+            "io",
+            TaskSet([], name="predef"),
+            [ServerSpec(0, 10, 3), ServerSpec(1, 10, 3)],
+            pool_capacity=4,
+            degradation=policy,
+        )
+        return manager, policy
+
+    def test_babbling_vm_quarantined_after_reject_streak(self):
+        manager, policy = self.make(reject_limit=3)
+        for i in range(4):
+            manager.submit(runtime_job(f"f{i}", vm_id=1, index=i), slot=0)
+        assert manager.pending_jobs == 4
+        rejected = 0
+        for i in range(4, 12):
+            if not manager.submit(
+                runtime_job(f"f{i}", vm_id=1, index=i), slot=1
+            ):
+                rejected += 1
+        assert policy.vm_quarantined(1)
+        assert 1 in manager.rchannel.quarantined_vms
+        # The drained pool drops its backlog; victim pool untouched.
+        assert manager.rchannel.pools[1].dropped == 4
+        assert manager.submit(runtime_job("v", vm_id=0), slot=2) is True
+
+    def test_device_quarantine_drops_targeting_jobs(self):
+        manager, policy = self.make(stall_limit=2)
+        doomed = runtime_job("d", vm_id=0, device="sens1")
+        healthy = runtime_job("h", vm_id=1, device="eth0")
+        manager.submit(doomed, slot=0)
+        manager.submit(healthy, slot=0)
+        assert not manager.report_device_stall("sens1", 5)
+        assert manager.report_device_stall("sens1", 6)
+        assert doomed not in manager.rchannel.pools[0].queue
+        assert healthy in manager.rchannel.pools[1].queue
+        # Shadow register refreshed: pool 0 presents no stale work.
+        assert manager.rchannel.pools[0].shadow is None
+        # Further submissions to the dead device bounce at admission.
+        assert (
+            manager.submit(runtime_job("d2", vm_id=0, device="sens1"), slot=7)
+            is False
+        )
+        assert manager.device_rejects == 1
+
+    def test_service_resets_streak_through_manager(self):
+        manager, policy = self.make(stall_limit=2)
+        manager.report_device_stall("sens1", 0)
+        manager.report_device_service("sens1")
+        assert not manager.report_device_stall("sens1", 1)
+        assert not policy.device_quarantined("sens1")
+
+    def test_no_policy_is_inert(self):
+        manager, _ = self.make()
+        assert manager.report_device_stall("sens1", 0) is False
+        manager.report_device_service("sens1")  # no-op, no raise
+
+    def test_guard_forwarded_to_rchannel(self):
+        manager, _ = self.make()
+        manager.submit(runtime_job("j", vm_id=0, wcet=1), slot=0)
+        assert manager.execute_slot(0, guard=lambda j, s: False) is None
+        assert manager.rchannel.blocked_slots == 1

@@ -1,0 +1,250 @@
+"""Unit tests for fault injectors in slot-loop and event-engine modes."""
+
+import pytest
+
+from repro.faults.injectors import (
+    DeviceStallInjector,
+    FaultController,
+    NocFaultInjector,
+    StormInjector,
+)
+from repro.faults.plan import (
+    DeviceStallFault,
+    FaultPlan,
+    FaultWindow,
+    NocLinkFault,
+    PacketDropFault,
+    QueueStormFault,
+)
+from repro.faults.trace import FaultTrace
+from repro.hw.devices import DeviceStalledError, IODevice
+from repro.noc.network import NocNetwork
+from repro.noc.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+
+
+def stall_fault(start=5, duration=10, device="sens1"):
+    return DeviceStallFault(
+        window=FaultWindow(start, duration), device=device
+    )
+
+
+def storm_fault(start=0, duration=10, rate=3):
+    return QueueStormFault(
+        window=FaultWindow(start, duration), vm_id=1,
+        jobs_per_slot=rate, deadline_slots=8,
+    )
+
+
+class TestDeviceStallInjector:
+    def test_window_toggles_stall(self):
+        device = IODevice("sens1", service_cycles=10)
+        injector = DeviceStallInjector(stall_fault(5, 3), device)
+        for slot in range(10):
+            injector.on_slot(slot)
+            if 5 <= slot < 8:
+                assert device.stalled
+                with pytest.raises(DeviceStalledError):
+                    device.serve(4)
+            else:
+                assert not device.stalled
+        assert device.stall_windows == 1
+        assert device.stalled_requests == 3
+
+    def test_device_name_must_match(self):
+        with pytest.raises(ValueError, match="targets device"):
+            DeviceStallInjector(
+                stall_fault(device="sens1"), IODevice("eth0")
+            )
+
+    def test_edges_traced(self):
+        trace = FaultTrace()
+        injector = DeviceStallInjector(
+            stall_fault(2, 3), IODevice("sens1"), trace
+        )
+        for slot in range(8):
+            injector.on_slot(slot)
+        assert [(e.slot, e.action) for e in trace] == [
+            (2, "activate"), (5, "clear")
+        ]
+
+
+class TestStormInjector:
+    def test_jobs_only_inside_window(self):
+        injector = StormInjector(storm_fault(3, 2, rate=4))
+        assert injector.jobs_for_slot(2) == []
+        assert len(injector.jobs_for_slot(3)) == 4
+        assert len(injector.jobs_for_slot(4)) == 4
+        assert injector.jobs_for_slot(5) == []
+        assert injector.jobs_generated == 8
+
+    def test_job_identity_is_pure_function_of_slot(self):
+        """Two injectors over the same fault emit identical sequences."""
+        first = StormInjector(storm_fault(0, 5, rate=2))
+        second = StormInjector(storm_fault(0, 5, rate=2))
+        for slot in (0, 3, 4):
+            ours = first.jobs_for_slot(slot)
+            theirs = second.jobs_for_slot(slot)
+            assert [j.name for j in ours] == [j.name for j in theirs]
+            assert [j.absolute_deadline for j in ours] == [
+                j.absolute_deadline for j in theirs
+            ]
+
+    def test_indices_unique_across_window(self):
+        injector = StormInjector(storm_fault(0, 4, rate=3))
+        indices = [
+            job.index for slot in range(4) for job in injector.jobs_for_slot(slot)
+        ]
+        assert indices == sorted(set(indices))
+
+    def test_storm_task_masquerades_as_vm_traffic(self):
+        fault = storm_fault()
+        injector = StormInjector(fault)
+        assert injector.task.vm_id == fault.vm_id
+        assert injector.task.deadline == fault.deadline_slots
+
+
+class TestNocFaultInjector:
+    def make_network(self):
+        sim = Simulator()
+        return sim, NocNetwork(sim)
+
+    def test_link_fault_toggles_network(self):
+        sim, network = self.make_network()
+        fault = NocLinkFault(
+            window=FaultWindow(5, 3), source=(0, 0), destination=(1, 0)
+        )
+        injector = NocFaultInjector(network, [fault])
+        injector.on_slot(5)
+        assert network.link_failed(((0, 0), (1, 0)))
+        injector.on_slot(8)
+        assert not network.link_failed(((0, 0), (1, 0)))
+
+    def test_drop_rule_follows_window(self):
+        sim, network = self.make_network()
+        fault = PacketDropFault(window=FaultWindow(0, 5), modulus=2, phase=0)
+        injector = NocFaultInjector(network, [fault])
+        assert network.drop_rule is None
+        injector.on_slot(0)
+        assert network.drop_rule is not None
+        injector.on_slot(5)
+        assert network.drop_rule is None
+
+    def test_rejects_non_noc_faults(self):
+        sim, network = self.make_network()
+        with pytest.raises(TypeError, match="NoC faults only"):
+            NocFaultInjector(network, [stall_fault()])
+
+    def test_failed_link_drops_packet(self):
+        sim, network = self.make_network()
+        network.fail_link(((0, 0), (1, 0)))
+        packet = Packet(
+            source=(0, 0), destination=(2, 0), kind=PacketKind.REQUEST,
+            payload_bytes=4,
+        )
+        network.inject(packet)
+        sim.run()
+        assert network.total_dropped == 1
+        assert network.dropped[0].reason == "link-down"
+        assert not network.delivered
+
+    def test_drop_rule_filters_at_injection(self):
+        sim, network = self.make_network()
+        network.drop_rule = lambda packet: packet.packet_id % 2 == 0
+        packets = [
+            Packet(
+                source=(0, 0), destination=(1, 0), kind=PacketKind.REQUEST,
+                payload_bytes=4,
+            )
+            for _ in range(4)
+        ]
+        for packet in packets:
+            network.inject(packet)
+        sim.run()
+        expected_drops = sum(1 for p in packets if p.packet_id % 2 == 0)
+        assert network.total_dropped == expected_drops
+        assert len(network.delivered) == 4 - expected_drops
+        assert all(r.reason == "drop-rule" for r in network.dropped)
+
+
+class TestFaultController:
+    def test_missing_device_rejected(self):
+        plan = FaultPlan(name="p", seed=0, faults=(stall_fault(),))
+        with pytest.raises(ValueError, match="no such device"):
+            FaultController(plan, devices={})
+
+    def test_missing_network_rejected(self):
+        fault = NocLinkFault(
+            window=FaultWindow(0, 5), source=(0, 0), destination=(1, 0)
+        )
+        plan = FaultPlan(name="p", seed=0, faults=(fault,))
+        with pytest.raises(ValueError, match="no network"):
+            FaultController(plan)
+
+    def test_slot_loop_drives_everything(self):
+        device = IODevice("sens1")
+        plan = FaultPlan(
+            name="p", seed=0,
+            faults=(stall_fault(2, 3), storm_fault(1, 2, rate=2)),
+        )
+        controller = FaultController(plan, devices={"sens1": device})
+        storm_jobs = []
+        for slot in range(8):
+            storm_jobs.extend(controller.on_slot(slot))
+            assert device.stalled == (2 <= slot < 5)
+        assert len(storm_jobs) == 4
+        # Edges of both faults land in the shared trace.
+        assert controller.trace.count("activate") == 2
+        assert controller.trace.count("clear") == 2
+
+    def test_storm_taskset(self):
+        plan = FaultPlan(name="p", seed=0, faults=(storm_fault(),))
+        controller = FaultController(plan)
+        taskset = controller.storm_taskset()
+        assert len(taskset) == 1
+        assert taskset["storm.vm1"].vm_id == 1
+
+
+class TestEngineMode:
+    def test_attach_schedules_all_edges(self):
+        sim = Simulator()
+        device = IODevice("sens1")
+        plan = FaultPlan(
+            name="p", seed=0,
+            faults=(stall_fault(5, 10), storm_fault(3, 4)),
+        )
+        controller = FaultController(plan, devices={"sens1": device})
+        scheduled = controller.attach(sim, cycles_per_slot=100)
+        assert scheduled == 4
+        sim.run(until=400)
+        assert not device.stalled  # stall starts at slot 5 = t500
+        sim.run(until=500)
+        assert device.stalled
+        sim.run(until=1500)
+        assert not device.stalled
+        assert controller.trace.count("activate") == 2
+
+    def test_fault_edges_precede_same_time_events(self):
+        """A workload event at the stall edge observes the stall."""
+        sim = Simulator()
+        device = IODevice("sens1")
+        plan = FaultPlan(name="p", seed=0, faults=(stall_fault(5, 3),))
+        controller = FaultController(plan, devices={"sens1": device})
+        observed = []
+        # Scheduled BEFORE attach: insertion order would run it first,
+        # only the fault priority makes the toggle win the tie.
+        sim.at(5, lambda: observed.append(device.stalled))
+        controller.attach(sim, cycles_per_slot=1)
+        sim.run()
+        assert observed == [True]
+
+    def test_past_edges_rejected(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run()
+        plan = FaultPlan(name="p", seed=0, faults=(stall_fault(5, 3),))
+        controller = FaultController(
+            plan, devices={"sens1": IODevice("sens1")}
+        )
+        with pytest.raises(Exception, match="past"):
+            controller.attach(sim, cycles_per_slot=1)

@@ -1,0 +1,178 @@
+"""Unit tests for fault plans: derivation, serialization, determinism."""
+
+import pytest
+
+from repro.faults.plan import (
+    DeviceStallFault,
+    FaultPlan,
+    FaultWindow,
+    NocLinkFault,
+    PacketDropFault,
+    QueueStormFault,
+    generate_fault_plan,
+)
+
+
+def full_plan(seed=7, horizon=10_000):
+    return generate_fault_plan(
+        seed,
+        horizon_slots=horizon,
+        devices=("sens1", "eth0"),
+        storm_vms=(1,),
+        links=(((0, 0), (1, 0)),),
+        packet_drop=True,
+        name="test",
+    )
+
+
+class TestFaultWindow:
+    def test_half_open_interval(self):
+        window = FaultWindow(start_slot=10, duration_slots=5)
+        assert window.end_slot == 15
+        assert not window.active(9)
+        assert window.active(10)
+        assert window.active(14)
+        assert not window.active(15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start_slot=-1, duration_slots=5)
+        with pytest.raises(ValueError):
+            FaultWindow(start_slot=0, duration_slots=0)
+
+
+class TestFaultSpecs:
+    def test_drop_fault_matches_by_modulus(self):
+        fault = PacketDropFault(
+            window=FaultWindow(0, 10), modulus=5, phase=2
+        )
+        assert fault.matches(2)
+        assert fault.matches(7)
+        assert not fault.matches(3)
+
+    def test_drop_fault_validation(self):
+        with pytest.raises(ValueError):
+            PacketDropFault(window=FaultWindow(0, 10), modulus=1, phase=0)
+        with pytest.raises(ValueError):
+            PacketDropFault(window=FaultWindow(0, 10), modulus=4, phase=4)
+
+    def test_storm_validation(self):
+        window = FaultWindow(0, 10)
+        with pytest.raises(ValueError):
+            QueueStormFault(
+                window=window, vm_id=-1, jobs_per_slot=2, deadline_slots=8
+            )
+        with pytest.raises(ValueError):
+            QueueStormFault(
+                window=window, vm_id=0, jobs_per_slot=0, deadline_slots=8
+            )
+        with pytest.raises(ValueError):
+            QueueStormFault(
+                window=window, vm_id=0, jobs_per_slot=2, deadline_slots=4,
+                wcet_slots=5,
+            )
+
+    def test_targets(self):
+        assert (
+            DeviceStallFault(window=FaultWindow(0, 5), device="sens1").target
+            == "sens1"
+        )
+        link = NocLinkFault(
+            window=FaultWindow(0, 5), source=(0, 0), destination=(1, 0)
+        )
+        assert link.target == "(0, 0)->(1, 0)"
+        assert link.link == ((0, 0), (1, 0))
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        assert full_plan(7).digest() == full_plan(7).digest()
+        assert full_plan(7) == full_plan(7)
+
+    def test_different_seed_different_plan(self):
+        assert full_plan(7).digest() != full_plan(8).digest()
+
+    def test_stateless_per_fault_streams(self):
+        """Adding a fault never perturbs another fault's drawn params."""
+        small = generate_fault_plan(
+            7, horizon_slots=10_000, storm_vms=(1,), name="test"
+        )
+        big = full_plan(7)
+        assert small.storms == big.storms
+
+    def test_storm_rate_override(self):
+        plan = generate_fault_plan(
+            7, horizon_slots=10_000, storm_vms=(1,),
+            storm_jobs_per_slot=9, storm_device="sens1",
+        )
+        (storm,) = plan.storms
+        assert storm.jobs_per_slot == 9
+        assert storm.device == "sens1"
+
+    def test_kind_filters(self):
+        plan = full_plan()
+        assert len(plan.device_stalls) == 2
+        assert len(plan.storms) == 1
+        assert len(plan.link_faults) == 1
+        assert len(plan.drop_faults) == 1
+        assert len(plan) == 5
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            plan.of_kind("meteor-strike")
+
+    def test_windows_inside_horizon_neighbourhood(self):
+        plan = full_plan(horizon=1_000)
+        for fault in plan:
+            assert 0 <= fault.window.start_slot <= 1_000
+        assert plan.horizon_hint > 0
+
+    def test_short_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            generate_fault_plan(7, horizon_slots=5)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plan = full_plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.digest() == plan.digest()
+
+    def test_canonical_json_stable(self):
+        plan = full_plan()
+        assert plan.canonical_json() == full_plan().canonical_json()
+        assert " " not in plan.canonical_json()
+
+    def test_unknown_kind_rejected(self):
+        data = full_plan().to_dict()
+        data["faults"][0]["kind"] = "gamma-ray"
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict(data)
+
+
+class TestEvents:
+    def test_edges_sorted_and_paired(self):
+        plan = full_plan()
+        edges = list(plan.events())
+        assert len(edges) == 2 * len(plan)
+        slots = [slot for slot, _a, _i, _f in edges]
+        assert slots == sorted(slots)
+        for index in range(len(plan)):
+            actions = [a for _s, a, i, _f in edges if i == index]
+            assert actions == ["activate", "clear"]
+
+    def test_clear_precedes_activate_at_same_slot(self):
+        plan = FaultPlan(
+            name="adjacent", seed=0,
+            faults=(
+                DeviceStallFault(window=FaultWindow(0, 10), device="a"),
+                DeviceStallFault(window=FaultWindow(10, 5), device="a"),
+            ),
+        )
+        edges = [(slot, action) for slot, action, _i, _f in plan.events()]
+        assert edges == [
+            (0, "activate"), (10, "clear"), (10, "activate"), (15, "clear")
+        ]
+
+    def test_event_order_is_reproducible(self):
+        plan = full_plan()
+        assert list(plan.events()) == list(plan.events())
