@@ -55,7 +55,7 @@ class AdmissionController:
         self,
         table: TimeSlotTable,
         servers: List[ServerSpec],
-    ):
+    ) -> None:
         self.table = table
         self._servers: Dict[int, ServerSpec] = {}
         for spec in servers:

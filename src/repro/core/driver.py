@@ -78,7 +78,7 @@ class RetryPolicy:
     timeout_cycles: int = 2_000
     backoff_cycles: int = 500
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.timeout_cycles < 1:
@@ -131,7 +131,7 @@ class VirtualizationDriver:
         request_translator: RealTimeTranslator = None,
         response_translator: RealTimeTranslator = None,
         memory_bank: MemoryBank = None,
-    ):
+    ) -> None:
         self.controller = controller
         self.device = device
         self.request_translator = request_translator or RealTimeTranslator("request")

@@ -29,7 +29,7 @@ class ServerSpec:
     pi: int
     theta: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.pi < 1:
             raise ValueError(f"server period must be >= 1, got {self.pi}")
         if not 0 < self.theta <= self.pi:
@@ -48,7 +48,7 @@ class _ServerState:
 
     __slots__ = ("spec", "budget", "deadline", "slots_consumed", "_last_boundary")
 
-    def __init__(self, spec: ServerSpec):
+    def __init__(self, spec: ServerSpec) -> None:
         self.spec = spec
         self.budget = 0
         self.deadline = 0
@@ -87,7 +87,7 @@ class Allocation:
 class GlobalScheduler:
     """EDF allocation of free time slots to VM servers."""
 
-    def __init__(self, servers: List[ServerSpec], name: str = "gsched"):
+    def __init__(self, servers: List[ServerSpec], name: str = "gsched") -> None:
         self.name = name
         self._states: Dict[int, _ServerState] = {}
         for spec in servers:

@@ -49,7 +49,7 @@ class HypervisorConfig:
 class IOGuardHypervisor:
     """Hardware hypervisor: managers + drivers for every connected I/O."""
 
-    def __init__(self, config: Optional[HypervisorConfig] = None):
+    def __init__(self, config: Optional[HypervisorConfig] = None) -> None:
         self.config = config or HypervisorConfig()
         self.managers: Dict[str, VirtualizationManager] = {}
         self.drivers: Dict[str, VirtualizationDriver] = {}

@@ -44,7 +44,7 @@ class LocalScheduler:
         queue: PriorityQueue,
         policy: SelectionPolicy = edf_policy,
         name: str = "lsched",
-    ):
+    ) -> None:
         self.queue = queue
         self.policy = policy
         self.name = name

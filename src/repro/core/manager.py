@@ -51,7 +51,7 @@ class DegradationPolicy:
     replays are bit-identical.
     """
 
-    def __init__(self, stall_limit: int = 3, reject_limit: int = 64):
+    def __init__(self, stall_limit: int = 3, reject_limit: int = 64) -> None:
         if stall_limit < 1:
             raise ValueError(f"stall_limit must be >= 1, got {stall_limit}")
         if reject_limit < 1:
@@ -139,7 +139,7 @@ class VirtualizationManager:
         policy: SelectionPolicy = edf_policy,
         on_complete: Optional[Callable[[Job, int], None]] = None,
         degradation: Optional[DegradationPolicy] = None,
-    ):
+    ) -> None:
         self.device = device
         self.on_complete = on_complete
         self.degradation = degradation

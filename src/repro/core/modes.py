@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.core.gsched import ServerSpec
 from repro.core.pchannel import PChannel
 from repro.core.timeslot import TimeSlotTable, build_pchannel_table, stagger_offsets
+from repro.tasks.task import Job
 from repro.tasks.taskset import TaskSet
 
 
@@ -66,7 +67,7 @@ class ModeManager:
         modes: Dict[str, Mode],
         initial: str,
         servers: Optional[List[ServerSpec]] = None,
-    ):
+    ) -> None:
         if initial not in modes:
             raise KeyError(
                 f"initial mode {initial!r} not in {sorted(modes)}"
@@ -161,7 +162,7 @@ class ModeManager:
     def occupies(self, slot: int) -> bool:
         return self.pchannel.occupies(slot)
 
-    def execute_slot(self, slot: int):
+    def execute_slot(self, slot: int) -> Optional[Job]:
         return self.pchannel.execute_slot(slot)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

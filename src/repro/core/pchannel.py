@@ -27,7 +27,7 @@ class PChannel:
         table: Optional[TimeSlotTable] = None,
         on_complete: Optional[Callable[[Job, int], None]] = None,
         activation_slot: int = 0,
-    ):
+    ) -> None:
         for task in predefined:
             if task.kind != TaskKind.PREDEFINED:
                 raise ValueError(

@@ -21,6 +21,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.tasks.task import Job
 
+#: Monotonic identifier per queue instance.  Handles stamped onto jobs
+#: are keyed by this uid, so two queues never read each other's handles
+#: and a uid is never reused within a process (unlike ``id(queue)``).
+_queue_uid = itertools.count()
+
+#: Attribute under which a job carries its per-queue insertion handles.
+_HANDLE_ATTR = "_pq_handles"
+
 
 class QueueFullError(RuntimeError):
     """Raised when inserting into a full hardware queue.
@@ -38,27 +46,45 @@ class PriorityQueue:
     comparator tree that scans slots in index order.
     """
 
-    def __init__(self, capacity: int = 64, name: str = "pq"):
+    def __init__(self, capacity: int = 64, name: str = "pq") -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
+        self._uid = next(_queue_uid)
         self._heap: List[Tuple[int, int, Job]] = []
         #: Live entries keyed by insertion sequence number.  Sequence
         #: numbers are monotonic and never reused, unlike ``id(job)``:
         #: CPython recycles object ids after garbage collection, so an
         #: id-keyed table can alias a lazily-deleted heap entry with an
-        #: unrelated live job under heavy job churn.
+        #: unrelated live job under heavy job churn.  Random access goes
+        #: through a handle stamped onto the job at insertion (see
+        #: :meth:`_handle_of`); no liveness decision ever consults
+        #: ``id()``.
         self._live: Dict[int, Job] = {}
-        #: id(job) -> sequence, for O(1) random access on *live* jobs
-        #: (ids are unambiguous among concurrently-live objects; every
-        #: liveness decision goes through the sequence number).
-        self._seq_of: Dict[int, int] = {}
         self._sequence = itertools.count()
         # statistics
         self.total_inserted = 0
         self.total_removed = 0
         self.peak_occupancy = 0
+
+    # -- job handles ---------------------------------------------------------
+
+    def _handle_of(self, job: Job) -> Optional[int]:
+        """Insertion sequence handle of ``job`` in *this* queue, if live.
+
+        The handle is stamped onto the job object at :meth:`insert` and
+        removed at :meth:`pop`/:meth:`remove`, so membership is keyed by
+        the monotonic insertion sequence rather than ``id(job)`` -- a
+        recycled object id can never alias a lazily-deleted heap entry.
+        """
+        handles: Optional[Dict[int, int]] = getattr(job, _HANDLE_ATTR, None)
+        if handles is None:
+            return None
+        seq = handles.get(self._uid)
+        if seq is None or self._live.get(seq) is not job:
+            return None
+        return seq
 
     # -- core operations -----------------------------------------------------
 
@@ -69,12 +95,16 @@ class PriorityQueue:
                 f"queue {self.name!r} full ({self.capacity} slots); "
                 f"cannot buffer {job.name}"
             )
-        if id(job) in self._seq_of:
+        if self._handle_of(job) is not None:
             raise ValueError(f"job {job.name} is already buffered in {self.name!r}")
         seq = next(self._sequence)
         heapq.heappush(self._heap, (job.absolute_deadline, seq, job))
         self._live[seq] = job
-        self._seq_of[id(job)] = seq
+        handles: Optional[Dict[int, int]] = getattr(job, _HANDLE_ATTR, None)
+        if handles is None:
+            handles = {}
+            setattr(job, _HANDLE_ATTR, handles)
+        handles[self._uid] = seq
         self.total_inserted += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._live))
 
@@ -92,24 +122,28 @@ class PriorityQueue:
             raise IndexError(f"pop from empty queue {self.name!r}")
         _deadline, seq, job = heapq.heappop(self._heap)
         del self._live[seq]
-        del self._seq_of[id(job)]
+        self._drop_handle(job)
         self.total_removed += 1
         return job
 
     def remove(self, job: Job) -> bool:
         """Random-access removal; True when the job was buffered."""
-        seq = self._seq_of.get(id(job))
-        if seq is None or self._live.get(seq) is not job:
+        seq = self._handle_of(job)
+        if seq is None:
             return False
         del self._live[seq]
-        del self._seq_of[id(job)]
+        self._drop_handle(job)
         self.total_removed += 1
         # The heap entry stays until pruned (lazy deletion).
         return True
 
     def __contains__(self, job: Job) -> bool:
-        seq = self._seq_of.get(id(job))
-        return seq is not None and self._live.get(seq) is job
+        return self._handle_of(job) is not None
+
+    def _drop_handle(self, job: Job) -> None:
+        handles: Optional[Dict[int, int]] = getattr(job, _HANDLE_ATTR, None)
+        if handles is not None:
+            handles.pop(self._uid, None)
 
     # -- random-access parameter interface --------------------------------------
 
@@ -170,7 +204,7 @@ class FIFOQueue:
     models can swap one for the other (the paper's central ablation).
     """
 
-    def __init__(self, capacity: int = 64, name: str = "fifo"):
+    def __init__(self, capacity: int = 64, name: str = "fifo") -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity

@@ -26,7 +26,7 @@ class RChannel:
         pool_capacity: int = 64,
         policy: SelectionPolicy = edf_policy,
         on_complete: Optional[Callable[[Job, int], None]] = None,
-    ):
+    ) -> None:
         self.pools: Dict[int, IOPool] = {
             spec.vm_id: IOPool(
                 vm_id=spec.vm_id, capacity=pool_capacity, policy=policy

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from functools import reduce
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,7 @@ class TableOverflowError(ValueError):
     """Raised when pre-defined jobs cannot be packed into the table."""
 
 
-def as_slot_count(value, what: str = "slot value") -> int:
+def as_slot_count(value: Any, what: str = "slot value") -> int:
     """Normalize a time quantity to an integer slot count.
 
     The hypervisor schedules in whole slots (every quantity in Sec. IV is
@@ -73,7 +73,7 @@ class SbfCache:
 
     __slots__ = ("_table", "_windows", "_free_prefix", "hits", "misses")
 
-    def __init__(self, table: "TimeSlotTable"):
+    def __init__(self, table: "TimeSlotTable") -> None:
         self._table = table
         self._windows: Dict[int, int] = {}
         self._free_prefix: Optional[np.ndarray] = None
@@ -151,7 +151,7 @@ class TimeSlotTable:
         length: int,
         occupied: Iterable[int] = (),
         entries: Optional[Dict[int, IOTask]] = None,
-    ):
+    ) -> None:
         if length < 1:
             raise ValueError(f"table length must be >= 1, got {length}")
         if length > MAX_TABLE_LENGTH:

@@ -40,7 +40,7 @@ class RealTimeTranslator:
         cycles_per_word: int = DEFAULT_CYCLES_PER_WORD,
         word_bytes: int = DEFAULT_WORD_BYTES,
         max_payload_bytes: int = 4096,
-    ):
+    ) -> None:
         if direction not in ("request", "response"):
             raise ValueError(
                 f"direction must be 'request' or 'response', got {direction!r}"

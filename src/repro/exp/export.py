@@ -38,7 +38,7 @@ def export_timing_json(
     payload = summary.as_dict()
     if include_cache_stats:
         payload["analysis_caches"] = cache_stats()
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 
@@ -100,7 +100,7 @@ def export_fig7_json(result: CaseStudyResult, path: PathLike) -> Path:
             entry["success_ratio"].append(point.success_ratio)
             entry["throughput_mbps"].append(point.mean_throughput_mbps)
         payload["groups"][str(vm_count)] = systems
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 

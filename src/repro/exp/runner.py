@@ -33,6 +33,10 @@ export``.
 
 from __future__ import annotations
 
+# iolint: disable-file=IOL003 -- host-side wall-clock timing only (progress
+# ETA lines on stderr and the timing.json artefact); never feeds simulated
+# state, traces, or analysis results.
+
 import os
 import sys
 import time

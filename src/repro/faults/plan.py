@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, ClassVar, Dict, Iterator, List, Sequence, Tuple
 
 from repro.sim.rng import RandomSource, derive_seed
 

@@ -1,0 +1,34 @@
+"""iolint: determinism & real-time-invariant static analyzer.
+
+The repository's value is *reproducible* real-time guarantees --
+byte-identical traces and exact Theorem 1-4 admission results.  This
+package turns that determinism contract into a checked property: an
+AST-based analyzer with project-specific rules (IOL001-IOL006), inline
+justified suppressions, a baseline file for tracked debt, and CLI
+output formats for humans, machines, and GitHub annotations.
+
+Run it as ``python -m repro.lint [paths...]`` or import
+:func:`lint_paths` / :func:`lint_source` directly.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules, rule_ids
+from repro.lint.suppressions import META_RULE_ID
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "META_RULE_ID",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "rule_ids",
+]

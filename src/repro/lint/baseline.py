@@ -1,0 +1,78 @@
+"""Baseline file: pre-existing findings tracked as explicit debt.
+
+The baseline is a sorted JSON document mapping finding fingerprints to a
+human-readable locator.  Findings whose fingerprint appears in the
+baseline are reported but do not fail the run; new findings always do.
+Fingerprints hash the offending *line text* rather than line numbers,
+so edits elsewhere in a file do not invalidate entries (see
+:meth:`repro.lint.findings.Finding.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.lint.findings import Finding
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """In-memory view of the baseline file."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline covering every non-suppressed finding given."""
+        entries = {
+            f.fingerprint(): f"{f.path}: {f.rule_id} {f.line_text}".strip()
+            for f in findings
+            if not f.suppressed
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        target = Path(path)
+        if not target.is_file():
+            return cls()
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"baseline {target} is not an iolint baseline document"
+            )
+        entries = payload["findings"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline {target}: 'findings' must be an object")
+        return cls(entries=dict(entries))
+
+    def save(self, path: PathLike) -> Path:
+        """Write the baseline with sorted keys (byte-stable across runs)."""
+        target = Path(path)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "iolint",
+            "findings": dict(sorted(self.entries.items())),
+        }
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+
+__all__ = ["Baseline"]

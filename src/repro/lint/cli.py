@@ -1,0 +1,129 @@
+"""``python -m repro.lint`` -- the iolint command line.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 active
+findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import load_config
+from repro.lint.engine import lint_paths
+from repro.lint.formatters import FORMATTERS, format_stats
+from repro.lint.rules import all_rules
+
+DEFAULT_BASELINE = "iolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "iolint: determinism & real-time-invariant static analyzer "
+            "for the I/O-GUARD reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted debt (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report and fail on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append per-rule finding counts to the report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root for relative paths and pyproject config",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id} [{rule.severity.value}] {rule.summary}")
+        lines.append(f"    fix: {rule.fix_hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root)
+    config = load_config(root)
+
+    baseline_path = root / args.baseline
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"iolint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    paths: List[str] = list(args.paths)
+    result = lint_paths(paths, config=config, baseline=baseline)
+
+    if args.write_baseline:
+        fresh = Baseline.from_findings(result.findings)
+        fresh.save(baseline_path)
+        print(
+            f"iolint: wrote {len(fresh)} finding(s) to {baseline_path}",
+        )
+        return 0
+
+    if args.format == "text":
+        print(FORMATTERS["text"](result, verbose=args.verbose))
+    else:
+        print(FORMATTERS[args.format](result))
+    if args.stats:
+        print(format_stats(result))
+    return result.exit_code
+
+
+__all__ = ["build_parser", "main", "DEFAULT_BASELINE"]

@@ -1,0 +1,175 @@
+"""Analysis driver: walk files, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, Rule, all_rules
+from repro.lint.suppressions import META_RULE_ID, collect_suppressions
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule counts: ``{rule: {active, suppressed, baselined}}``."""
+        table: Dict[str, Dict[str, int]] = {}
+        for finding in self.findings:
+            row = table.setdefault(
+                finding.rule_id, {"active": 0, "suppressed": 0, "baselined": 0}
+            )
+            if finding.suppressed:
+                row["suppressed"] += 1
+            elif finding.baselined:
+                row["baselined"] += 1
+            else:
+                row["active"] += 1
+        return dict(sorted(table.items()))
+
+
+def iter_python_files(
+    paths: Sequence[str], config: LintConfig
+) -> Iterable[Path]:
+    """Every non-excluded ``.py`` file under ``paths``, sorted."""
+    root = Path(config.root)
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            collected.extend(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            collected.append(path)
+    unique = sorted(set(collected))
+    for path in unique:
+        if not config.is_excluded(_rel_path(path, root)):
+            yield path
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; the unit building block of the engine.
+
+    Returns all findings with suppression state resolved (baseline is a
+    file-set concern and applied by :func:`lint_paths`).
+    """
+    cfg = config if config is not None else LintConfig()
+    active_rules = rules if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=META_RULE_ID,
+                severity=Severity.ERROR,
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint="fix the syntax error; unparseable files are unanalyzable",
+            )
+        ]
+
+    suppressions = collect_suppressions(rel_path, source)
+    ctx = ModuleContext.build(rel_path, source, tree, cfg)
+
+    findings: List[Finding] = list(suppressions.malformed)
+    for rule in active_rules:
+        for finding in rule.check(ctx):
+            hit, why = suppressions.lookup(finding.line, finding.rule_id)
+            if hit:
+                finding.suppressed = True
+                finding.justification = why
+            findings.append(finding)
+
+    _assign_occurrences(findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def _assign_occurrences(findings: List[Finding]) -> None:
+    """Number repeated (rule, line-text) pairs so fingerprints stay unique."""
+    counters: Dict[tuple, int] = {}
+    for finding in sorted(findings, key=lambda f: (f.line, f.col, f.rule_id)):
+        key = (finding.rule_id, finding.line_text)
+        finding.occurrence = counters.get(key, 0)
+        counters[key] = finding.occurrence + 1
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``; the importable API."""
+    cfg = config if config is not None else LintConfig()
+    root = Path(cfg.root)
+    result = LintResult()
+    for path in iter_python_files(paths, cfg):
+        rel = _rel_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                Finding(
+                    rule_id=META_RULE_ID,
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=1,
+                    col=1,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            result.files_checked += 1
+            continue
+        file_findings = lint_source(source, rel, cfg, rules)
+        if baseline is not None:
+            for finding in file_findings:
+                if not finding.suppressed and baseline.contains(finding):
+                    finding.baselined = True
+        result.findings.extend(file_findings)
+        result.files_checked += 1
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return result
+
+
+__all__ = ["LintResult", "iter_python_files", "lint_source", "lint_paths"]

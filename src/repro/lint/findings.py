@@ -1,0 +1,78 @@
+"""Finding and severity primitives for the iolint analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  The
+engine decorates findings with their disposition -- *active* findings
+fail the build, *suppressed* findings carry an inline justification,
+*baselined* findings are pre-existing debt tracked in the baseline file.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both levels fail the build when active."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+    #: Source text of the offending line (stripped); feeds the
+    #: line-drift-tolerant baseline fingerprint.
+    line_text: str = ""
+    #: Disambiguates repeated identical findings on identical lines.
+    occurrence: int = 0
+    suppressed: bool = False
+    justification: Optional[str] = None
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when this finding should fail the run."""
+        return not self.suppressed and not self.baselined
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining, tolerant of line drift.
+
+        Hashes the path, rule, the *text* of the offending line and an
+        occurrence counter -- not the line number -- so unrelated edits
+        above a baselined finding do not invalidate the baseline.
+        """
+        payload = "::".join(
+            (self.path, self.rule_id, self.line_text, str(self.occurrence))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by ``--format=json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint(),
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+            "baselined": self.baselined,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"

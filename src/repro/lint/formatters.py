@@ -1,0 +1,122 @@
+"""Output formatters: human text, machine JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Severity
+
+
+def format_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report; suppressed findings only with ``verbose``."""
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.suppressed and not verbose:
+            continue
+        tag = finding.severity.value
+        if finding.suppressed:
+            tag = "suppressed"
+        elif finding.baselined:
+            tag = "baselined"
+        line = (
+            f"{finding.location()}: {finding.rule_id} [{tag}] {finding.message}"
+        )
+        if finding.fix_hint and not finding.suppressed:
+            line += f" (fix: {finding.fix_hint})"
+        if finding.suppressed and finding.justification:
+            line += f" (justified: {finding.justification})"
+        lines.append(line)
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    active = len(result.active)
+    noun = "finding" if active == 1 else "findings"
+    return (
+        f"iolint: {result.files_checked} files checked, {active} {noun} "
+        f"({len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed)"
+    )
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order for byte-identity)."""
+    payload = {
+        "tool": "iolint",
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "stats": result.stats(),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_github(result: LintResult) -> str:
+    """GitHub Actions workflow-command annotations.
+
+    One ``::error``/``::warning`` line per active or baselined finding;
+    baselined findings downgrade to ``notice`` so they are visible
+    without failing annotation budgets.
+    """
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.suppressed:
+            continue
+        if finding.baselined:
+            level = "notice"
+        elif finding.severity is Severity.ERROR:
+            level = "error"
+        else:
+            level = "warning"
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule_id}::"
+            f"{_escape(finding.message)}"
+        )
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _escape(message: str) -> str:
+    """Escape GitHub workflow-command message data."""
+    return (
+        message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_stats(result: LintResult) -> str:
+    """Per-rule finding counts, for CHANGES.md bookkeeping."""
+    stats = result.stats()
+    lines = ["rule    active  baselined  suppressed"]
+    for rule_id, row in stats.items():
+        lines.append(
+            f"{rule_id:<8}{row['active']:>6}{row['baselined']:>11}"
+            f"{row['suppressed']:>12}"
+        )
+    totals: Dict[str, int] = {"active": 0, "baselined": 0, "suppressed": 0}
+    for row in stats.values():
+        for key in totals:
+            totals[key] += row[key]
+    lines.append(
+        f"{'total':<8}{totals['active']:>6}{totals['baselined']:>11}"
+        f"{totals['suppressed']:>12}"
+    )
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
+
+__all__ = [
+    "FORMATTERS",
+    "format_text",
+    "format_json",
+    "format_github",
+    "format_stats",
+]

@@ -1,0 +1,749 @@
+"""The iolint rule set: the determinism contract, mechanically enforced.
+
+Each rule encodes one invariant the simulator and analysis layers rely
+on for byte-identical traces and exact Theorem 1-4 admission results.
+The rules are deliberately project-shaped: they know which modules own
+entropy, which produce digests, and which classes are schedulers.  See
+``docs/ARCHITECTURE.md`` ("Determinism contract") for the invariant
+behind each rule and the PR-2 bug it would have caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    lines: List[str] = field(default_factory=list)
+    #: ``import x as y`` -> {"y": "x"}
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: ``from m import a as b`` -> {"b": ("m", "a")}
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    imports_hashlib: bool = False
+
+    @classmethod
+    def build(
+        cls, rel_path: str, source: str, tree: ast.Module, config: LintConfig
+    ) -> "ModuleContext":
+        ctx = cls(
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            config=config,
+            lines=source.splitlines(),
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.module_aliases[alias.asname or alias.name] = alias.name
+                    if alias.name.split(".")[0] == "hashlib":
+                        ctx.imports_hashlib = True
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    ctx.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+                if node.module.split(".")[0] == "hashlib":
+                    ctx.imports_hashlib = True
+        return ctx
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class: one rule id, one invariant, one ``check`` pass."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    fix_hint: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            fix_hint=self.fix_hint,
+            line_text=ctx.line_text(line),
+        )
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """Rightmost simple name of the callee (``a.b.f(...)`` -> ``f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _find_id_calls(node: ast.AST) -> List[ast.Call]:
+    """Every ``id(...)`` builtin call inside ``node``."""
+    return [
+        sub
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Name)
+        and sub.func.id == "id"
+        and len(sub.args) == 1
+    ]
+
+
+#: Call subtrees that launder values back to integers; float contents
+#: below these are fine.
+_INTEGERIZERS = {"as_slot_count", "int", "round", "len", "floor", "ceil"}
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Does this expression plausibly produce a float?
+
+    Walks the expression but does not descend into calls of known
+    integerizing functions (``as_slot_count``, ``int``, ...): those are
+    the sanctioned boundaries.
+    """
+    if isinstance(node, ast.Call):
+        name = _callee_name(node)
+        if name in _INTEGERIZERS:
+            return False
+        return any(_is_floatish(arg) for arg in node.args)
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _is_floatish(node.body) or _is_floatish(node.orelse)
+    return False
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "bytearray",
+}
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = _callee_name(node)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+# -- IOL001 ------------------------------------------------------------------
+
+
+class IdentityKeyRule(Rule):
+    """``id()`` as a dict/set key, membership probe, or ordering tie-break.
+
+    CPython recycles object ids after garbage collection and lays objects
+    out nondeterministically, so id-keyed tables alias under churn and
+    id tie-breaks depend on memory layout.  PR 2 shipped (and had to fix)
+    exactly this bug in the priority queue's liveness table.
+    """
+
+    rule_id = "IOL001"
+    severity = Severity.ERROR
+    summary = "id() used as a key, membership probe, or ordering tie-break"
+    fix_hint = (
+        "key by a monotonic handle (insertion sequence, task_id) instead "
+        "of id(); ids are recycled after GC and depend on memory layout"
+    )
+
+    _PROBE_METHODS = {
+        "get",
+        "pop",
+        "setdefault",
+        "add",
+        "discard",
+        "remove",
+        "__contains__",
+    }
+    _HEAP_FUNCS = {"heappush", "heappushpop", "heapreplace"}
+    _ORDER_FUNCS = {"sorted", "min", "max", "sort"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+
+        def flag(id_call: ast.Call, what: str) -> Optional[Finding]:
+            marker = (id_call.lineno, id_call.col_offset)
+            if marker in seen:
+                return None
+            seen.add(marker)
+            return self.finding(ctx, id_call, f"id() used as {what}")
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                for id_call in _find_id_calls(node.slice):
+                    found = flag(id_call, "a subscript key")
+                    if found:
+                        yield found
+            elif isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+                    for id_call in _find_id_calls(node.left):
+                        found = flag(id_call, "a membership probe")
+                        if found:
+                            yield found
+            elif isinstance(node, ast.Call):
+                callee = _callee_name(node)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._PROBE_METHODS
+                ):
+                    for arg in node.args:
+                        for id_call in _find_id_calls(arg):
+                            found = flag(
+                                id_call, f"a key in .{node.func.attr}()"
+                            )
+                            if found:
+                                yield found
+                if callee in self._ORDER_FUNCS:
+                    for kw in node.keywords:
+                        if kw.arg == "key":
+                            for id_call in _find_id_calls(kw.value):
+                                found = flag(id_call, "an ordering tie-break")
+                                if found:
+                                    yield found
+                if callee in self._HEAP_FUNCS:
+                    for arg in node.args:
+                        if isinstance(arg, ast.Tuple):
+                            for id_call in _find_id_calls(arg):
+                                found = flag(
+                                    id_call, "an ordering tie-break in a heap entry"
+                                )
+                                if found:
+                                    yield found
+
+
+# -- IOL002 ------------------------------------------------------------------
+
+
+class UnorderedIterationRule(Rule):
+    """Iteration over an unordered ``set`` where order can leak out.
+
+    Set iteration order depends on element hashes; with string elements
+    it changes run to run under hash randomization.  Any loop whose body
+    feeds scheduling decisions, traces, or serialized output must walk a
+    ``sorted(...)`` view or an ordered container.  (Dicts are
+    insertion-ordered in Python 3.7+ and therefore allowed -- but a dict
+    *built from a set* inherits the poison, which the local inference
+    catches at the set itself.)
+    """
+
+    rule_id = "IOL002"
+    severity = Severity.ERROR
+    summary = "iteration over an unordered set"
+    fix_hint = (
+        "iterate sorted(the_set) (with an explicit key for non-comparable "
+        "elements) or keep an ordered container alongside the set"
+    )
+
+    _SET_ANNOTATIONS = {"set", "Set", "FrozenSet", "frozenset", "MutableSet", "AbstractSet"}
+
+    def _set_typed_names(
+        self, scope_body: List[ast.stmt]
+    ) -> Tuple[Set[str], Set[str]]:
+        """``(set_names, shadowed)`` for one scope (non-recursive).
+
+        Nested function/class bodies are separate scopes: a ``names:
+        Set[str]`` in one helper must not poison an unrelated ``names``
+        list elsewhere in the file.  ``shadowed`` holds names the scope
+        rebinds to non-set values, which mask inherited set bindings.
+        """
+        names: Set[str] = set()
+        shadowed: Set[str] = set()
+        for node in self._walk_scope(scope_body):
+            if isinstance(node, ast.Assign):
+                is_set = self._is_set_expr(node.value, names)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if is_set:
+                            names.add(target.id)
+                        elif target.id not in names:
+                            shadowed.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                ann = node.annotation
+                base = ann.value if isinstance(ann, ast.Subscript) else ann
+                dotted = _dotted_name(base) or ""
+                if dotted.split(".")[-1] in self._SET_ANNOTATIONS:
+                    names.add(node.target.id)
+                else:
+                    shadowed.add(node.target.id)
+        return names, shadowed - names
+
+    @staticmethod
+    def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a scope in source order without entering nested scopes.
+
+        Nested function/class/lambda nodes are yielded (so callers can
+        discover and recurse into them) but their bodies are not
+        traversed here.
+        """
+        queue: List[ast.AST] = list(body)
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            yield node
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            queue.extend(ast.iter_child_nodes(node))
+
+    def _is_set_expr(self, node: ast.AST, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _callee_name(node) in {"set", "frozenset"}
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: a | b, a - b, ... is a set if either side is
+            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
+                node.right, set_names
+            )
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, ctx.tree.body, frozenset())
+
+    def _check_scope(
+        self,
+        ctx: ModuleContext,
+        body: List[ast.stmt],
+        inherited: "frozenset[str]",
+    ) -> Iterator[Finding]:
+        local_sets, shadowed = self._set_typed_names(body)
+        set_names = (set(inherited) - shadowed) | local_sets
+
+        def iter_sites(node: ast.AST) -> Iterator[ast.AST]:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield gen.iter
+            elif isinstance(node, ast.Call) and _callee_name(node) in {
+                "list",
+                "tuple",
+                "enumerate",
+            }:
+                if node.args:
+                    yield node.args[0]
+
+        for node in self._walk_scope(body):
+            for site in iter_sites(node):
+                if self._is_set_expr(site, set_names):
+                    yield self.finding(
+                        ctx,
+                        site,
+                        "iterating an unordered set; order leaks into "
+                        "downstream decisions",
+                    )
+        # Recurse into nested scopes; module/enclosing set names stay
+        # visible (closures read them), locals of siblings do not, and
+        # function parameters shadow whatever they share a name with.
+        for node in self._walk_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = {
+                    arg.arg
+                    for arg in (
+                        node.args.args
+                        + node.args.posonlyargs
+                        + node.args.kwonlyargs
+                        + [a for a in (node.args.vararg, node.args.kwarg) if a]
+                    )
+                }
+                yield from self._check_scope(
+                    ctx, node.body, frozenset(set_names - params)
+                )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_scope(ctx, node.body, frozenset(set_names))
+
+
+# -- IOL003 ------------------------------------------------------------------
+
+
+class AmbientEntropyRule(Rule):
+    """Wall clocks and entropy outside the sanctioned rng/clock modules.
+
+    Every stochastic or temporal input must flow from the seeded
+    ``repro.sim.rng`` streams or the simulated ``repro.sim.clock`` timer,
+    or replays stop being bit-identical.
+    """
+
+    rule_id = "IOL003"
+    severity = Severity.ERROR
+    summary = "ambient randomness or wall-clock access outside rng/clock"
+    fix_hint = (
+        "draw from a seeded repro.sim.rng.RandomSource stream or read "
+        "the simulated repro.sim.clock.GlobalTimer instead"
+    )
+
+    _BANNED_MODULES = {"random", "secrets"}
+    _BANNED_ATTRS: Dict[str, Set[str]] = {
+        "time": {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "clock",
+        },
+        "os": {"urandom", "getrandom"},
+        "uuid": {"uuid1", "uuid4"},
+        "datetime": {"now", "utcnow", "today"},
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.in_rng_allowlist(ctx.rel_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED_MODULES:
+                        yield self.finding(
+                            ctx, node, f"import of nondeterministic module {root!r}"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                if root in self._BANNED_MODULES:
+                    yield self.finding(
+                        ctx, node, f"import from nondeterministic module {root!r}"
+                    )
+                elif root in self._BANNED_ATTRS:
+                    banned = self._BANNED_ATTRS[root]
+                    for alias in node.names:
+                        if alias.name in banned:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"import of {root}.{alias.name} "
+                                "(wall clock / entropy source)",
+                            )
+            elif isinstance(node, ast.Attribute):
+                found = self._check_attribute(ctx, node)
+                if found:
+                    yield found
+
+    def _check_attribute(
+        self, ctx: ModuleContext, node: ast.Attribute
+    ) -> Optional[Finding]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        root_alias, rest = parts[0], parts[1:]
+        module = ctx.module_aliases.get(root_alias)
+        if module is None and root_alias in ctx.from_imports:
+            from_module, original = ctx.from_imports[root_alias]
+            # `from datetime import datetime/date` then datetime.now()
+            if from_module == "datetime" and original in {"datetime", "date"}:
+                module = "datetime"
+        if module is None:
+            return None
+        module_root = module.split(".")[0]
+        if module_root == "numpy" and rest and rest[0] == "random":
+            return self.finding(
+                ctx,
+                node,
+                "numpy.random global state is nondeterministic across "
+                "runs; derive a Generator from the experiment seed",
+            )
+        banned = self._BANNED_ATTRS.get(module_root)
+        if banned and rest and rest[-1] in banned:
+            return self.finding(
+                ctx, node, f"call into {module_root}.{rest[-1]} (wall clock / entropy)"
+            )
+        return None
+
+
+# -- IOL004 ------------------------------------------------------------------
+
+
+class FloatSlotRule(Rule):
+    """Float values flowing into integer slot-count positions.
+
+    The hypervisor schedules in whole slots; a float that sneaks into a
+    slot count truncates deadlines or supply windows silently, and
+    ``float ==`` comparisons on slot math are representation-dependent.
+    ``as_slot_count`` is the sanctioned boundary.
+    """
+
+    rule_id = "IOL004"
+    severity = Severity.ERROR
+    summary = "float literal/arithmetic in a slot-count position"
+    fix_hint = (
+        "route the value through as_slot_count(...) at the boundary; "
+        "compare slot quantities as integers, never with float =="
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        slot_scope = ctx.config.in_slot_scope(ctx.rel_path)
+        marker = ctx.config.slot_call_marker
+        exempt = set(ctx.config.slot_call_exempt)
+        for node in ast.walk(ctx.tree):
+            if slot_scope and isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                    sides = [node.left, *node.comparators]
+                    if any(_is_floatish(side) for side in sides):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "float equality on slot math; exact comparison "
+                            "of floats is representation-dependent",
+                        )
+            elif isinstance(node, ast.Call):
+                callee = _callee_name(node)
+                if (
+                    callee
+                    and marker in callee.lower()
+                    and callee not in exempt
+                ):
+                    args = list(node.args) + [kw.value for kw in node.keywords]
+                    for arg in args:
+                        if _is_floatish(arg):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"float value passed to slot consumer "
+                                f"{callee}(); wrap it in as_slot_count(...)",
+                            )
+                            break
+
+
+# -- IOL005 ------------------------------------------------------------------
+
+
+class UnsortedJsonRule(Rule):
+    """``json.dumps`` without ``sort_keys=True`` in digest/trace modules.
+
+    Digests and trace files are compared byte-for-byte across runs and
+    machines; JSON key order must therefore be pinned, not inherited
+    from dict construction order.
+    """
+
+    rule_id = "IOL005"
+    severity = Severity.ERROR
+    summary = "json.dumps without sort_keys=True in a digest/trace module"
+    fix_hint = "pass sort_keys=True so serialized key order is pinned"
+
+    _FUNCS = {"dumps", "dump"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not (
+            ctx.config.in_digest_scope(ctx.rel_path) or ctx.imports_hashlib
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_json_dump(ctx, node):
+                continue
+            sort_kw = next(
+                (kw for kw in node.keywords if kw.arg == "sort_keys"), None
+            )
+            if sort_kw is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "json serialization without sort_keys=True in a "
+                    "digest/trace-producing module",
+                )
+            elif not (
+                isinstance(sort_kw.value, ast.Constant)
+                and sort_kw.value.value is True
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "sort_keys must be the literal True in digest/trace "
+                    "modules so key order is statically pinned",
+                )
+
+    def _is_json_dump(self, ctx: ModuleContext, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self._FUNCS:
+            dotted = _dotted_name(func)
+            if dotted:
+                root = dotted.split(".")[0]
+                return ctx.module_aliases.get(root) == "json"
+            return False
+        if isinstance(func, ast.Name) and func.id in self._FUNCS:
+            origin = ctx.from_imports.get(func.id)
+            return origin is not None and origin[0] == "json"
+        return False
+
+
+# -- IOL006 ------------------------------------------------------------------
+
+
+class SharedMutableRule(Rule):
+    """Mutable defaults and shared mutable class attributes.
+
+    A mutable default argument is one object shared by every call; a
+    mutable class attribute on a scheduler/pool class is one object
+    shared by every instance.  Both couple logically independent runs
+    through hidden state and break replay isolation.
+    """
+
+    rule_id = "IOL006"
+    severity = Severity.ERROR
+    summary = "mutable default argument / shared mutable class attribute"
+    fix_hint = (
+        "default to None and allocate inside the function, or build the "
+        "container in __init__ so each instance owns its state"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_value(default):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {node.name}(); "
+                            "one object is shared by every call",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: ModuleContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        markers = ctx.config.scheduler_class_markers
+        if not any(marker in node.name for marker in markers):
+            return
+        if self._is_dataclass(node):
+            # dataclasses reject mutable defaults themselves
+            return
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_value(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if all(name.startswith("__") and name.endswith("__") for name in names):
+                continue  # __slots__ and friends are effectively const
+            yield self.finding(
+                ctx,
+                value,
+                f"shared mutable class attribute "
+                f"{', '.join(names) or '<target>'} on scheduler/pool class "
+                f"{node.name}; every instance aliases one object",
+            )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted_name(target) or ""
+            if name.split(".")[-1] == "dataclass":
+                return True
+        return False
+
+
+# -- registry ----------------------------------------------------------------
+
+_RULES: Tuple[Rule, ...] = (
+    IdentityKeyRule(),
+    UnorderedIterationRule(),
+    AmbientEntropyRule(),
+    FloatSlotRule(),
+    UnsortedJsonRule(),
+    SharedMutableRule(),
+)
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in rule-id order."""
+    return _RULES
+
+
+def rule_ids() -> List[str]:
+    return [rule.rule_id for rule in _RULES]
+
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "IdentityKeyRule",
+    "UnorderedIterationRule",
+    "AmbientEntropyRule",
+    "FloatSlotRule",
+    "UnsortedJsonRule",
+    "SharedMutableRule",
+    "all_rules",
+    "rule_ids",
+]

@@ -1,0 +1,154 @@
+"""Inline suppression comments.
+
+Grammar (one comment, one or more rules, justification mandatory)::
+
+    x = seen[id(obj)]  # iolint: disable=IOL001 -- debug map, never ordering
+    # iolint: disable=IOL003 -- seeded local Random for fixture data
+    value = make_fixture()
+
+A suppression on its own line applies to the next statement line; a
+trailing suppression applies to its own line.  ``disable-file=`` scopes
+the rules to the whole module.  A suppression without a ``--
+justification`` is itself a finding (:data:`META_RULE_ID`): silent
+opt-outs are exactly the rot this analyzer exists to stop.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+#: Meta rule covering malformed suppressions and unparseable files.
+META_RULE_ID = "IOL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*iolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Z0-9, ]+?)"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+_RULE_ID_RE = re.compile(r"^IOL\d{3}$")
+
+
+def _known_rule_ids() -> Set[str]:
+    """Registered rule ids; imported lazily to keep module load light."""
+    from repro.lint.rules import rule_ids
+
+    return set(rule_ids()) | {META_RULE_ID}
+
+
+@dataclass
+class SuppressionMap:
+    """Which rules are suppressed where, plus malformed-comment findings."""
+
+    #: line number -> rule ids suppressed on that line
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rules suppressed for the whole file
+    file_wide: Set[str] = field(default_factory=set)
+    #: justification text keyed by (line, rule)
+    justifications: Dict[Tuple[int, str], str] = field(default_factory=dict)
+    #: malformed suppression comments, reported as META_RULE_ID findings
+    malformed: List[Finding] = field(default_factory=list)
+
+    def lookup(self, line: int, rule_id: str) -> Tuple[bool, str]:
+        """(suppressed?, justification) for a finding at ``line``."""
+        if rule_id in self.file_wide:
+            return True, self.justifications.get((0, rule_id), "")
+        if rule_id in self.by_line.get(line, set()):
+            return True, self.justifications.get((line, rule_id), "")
+        return False, ""
+
+
+def collect_suppressions(path: str, source: str) -> SuppressionMap:
+    """Parse every ``# iolint:`` comment in ``source``."""
+    result = SuppressionMap()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The engine reports the parse failure separately; no comments
+        # can be trusted from a file that does not tokenize.
+        return result
+
+    # Lines holding only comments/whitespace: a suppression there
+    # governs the next code line instead of its own.
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or "iolint:" not in tok.string:
+            continue
+        line_no = tok.start[0]
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            result.malformed.append(
+                _malformed(path, line_no, tok.string.strip(), "unparseable directive")
+            )
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+        bad = [r for r in rules if not _RULE_ID_RE.match(r) or r not in _known_rule_ids()]
+        why = (match.group("why") or "").strip()
+        if bad:
+            result.malformed.append(
+                _malformed(
+                    path, line_no, tok.string.strip(),
+                    f"unknown rule id(s) {', '.join(bad)}",
+                )
+            )
+            continue
+        if not why:
+            result.malformed.append(
+                _malformed(
+                    path, line_no, tok.string.strip(),
+                    "missing justification (append `-- <reason>`)",
+                )
+            )
+            continue
+        if match.group("kind") == "disable-file":
+            for rule in rules:
+                result.file_wide.add(rule)
+                result.justifications[(0, rule)] = why
+            continue
+        target = line_no if line_no in code_lines else _next_code_line(
+            line_no, code_lines
+        )
+        bucket = result.by_line.setdefault(target, set())
+        for rule in rules:
+            bucket.add(rule)
+            result.justifications[(target, rule)] = why
+    return result
+
+
+def _next_code_line(after: int, code_lines: Set[int]) -> int:
+    following = [line for line in sorted(code_lines) if line > after]
+    return following[0] if following else after
+
+
+def _malformed(path: str, line: int, text: str, reason: str) -> Finding:
+    return Finding(
+        rule_id=META_RULE_ID,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=1,
+        message=f"malformed iolint suppression: {reason}",
+        fix_hint=(
+            "write `# iolint: disable=IOLxxx -- justification`; the "
+            "justification is mandatory"
+        ),
+        line_text=text,
+    )
+
+
+__all__ = ["META_RULE_ID", "SuppressionMap", "collect_suppressions"]

@@ -100,7 +100,7 @@ class NocContentionAnalysis:
         usage = self.link_load()
         if not usage:
             return None
-        link = max(usage, key=lambda l: (len(usage[l]), l))
+        link = max(usage, key=lambda candidate: (len(usage[candidate]), candidate))
         return link, sorted(usage[link])
 
     def latency_bound(self, flow_name: str) -> FlowLatencyBound:
@@ -124,7 +124,9 @@ class NocContentionAnalysis:
                 if other_name != flow_name and link in other_route
             }
             interferers.append(sharing)
-            for other_name in sharing:
+            # Sorted so the accumulation order (and thus the exact float
+            # value, if hold costs ever become fractional) is stable.
+            for other_name in sorted(sharing):
                 interference += self._flows[other_name].hold_cycles(
                     self.router_latency
                 )

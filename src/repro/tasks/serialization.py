@@ -93,7 +93,7 @@ def taskset_to_json(taskset: TaskSet, indent: int = 2) -> str:
         "name": taskset.name,
         "tasks": [task_to_dict(task) for task in taskset],
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def taskset_from_json(text: str) -> TaskSet:

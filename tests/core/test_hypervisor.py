@@ -161,10 +161,12 @@ class TestIOGuardHypervisor:
 
     def test_run_slots_fractional_count_rejected(self):
         with pytest.raises(ValueError, match="whole number of slots"):
+            # iolint: disable=IOL004 -- deliberately fractional to assert rejection
             self.build().run_slots(2.5)
 
     def test_run_slots_fractional_start_rejected(self):
         with pytest.raises(ValueError, match="whole number of slots"):
+            # iolint: disable=IOL004 -- deliberately fractional to assert rejection
             self.build().run_slots(4, start=0.5)
 
     def test_completion_hook(self):

@@ -223,6 +223,81 @@ class TestChurnAndIdReuse:
         ]
 
 
+class TestHandleKeying:
+    """Membership is keyed by insertion-sequence handles, never id().
+
+    PR 2's bug: an ``id(job)``-keyed liveness table aliased lazily
+    deleted heap entries with unrelated live jobs once CPython recycled
+    the id after GC.  Handles are stamped per (queue uid, sequence), so
+    no amount of allocation churn can alias two jobs.
+    """
+
+    def test_churn_with_id_reuse_pressure(self):
+        """Heavy alloc/free churn: dead jobs must never alias live ones."""
+        queue = PriorityQueue(capacity=8)
+        live = []
+        for round_no in range(300):
+            fresh = job(f"c{round_no}", round_no, 10)
+            queue.insert(fresh)
+            live.append(fresh)
+            if len(live) == queue.capacity:
+                # drop half via pop (heap path), half via remove (lazy path)
+                victims = live[: queue.capacity // 2]
+                for idx, victim in enumerate(victims):
+                    if idx % 2 == 0:
+                        assert queue.remove(victim)
+                    else:
+                        popped = queue.pop()
+                        assert popped in live
+                        live.remove(popped)
+                live = [j for j in live if j in queue]
+                del victims
+                gc.collect()  # recycle ids of the dead jobs
+            # a brand-new equal-parameter job is never confused for a live one
+            ghost = job(f"c{round_no}", round_no, 10)
+            assert ghost not in queue
+            assert not queue.remove(ghost)
+        assert queue.jobs() == sorted(
+            live, key=lambda j: (j.absolute_deadline, live.index(j))
+        )
+
+    def test_handle_cleared_on_pop_and_remove(self):
+        queue = PriorityQueue()
+        a, b = job("a", 0, 10), job("b", 0, 20)
+        queue.insert(a)
+        queue.insert(b)
+        assert queue.pop() is a
+        assert a not in queue
+        assert queue.remove(b)
+        assert b not in queue
+        # both can be re-inserted cleanly after their handles were dropped
+        queue.insert(a)
+        queue.insert(b)
+        assert a in queue and b in queue
+
+    def test_same_job_in_two_queues(self):
+        """Handles are per-queue: membership in one never leaks to the other."""
+        q1 = PriorityQueue(name="q1")
+        q2 = PriorityQueue(name="q2")
+        shared = job("s", 0, 10)
+        q1.insert(shared)
+        q2.insert(shared)
+        assert shared in q1 and shared in q2
+        assert q1.remove(shared)
+        assert shared not in q1
+        assert shared in q2  # q2's handle untouched
+        assert q2.pop() is shared
+
+    def test_duplicate_insert_rejected_per_queue(self):
+        queue = PriorityQueue()
+        j = job("dup", 0, 10)
+        queue.insert(j)
+        with pytest.raises(ValueError, match="already buffered"):
+            queue.insert(j)
+        other = PriorityQueue()
+        other.insert(j)  # a different queue is fine
+
+
 class TestFIFOQueue:
     def test_arrival_order(self):
         queue = FIFOQueue()

@@ -7,7 +7,7 @@ releases -- the analysis covers the worst case, the simulation is one
 realisation of it.
 """
 
-import random
+import random  # iolint: disable=IOL003 -- seeded random.Random only; test-local data generation
 
 import pytest
 

@@ -1,0 +1,12 @@
+"""IOL001 fixture: every way id() can poison keys and ordering."""
+import heapq
+
+table = {}
+job = object()
+seq = 7
+table[id(job)] = seq                                   # line 7: subscript key
+hit = table.get(id(job))                               # line 8: .get probe
+present = id(job) in table                             # line 9: membership
+ordered = sorted([job], key=lambda j: (0, id(j)))      # line 10: tie-break
+heap = []
+heapq.heappush(heap, (0, id(job), job))                # line 12: heap entry

@@ -1,0 +1,14 @@
+"""IOL001 fixture: monotonic handles instead of object ids."""
+import heapq
+import itertools
+
+_sequence = itertools.count()
+
+table = {}
+job = object()
+seq = next(_sequence)
+table[seq] = job
+ordered = sorted(table.items(), key=lambda entry: entry[0])
+heap = []
+heapq.heappush(heap, (0, seq, job))
+debug_label = f"job@{id(job):#x}"  # id() in a repr is fine: never a key

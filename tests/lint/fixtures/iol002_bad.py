@@ -1,0 +1,13 @@
+"""IOL002 fixture: unordered set iteration leaking order."""
+names = {"vm0", "vm1", "vm2"}
+
+for name in names:                                     # line 4: bare set
+    print(name)
+
+listed = list({"a", "b"})                              # line 7: list(set)
+
+squares = [n for n in set(range(4))]                   # line 9: comprehension
+
+merged = names | {"vm3"}
+for name in merged:                                    # line 12: set algebra
+    print(name)

@@ -1,0 +1,18 @@
+"""IOL002 fixture: sorted views and ordered containers."""
+names = {"vm0", "vm1", "vm2"}
+
+for name in sorted(names):
+    print(name)
+
+listed = sorted({"a", "b"})
+
+ordered_names = ["vm0", "vm1", "vm2"]
+for name in ordered_names:
+    print(name)
+
+
+def local_scope_is_isolated():
+    # `names` here is a list; the module-level set must not poison it
+    names = ["x", "y"]
+    for name in names:
+        print(name)

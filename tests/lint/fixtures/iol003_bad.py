@@ -1,0 +1,12 @@
+"""IOL003 fixture: ambient entropy and wall clocks."""
+import os
+import random                                          # line 3: random import
+import time
+import uuid
+from datetime import datetime
+
+value = random.random()
+stamp = time.time()                                    # line 9: wall clock
+token = os.urandom(8)                                  # line 10: entropy
+ident = uuid.uuid4()                                   # line 11: entropy
+now = datetime.now()                                   # line 12: wall clock

@@ -1,0 +1,11 @@
+"""IOL003 fixture: every stochastic input flows from seeded streams."""
+from repro.sim.rng import RandomSource, spawn_streams
+
+
+def draw(seed: int) -> float:
+    rng = RandomSource(seed, "fixture")
+    return rng.random()  # method on a seeded stream, not the random module
+
+
+def streams(seed: int):
+    return spawn_streams(seed, ["workload", "jitter"])

@@ -1,0 +1,14 @@
+"""IOL004 fixture: floats leaking into slot math (slot-scope module)."""
+supply = 10
+demand = 3
+
+
+def check(budget_slots):
+    if budget_slots == 2.5:                            # line 7: float ==
+        return False
+    return supply / demand == 3.4                      # line 9: division ==
+
+
+def reserve(run_slots, table):
+    table.run_slots(7.5)                               # line 13: float arg
+    table.reserve_slots(supply / 2)                    # line 14: division arg

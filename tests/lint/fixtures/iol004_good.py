@@ -1,0 +1,16 @@
+"""IOL004 fixture: integer slot math behind as_slot_count boundaries."""
+from repro.core.timeslot import as_slot_count
+
+supply = 10
+demand = 3
+
+
+def check(budget_slots):
+    if budget_slots == 2:
+        return False
+    return supply // demand == 3
+
+
+def reserve(table, cycles, cycles_per_slot):
+    table.run_slots(as_slot_count(cycles / cycles_per_slot))
+    table.reserve_slots(supply // 2)

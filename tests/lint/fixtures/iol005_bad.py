@@ -1,0 +1,12 @@
+"""IOL005 fixture: digest-scope serialization with loose key order."""
+import hashlib
+import json
+
+
+def digest(payload) -> str:
+    text = json.dumps(payload)                         # line 7: no sort_keys
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def dump(payload, handle, pin):
+    json.dump(payload, handle, sort_keys=pin)          # line 12: not literal

@@ -1,0 +1,12 @@
+"""IOL005 fixture: digest-scope serialization with pinned key order."""
+import hashlib
+import json
+
+
+def digest(payload) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def dump(payload, handle):
+    json.dump(payload, handle, sort_keys=True)

@@ -1,0 +1,19 @@
+"""IOL006 fixture: shared mutable state in scheduler/pool classes."""
+
+
+def enqueue(job, queue=[]):                            # line 4: mutable default
+    queue.append(job)
+    return queue
+
+
+def tally(job, counts={}):                             # line 9: mutable default
+    counts[job] = counts.get(job, 0) + 1
+    return counts
+
+
+class RSchedScheduler:
+    backlog = []                                       # line 15: shared list
+    quotas: dict = {}                                  # line 16: shared dict
+
+    def admit(self, job):
+        self.backlog.append(job)

@@ -1,0 +1,21 @@
+"""IOL006 fixture: per-call and per-instance state ownership."""
+from typing import List, Optional
+
+
+def enqueue(job, queue: Optional[List] = None):
+    if queue is None:
+        queue = []
+    queue.append(job)
+    return queue
+
+
+class RSchedScheduler:
+    __slots__ = ["backlog", "quotas"]  # dunder lists are effectively const
+    quantum = 4  # immutable class attribute: fine
+
+    def __init__(self):
+        self.backlog = []
+        self.quotas = {}
+
+    def admit(self, job):
+        self.backlog.append(job)

@@ -1,0 +1,10 @@
+"""Suppression fixture: justified opt-outs are honored, silent ones not."""
+table = {}
+obj = object()
+
+table[id(obj)] = 1  # iolint: disable=IOL001 -- debug map, never ordering
+
+# iolint: disable=IOL002 -- result feeds a commutative sum only
+total = sum(x for x in {1, 2, 3})
+
+table[id(obj)] = 2  # iolint: disable=IOL001

@@ -1,0 +1,163 @@
+"""Per-rule fixture tests: exact rule ids, exact line numbers.
+
+Each IOL rule has a bad fixture (every finding asserted by line) and a
+good fixture (zero findings).  Fixtures live under ``fixtures/`` which
+the engine's default config excludes from production lint runs; the
+tests feed them through :func:`lint_source` with a synthetic relative
+path so scope-sensitive rules (IOL004 slot scope, IOL005 digest scope)
+see the intended context.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.suppressions import META_RULE_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_fixture(name: str, rel_path: str = "src/repro/fixture.py"):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, rel_path, LintConfig())
+
+
+def active(findings):
+    return [f for f in findings if f.active]
+
+
+def lines_of(findings, rule_id):
+    return [f.line for f in active(findings) if f.rule_id == rule_id]
+
+
+class TestIOL001:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol001_bad.py")
+        assert lines_of(findings, "IOL001") == [7, 8, 9, 10, 12]
+        assert {f.rule_id for f in active(findings)} == {"IOL001"}
+
+    def test_good_fixture_clean(self):
+        assert active(run_fixture("iol001_good.py")) == []
+
+
+class TestIOL002:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol002_bad.py")
+        assert lines_of(findings, "IOL002") == [4, 7, 9, 12]
+
+    def test_good_fixture_clean(self):
+        assert active(run_fixture("iol002_good.py")) == []
+
+
+class TestIOL003:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol003_bad.py")
+        assert lines_of(findings, "IOL003") == [3, 9, 10, 11, 12]
+
+    def test_good_fixture_clean(self):
+        assert active(run_fixture("iol003_good.py")) == []
+
+    def test_rng_module_is_allowlisted(self):
+        source = "import random\nvalue = random.Random(1).random()\n"
+        findings = lint_source(source, "src/repro/sim/rng.py", LintConfig())
+        assert active(findings) == []
+        flagged = lint_source(source, "src/repro/core/edf.py", LintConfig())
+        assert lines_of(flagged, "IOL003") == [1]
+
+
+class TestIOL004:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol004_bad.py", "src/repro/core/fixture.py")
+        assert lines_of(findings, "IOL004") == [7, 9, 13, 14]
+
+    def test_good_fixture_clean(self):
+        assert active(
+            run_fixture("iol004_good.py", "src/repro/core/fixture.py")
+        ) == []
+
+    def test_float_eq_only_in_slot_scope(self):
+        source = "tolerance = 0.5\nclose = tolerance == 0.5\n"
+        outside = lint_source(source, "src/repro/metrics/stats.py", LintConfig())
+        assert active(outside) == []
+        inside = lint_source(source, "src/repro/core/edf.py", LintConfig())
+        assert lines_of(inside, "IOL004") == [2]
+
+
+class TestIOL005:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol005_bad.py")
+        assert lines_of(findings, "IOL005") == [7, 12]
+
+    def test_good_fixture_clean(self):
+        assert active(run_fixture("iol005_good.py")) == []
+
+    def test_out_of_scope_module_not_flagged(self):
+        source = "import json\ntext = json.dumps({'b': 1, 'a': 2})\n"
+        findings = lint_source(source, "src/repro/metrics/stats.py", LintConfig())
+        assert active(findings) == []
+
+    def test_digest_filename_puts_module_in_scope(self):
+        source = "import json\ntext = json.dumps({'b': 1})\n"
+        findings = lint_source(source, "src/repro/faults/trace.py", LintConfig())
+        assert lines_of(findings, "IOL005") == [2]
+
+
+class TestIOL006:
+    def test_bad_fixture_every_site(self):
+        findings = run_fixture("iol006_bad.py")
+        assert lines_of(findings, "IOL006") == [4, 9, 15, 16]
+
+    def test_good_fixture_clean(self):
+        assert active(run_fixture("iol006_good.py")) == []
+
+    def test_dataclass_exempt_from_class_attr_check(self):
+        source = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class JobPool:\n"
+            "    jobs: list = field(default_factory=list)\n"
+        )
+        assert active(lint_source(source, "src/repro/core/pool.py")) == []
+
+    def test_non_scheduler_class_attr_not_flagged(self):
+        source = "class Palette:\n    colors = []\n"
+        assert active(lint_source(source, "src/repro/core/palette.py")) == []
+
+
+class TestSuppressions:
+    def test_fixture_dispositions(self):
+        findings = run_fixture("suppressed.py")
+        by_line = {f.line: f for f in findings if f.rule_id == "IOL001"}
+        assert by_line[5].suppressed
+        assert by_line[5].justification == "debug map, never ordering"
+        # line 10 has a justification-free disable: suppression refused
+        assert by_line[10].active
+        iol2 = [f for f in findings if f.rule_id == "IOL002"]
+        assert len(iol2) == 1 and iol2[0].suppressed
+        # and the malformed comment is itself reported
+        meta = [f for f in findings if f.rule_id == META_RULE_ID]
+        assert [f.line for f in meta] == [10]
+        assert "justification" in meta[0].message
+
+    def test_file_wide_suppression(self):
+        source = (
+            "# iolint: disable-file=IOL003 -- host timing only\n"
+            "import time\n"
+            "start = time.perf_counter()\n"
+        )
+        findings = lint_source(source, "src/repro/exp/x.py")
+        assert all(f.suppressed for f in findings if f.rule_id == "IOL003")
+        assert [f for f in findings if f.active] == []
+
+    def test_unknown_rule_id_is_malformed(self):
+        source = "x = 1  # iolint: disable=IOL999 -- because\n"
+        findings = lint_source(source, "src/repro/exp/x.py")
+        assert [f.rule_id for f in findings] == [META_RULE_ID]
+
+    @pytest.mark.parametrize("name", ["iol001_bad.py", "iol002_bad.py"])
+    def test_syntax_error_reported_as_meta(self, name):
+        source = (FIXTURES / name).read_text() + "\ndef broken(:\n"
+        findings = lint_source(source, "src/repro/fixture.py")
+        assert [f.rule_id for f in findings] == [META_RULE_ID]
+        assert "does not parse" in findings[0].message

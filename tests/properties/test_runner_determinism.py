@@ -11,7 +11,7 @@ needed -- the draws themselves are the fixed property inputs):
   warm cache agrees with a cold one.
 """
 
-import random
+import random  # iolint: disable=IOL003 -- seeded random.Random only; test-local data generation
 
 import pytest
 
