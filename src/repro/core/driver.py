@@ -27,6 +27,7 @@ from repro.core.translator import RealTimeTranslator
 from repro.hw.controller import IOController
 from repro.hw.devices import DeviceStalledError, IODevice
 from repro.hw.memory import MemoryBank
+from repro.sim.trace import TraceRecorder
 
 #: Nominal size of the low-level controller driver code loaded into the
 #: driver's memory bank (per protocol; KB-scale as in Fig. 6).
@@ -131,9 +132,11 @@ class VirtualizationDriver:
         request_translator: RealTimeTranslator = None,
         response_translator: RealTimeTranslator = None,
         memory_bank: MemoryBank = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.controller = controller
         self.device = device
+        self.trace = trace
         self.request_translator = request_translator or RealTimeTranslator("request")
         self.response_translator = response_translator or RealTimeTranslator(
             "response"
@@ -172,7 +175,10 @@ class VirtualizationDriver:
         return timing
 
     def execute_guarded(
-        self, payload_bytes: int, policy: Optional[RetryPolicy] = None
+        self,
+        payload_bytes: int,
+        policy: Optional[RetryPolicy] = None,
+        slot: int = 0,
     ) -> GuardedOperation:
         """Run one operation under timeout + bounded retry/backoff.
 
@@ -181,7 +187,8 @@ class VirtualizationDriver:
         after ``policy.max_attempts`` failures the operation is reported
         as timed out (``succeeded == False``) so the caller -- typically
         the manager's degradation policy -- can quarantine the device
-        instead of wedging the executor.
+        instead of wedging the executor.  ``slot`` stamps the
+        ``driver.retry`` / ``driver.timeout`` trace events.
         """
         policy = policy or RetryPolicy()
         penalty = 0
@@ -192,6 +199,12 @@ class VirtualizationDriver:
                 penalty += policy.penalty_cycles(attempt)
                 if attempt < policy.max_attempts:
                     self.retries_performed += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            slot, "driver.retry", self.controller.name,
+                            device=self.device.name, attempt=attempt,
+                            penalty_cycles=penalty,
+                        )
                 continue
             self.total_cycles += penalty
             return GuardedOperation(
@@ -199,6 +212,12 @@ class VirtualizationDriver:
             )
         self.operations_timed_out += 1
         self.total_cycles += penalty
+        if self.trace is not None:
+            self.trace.record(
+                slot, "driver.timeout", self.controller.name,
+                device=self.device.name, attempts=policy.max_attempts,
+                penalty_cycles=penalty,
+            )
         return GuardedOperation(
             timing=None, attempts=policy.max_attempts, penalty_cycles=penalty
         )

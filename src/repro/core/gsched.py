@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.trace import TraceRecorder
+
 
 @dataclass(frozen=True)
 class ServerSpec:
@@ -55,7 +57,7 @@ class _ServerState:
         self.slots_consumed = 0
         self._last_boundary: Optional[int] = None
 
-    def replenish_if_due(self, slot: int) -> None:
+    def replenish_if_due(self, slot: int) -> bool:
         """Full replenishment at the latest period boundary <= ``slot``.
 
         A caller is allowed to advance the clock by more than one slot
@@ -65,13 +67,15 @@ class _ServerState:
         boundary, so servers never starve after a jump.  Budget does not
         accumulate across missed periods -- unused budget is discarded
         at each boundary, exactly as slot-by-slot ticking would have.
+        Returns True when a replenishment happened.
         """
         boundary = slot - slot % self.spec.pi
         if self._last_boundary is not None and boundary <= self._last_boundary:
-            return
+            return False
         self.budget = self.spec.theta
         self.deadline = boundary + self.spec.pi
         self._last_boundary = boundary
+        return True
 
 
 @dataclass(frozen=True)
@@ -87,8 +91,14 @@ class Allocation:
 class GlobalScheduler:
     """EDF allocation of free time slots to VM servers."""
 
-    def __init__(self, servers: List[ServerSpec], name: str = "gsched") -> None:
+    def __init__(
+        self,
+        servers: List[ServerSpec],
+        name: str = "gsched",
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
         self.name = name
+        self.trace = trace
         self._states: Dict[int, _ServerState] = {}
         for spec in servers:
             if spec.vm_id in self._states:
@@ -112,7 +122,15 @@ class GlobalScheduler:
     def tick(self, slot: int) -> None:
         """Advance budget accounting to slot ``slot`` (call every slot)."""
         for state in self._states.values():
-            state.replenish_if_due(slot)
+            if state.replenish_if_due(slot) and self.trace is not None:
+                self.trace.record(
+                    slot,
+                    "gsched.replenish",
+                    self.name,
+                    vm=state.spec.vm_id,
+                    budget=state.budget,
+                    server_deadline=state.deadline,
+                )
 
     def allocate(
         self,
@@ -143,14 +161,33 @@ class GlobalScheduler:
             # Server-EDF; ties broken by staged job deadline then vm_id,
             # which keeps the decision deterministic.
             eligible.sort(key=lambda entry: (entry[0], entry[2], entry[1]))
-            _deadline, vm_id, _job_deadline = eligible[0]
+            server_deadline, vm_id, _job_deadline = eligible[0]
             state = self._states[vm_id]
             state.budget -= 1
             state.slots_consumed += 1
             self.budgeted_grants += 1
+            if self.trace is not None:
+                self.trace.record(
+                    slot,
+                    "gsched.grant",
+                    self.name,
+                    vm=vm_id,
+                    budgeted=True,
+                    budget_left=state.budget,
+                    server_deadline=server_deadline,
+                )
             return Allocation(vm_id=vm_id, budgeted=True)
         vm_id = min(pending_vms, key=lambda vm: (pending_vms[vm], vm))
         self.background_grants += 1
+        if self.trace is not None:
+            self.trace.record(
+                slot,
+                "gsched.grant",
+                self.name,
+                vm=vm_id,
+                budgeted=False,
+                job_deadline=pending_vms[vm_id],
+            )
         return Allocation(vm_id=vm_id, budgeted=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -88,6 +88,7 @@ class IOGuardHypervisor:
             on_complete=lambda job, slot: self._job_completed(
                 device_name, job, slot
             ),
+            trace=self.config.trace,
         )
         self.managers[device_name] = manager
         self.drivers[device_name] = driver
@@ -134,7 +135,7 @@ class IOGuardHypervisor:
                 f"job {job.name} targets unattached device "
                 f"{job.task.device!r}; attached: {sorted(self.managers)}"
             )
-        return manager.submit(job)
+        return manager.submit(job, slot=self._slot_cursor)
 
     def step(self, slot: Optional[int] = None) -> List[Job]:
         """Execute one time slot on every attached device.

@@ -18,6 +18,7 @@ from repro.core.lsched import SelectionPolicy, edf_policy
 from repro.core.pchannel import PChannel
 from repro.core.rchannel import RChannel
 from repro.core.timeslot import TimeSlotTable
+from repro.sim.trace import TraceRecorder
 from repro.tasks.task import Job, TaskKind
 from repro.tasks.taskset import TaskSet
 
@@ -139,18 +140,21 @@ class VirtualizationManager:
         policy: SelectionPolicy = edf_policy,
         on_complete: Optional[Callable[[Job, int], None]] = None,
         degradation: Optional[DegradationPolicy] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.device = device
         self.on_complete = on_complete
         self.degradation = degradation
+        self.trace = trace
         self.pchannel = PChannel(
-            predefined, table=table, on_complete=self._completed
+            predefined, table=table, on_complete=self._completed, trace=trace
         )
         self.rchannel = RChannel(
             servers,
             pool_capacity=pool_capacity,
             policy=policy,
             on_complete=self._completed,
+            trace=trace,
         )
         self.completed_jobs: List[Job] = []
         #: Responses are pass-through: "the processing speed of the
@@ -180,14 +184,14 @@ class VirtualizationManager:
         ):
             self.device_rejects += 1
             return False
-        accepted = self.rchannel.submit(job)
+        accepted = self.rchannel.submit(job, slot=slot)
         if self.degradation is not None:
             vm_id = job.task.vm_id
             if accepted:
                 self.degradation.note_accept(vm_id)
             elif vm_id not in self.rchannel.quarantined_vms:
                 if self.degradation.note_rejection(vm_id, slot):
-                    self.rchannel.quarantine_vm(vm_id)
+                    self.rchannel.quarantine_vm(vm_id, slot=slot)
         return accepted
 
     def report_device_stall(self, device: str, slot: int) -> bool:
@@ -202,7 +206,9 @@ class VirtualizationManager:
         tripped = self.degradation.note_stall(device, slot)
         if tripped:
             for pool in self.rchannel.pools.values():
-                pool.drop_matching(lambda job: job.task.device == device)
+                pool.drop_matching(
+                    lambda job: job.task.device == device, slot=slot
+                )
         return tripped
 
     def report_device_service(self, device: str) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.timeslot import TimeSlotTable, build_pchannel_table
+from repro.sim.trace import TraceRecorder
 from repro.tasks.task import IOTask, Job, TaskKind
 from repro.tasks.taskset import TaskSet
 
@@ -27,6 +28,7 @@ class PChannel:
         table: Optional[TimeSlotTable] = None,
         on_complete: Optional[Callable[[Job, int], None]] = None,
         activation_slot: int = 0,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         for task in predefined:
             if task.kind != TaskKind.PREDEFINED:
@@ -38,6 +40,7 @@ class PChannel:
                 f"activation slot must be >= 0, got {activation_slot}"
             )
         self.tasks = predefined
+        self.trace = trace
         #: sigma*: built at "system initialization" unless supplied.
         self.table = table if table is not None else build_pchannel_table(predefined)
         self.on_complete = on_complete
@@ -71,6 +74,11 @@ class PChannel:
             # A table slot wrapped from the previous hyper-period repetition,
             # belonging to a job released before time zero; idle through it.
             return None
+        if self.trace is not None:
+            self.trace.record(
+                slot, "pchannel.fire", "pchannel",
+                task=task.name, job=job.name, remaining=job.remaining,
+            )
         job.execute(1)
         if job.started_at is None:
             job.started_at = float(slot)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.core.gsched import Allocation, GlobalScheduler, ServerSpec
 from repro.core.iopool import IOPool
 from repro.core.lsched import SelectionPolicy, edf_policy
+from repro.sim.trace import TraceRecorder
 from repro.tasks.task import Job
 
 
@@ -26,14 +27,17 @@ class RChannel:
         pool_capacity: int = 64,
         policy: SelectionPolicy = edf_policy,
         on_complete: Optional[Callable[[Job, int], None]] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
+        self.trace = trace
         self.pools: Dict[int, IOPool] = {
             spec.vm_id: IOPool(
-                vm_id=spec.vm_id, capacity=pool_capacity, policy=policy
+                vm_id=spec.vm_id, capacity=pool_capacity, policy=policy,
+                trace=trace,
             )
             for spec in servers
         }
-        self.gsched = GlobalScheduler(servers)
+        self.gsched = GlobalScheduler(servers, trace=trace)
         self.on_complete = on_complete
         self.slots_executed = 0
         self.jobs_completed = 0
@@ -49,7 +53,7 @@ class RChannel:
 
     # -- VM-side interface -----------------------------------------------------
 
-    def submit(self, job: Job) -> bool:
+    def submit(self, job: Job, slot: int = 0) -> bool:
         """Route a run-time job to its VM's pool (hardware-partitioned)."""
         pool = self.pools.get(job.task.vm_id)
         if pool is None:
@@ -60,11 +64,11 @@ class RChannel:
         if job.task.vm_id in self.quarantined_vms:
             self.quarantine_rejects += 1
             return False
-        return pool.submit(job)
+        return pool.submit(job, slot=slot)
 
     # -- containment -----------------------------------------------------------
 
-    def quarantine_vm(self, vm_id: int) -> List[Job]:
+    def quarantine_vm(self, vm_id: int, slot: int = 0) -> List[Job]:
         """Mask a VM out of scheduling and drain its pool.
 
         Graceful degradation for a babbling-idiot VM: its buffered jobs
@@ -78,7 +82,7 @@ class RChannel:
         if vm_id in self.quarantined_vms:
             return []
         self.quarantined_vms.add(vm_id)
-        return pool.drain()
+        return pool.drain(slot=slot)
 
     def release_vm(self, vm_id: int) -> None:
         """Lift a VM quarantine (operator action / fault cleared)."""
@@ -119,10 +123,22 @@ class RChannel:
         job = pool.shadow
         if guard is not None and job is not None and not guard(job, slot):
             self.blocked_slots += 1
+            if self.trace is not None:
+                self.trace.record(
+                    slot, "rchannel.burn", "rchannel",
+                    vm=allocation.vm_id, job=job.name,
+                    budgeted=allocation.budgeted,
+                )
             return None
         if job is not None and job.started_at is None:
             job.started_at = float(slot)
-        completed = pool.execute_slot()
+        if self.trace is not None and job is not None:
+            self.trace.record(
+                slot, "rchannel.dispatch", "rchannel",
+                vm=allocation.vm_id, job=job.name,
+                remaining=job.remaining, budgeted=allocation.budgeted,
+            )
+        completed = pool.execute_slot(slot)
         self.slots_executed += 1
         if completed is not None:
             completed.completed_at = float(slot + 1)

@@ -87,6 +87,11 @@ def main(argv=None) -> int:
         help="force progress/ETA lines on stderr (default: only on a TTY)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="record per-cell wall time and memoization-kernel hit/miss "
+        "deltas into timing.json (cell_seconds / kernel_stats keys)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results"),
         help="output directory for the export subcommand",
     )
@@ -98,7 +103,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     runner = ExperimentRunner(
-        args.jobs, progress=True if args.progress else None
+        args.jobs,
+        progress=True if args.progress else None,
+        profile=args.profile,
     )
 
     if args.experiment in ("all", "fig6"):

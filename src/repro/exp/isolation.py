@@ -299,8 +299,14 @@ def _victim_miss(job: Job, horizon: int) -> bool:
     return job.task.vm_id == VICTIM_VM and job.absolute_deadline <= horizon
 
 
-def _run_ioguard_faults(servers, events, plan, horizon):
-    """I/O-GUARD with containment: guarded executor + quarantine policy."""
+def _run_ioguard_faults(servers, events, plan, horizon, obs_trace=None):
+    """I/O-GUARD with containment: guarded executor + quarantine policy.
+
+    ``obs_trace`` optionally attaches a
+    :class:`~repro.sim.trace.TraceRecorder` to the manager so the run
+    emits scheduler/pool observability events; ``None`` (the default)
+    keeps the run on the untraced fast path, byte-identical to before.
+    """
     trace = FaultTrace()
     devices = {
         "eth0": IODevice("eth0", service_cycles=100),
@@ -316,6 +322,7 @@ def _run_ioguard_faults(servers, events, plan, horizon):
         servers,
         pool_capacity=FAULT_POOL_CAPACITY,
         degradation=policy,
+        trace=obs_trace,
     )
     sim_lines: List[str] = []
     quarantines_seen = 0
@@ -463,6 +470,7 @@ def run_fault_isolation(
     seed: int = 2021,
     horizon_slots: int = 8_000,
     plan: Optional[FaultPlan] = None,
+    obs_trace=None,
 ) -> FaultIsolationResult:
     """Apply one seeded fault plan to I/O-GUARD and the baselines.
 
@@ -470,6 +478,11 @@ def run_fault_isolation(
     discipline; only the hardware structure and the containment differ.
     Determinism contract: identical ``(seed, plan)`` yields identical
     fault-trace and per-discipline simulation-trace digests.
+
+    ``obs_trace`` (a :class:`~repro.sim.trace.TraceRecorder`) attaches
+    observability instrumentation to the I/O-GUARD run only -- the
+    baselines model hardware without tracing taps.  Tracing never
+    perturbs the run: results with and without it are identical.
     """
     declared = fault_declared_tasks()
     servers = dimension_servers(declared)
@@ -487,7 +500,9 @@ def run_fault_isolation(
         for fault in plan.storms
     )
 
-    ioguard = _run_ioguard_faults(servers, events, plan, horizon_slots)
+    ioguard = _run_ioguard_faults(
+        servers, events, plan, horizon_slots, obs_trace=obs_trace
+    )
     rtxen = _run_shared_queue_faults(
         lambda: PriorityQueue(capacity=FAULT_SHARED_CAPACITY, name="rtxen.q"),
         events, plan, horizon_slots,

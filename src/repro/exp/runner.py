@@ -77,12 +77,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 @dataclass(frozen=True)
 class PhaseTiming:
-    """Wall-clock record of one mapped phase."""
+    """Wall-clock record of one mapped phase.
+
+    With runner profiling enabled the phase additionally carries the
+    per-cell wall times and the memoization-kernel hit/miss deltas
+    accumulated across its cells; both stay ``None`` otherwise so the
+    ``timing.json`` schema is unchanged for non-profiled runs.
+    """
 
     label: str
     items: int
     jobs: int
     elapsed_seconds: float
+    cell_seconds: Optional[Sequence[float]] = None
+    kernel_stats: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def items_per_second(self) -> float:
@@ -91,13 +99,21 @@ class PhaseTiming:
         return self.items / self.elapsed_seconds
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "label": self.label,
             "items": self.items,
             "jobs": self.jobs,
             "elapsed_seconds": self.elapsed_seconds,
             "items_per_second": self.items_per_second,
         }
+        if self.cell_seconds is not None:
+            payload["cell_seconds"] = list(self.cell_seconds)
+        if self.kernel_stats is not None:
+            payload["kernel_stats"] = {
+                name: dict(stats)
+                for name, stats in sorted(self.kernel_stats.items())
+            }
+        return payload
 
 
 @dataclass
@@ -179,6 +195,12 @@ class ExperimentRunner:
         enables it only when ``stream`` is a TTY.
     stream:
         Destination for progress lines (default ``sys.stderr``).
+    profile:
+        Record per-cell wall time and memoization-kernel hit/miss
+        deltas into each :class:`PhaseTiming` (the ``timing.json``
+        keys ``cell_seconds`` / ``kernel_stats``).  Profiling wraps
+        the cell function, so cells must tolerate the extra frame;
+        results are unchanged -- only the timing record grows.
     """
 
     def __init__(
@@ -187,12 +209,14 @@ class ExperimentRunner:
         *,
         progress: Optional[bool] = None,
         stream=None,
+        profile: bool = False,
     ):
         self.jobs = resolve_jobs(jobs)
         self.stream = stream if stream is not None else sys.stderr
         if progress is None:
             progress = bool(getattr(self.stream, "isatty", lambda: False)())
         self.progress = progress
+        self.profile = profile
         self.timing = TimingSummary(jobs=self.jobs)
 
     def map(
@@ -216,29 +240,46 @@ class ExperimentRunner:
             if self.progress and items
             else None
         )
+        call = _TimedCall(fn) if self.profile else fn
         started = time.perf_counter()
         workers = min(self.jobs, len(items)) if items else 0
         if workers <= 1:
             results = []
             for item in items:
-                results.append(fn(item))
+                results.append(call(item))
                 if reporter:
                     reporter.advance()
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(fn, item) for item in items]
+                futures = [pool.submit(call, item) for item in items]
                 if reporter:
                     for _ in as_completed(futures):
                         reporter.advance()
                 # Reassembly in submission order makes the output
                 # independent of completion order.
                 results = [future.result() for future in futures]
+        cell_seconds: Optional[List[float]] = None
+        kernel_stats: Optional[Dict[str, Dict[str, int]]] = None
+        if self.profile:
+            profiles: List[_CellProfile] = results  # type: ignore[assignment]
+            results = [profile.result for profile in profiles]
+            cell_seconds = [profile.elapsed_seconds for profile in profiles]
+            kernel_stats = {}
+            for profile in profiles:
+                for name, delta in profile.kernel_delta.items():
+                    merged = kernel_stats.setdefault(
+                        name, {"hits": 0, "misses": 0}
+                    )
+                    merged["hits"] += delta.get("hits", 0)
+                    merged["misses"] += delta.get("misses", 0)
         self.timing.add(
             PhaseTiming(
                 label=label,
                 items=len(items),
                 jobs=workers if workers > 0 else 1,
                 elapsed_seconds=time.perf_counter() - started,
+                cell_seconds=cell_seconds,
+                kernel_stats=kernel_stats,
             )
         )
         return results
@@ -267,3 +308,44 @@ class _StarCall:
 
     def __call__(self, args: Sequence):
         return self.fn(*args)
+
+
+@dataclass(frozen=True)
+class _CellProfile:
+    """One profiled cell: wall time, kernel-cache delta, and the result."""
+
+    elapsed_seconds: float
+    kernel_delta: Dict[str, Dict[str, int]]
+    result: object
+
+
+class _TimedCall:
+    """Picklable profiling wrapper: times ``fn`` and diffs kernel caches.
+
+    The cache delta is measured inside the executing process, so the
+    parallel path attributes each worker's memoization traffic to the
+    cell that caused it (workers hold independent cache state).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item):
+        from repro.analysis.cache import cache_stats
+
+        before = cache_stats()
+        started = time.perf_counter()
+        result = self.fn(item)
+        elapsed = time.perf_counter() - started
+        delta: Dict[str, Dict[str, int]] = {}
+        for name, stats in cache_stats().items():
+            prior = before.get(name, {})
+            hits = stats["hits"] - prior.get("hits", 0)
+            misses = stats["misses"] - prior.get("misses", 0)
+            if hits or misses:
+                delta[name] = {"hits": hits, "misses": misses}
+        return _CellProfile(
+            elapsed_seconds=elapsed, kernel_delta=delta, result=result
+        )

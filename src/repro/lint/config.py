@@ -53,6 +53,11 @@ class LintConfig:
     #: (their whole job is turning float time into integer slots).
     slot_call_exempt: Tuple[str, ...] = ("as_slot_count", "slots_ceil")
 
+    #: Receiver-name substrings marking a ``.record(...)`` call as a
+    #: trace-recorder sink for IOL004: the first argument is an event
+    #: time and must be an integer slot, not a float.
+    trace_record_markers: Tuple[str, ...] = ("trace", "recorder")
+
     #: Class-name substrings marking IOL006 "scheduler/pool" classes
     #: whose class attributes must not be shared mutables.
     scheduler_class_markers: Tuple[str, ...] = (

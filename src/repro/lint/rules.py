@@ -531,6 +531,11 @@ class FloatSlotRule(Rule):
     slot count truncates deadlines or supply windows silently, and
     ``float ==`` comparisons on slot math are representation-dependent.
     ``as_slot_count`` is the sanctioned boundary.
+
+    Trace recorders are a slot sink too: ``<trace-ish>.record(t, ...)``
+    stamps ``t`` as an event time, and the recorder boundary rejects
+    fractional values at run time -- this rule catches the same mistake
+    statically, before a sweep burns an hour to die on one event.
     """
 
     rule_id = "IOL004"
@@ -540,6 +545,32 @@ class FloatSlotRule(Rule):
         "route the value through as_slot_count(...) at the boundary; "
         "compare slot quantities as integers, never with float =="
     )
+
+    @staticmethod
+    def _receiver_name(call: ast.Call) -> Optional[str]:
+        """Simple name of the object a method is called on, if any."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr
+        return None
+
+    def _is_trace_record(self, ctx: ModuleContext, call: ast.Call) -> bool:
+        if not (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "record"
+        ):
+            return False
+        receiver = self._receiver_name(call)
+        if receiver is None:
+            return False
+        lowered = receiver.lower()
+        return any(
+            marker in lowered for marker in ctx.config.trace_record_markers
+        )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         slot_scope = ctx.config.in_slot_scope(ctx.rel_path)
@@ -571,6 +602,22 @@ class FloatSlotRule(Rule):
                                 node,
                                 f"float value passed to slot consumer "
                                 f"{callee}(); wrap it in as_slot_count(...)",
+                            )
+                            break
+                elif self._is_trace_record(ctx, node):
+                    time_args = list(node.args[:1]) + [
+                        kw.value
+                        for kw in node.keywords
+                        if kw.arg in ("time", "slot")
+                    ]
+                    for arg in time_args:
+                        if _is_floatish(arg):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                "float event time passed to a trace "
+                                "recorder's record(); event times are "
+                                "integer slot indices",
                             )
                             break
 

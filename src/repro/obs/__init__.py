@@ -1,0 +1,48 @@
+"""Observability layer: span tracing, metrics registry, Perfetto export.
+
+Everything in this package is *derived* -- it consumes the structured
+events a :class:`~repro.sim.trace.TraceRecorder` collected (plus the
+existing metrics objects) and never feeds anything back into simulated
+state.  Attaching or detaching the layer therefore cannot change a
+run's results; the determinism contract extends to the artefacts
+themselves: identical inputs yield byte-identical ``trace.json`` and
+metrics snapshots.
+
+* :mod:`repro.obs.events` -- the event taxonomy and the span model
+  derived from raw trace events;
+* :mod:`repro.obs.registry` -- one registry of named counters, gauges
+  and histograms unifying the scattered metric sources;
+* :mod:`repro.obs.perfetto` -- Chrome/Perfetto ``trace.json`` export
+  (open in ``ui.perfetto.dev`` or ``chrome://tracing``);
+* :mod:`repro.obs.capture` -- run the fault-isolation scenario with
+  tracing attached and roll the outcome into a registry;
+* ``python -m repro.obs`` -- ``export`` / ``summary`` / ``spans`` /
+  ``sweep`` command-line front end.
+"""
+
+from repro.obs.capture import ObsCapture, build_registry, capture_fault_isolation
+from repro.obs.events import (
+    CATEGORIES,
+    Span,
+    derive_job_spans,
+    job_wait_slots,
+)
+from repro.obs.perfetto import chrome_trace, render_chrome_trace, validate_chrome_trace
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsCapture",
+    "Span",
+    "build_registry",
+    "capture_fault_isolation",
+    "chrome_trace",
+    "derive_job_spans",
+    "job_wait_slots",
+    "render_chrome_trace",
+    "validate_chrome_trace",
+]

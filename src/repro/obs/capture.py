@@ -1,0 +1,113 @@
+"""Traced capture of the fault-isolation scenario.
+
+``capture_fault_isolation`` is the observability layer's reference
+workload: it attaches a :class:`~repro.sim.trace.TraceRecorder` to the
+I/O-GUARD run of :func:`repro.exp.isolation.run_fault_isolation`, then
+rolls the run's raw events, back-pressure report, per-discipline
+outcomes and kernel-cache traffic into one
+:class:`~repro.obs.registry.MetricsRegistry`.
+
+The capture changes nothing about the run itself -- tracing hooks are
+pure observers -- so the captured result equals an untraced
+``run_fault_isolation`` with the same arguments, digest for digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exp.isolation import FAULT_DISCIPLINES, FaultIsolationResult, run_fault_isolation
+from repro.metrics.stats import summarize
+from repro.obs.events import job_wait_slots
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+#: Default ring-buffer bound for captures: large enough to keep every
+#: event of the stock scenario, small enough that runaway horizons
+#: cannot exhaust memory (evictions are counted, never silent).
+DEFAULT_MAX_EVENTS = 250_000
+
+
+@dataclass
+class ObsCapture:
+    """One traced run: raw events + scenario outcome + rolled-up metrics."""
+
+    recorder: TraceRecorder
+    result: FaultIsolationResult
+    registry: MetricsRegistry
+
+
+def build_registry(
+    result: FaultIsolationResult, recorder: TraceRecorder
+) -> MetricsRegistry:
+    """Unify a traced fault-isolation run into one metrics registry."""
+    registry = MetricsRegistry()
+    registry.ingest_trace(recorder)
+    registry.ingest_backpressure(result.backpressure)
+    registry.ingest_cache_stats()
+    for discipline in FAULT_DISCIPLINES:
+        prefix = f"isolation.{discipline}"
+        registry.counter(f"{prefix}.victim_misses").inc(
+            result.victim_misses[discipline]
+        )
+        registry.counter(f"{prefix}.storm_rejected").inc(
+            result.storm_rejected[discipline]
+        )
+        registry.counter(f"{prefix}.blocked_slots").inc(
+            result.blocked_slots[discipline]
+        )
+        if result.victim_jobs:
+            registry.gauge(f"{prefix}.victim_success_ratio").set(
+                1.0 - result.victim_misses[discipline] / result.victim_jobs
+            )
+    registry.counter("isolation.victim_jobs").inc(result.victim_jobs)
+    registry.counter("isolation.storm_jobs").inc(result.storm_jobs)
+    registry.counter("isolation.quarantines").inc(len(result.quarantine_log))
+    registry.counter("isolation.fault_events").inc(
+        result.fault_trace_jsonl.count("\n") + 1
+        if result.fault_trace_jsonl
+        else 0
+    )
+    waits = job_wait_slots(recorder)
+    if waits:
+        histogram = registry.histogram("rchannel.wait_slots")
+        for job_name in sorted(waits):
+            histogram.observe(waits[job_name])
+        registry.ingest_latency(
+            "rchannel.wait_latency", summarize(waits.values())
+        )
+    return registry
+
+
+def capture_fault_isolation(
+    *,
+    seed: int = 2021,
+    horizon_slots: int = 8_000,
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    categories: Optional[Iterable[str]] = None,
+) -> ObsCapture:
+    """Run the fault-isolation scenario with tracing attached.
+
+    ``max_events`` bounds the recorder (``None`` = unbounded);
+    ``categories`` optionally whitelists what is observed.  Identical
+    arguments produce identical captures -- trace, registry and all:
+    the analysis caches are cleared first so the registry's
+    ``cache.*`` counters reflect this run's kernel traffic alone, not
+    whatever the process computed earlier.
+    """
+    from repro.analysis.cache import clear_caches
+
+    clear_caches()
+    recorder = TraceRecorder(
+        categories=list(categories) if categories is not None else None,
+        max_events=max_events,
+    )
+    result = run_fault_isolation(
+        seed=seed, horizon_slots=horizon_slots, obs_trace=recorder
+    )
+    return ObsCapture(
+        recorder=recorder,
+        result=result,
+        registry=build_registry(result, recorder),
+    )

@@ -1,0 +1,272 @@
+"""Command-line front end of the observability layer.
+
+Usage::
+
+    python -m repro.obs export  --out results/obs [--seed N] [--horizon S]
+                                [--max-events N] [--slot-us U]
+    python -m repro.obs summary [--seed N] [--horizon S] [--max-events N]
+    python -m repro.obs spans   [--seed N] [--horizon S] [--limit N]
+    python -m repro.obs sweep   --seeds 1 2 3 [--jobs N] [--horizon S]
+                                [--max-events N] [--profile]
+
+``export`` writes the Perfetto/Chrome ``trace.json`` (open it in
+``ui.perfetto.dev`` or ``chrome://tracing``) plus the unified
+``metrics.json`` snapshot; both artefacts are byte-identical across
+reruns with the same arguments -- the property the CI ``obs-smoke`` job
+asserts.  ``summary`` prints the registry snapshot as text, ``spans``
+the derived job spans.  ``sweep`` fans seeds out over the parallel
+experiment runner with ring-buffered recorders (``--max-events``
+bounds each cell's memory; evictions are reported, never silent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
+from repro.obs.capture import DEFAULT_MAX_EVENTS, capture_fault_isolation
+from repro.obs.events import derive_job_spans
+from repro.obs.perfetto import (
+    DEFAULT_SLOT_US,
+    chrome_trace,
+    render_chrome_trace,
+    validate_chrome_trace,
+)
+
+#: Sweep cells are deliberately short: the sweep demonstrates bounded
+#: tracing under the parallel runner, not a full-scale experiment.
+SWEEP_HORIZON_SLOTS = 2_000
+SWEEP_MAX_EVENTS = 4_096
+
+
+def _metrics_document(capture, args) -> Dict[str, object]:
+    """Metrics artefact: run identity + registry snapshot."""
+    return {
+        "meta": {
+            "scenario": "fault-isolation",
+            "seed": args.seed,
+            "horizon_slots": args.horizon,
+            "max_events": args.max_events,
+            "fault_plan_digest": capture.result.plan.digest(),
+            "fault_trace_digest": capture.result.fault_trace_digest,
+            "sim_trace_digests": dict(
+                sorted(capture.result.sim_trace_digests.items())
+            ),
+        },
+        "metrics": capture.registry.snapshot(),
+    }
+
+
+def _cmd_export(args) -> int:
+    capture = capture_fault_isolation(
+        seed=args.seed, horizon_slots=args.horizon, max_events=args.max_events
+    )
+    document = chrome_trace(
+        capture.recorder,
+        fault_trace=None,
+        slot_us=args.slot_us,
+    )
+    validate_chrome_trace(document)
+    args.out.mkdir(parents=True, exist_ok=True)
+    trace_path = args.out / "trace.json"
+    trace_path.write_text(render_chrome_trace(document))
+    metrics_path = args.out / "metrics.json"
+    metrics_path.write_text(
+        json.dumps(_metrics_document(capture, args), sort_keys=True, indent=2)
+        + "\n"
+    )
+    print(f"wrote {trace_path}")
+    print(f"wrote {metrics_path}")
+    if capture.recorder.dropped_events:
+        print(
+            f"note: ring buffer evicted {capture.recorder.dropped_events} "
+            f"events (max_events={args.max_events})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    capture = capture_fault_isolation(
+        seed=args.seed, horizon_slots=args.horizon, max_events=args.max_events
+    )
+    snapshot = capture.registry.snapshot()
+    rows = []
+    for name, value in snapshot["counters"].items():
+        rows.append((name, "counter", value))
+    for name, value in snapshot["gauges"].items():
+        rows.append((name, "gauge", f"{value:g}"))
+    for name, summary in snapshot["histograms"].items():
+        count = summary.get("count", 0)
+        if count:
+            cell = (
+                f"n={count} mean={summary['mean']:g} "
+                f"p99={summary['p99']:g} max={summary['max']:g}"
+            )
+        else:
+            cell = "n=0"
+        rows.append((name, "histogram", cell))
+    rows.sort(key=lambda row: row[0])
+    print(
+        render_table(
+            ["metric", "kind", "value"],
+            rows,
+            title=(
+                f"Metrics registry: fault-isolation seed={args.seed} "
+                f"horizon={args.horizon}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    capture = capture_fault_isolation(
+        seed=args.seed, horizon_slots=args.horizon, max_events=args.max_events
+    )
+    spans = derive_job_spans(capture.recorder)
+    shown = spans if args.limit is None else spans[: args.limit]
+    rows = [
+        (
+            span.track,
+            span.name,
+            span.start_slot,
+            span.end_slot,
+            span.duration_slots,
+        )
+        for span in shown
+    ]
+    print(
+        render_table(
+            ["track", "span", "start", "end", "slots"],
+            rows,
+            title=(
+                f"{len(spans)} derived job spans "
+                f"({len(shown)} shown; seed={args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
+def _sweep_cell(seed: int, horizon_slots: int, max_events: int) -> Dict[str, object]:
+    """One bounded traced run (module-level: must pickle to workers)."""
+    capture = capture_fault_isolation(
+        seed=seed, horizon_slots=horizon_slots, max_events=max_events
+    )
+    document = chrome_trace(capture.recorder)
+    rendered = render_chrome_trace(document)
+    return {
+        "seed": seed,
+        "events_stored": len(capture.recorder),
+        "events_dropped": capture.recorder.dropped_events,
+        "victim_misses": capture.result.victim_misses["ioguard"],
+        "trace_digest": hashlib.sha256(rendered.encode("utf-8")).hexdigest(),
+    }
+
+
+def _cmd_sweep(args) -> int:
+    if not args.seeds:
+        raise SystemExit("sweep needs at least one --seeds value")
+    runner = ExperimentRunner(args.jobs, profile=args.profile)
+    max_events = (
+        args.max_events if args.max_events is not None else SWEEP_MAX_EVENTS
+    )
+    cells = runner.starmap(
+        _sweep_cell,
+        [(seed, args.horizon, max_events) for seed in args.seeds],
+        label="obs.sweep",
+    )
+    rows = [
+        (
+            cell["seed"],
+            cell["events_stored"],
+            cell["events_dropped"],
+            cell["victim_misses"],
+            str(cell["trace_digest"])[:12],
+        )
+        for cell in cells
+    ]
+    print(
+        render_table(
+            ["seed", "events", "dropped", "victim misses", "trace digest"],
+            rows,
+            title=(
+                f"Bounded traced sweep: {len(cells)} seeds, "
+                f"max_events={max_events}, horizon={args.horizon}, "
+                f"jobs={runner.jobs}"
+            ),
+        )
+    )
+    if args.profile:
+        for phase in runner.timing.phases:
+            print(
+                f"phase {phase.label}: {phase.elapsed_seconds:.2f}s "
+                f"({phase.items} cells)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability: Perfetto export, metrics, spans.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, horizon: int) -> None:
+        p.add_argument("--seed", type=int, default=2021)
+        p.add_argument("--horizon", type=int, default=horizon)
+        p.add_argument(
+            "--max-events", type=int, default=DEFAULT_MAX_EVENTS,
+            help="ring-buffer bound on stored events (evictions are "
+            "counted and reported)",
+        )
+
+    export = sub.add_parser(
+        "export", help="write Perfetto trace.json + metrics.json"
+    )
+    common(export, horizon=8_000)
+    export.add_argument("--out", type=Path, default=Path("results/obs"))
+    export.add_argument(
+        "--slot-us", type=int, default=DEFAULT_SLOT_US,
+        help="slot length in microseconds for trace timestamps",
+    )
+    export.set_defaults(func=_cmd_export)
+
+    summary = sub.add_parser(
+        "summary", help="print the unified metrics snapshot"
+    )
+    common(summary, horizon=8_000)
+    summary.set_defaults(func=_cmd_summary)
+
+    spans = sub.add_parser("spans", help="print derived job spans")
+    common(spans, horizon=2_000)
+    spans.add_argument("--limit", type=int, default=40)
+    spans.set_defaults(func=_cmd_spans)
+
+    sweep = sub.add_parser(
+        "sweep", help="bounded traced runs over the parallel runner"
+    )
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    sweep.add_argument("--horizon", type=int, default=SWEEP_HORIZON_SLOTS)
+    sweep.add_argument(
+        "--max-events", type=int, default=None,
+        help=f"per-cell ring-buffer bound (default {SWEEP_MAX_EVENTS})",
+    )
+    sweep.add_argument("--jobs", type=int, default=None)
+    sweep.add_argument("--profile", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

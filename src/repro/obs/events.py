@@ -1,0 +1,221 @@
+"""Event taxonomy and the span model derived from raw trace events.
+
+The instrumented hardware models emit *point* events -- one
+:class:`~repro.sim.trace.TraceEvent` per scheduler decision, queue
+transition or fault symptom, keyed by integer slot.  This module is the
+single place the category names are declared (producers and consumers
+both import them, so a typo cannot silently split a category in two)
+and it reconstructs *spans* -- slot intervals with a start and an end --
+from those points:
+
+* a **wait span** runs from a job's ``iopool.enqueue`` to its first
+  dispatch: time buffered in the pool before the two-layer scheduler
+  granted it a slot;
+* a **run span** covers a job's first dispatch through its last
+  observed activity (final dispatch or completion): the window in which
+  the executor worked on it.
+
+Span derivation is a pure function of the recorded event sequence;
+re-deriving from the same trace yields the identical span list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.trace import TraceRecorder
+
+# -- taxonomy ---------------------------------------------------------------
+
+#: G-Sched granted a free slot to a VM (budgeted or background).
+GSCHED_GRANT = "gsched.grant"
+#: A server's budget was replenished at a period boundary.
+GSCHED_REPLENISH = "gsched.replenish"
+#: L-Sched staged a job into the shadow register.
+LSCHED_STAGE = "lsched.stage"
+#: L-Sched preempted the staged job with an earlier-deadline arrival.
+LSCHED_PREEMPT = "lsched.preempt"
+#: A pool accepted a run-time submission.
+IOPOOL_ENQUEUE = "iopool.enqueue"
+#: A pool bounced a submission (queue full -- back-pressure).
+IOPOOL_REJECT = "iopool.reject"
+#: Containment discarded a buffered job (drain or predicate drop).
+IOPOOL_DROP = "iopool.drop"
+#: The R-channel executor ran the staged job for one slot.
+RCHANNEL_DISPATCH = "rchannel.dispatch"
+#: An allocated slot was burned by a vetoed (stalled-device) job.
+RCHANNEL_BURN = "rchannel.burn"
+#: The P-channel executed a table slot of a pre-defined task.
+PCHANNEL_FIRE = "pchannel.fire"
+#: The guarded driver path retried after a device stall.
+DRIVER_RETRY = "driver.retry"
+#: The guarded driver path abandoned an operation (all retries failed).
+DRIVER_TIMEOUT = "driver.timeout"
+#: A job finished (recorded by the hypervisor completion hook).
+JOB_COMPLETE = "job_complete"
+
+#: Every category the instrumented models emit, in taxonomy order.
+CATEGORIES = (
+    GSCHED_GRANT,
+    GSCHED_REPLENISH,
+    LSCHED_STAGE,
+    LSCHED_PREEMPT,
+    IOPOOL_ENQUEUE,
+    IOPOOL_REJECT,
+    IOPOOL_DROP,
+    RCHANNEL_DISPATCH,
+    RCHANNEL_BURN,
+    PCHANNEL_FIRE,
+    DRIVER_RETRY,
+    DRIVER_TIMEOUT,
+    JOB_COMPLETE,
+)
+
+#: Categories whose events carry a ``vm`` payload key (VM-track events).
+VM_CATEGORIES = frozenset(
+    {
+        LSCHED_STAGE,
+        LSCHED_PREEMPT,
+        IOPOOL_ENQUEUE,
+        IOPOOL_REJECT,
+        IOPOOL_DROP,
+        RCHANNEL_DISPATCH,
+        RCHANNEL_BURN,
+    }
+)
+
+#: Categories whose events carry a ``device`` payload key.
+DEVICE_CATEGORIES = frozenset({DRIVER_RETRY, DRIVER_TIMEOUT})
+
+
+# -- span model -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """One derived slot interval: ``[start_slot, end_slot)`` on a track."""
+
+    name: str
+    track: str
+    start_slot: int
+    end_slot: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_slot < self.start_slot:
+            raise ValueError(
+                f"span {self.name!r} ends ({self.end_slot}) before it "
+                f"starts ({self.start_slot})"
+            )
+
+    @property
+    def duration_slots(self) -> int:
+        return self.end_slot - self.start_slot
+
+
+@dataclass
+class _JobActivity:
+    """Accumulated per-job observations while walking the event stream."""
+
+    vm: Optional[int] = None
+    enqueue_slot: Optional[int] = None
+    first_dispatch: Optional[int] = None
+    last_dispatch: Optional[int] = None
+    complete_slot: Optional[int] = None
+    dispatches: int = 0
+
+
+def _collect_activity(recorder: TraceRecorder) -> Dict[str, _JobActivity]:
+    """Fold the event stream into per-job activity records.
+
+    Only a job's *first* enqueue is kept (periodic task instances carry
+    unique job names, so a second enqueue means re-submission of the
+    same job, where the first observation is the release -- and
+    determinism only needs a consistent rule).
+    """
+    jobs: Dict[str, _JobActivity] = {}
+    for event in recorder:
+        job_name = event.payload.get("job")
+        if not isinstance(job_name, str):
+            continue
+        activity = jobs.setdefault(job_name, _JobActivity())
+        vm = event.payload.get("vm")
+        if activity.vm is None and isinstance(vm, int):
+            activity.vm = vm
+        if event.category == IOPOOL_ENQUEUE and activity.enqueue_slot is None:
+            activity.enqueue_slot = event.time
+        elif event.category in (RCHANNEL_DISPATCH, PCHANNEL_FIRE):
+            if activity.first_dispatch is None:
+                activity.first_dispatch = event.time
+            activity.last_dispatch = event.time
+            activity.dispatches += 1
+        elif event.category == JOB_COMPLETE and activity.complete_slot is None:
+            activity.complete_slot = event.time
+    return jobs
+
+
+def _job_track(job_name: str, activity: _JobActivity) -> str:
+    if activity.vm is not None:
+        return f"vm{activity.vm}"
+    return "pchannel"
+
+
+def derive_job_spans(recorder: TraceRecorder) -> List[Span]:
+    """Reconstruct wait/run spans for every job seen in the trace.
+
+    Jobs whose enqueue was evicted by a ring buffer simply lose their
+    wait span (the run span survives as long as a dispatch remains) --
+    derived views degrade gracefully, never guess.
+    """
+    spans: List[Span] = []
+    for job_name, activity in _collect_activity(recorder).items():
+        track = _job_track(job_name, activity)
+        if (
+            activity.enqueue_slot is not None
+            and activity.first_dispatch is not None
+            and activity.first_dispatch > activity.enqueue_slot
+        ):
+            spans.append(
+                Span(
+                    name=f"{job_name} wait",
+                    track=track,
+                    start_slot=activity.enqueue_slot,
+                    end_slot=activity.first_dispatch,
+                    args={"job": job_name, "kind": "wait"},
+                )
+            )
+        if activity.first_dispatch is not None:
+            end = activity.last_dispatch
+            if activity.complete_slot is not None:
+                end = max(end, activity.complete_slot)
+            spans.append(
+                Span(
+                    name=f"{job_name} run",
+                    track=track,
+                    start_slot=activity.first_dispatch,
+                    end_slot=end + 1,
+                    args={
+                        "job": job_name,
+                        "kind": "run",
+                        "dispatch_slots": activity.dispatches,
+                    },
+                )
+            )
+    spans.sort(key=lambda span: (span.start_slot, span.track, span.name))
+    return spans
+
+
+def job_wait_slots(recorder: TraceRecorder) -> Dict[str, int]:
+    """Per-job pool-wait durations (enqueue to first dispatch), sorted.
+
+    Feeds the ``rchannel.wait_slots`` histogram of the metrics registry;
+    jobs never dispatched (still buffered, dropped or rejected) are
+    excluded -- their wait is unbounded, not zero.
+    """
+    waits: Dict[str, int] = {}
+    for job_name, activity in sorted(_collect_activity(recorder).items()):
+        if activity.enqueue_slot is None or activity.first_dispatch is None:
+            continue
+        waits[job_name] = activity.first_dispatch - activity.enqueue_slot
+    return waits

@@ -1,0 +1,326 @@
+"""Chrome/Perfetto ``trace.json`` export of a recorded run.
+
+Converts a :class:`~repro.sim.trace.TraceRecorder` (plus, optionally, a
+:class:`~repro.faults.trace.FaultTrace`) into the Chrome trace-event
+JSON format, which both ``chrome://tracing`` and ``ui.perfetto.dev``
+open directly.  Track layout -- one track per VM, device and scheduler
+component, grouped into four processes:
+
+====  ===========  =========================================
+pid   process      threads (tracks)
+====  ===========  =========================================
+1     scheduler    G-Sched, P-channel, R-channel, Hypervisor
+2     vms          one per VM id seen in the trace
+3     devices      one per device name seen in the trace
+4     faults       fault-plan injections (windows, storms)
+====  ===========  =========================================
+
+Raw trace events become instant events (phase ``"i"``); derived job
+spans (:func:`repro.obs.events.derive_job_spans`) become complete
+events (phase ``"X"``) with slot-granular durations.  Timestamps are
+microseconds: ``slot * slot_us`` with the paper's 10 us case-study slot
+by default, kept integral so serialization is byte-stable.
+
+Determinism contract: the emitted document is a pure function of the
+recorder/fault-trace contents -- metadata first (sorted), then spans,
+then instants in recording order -- and :func:`render_chrome_trace`
+serializes with sorted keys and fixed separators, so identical runs
+produce byte-identical ``trace.json`` artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.trace import FaultTrace
+from repro.obs.events import (
+    DEVICE_CATEGORIES,
+    VM_CATEGORIES,
+    derive_job_spans,
+)
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+#: Slot length in microseconds (the case study's 10 us I/O slot).
+DEFAULT_SLOT_US = 10
+
+_PID_SCHED = 1
+_PID_VMS = 2
+_PID_DEVICES = 3
+_PID_FAULTS = 4
+
+_PROCESS_NAMES = {
+    _PID_SCHED: "scheduler",
+    _PID_VMS: "vms",
+    _PID_DEVICES: "devices",
+    _PID_FAULTS: "faults",
+}
+
+#: Fixed scheduler-track thread ids.
+_TID_GSCHED = 1
+_TID_PCHANNEL = 2
+_TID_RCHANNEL = 3
+_TID_HYPERVISOR = 4
+
+_SCHED_THREAD_NAMES = {
+    _TID_GSCHED: "G-Sched",
+    _TID_PCHANNEL: "P-channel",
+    _TID_RCHANNEL: "R-channel",
+    _TID_HYPERVISOR: "Hypervisor",
+}
+
+
+def _vm_id_of(event: TraceEvent) -> Optional[int]:
+    vm = event.payload.get("vm")
+    return vm if isinstance(vm, int) else None
+
+
+def _device_of(event: TraceEvent) -> Optional[str]:
+    device = event.payload.get("device")
+    return device if isinstance(device, str) else None
+
+
+def _event_track(event: TraceEvent) -> Tuple[int, object]:
+    """Map one raw event to its ``(pid, track key)`` coordinates."""
+    if event.category in VM_CATEGORIES:
+        vm = _vm_id_of(event)
+        if vm is not None:
+            return _PID_VMS, vm
+    if event.category in DEVICE_CATEGORIES:
+        device = _device_of(event)
+        if device is not None:
+            return _PID_DEVICES, device
+    if event.category.startswith("gsched."):
+        return _PID_SCHED, _TID_GSCHED
+    if event.category.startswith("pchannel."):
+        return _PID_SCHED, _TID_PCHANNEL
+    if event.category.startswith(("rchannel.", "lsched.", "iopool.")):
+        return _PID_SCHED, _TID_RCHANNEL
+    return _PID_SCHED, _TID_HYPERVISOR
+
+
+def _collect_tracks(
+    recorder: TraceRecorder, fault_trace: Optional[FaultTrace]
+) -> Tuple[Dict[int, int], Dict[str, int], Dict[str, int]]:
+    """Assign deterministic thread ids to VM, device and fault tracks."""
+    vms = sorted(
+        {
+            vm
+            for event in recorder
+            if (vm := _vm_id_of(event)) is not None
+        }
+    )
+    devices = sorted(
+        {
+            device
+            for event in recorder
+            if (device := _device_of(event)) is not None
+        }
+    )
+    fault_kinds: List[str] = []
+    if fault_trace is not None:
+        fault_kinds = sorted({event.kind for event in fault_trace})
+    vm_tids = {vm: vm + 1 for vm in vms}
+    device_tids = {device: index + 1 for index, device in enumerate(devices)}
+    fault_tids = {kind: index + 1 for index, kind in enumerate(fault_kinds)}
+    return vm_tids, device_tids, fault_tids
+
+
+def _metadata_events(
+    vm_tids: Dict[int, int],
+    device_tids: Dict[str, int],
+    fault_tids: Dict[str, int],
+) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for pid in sorted(_PROCESS_NAMES):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES[pid]},
+            }
+        )
+    for tid in sorted(_SCHED_THREAD_NAMES):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_SCHED,
+                "tid": tid,
+                "args": {"name": _SCHED_THREAD_NAMES[tid]},
+            }
+        )
+    for vm in sorted(vm_tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_VMS,
+                "tid": vm_tids[vm],
+                "args": {"name": f"VM {vm}"},
+            }
+        )
+    for device in sorted(device_tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_DEVICES,
+                "tid": device_tids[device],
+                "args": {"name": device},
+            }
+        )
+    for kind in sorted(fault_tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_FAULTS,
+                "tid": fault_tids[kind],
+                "args": {"name": kind},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    recorder: TraceRecorder,
+    fault_trace: Optional[FaultTrace] = None,
+    slot_us: int = DEFAULT_SLOT_US,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for one recorded run."""
+    if not isinstance(slot_us, int) or isinstance(slot_us, bool) or slot_us < 1:
+        raise ValueError(f"slot_us must be a positive integer, got {slot_us!r}")
+    vm_tids, device_tids, fault_tids = _collect_tracks(recorder, fault_trace)
+    trace_events = _metadata_events(vm_tids, device_tids, fault_tids)
+
+    for span in derive_job_spans(recorder):
+        if span.track.startswith("vm"):
+            pid, tid = _PID_VMS, vm_tids[int(span.track[2:])]
+        else:
+            pid, tid = _PID_SCHED, _TID_PCHANNEL
+        trace_events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_slot * slot_us,
+                "dur": max(span.duration_slots, 1) * slot_us,
+                "pid": pid,
+                "tid": tid,
+                "cat": "span",
+                "args": span.args,
+            }
+        )
+
+    for event in recorder:
+        pid, key = _event_track(event)
+        if pid == _PID_VMS:
+            tid = vm_tids[key]  # type: ignore[index]
+        elif pid == _PID_DEVICES:
+            tid = device_tids[key]  # type: ignore[index]
+        else:
+            tid = int(key)  # type: ignore[arg-type]
+        args = dict(sorted(event.payload.items()))
+        args["source"] = event.source
+        trace_events.append(
+            {
+                "name": event.category,
+                "ph": "i",
+                "ts": event.time * slot_us,
+                "pid": pid,
+                "tid": tid,
+                "s": "t",
+                "cat": event.category,
+                "args": args,
+            }
+        )
+
+    if fault_trace is not None:
+        for fault in fault_trace:
+            detail = dict(sorted(fault.detail.items()))
+            detail["target"] = fault.target
+            trace_events.append(
+                {
+                    "name": f"{fault.kind}:{fault.action}",
+                    "ph": "i",
+                    "ts": fault.slot * slot_us,
+                    "pid": _PID_FAULTS,
+                    "tid": fault_tids[fault.kind],
+                    "s": "t",
+                    "cat": fault.kind,
+                    "args": detail,
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"slot_us": slot_us},
+    }
+
+
+def render_chrome_trace(document: Dict[str, Any]) -> str:
+    """Serialize a trace document canonically (byte-stable)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+_REQUIRED_KEYS = {"name", "ph", "pid", "tid", "args"}
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Schema check over a Chrome trace document; raises on violations.
+
+    Covers the subset of the format this exporter emits: metadata
+    events, complete events with non-negative integral ``ts``/``dur``,
+    and instant events with a scope.  The CI smoke job runs this over
+    the exported artefact so a malformed document fails fast instead of
+    silently rendering an empty timeline.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("document must be a dict with a traceEvents list")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        missing = _REQUIRED_KEYS - set(event)
+        if missing:
+            raise ValueError(
+                f"traceEvents[{index}] missing keys: {sorted(missing)}"
+            )
+        phase = event["ph"]
+        if phase == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                raise ValueError(
+                    f"traceEvents[{index}]: unknown metadata {event['name']!r}"
+                )
+            if "name" not in event["args"]:
+                raise ValueError(
+                    f"traceEvents[{index}]: metadata args need a name"
+                )
+            continue
+        if phase not in ("X", "i"):
+            raise ValueError(
+                f"traceEvents[{index}]: unsupported phase {phase!r}"
+            )
+        ts = event.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            raise ValueError(
+                f"traceEvents[{index}]: ts must be a non-negative int, "
+                f"got {ts!r}"
+            )
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 1:
+                raise ValueError(
+                    f"traceEvents[{index}]: dur must be a positive int, "
+                    f"got {dur!r}"
+                )
+        if phase == "i" and event.get("s") not in ("g", "p", "t"):
+            raise ValueError(
+                f"traceEvents[{index}]: instant scope must be g/p/t, "
+                f"got {event.get('s')!r}"
+            )

@@ -3,22 +3,49 @@
 Hardware models emit :class:`TraceEvent` records (release, enqueue,
 dispatch, preempt, complete, deadline-miss, ...) into a
 :class:`TraceRecorder`.  The metrics layer consumes traces to compute
-success ratios, throughput and latency statistics, and the tests use them
-to assert ordering invariants (e.g. EDF never runs a later-deadline job
-while an earlier-deadline job is ready).
+success ratios, throughput and latency statistics, the observability
+layer (:mod:`repro.obs`) converts them to Perfetto timelines, and the
+tests use them to assert ordering invariants (e.g. EDF never runs a
+later-deadline job while an earlier-deadline job is ready).
+
+Determinism contract: event times are *integer slot indices*, validated
+through :func:`repro.core.timeslot.as_slot_count` at the recorder
+boundary, so trace digests never depend on float representation
+(iolint rule IOL004 enforces the same contract statically).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+#: Lazily-bound :func:`repro.core.timeslot.as_slot_count`.  Bound on the
+#: first recorded event instead of at import time because
+#: ``repro.core`` itself imports this module (hypervisor configuration).
+_as_slot_count: Optional[Callable[[Any, str], int]] = None
+
+
+def _slot_time(value: Any) -> int:
+    """Validate one event time as an integer slot index."""
+    global _as_slot_count
+    if _as_slot_count is None:
+        from repro.core.timeslot import as_slot_count
+
+        _as_slot_count = as_slot_count
+    return _as_slot_count(value, "trace event time")
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One timestamped occurrence inside the simulated system."""
+    """One slot-stamped occurrence inside the simulated system.
 
-    time: float
+    ``time`` is an integer slot index -- every producer schedules in
+    whole slots, and keeping the type integral keeps trace digests
+    byte-stable across runs (the IOL004 contract).
+    """
+
+    time: int
     category: str
     source: str
     payload: Dict[str, Any] = field(default_factory=dict)
@@ -32,40 +59,88 @@ class TraceRecorder:
 
     Recording can be disabled wholesale (``enabled=False``) for large
     parameter sweeps where only aggregate counters are needed, or limited
-    to a category whitelist.
+    to a category whitelist.  With ``max_events`` set the recorder
+    becomes a ring buffer: once full, the *oldest* event is evicted for
+    each new one and :attr:`dropped_events` counts the evictions --
+    truncation is always explicit, never silent.
     """
 
     def __init__(
         self,
         enabled: bool = True,
         categories: Optional[List[str]] = None,
+        max_events: Optional[int] = None,
     ):
+        if max_events is not None:
+            max_events = int(max_events)
+            if max_events < 1:
+                raise ValueError(
+                    f"max_events must be >= 1 (or None for unbounded), "
+                    f"got {max_events}"
+                )
         self.enabled = enabled
         self.categories = set(categories) if categories is not None else None
-        self.events: List[TraceEvent] = []
-        self._by_category: Dict[str, List[TraceEvent]] = {}
+        self.max_events = max_events
+        self.events: Deque[TraceEvent] = deque()
+        self._by_category: Dict[str, Deque[TraceEvent]] = {}
         self.counters: Dict[str, int] = {}
+        #: Events evicted by the ring buffer (0 when unbounded).
+        self.dropped_events = 0
 
     def record(
-        self, time: float, category: str, source: str, **payload: Any
+        self, time: int, category: str, source: str, **payload: Any
     ) -> None:
-        """Log one event (cheap no-op when disabled/filtered)."""
-        self.counters[category] = self.counters.get(category, 0) + 1
-        if not self.enabled:
-            return
+        """Log one event (cheap no-op when disabled/filtered).
+
+        ``time`` must be an integer slot index (integral floats are
+        normalized, fractional values raise ``ValueError``).
+        """
         if self.categories is not None and category not in self.categories:
+            # A whitelisted recorder observes *only* its categories:
+            # neither events nor counters exist for filtered ones.
             return
-        event = TraceEvent(time=time, category=category, source=source, payload=payload)
+        if not self.enabled:
+            self.counters[category] = self.counters.get(category, 0) + 1
+            return
+        # Validate before counting, so a rejected time never leaves a
+        # phantom counter increment behind.
+        event = TraceEvent(
+            time=_slot_time(time), category=category, source=source,
+            payload=payload,
+        )
+        self.counters[category] = self.counters.get(category, 0) + 1
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self._evict_oldest()
         self.events.append(event)
-        self._by_category.setdefault(category, []).append(event)
+        self._by_category.setdefault(category, deque()).append(event)
+
+    def _evict_oldest(self) -> None:
+        """Drop the globally-oldest event (ring-buffer mode)."""
+        oldest = self.events.popleft()
+        bucket = self._by_category[oldest.category]
+        # Per-category deques preserve insertion order, so the global
+        # oldest of a category is always that bucket's leftmost entry.
+        bucket.popleft()
+        if not bucket:
+            del self._by_category[oldest.category]
+        self.dropped_events += 1
 
     # -- queries -----------------------------------------------------------
 
     def by_category(self, category: str) -> List[TraceEvent]:
-        return list(self._by_category.get(category, []))
+        return list(self._by_category.get(category, ()))
 
     def count(self, category: str) -> int:
-        """Total occurrences of ``category`` (counted even when disabled)."""
+        """Occurrences of ``category`` *passing the whitelist*.
+
+        Counts keep accumulating when the recorder is disabled
+        (``enabled=False``), which is the cheap sweep mode; but a
+        category filtered out by the ``categories`` whitelist is never
+        counted -- ``count`` and :meth:`by_category` agree on what the
+        recorder observed.  Ring-buffer eviction does *not* decrement
+        counts: ``count(c) - len(by_category(c))`` is the number of
+        evicted ``c`` events.
+        """
         return self.counters.get(category, 0)
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
@@ -78,6 +153,7 @@ class TraceRecorder:
         self.events.clear()
         self._by_category.clear()
         self.counters.clear()
+        self.dropped_events = 0
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

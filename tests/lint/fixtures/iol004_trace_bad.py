@@ -1,0 +1,9 @@
+"""IOL004 fixture: float event times flowing into trace recorders."""
+
+
+def emit(trace, recorder, slot):
+    trace.record(1.5, "grant", "gsched")               # line 5: float literal
+    recorder.record(slot / 2, "stage", "lsched")       # line 6: division
+    trace.record(time=3.25, category="x", source="s")  # line 7: float kwarg
+    self_trace = trace
+    self_trace.record(slot * 0.5, "fire", "pchannel")  # line 9: float product

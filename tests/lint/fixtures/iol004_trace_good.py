@@ -1,0 +1,12 @@
+"""IOL004 fixture: integer event times at the recorder boundary."""
+from repro.core.timeslot import as_slot_count
+
+
+def emit(trace, recorder, slot, cycles, cycles_per_slot):
+    trace.record(slot, "grant", "gsched")
+    recorder.record(slot + 1, "stage", "lsched")
+    trace.record(as_slot_count(cycles / cycles_per_slot), "fire", "pchannel")
+    # Non-recorder .record() calls take whatever their API says.
+    metrics = trace
+    metrics_sink = metrics
+    del metrics_sink

@@ -83,6 +83,26 @@ class TestIOL004:
         inside = lint_source(source, "src/repro/core/edf.py", LintConfig())
         assert lines_of(inside, "IOL004") == [2]
 
+    def test_trace_record_bad_fixture_every_site(self):
+        # Trace-recorder event times are slot counts; the receiver-name
+        # heuristic works outside the slot-scope prefixes too.
+        findings = run_fixture(
+            "iol004_trace_bad.py", "src/repro/obs/fixture.py"
+        )
+        assert lines_of(findings, "IOL004") == [5, 6, 7, 9]
+
+    def test_trace_record_good_fixture_clean(self):
+        assert active(
+            run_fixture("iol004_trace_good.py", "src/repro/obs/fixture.py")
+        ) == []
+
+    def test_non_trace_receiver_record_not_flagged(self):
+        source = "def f(metrics):\n    metrics.record(1.5, 'x')\n"
+        findings = lint_source(
+            source, "src/repro/metrics/stats.py", LintConfig()
+        )
+        assert active(findings) == []
+
 
 class TestIOL005:
     def test_bad_fixture_every_site(self):

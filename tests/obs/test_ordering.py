@@ -1,0 +1,120 @@
+"""Trace-ordering invariants over real instrumented runs.
+
+These assert structural properties of the event stream the exporter and
+span deriver rely on: EDF staging precedes dispatch per job, G-Sched
+grants are exclusive per slot, and fault-plan edges fire ahead of
+same-slot workload events (``FAULT_EVENT_PRIORITY``).
+"""
+
+from repro.exp.isolation import build_isolation_fault_plan
+from repro.obs.capture import capture_fault_isolation
+from repro.obs.events import (
+    GSCHED_GRANT,
+    LSCHED_STAGE,
+    RCHANNEL_DISPATCH,
+)
+from repro.sim.engine import FAULT_EVENT_PRIORITY, Simulator
+
+HORIZON = 1_500
+
+
+def _capture():
+    return capture_fault_isolation(seed=2021, horizon_slots=HORIZON)
+
+
+class TestStageBeforeDispatch:
+    def test_edf_dispatch_never_precedes_same_job_stage(self):
+        """A job must be staged by L-Sched before the R-channel runs it,
+        both in stream order and in slot time."""
+        capture = _capture()
+        first_stage = {}
+        first_stage_index = {}
+        checked = 0
+        for index, event in enumerate(capture.recorder):
+            job = event.payload.get("job")
+            if not isinstance(job, str):
+                continue
+            if event.category == LSCHED_STAGE and job not in first_stage:
+                first_stage[job] = event.time
+                first_stage_index[job] = index
+            elif event.category == RCHANNEL_DISPATCH:
+                assert job in first_stage, (
+                    f"{job} dispatched without a prior stage event"
+                )
+                assert first_stage[job] <= event.time
+                assert first_stage_index[job] < index
+                checked += 1
+        assert checked > 0, "run produced no dispatch events to check"
+
+
+class TestGrantExclusivity:
+    def test_one_vm_granted_per_slot(self):
+        """G-Sched hands each free slot to exactly one VM: two grant
+        events never share a slot, and every grant names one VM."""
+        capture = _capture()
+        grants = capture.recorder.by_category(GSCHED_GRANT)
+        assert grants, "run produced no grant events"
+        seen_slots = set()
+        for event in grants:
+            assert isinstance(event.payload.get("vm"), int)
+            assert event.time not in seen_slots, (
+                f"slot {event.time} granted twice"
+            )
+            seen_slots.add(event.time)
+
+
+class TestFaultEventPriority:
+    def test_fault_edges_precede_same_slot_workload(self):
+        """Edges consumed from a fault plan run at FAULT_EVENT_PRIORITY,
+        strictly before priority-0 workload callbacks at the same slot."""
+        assert FAULT_EVENT_PRIORITY < 0
+        plan = build_isolation_fault_plan(seed=2021, horizon_slots=HORIZON)
+        edge_slots = sorted({slot for slot, _, _, _ in plan.events()})
+        assert edge_slots, "plan has no edges at this horizon"
+
+        order = []
+        sim = Simulator()
+        for slot in edge_slots:
+            sim.at(slot, order.append, ("workload", slot))
+        scheduled = sim.consume_fault_plan(
+            plan, lambda action, fault, slot: order.append(("fault", slot))
+        )
+        assert scheduled == sum(1 for _ in plan.events())
+        sim.run()
+
+        by_slot = {}
+        for index, (kind, slot) in enumerate(order):
+            by_slot.setdefault(slot, []).append(kind)
+        for slot, kinds in by_slot.items():
+            workload_at = kinds.index("workload")
+            assert all(kind == "fault" for kind in kinds[:workload_at]), (
+                f"slot {slot}: workload ran before a fault edge ({kinds})"
+            )
+            assert "fault" not in kinds[workload_at:], (
+                f"slot {slot}: fault edge ran after workload ({kinds})"
+            )
+
+
+class TestCaptureDeterminism:
+    def test_rerun_is_byte_identical(self):
+        first = _capture()
+        second = _capture()
+        assert first.registry.to_json() == second.registry.to_json()
+        assert [
+            (e.time, e.category, e.source, sorted(e.payload.items()))
+            for e in first.recorder
+        ] == [
+            (e.time, e.category, e.source, sorted(e.payload.items()))
+            for e in second.recorder
+        ]
+
+    def test_tracing_does_not_perturb_results(self):
+        """Observability is read-only: the traced run's isolation result
+        digests match an untraced run of the same scenario."""
+        from repro.exp.isolation import run_fault_isolation
+
+        traced = _capture().result
+        plain = run_fault_isolation(seed=2021, horizon_slots=HORIZON)
+        assert traced.fault_trace_digest == plain.fault_trace_digest
+        assert traced.sim_trace_digests == plain.sim_trace_digests
+        assert traced.victim_misses == plain.victim_misses

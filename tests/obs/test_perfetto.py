@@ -1,0 +1,147 @@
+"""Perfetto/Chrome trace export: schema, tracks, determinism."""
+
+import json
+
+import pytest
+
+from repro.faults.trace import FaultTrace
+from repro.obs.events import Span, derive_job_spans, job_wait_slots
+from repro.obs.perfetto import (
+    chrome_trace,
+    render_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def _sample_recorder() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record(0, "gsched.replenish", "gsched", vm=0, budget=4)
+    trace.record(1, "iopool.enqueue", "iopool.vm0", vm=0, job="j#0", deadline=20)
+    trace.record(1, "lsched.stage", "iopool.vm0.lsched", vm=0, job="j#0", deadline=20)
+    trace.record(2, "gsched.grant", "gsched", vm=0, budgeted=True, budget_left=3)
+    trace.record(2, "rchannel.dispatch", "rchannel", vm=0, job="j#0", remaining=2, budgeted=True)
+    trace.record(3, "rchannel.dispatch", "rchannel", vm=0, job="j#0", remaining=1, budgeted=True)
+    trace.record(3, "job_complete", "hypervisor.eth0", job="j#0", deadline_met=True)
+    trace.record(4, "driver.retry", "eth0.ctl", device="eth0", attempt=1, penalty_cycles=2000)
+    return trace
+
+
+class TestSpanDerivation:
+    def test_wait_and_run_spans(self):
+        spans = derive_job_spans(_sample_recorder())
+        by_name = {span.name: span for span in spans}
+        wait = by_name["j#0 wait"]
+        assert (wait.start_slot, wait.end_slot, wait.track) == (1, 2, "vm0")
+        run = by_name["j#0 run"]
+        assert (run.start_slot, run.end_slot) == (2, 4)
+        assert run.args["dispatch_slots"] == 2
+
+    def test_wait_slots(self):
+        assert job_wait_slots(_sample_recorder()) == {"j#0": 1}
+
+    def test_never_dispatched_job_has_no_span(self):
+        trace = TraceRecorder()
+        trace.record(1, "iopool.enqueue", "iopool.vm0", vm=0, job="stuck#0", deadline=9)
+        assert derive_job_spans(trace) == []
+        assert job_wait_slots(trace) == {}
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Span(name="x", track="vm0", start_slot=5, end_slot=4)
+
+
+class TestChromeTrace:
+    def test_document_validates(self):
+        document = chrome_trace(_sample_recorder())
+        validate_chrome_trace(document)
+
+    def test_track_layout(self):
+        document = chrome_trace(_sample_recorder())
+        events = document["traceEvents"]
+        process_names = {
+            event["pid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert process_names == {
+            1: "scheduler", 2: "vms", 3: "devices", 4: "faults"
+        }
+        thread_names = {
+            (event["pid"], event["tid"]): event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names[(2, 1)] == "VM 0"
+        assert "eth0" in thread_names.values()
+        assert thread_names[(1, 1)] == "G-Sched"
+
+    def test_timestamps_scale_with_slot_us(self):
+        document = chrome_trace(_sample_recorder(), slot_us=25)
+        instants = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "i" and event["name"] == "gsched.grant"
+        ]
+        assert [event["ts"] for event in instants] == [50]
+
+    def test_bad_slot_us_rejected(self):
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ValueError):
+                chrome_trace(_sample_recorder(), slot_us=bad)
+
+    def test_rendering_is_byte_stable(self):
+        first = render_chrome_trace(chrome_trace(_sample_recorder()))
+        second = render_chrome_trace(chrome_trace(_sample_recorder()))
+        assert first == second
+        json.loads(first)  # well-formed
+
+    def test_fault_trace_lands_on_fault_track(self):
+        faults = FaultTrace()
+        faults.record(5, "device-stall", "sens1", "activate")
+        document = chrome_trace(_sample_recorder(), fault_trace=faults)
+        validate_chrome_trace(document)
+        fault_events = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "i" and event["pid"] == 4
+        ]
+        assert len(fault_events) == 1
+        assert fault_events[0]["name"] == "device-stall:activate"
+        assert fault_events[0]["args"]["target"] == "sens1"
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_float_timestamps(self):
+        document = chrome_trace(_sample_recorder())
+        document["traceEvents"].append(
+            {
+                "name": "bad", "ph": "i", "ts": 1.5, "pid": 1, "tid": 1,
+                "s": "t", "args": {},
+            }
+        )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(document)
+
+    def test_rejects_unknown_phase(self):
+        document = chrome_trace(_sample_recorder())
+        document["traceEvents"].append(
+            {"name": "bad", "ph": "Q", "ts": 1, "pid": 1, "tid": 1, "args": {}}
+        )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(document)
+
+    def test_rejects_zero_duration_span(self):
+        document = chrome_trace(_sample_recorder())
+        document["traceEvents"].append(
+            {
+                "name": "bad", "ph": "X", "ts": 1, "dur": 0, "pid": 1,
+                "tid": 1, "args": {},
+            }
+        )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(document)

@@ -1,0 +1,124 @@
+"""Unit tests for the unified metrics registry."""
+
+import json
+
+import pytest
+
+from repro.metrics.stats import summarize
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestCounter:
+    def test_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs.completed")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_non_int_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(TypeError):
+            counter.inc(1.5)
+        with pytest.raises(TypeError):
+            counter.inc(True)
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(ValueError):
+            registry.gauge("dual")
+        with pytest.raises(ValueError):
+            registry.histogram("dual")
+
+    def test_names_sorted_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("c")
+        registry.histogram("a")
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_snapshot_deterministic_json(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z.count").inc(3)
+            registry.gauge("a.level").set(0.5)
+            histogram = registry.histogram("m.sample")
+            for value in (1, 5, 2):
+                histogram.observe(value)
+            return registry
+
+        assert build().to_json() == build().to_json()
+        # Insertion order must not leak into the snapshot.
+        reordered = MetricsRegistry()
+        histogram = reordered.histogram("m.sample")
+        for value in (1, 5, 2):
+            histogram.observe(value)
+        reordered.gauge("a.level").set(0.5)
+        reordered.counter("z.count").inc(3)
+        assert reordered.to_json() == build().to_json()
+
+    def test_snapshot_parses_and_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        data = json.loads(registry.to_json())
+        assert list(data["counters"]) == ["a", "b"]
+
+    def test_empty_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        assert registry.snapshot()["histograms"]["empty"] == {"count": 0}
+
+    def test_histogram_summary_matches_latency_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        sample = [3.0, 1.0, 4.0, 1.0, 5.0]
+        for value in sample:
+            histogram.observe(value)
+        assert histogram.summary() == summarize(sample).as_dict()
+
+
+class TestIngestion:
+    def test_ingest_trace_counts_and_drops(self):
+        recorder = TraceRecorder(max_events=2)
+        for slot in range(4):
+            recorder.record(slot, "tick", "s")
+        registry = MetricsRegistry()
+        registry.ingest_trace(recorder)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["trace.events.tick"] == 4
+        assert snapshot["counters"]["trace.dropped_events"] == 2
+        assert snapshot["gauges"]["trace.stored_events"] == 2.0
+
+    def test_ingest_latency(self):
+        registry = MetricsRegistry()
+        registry.ingest_latency("wait", summarize([2.0, 4.0, 6.0]))
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["wait.count"] == 3
+        assert snapshot["gauges"]["wait.mean"] == 4.0
+        assert snapshot["gauges"]["wait.jitter"] == 4.0
+
+    def test_ingest_cache_stats_explicit(self):
+        registry = MetricsRegistry()
+        registry.ingest_cache_stats(
+            {"kern": {"hits": 7, "misses": 2, "currsize": 2, "maxsize": -1}}
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["cache.kern.hits"] == 7
+        assert snapshot["counters"]["cache.kern.misses"] == 2
+        assert snapshot["gauges"]["cache.kern.currsize"] == 2.0

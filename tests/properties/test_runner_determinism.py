@@ -78,6 +78,56 @@ def _square(n):
     return n * n
 
 
+def _cached_square(n):
+    # Touch a memoized kernel so profiling has a delta to attribute.
+    sbf_server(10, 5, n % 20)
+    return n * n
+
+
+class TestRunnerProfiling:
+    """``profile=True`` adds timing detail without changing results."""
+
+    def test_profiled_results_match_unprofiled(self):
+        items = list(range(12))
+        plain = ExperimentRunner(1, progress=False).map(
+            _square, items, label="plain"
+        )
+        profiled_runner = ExperimentRunner(1, progress=False, profile=True)
+        profiled = profiled_runner.map(_square, items, label="profiled")
+        assert profiled == plain
+
+    def test_profiled_phase_carries_cell_detail(self):
+        items = list(range(5))
+        runner = ExperimentRunner(1, progress=False, profile=True)
+        runner.map(_cached_square, items, label="prof")
+        phase = runner.timing.phases[-1]
+        assert phase.cell_seconds is not None
+        assert len(phase.cell_seconds) == len(items)
+        assert all(second >= 0.0 for second in phase.cell_seconds)
+        assert phase.kernel_stats is not None
+        assert "supply.sbf_server" in phase.kernel_stats
+        payload = phase.as_dict()
+        assert len(payload["cell_seconds"]) == len(items)
+        assert "supply.sbf_server" in payload["kernel_stats"]
+
+    def test_unprofiled_phase_schema_unchanged(self):
+        runner = ExperimentRunner(1, progress=False)
+        runner.map(_square, [1, 2, 3], label="plain")
+        payload = runner.timing.phases[-1].as_dict()
+        assert "cell_seconds" not in payload
+        assert "kernel_stats" not in payload
+
+    def test_profiled_parallel_matches_serial(self):
+        items = list(range(10))
+        serial = ExperimentRunner(1, progress=False, profile=True).map(
+            _cached_square, items, label="serial"
+        )
+        parallel = ExperimentRunner(3, progress=False, profile=True).map(
+            _cached_square, items, label="parallel"
+        )
+        assert serial == parallel == [n * n for n in items]
+
+
 class TestCachedEqualsUncached:
     """Memoized kernels agree with their reference implementations."""
 

@@ -1,5 +1,7 @@
 """Unit tests for the trace recorder."""
 
+import pytest
+
 from repro.core.gsched import ServerSpec
 from repro.core.driver import VirtualizationDriver
 from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
@@ -14,8 +16,8 @@ from repro.tasks.taskset import TaskSet
 class TestTraceRecorder:
     def test_records_events(self):
         trace = TraceRecorder()
-        trace.record(1.0, "release", "taskA", job=1)
-        trace.record(2.0, "complete", "taskA", job=1)
+        trace.record(1, "release", "taskA", job=1)
+        trace.record(2, "complete", "taskA", job=1)
         assert len(trace) == 2
         assert trace.events[0].payload == {"job": 1}
 
@@ -39,7 +41,35 @@ class TestTraceRecorder:
         trace.record(1, "keep", "s")
         trace.record(2, "drop", "s")
         assert len(trace) == 1
-        assert trace.count("drop") == 1  # counted but not stored
+        # A filtered category is invisible to counters too: count() and
+        # by_category() must agree on what the recorder observed.
+        assert trace.count("drop") == 0
+        assert trace.by_category("drop") == []
+        assert trace.count("keep") == 1
+
+    def test_whitelist_and_disabled_compose(self):
+        # Disabled mode keeps counting, but only whitelisted categories.
+        trace = TraceRecorder(enabled=False, categories=["keep"])
+        trace.record(1, "keep", "s")
+        trace.record(2, "keep", "s")
+        trace.record(3, "drop", "s")
+        assert len(trace) == 0
+        assert trace.count("keep") == 2
+        assert trace.count("drop") == 0
+
+    def test_integral_float_times_normalize_to_int(self):
+        trace = TraceRecorder()
+        trace.record(3.0, "x", "s")  # iolint: disable=IOL004 -- exercises the boundary
+        assert trace.events[0].time == 3
+        assert isinstance(trace.events[0].time, int)
+
+    def test_fractional_time_rejected(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record(1.5, "x", "s")  # iolint: disable=IOL004 -- exercises the boundary
+        assert len(trace) == 0
+        # A rejected record leaves no phantom counter behind.
+        assert trace.count("x") == 0
 
     def test_filter_predicate(self):
         trace = TraceRecorder()
@@ -67,6 +97,54 @@ class TestTraceRecorder:
         trace.record(1, "x", "s")
         trace.record(2, "y", "s")
         assert [e.category for e in trace] == ["x", "y"]
+
+
+class TestRingBuffer:
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=-3)
+
+    def test_eviction_is_counted_never_silent(self):
+        trace = TraceRecorder(max_events=3)
+        for t in range(5):
+            trace.record(t, "tick", "s")
+        assert len(trace) == 3
+        assert [e.time for e in trace.events] == [2, 3, 4]
+        assert trace.dropped_events == 2
+        # Counters keep the full history; the difference to the stored
+        # view is exactly the evicted events.
+        assert trace.count("tick") == 5
+        assert trace.count("tick") - len(trace.by_category("tick")) == 2
+
+    def test_by_category_consistent_after_eviction(self):
+        trace = TraceRecorder(max_events=2)
+        trace.record(1, "a", "s")
+        trace.record(2, "b", "s")
+        trace.record(3, "a", "s")  # evicts the a@1 event
+        assert [e.time for e in trace.by_category("a")] == [3]
+        assert [e.time for e in trace.by_category("b")] == [2]
+        trace.record(4, "a", "s")  # evicts b@2; its bucket empties
+        assert trace.by_category("b") == []
+        assert [e.time for e in trace.by_category("a")] == [3, 4]
+        assert trace.dropped_events == 2
+
+    def test_clear_resets_drop_counter(self):
+        trace = TraceRecorder(max_events=1)
+        trace.record(1, "x", "s")
+        trace.record(2, "x", "s")
+        assert trace.dropped_events == 1
+        trace.clear()
+        assert trace.dropped_events == 0
+        assert len(trace) == 0
+
+    def test_unbounded_recorder_never_drops(self):
+        trace = TraceRecorder()
+        for t in range(100):
+            trace.record(t, "tick", "s")
+        assert len(trace) == 100
+        assert trace.dropped_events == 0
 
 
 def _run_platform(seed: int, horizon: int = 400):
