@@ -3,26 +3,33 @@
 
 A mode change in a vehicle (entering a parking-assist mode, starting a
 diagnostic session) registers new sporadic I/O tasks at run time.  The
-admission controller re-runs the Theorem-4 test per request, so admitted
-sets always keep the full Sec. IV guarantee -- and the guarantee is then
-*demonstrated* by executing the admitted workload on the hypervisor
-R-channel without a single deadline miss.
+``repro.api`` facade routes each request through the incremental
+Theorem-4 admission test, so admitted sets always keep the full Sec. IV
+guarantee -- and the guarantee is then *demonstrated* by executing the
+admitted workload on the hypervisor without a single deadline miss.
 """
 
-from repro.core import ServerSpec
-from repro.core.admission import AdmissionController
-from repro.core.rchannel import RChannel
-from repro.core.timeslot import TimeSlotTable
-from repro.tasks import IOTask
+from repro.api import (
+    IOTask,
+    ServerConfig,
+    SystemConfig,
+    admit,
+    build_system,
+    simulate,
+)
 
 
 def main() -> None:
     # A hypervisor configuration with a half-loaded P-channel table and
     # two VMs: a 40%-bandwidth control VM and a 30%-bandwidth infotainment
     # VM (slots of 10 us).
-    table = TimeSlotTable.from_pattern([1, 0, 0, 1, 0, 0, 0, 0, 0, 0])
-    servers = [ServerSpec(0, 20, 8), ServerSpec(1, 20, 6)]
-    controller = AdmissionController(table, servers)
+    system = build_system(
+        SystemConfig(
+            name="admission-demo",
+            table_pattern=[1, 0, 0, 1, 0, 0, 0, 0, 0, 0],
+            servers=[ServerConfig(0, 20, 8), ServerConfig(1, 20, 6)],
+        )
+    )
 
     requests = [
         IOTask(name="steering_assist", period=100, wcet=8, vm_id=0),
@@ -34,56 +41,32 @@ def main() -> None:
     ]
     print("admission sequence:")
     for task in requests:
-        decision = controller.try_admit(task)
-        verdict = "ADMIT " if decision.admitted else "REJECT"
+        decision = admit(system, task)
+        verdict = "ADMIT " if decision.schedulable else "REJECT"
         print(f"  {verdict} {task.name:16s} "
               f"(T={task.period}, C={task.wcet}, VM{task.vm_id}) "
               f"- {decision.reason}")
 
+    controller = system.controller
     print(
         f"\nadmitted {controller.admitted_count}, "
         f"rejected {controller.rejected_count}"
     )
     for vm_id in (0, 1):
+        server = system.server_for(vm_id)
         print(
             f"  VM{vm_id}: utilization "
             f"{controller.vm_utilization(vm_id):.3f} under server "
-            f"{controller.server_of(vm_id).pi, controller.server_of(vm_id).theta}"
+            f"{server.pi, server.theta}"
         )
 
-    # -- prove it: run the admitted workload on the R-channel -------------
-    rchannel = RChannel(servers)
-    admitted = [
-        task
-        for vm_id in (0, 1)
-        for task in controller.admitted_tasks(vm_id)
-    ]
-    horizon = 2_000
-    releases = []
-    for task in admitted:
-        k = 0
-        while k * task.period < horizon:
-            releases.append((k * task.period, task, k))
-            k += 1
-    releases.sort(key=lambda entry: entry[0])
-    cursor = 0
-    misses = 0
-    completed = 0
-    for slot in range(horizon):
-        while cursor < len(releases) and releases[cursor][0] == slot:
-            _s, task, index = releases[cursor]
-            rchannel.submit(task.job(release=slot, index=index))
-            cursor += 1
-        rchannel.tick(slot)
-        # Only free slots of the table reach the R-channel.
-        if table.is_free(slot):
-            job = rchannel.execute_slot(slot)
-            if job is not None:
-                completed += 1
-                if slot + 1 > job.absolute_deadline:
-                    misses += 1
-    print(f"\nexecuted admitted set: {completed} jobs, {misses} misses")
-    assert misses == 0, "admission promised schedulability"
+    # -- prove it: run the admitted workload -------------------------------
+    run = simulate(system, horizon=2_000)
+    print(
+        f"\nexecuted admitted set: {run.completed} jobs, "
+        f"{run.deadline_misses} misses"
+    )
+    assert bool(run), "admission promised schedulability"
     print("admission control demo OK")
 
 

@@ -1,123 +1,100 @@
 #!/usr/bin/env python3
 """Quickstart: build an I/O-GUARD system, prove it schedulable, run it.
 
-Walks the three core steps a user of the library takes:
+Walks the three core steps a user of the library takes, all through the
+``repro.api`` facade:
 
 1. describe the I/O workload (pre-defined + run-time tasks),
 2. run the schedulability analysis (Sec. IV of the paper),
 3. execute the hypervisor and confirm the analysis held.
 """
 
-from repro.analysis import analyze_system
-from repro.core import (
-    HypervisorConfig,
-    IOGuardHypervisor,
-    ServerSpec,
-    VirtualizationDriver,
+from repro.api import (
+    Criticality,
+    IOTask,
+    SystemConfig,
+    TaskKind,
+    analyze,
+    build_system,
+    simulate,
 )
-from repro.hw import EchoDevice, SPIController
-from repro.tasks import Criticality, IOTask, TaskKind, TaskSet
 
 
-def build_taskset() -> TaskSet:
+def build_tasks() -> list:
     """Two VMs sharing one SPI device.
 
     VM 0 runs a pre-defined (P-channel) periodic sensor poll plus a
     sporadic command task; VM 1 runs two sporadic tasks.  Units are
     hypervisor time slots (10 us at the default configuration).
     """
-    return TaskSet(
-        [
-            IOTask(
-                name="sensor_poll",
-                period=50,
-                wcet=4,
-                vm_id=0,
-                kind=TaskKind.PREDEFINED,
-                criticality=Criticality.SAFETY,
-                device="spi0",
-                payload_bytes=16,
-            ),
-            IOTask(
-                name="vm0_command",
-                period=80,
-                wcet=6,
-                vm_id=0,
-                kind=TaskKind.RUNTIME,
-                criticality=Criticality.SAFETY,
-                device="spi0",
-                payload_bytes=32,
-            ),
-            IOTask(
-                name="vm1_telemetry",
-                period=120,
-                wcet=10,
-                vm_id=1,
-                kind=TaskKind.RUNTIME,
-                criticality=Criticality.FUNCTION,
-                device="spi0",
-                payload_bytes=64,
-            ),
-            IOTask(
-                name="vm1_logging",
-                period=200,
-                wcet=12,
-                vm_id=1,
-                kind=TaskKind.RUNTIME,
-                criticality=Criticality.FUNCTION,
-                device="spi0",
-                payload_bytes=64,
-            ),
-        ],
-        name="quickstart",
-    )
+    return [
+        IOTask(
+            name="sensor_poll",
+            period=50,
+            wcet=4,
+            vm_id=0,
+            kind=TaskKind.PREDEFINED,
+            criticality=Criticality.SAFETY,
+            device="spi0",
+            payload_bytes=16,
+        ),
+        IOTask(
+            name="vm0_command",
+            period=80,
+            wcet=6,
+            vm_id=0,
+            kind=TaskKind.RUNTIME,
+            criticality=Criticality.SAFETY,
+            device="spi0",
+            payload_bytes=32,
+        ),
+        IOTask(
+            name="vm1_telemetry",
+            period=120,
+            wcet=10,
+            vm_id=1,
+            kind=TaskKind.RUNTIME,
+            criticality=Criticality.FUNCTION,
+            device="spi0",
+            payload_bytes=64,
+        ),
+        IOTask(
+            name="vm1_logging",
+            period=200,
+            wcet=12,
+            vm_id=1,
+            kind=TaskKind.RUNTIME,
+            criticality=Criticality.FUNCTION,
+            device="spi0",
+            payload_bytes=64,
+        ),
+    ]
 
 
 def main() -> None:
-    taskset = build_taskset()
-    print(f"task set: {taskset.summary()}")
-
-    # -- step 1: analysis (Theorems 2 + 4) ---------------------------------
-    verdict = analyze_system(taskset)
-    print(f"schedulable: {verdict.schedulable}")
-    assert verdict.schedulable, verdict.reason
-    servers = [
-        ServerSpec(vm_id, pi, theta)
-        for vm_id, (pi, theta) in sorted(verdict.design.servers.items())
-    ]
-    print(f"designed servers: {[(s.vm_id, s.pi, s.theta) for s in servers]}")
-
-    # -- step 2: build the hypervisor --------------------------------------
+    # -- step 1: describe the system ---------------------------------------
     # SPI is slow (10 MHz SCLK): one small transaction takes ~1200 cycles
     # end to end, so this device needs a 2000-cycle (20 us) slot -- the
-    # hypervisor validates this budget at attach time.
-    hypervisor = IOGuardHypervisor(HypervisorConfig(cycles_per_slot=2_000))
-    driver = VirtualizationDriver(SPIController("spi0"), EchoDevice("eeprom"))
-    hypervisor.attach_device(
-        "spi0", driver, taskset.predefined(), servers
+    # simulation validates this budget when attaching the device.
+    config = SystemConfig(
+        tasks=build_tasks(), name="quickstart", cycles_per_slot=2_000
+    )
+    system = build_system(config)
+    print(f"task set: {system.tasks.summary()}")
+
+    # -- step 2: analysis (Theorems 2 + 4) ---------------------------------
+    report = analyze(system)
+    print(report.summary())
+    assert report.schedulable, report.reason
+    print(
+        "designed servers: "
+        f"{[(s.vm_id, s.pi, s.theta) for s in system.servers]}"
     )
 
     # -- step 3: run 2000 slots (20 ms) with periodic run-time releases ----
-    horizon = 2_000
-    releases = []
-    for task in taskset.runtime():
-        k = 0
-        while k * task.period < horizon:
-            releases.append((k * task.period, task, k))
-            k += 1
-    releases.sort(key=lambda entry: entry[0])
-    cursor = 0
-    for slot in range(horizon):
-        while cursor < len(releases) and releases[cursor][0] == slot:
-            _slot, task, index = releases[cursor]
-            hypervisor.submit(task.job(release=slot, index=index))
-            cursor += 1
-        hypervisor.step(slot)
-
-    completed = hypervisor.completed_jobs
-    misses = [job for job in completed if job.met_deadline() is False]
-    print(f"completed {len(completed)} jobs, deadline misses: {len(misses)}")
-    assert not misses, "analysis promised schedulability; simulation disagrees"
+    run = simulate(system, horizon=2_000)
+    print(run.summary())
+    assert bool(run), "analysis promised schedulability; simulation disagrees"
     print("quickstart OK: analysis verdict confirmed by execution")
 
 

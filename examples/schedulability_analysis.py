@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schedulability analysis walkthrough (Sec. IV of the paper).
 
-Demonstrates every analytic piece on a worked example:
+Demonstrates every analytic piece on a worked example, all imported
+from the ``repro.api`` facade:
 
 * the Time Slot Table sigma* and its supply bound function (Eqs. 1-2),
 * periodic-server supply (Eq. 8) and demand (Eqs. 3, 9),
@@ -9,12 +10,16 @@ Demonstrates every analytic piece on a worked example:
 * the L-Sched test (Theorems 3 + 4) and minimum-budget server design,
 * an acceptance-ratio experiment: the fraction of random task systems
   each test admits as utilization grows (the classic schedulability
-  plot), comparing the exact and pseudo-polynomial tests.
+  plot), run on both analysis engines to show they agree.
 """
 
-from repro.analysis import (
+import time
+
+from repro.api import (
+    TimeSlotTable,
     dbf_server,
     dbf_sporadic,
+    generate_random_taskset,
     gsched_schedulable,
     gsched_schedulable_exact,
     lsched_schedulable,
@@ -23,9 +28,8 @@ from repro.analysis import (
     sbf_sigma,
     theorem2_bound,
     theorem4_bound,
+    use_engine,
 )
-from repro.core.timeslot import TimeSlotTable
-from repro.tasks import generate_random_taskset
 
 
 def slot_table_demo() -> TimeSlotTable:
@@ -85,24 +89,38 @@ def lsched_demo() -> None:
 
 
 def acceptance_ratio_experiment() -> None:
+    """The classic acceptance plot, run once per analysis engine.
+
+    The vectorized engine (QPA descent + numpy step-point sweeps) must
+    agree with the scalar reference on every single verdict; it earns
+    its keep on the larger near-boundary systems.
+    """
     print("\n=== Acceptance ratio vs utilization (Theorem 4) ===")
     pi, theta = 20, 14  # a 70%-bandwidth server
     samples = 40
-    for utilization in (0.3, 0.4, 0.5, 0.6, 0.7):
-        accepted = 0
-        for seed in range(samples):
-            tasks = generate_random_taskset(
-                seed=1000 + seed,
-                task_count=5,
-                total_utilization=utilization,
-                name=f"u{utilization}s{seed}",
+    for engine_name in ("scalar", "vectorized"):
+        started = time.perf_counter()
+        rows = []
+        with use_engine(engine_name):
+            for utilization in (0.3, 0.4, 0.5, 0.6, 0.7):
+                accepted = 0
+                for seed in range(samples):
+                    tasks = generate_random_taskset(
+                        seed=1000 + seed,
+                        task_count=5,
+                        total_utilization=utilization,
+                        name=f"u{utilization}s{seed}",
+                    )
+                    if lsched_schedulable(pi, theta, tasks).schedulable:
+                        accepted += 1
+                rows.append((utilization, accepted))
+        elapsed = time.perf_counter() - started
+        print(f"  engine={engine_name} ({elapsed * 1000:.1f} ms):")
+        for utilization, accepted in rows:
+            print(
+                f"    U={utilization:.1f}: accepted {accepted}/{samples} "
+                f"({100 * accepted / samples:.0f}%)"
             )
-            if lsched_schedulable(pi, theta, tasks).schedulable:
-                accepted += 1
-        print(
-            f"  U={utilization:.1f}: accepted {accepted}/{samples} "
-            f"({100 * accepted / samples:.0f}%)"
-        )
 
 
 def main() -> None:

@@ -17,14 +17,28 @@
   (``clear_caches``, ``cache_stats``); the cached and uncached paths are
   value-identical by construction and cross-checked by the property
   tests.
+* :mod:`repro.analysis.engine` -- selects the step-point sweep
+  implementation ("scalar" reference loop vs the "vectorized" numpy +
+  QPA engine in :mod:`repro.analysis.vectorized`); both are
+  bit-identical, enforced by the property suite.
+* :mod:`repro.analysis.result` -- the :class:`SchedulabilityResult`
+  protocol every verdict class satisfies.
 """
 
 from repro.analysis.cache import (
     cache_stats,
     clear_caches,
 )
+from repro.analysis.engine import (
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.analysis.result import SchedulabilityResult
 from repro.analysis.supply import (
     sbf_server,
+    sbf_server_inverse,
     sbf_server_uncached,
     sbf_sigma,
 )
@@ -76,9 +90,14 @@ __all__ = [
     "response_time_bounds",
     "GSchedResult",
     "LSchedResult",
+    "SchedulabilityResult",
     "SystemSchedulabilityResult",
     "analyze_system",
     "dbf_server",
+    "default_engine",
+    "resolve_engine",
+    "set_default_engine",
+    "use_engine",
     "dbf_sporadic",
     "dbf_taskset",
     "dbf_taskset_uncached",
@@ -91,6 +110,7 @@ __all__ = [
     "lsched_schedulable_exact",
     "minimum_budget",
     "sbf_server",
+    "sbf_server_inverse",
     "sbf_server_uncached",
     "sbf_sigma",
     "theorem2_bound",

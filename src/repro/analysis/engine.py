@@ -1,0 +1,83 @@
+"""Analysis engine selection: scalar reference vs vectorized kernels.
+
+The schedulability tests ship two decision engines:
+
+* ``"scalar"`` -- the original per-``t`` Python loops over the memoized
+  kernels.  This is the ground-truth reference implementation.
+* ``"vectorized"`` -- :mod:`repro.analysis.vectorized`: numpy evaluation
+  of the dbf/sbf curves over *all* step points at once, fronted by a
+  QPA-style descent that usually decides schedulability after a handful
+  of probes instead of enumerating the full Theorem-2/4 horizon.
+
+Both engines are decision-bit-identical by construction (they share the
+same preambles, horizons and step-point grids, and the property suite
+cross-checks every result field), so the choice only affects wall-clock
+time.  The default resolves with the precedence *explicit argument* >
+:func:`set_default_engine` > ``REPRO_ANALYSIS_ENGINE`` environment
+variable > ``"vectorized"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+from contextlib import contextmanager
+
+#: Supported engines, in reference-first order.
+ENGINES = ("scalar", "vectorized")
+
+#: Environment knob consulted when no explicit engine is given,
+#: mirroring ``REPRO_JOBS`` / ``REPRO_SCALE``.
+ENGINE_ENV_VAR = "REPRO_ANALYSIS_ENGINE"
+
+_default_override: Optional[str] = None
+
+
+def _validate(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown analysis engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine name: argument > override > env var > vectorized."""
+    if engine is not None:
+        return _validate(engine)
+    if _default_override is not None:
+        return _default_override
+    raw = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    if raw:
+        return _validate(raw)
+    return "vectorized"
+
+
+def default_engine() -> str:
+    """The engine used when callers pass ``engine=None``."""
+    return resolve_engine(None)
+
+
+def set_default_engine(engine: Optional[str]) -> Optional[str]:
+    """Set (or clear, with ``None``) the process-wide engine override.
+
+    Returns the previous override so callers can restore it; prefer the
+    :func:`use_engine` context manager for scoped switches.
+    """
+    global _default_override
+    if engine is not None:
+        _validate(engine)
+    previous = _default_override
+    _default_override = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Scoped engine override (benchmarks and differential tests)."""
+    previous = set_default_engine(engine)
+    try:
+        yield _validate(engine)
+    finally:
+        set_default_engine(previous)

@@ -16,12 +16,17 @@ from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.demand import dbf_server, server_step_points
+from repro.analysis.engine import resolve_engine
 from repro.analysis.hyperperiod import lcm_capped
 from repro.core.timeslot import TimeSlotTable
 
 #: Exact-test guard: Theorem 1 checks up to lcm({H} u {Pi_i}), which is
 #: exponential in the input values; refuse beyond this many slots.
 EXACT_TEST_CAP = 5_000_000
+
+#: Windows with fewer step points than this run the plain Python loop
+#: even under ``engine="vectorized"`` (see lsched_test).
+VECTORIZE_MIN_POINTS = 96
 
 
 @dataclass
@@ -45,6 +50,16 @@ class GSchedResult:
 
     def __bool__(self) -> bool:
         return self.schedulable
+
+    def summary(self) -> str:
+        from repro.analysis.result import witness_text
+
+        verdict = "schedulable" if self.schedulable else "unschedulable"
+        return (
+            f"G-Sched ({self.method}): {verdict}"
+            f"{witness_text(self.failing_t, self.failing_demand, self.failing_supply)}"
+            f" [{len(self.servers)} servers, horizon {self.horizon}]"
+        )
 
 
 def server_bandwidth(servers: Sequence[Tuple[int, int]]) -> float:
@@ -87,6 +102,7 @@ def theorem2_bound(table: TimeSlotTable, servers: Sequence[Tuple[int, int]]) -> 
 def gsched_schedulable(
     table: TimeSlotTable,
     servers: Sequence[Tuple[int, int]],
+    engine: Optional[str] = None,
 ) -> GSchedResult:
     """Theorem 2: pseudo-polynomial G-Sched test.
 
@@ -94,6 +110,10 @@ def gsched_schedulable(
     to the Theorem-2 horizon.  Over-utilized systems (non-positive slack)
     are immediately unschedulable in the long run; we report them with a
     witness at the table hyper-period scale.
+
+    ``engine`` selects the step-point sweep implementation (``"scalar"``
+    or ``"vectorized"``; see :mod:`repro.analysis.engine`).  Both return
+    bit-identical results.
     """
     servers = [(int(pi), int(theta)) for pi, theta in servers]
     h = table.total_slots
@@ -125,10 +145,10 @@ def gsched_schedulable(
     if slack == 0:
         # Theorem 2 does not apply; fall back to the exact test when the
         # hyper-period is tractable.
-        return gsched_schedulable_exact(table, servers)
+        return gsched_schedulable_exact(table, servers, engine=engine)
     horizon = theorem2_bound(table, servers)
     return _check_window(
-        table, servers, horizon, float(slack), method="theorem2"
+        table, servers, horizon, float(slack), method="theorem2", engine=engine
     )
 
 
@@ -136,6 +156,7 @@ def gsched_schedulable_exact(
     table: TimeSlotTable,
     servers: Sequence[Tuple[int, int]],
     cap: int = EXACT_TEST_CAP,
+    engine: Optional[str] = None,
 ) -> GSchedResult:
     """Theorem 1: exact test up to lcm({H} u {Pi_i}).
 
@@ -173,7 +194,7 @@ def gsched_schedulable_exact(
         )
     horizon = lcm_capped([h] + [pi for pi, _ in servers], cap)
     return _check_window(
-        table, servers, horizon, float(slack), method="theorem1"
+        table, servers, horizon, float(slack), method="theorem1", engine=engine
     )
 
 
@@ -183,7 +204,13 @@ def _check_window(
     horizon: int,
     slack: float,
     method: str,
+    engine: Optional[str] = None,
 ) -> GSchedResult:
+    if (
+        resolve_engine(engine) == "vectorized"
+        and sum(horizon // pi for pi, _theta in servers) >= VECTORIZE_MIN_POINTS
+    ):
+        return _check_window_vectorized(table, servers, horizon, slack, method)
     for t in server_step_points(servers, horizon):
         demand = sum(dbf_server(pi, theta, t) for pi, theta in servers)
         supply = table.sbf(t)
@@ -202,6 +229,38 @@ def _check_window(
         schedulable=True,
         horizon=horizon,
         slack=slack,
+        method=method,
+        servers=servers,
+    )
+
+
+def _check_window_vectorized(
+    table: TimeSlotTable,
+    servers: List[Tuple[int, int]],
+    horizon: int,
+    slack: float,
+    method: str,
+) -> GSchedResult:
+    """QPA descent + numpy witness scan; bit-identical to _check_window."""
+    from repro.analysis import vectorized as vec
+
+    failure = vec.server_failure(table, servers, horizon)
+    if failure is None:
+        return GSchedResult(
+            schedulable=True,
+            horizon=horizon,
+            slack=slack,
+            method=method,
+            servers=servers,
+        )
+    t, demand, supply = failure
+    return GSchedResult(
+        schedulable=False,
+        horizon=horizon,
+        slack=slack,
+        failing_t=t,
+        failing_demand=demand,
+        failing_supply=supply,
         method=method,
         servers=servers,
     )

@@ -11,22 +11,33 @@ experiment.
 
 from __future__ import annotations
 
-from fractions import Fraction
+from typing import Optional
 
 from repro.analysis.demand import (
     dbf_signature_demand,
     dbf_step_points,
     demand_signature,
 )
-from repro.analysis.lsched_test import LSchedResult, theorem4_bound
+from repro.analysis.engine import resolve_engine
+from repro.analysis.lsched_test import (
+    VECTORIZE_MIN_POINTS,
+    LSchedResult,
+    _exact_slack,
+    _step_point_estimate,
+    _theorem4_bound_from_slack,
+    theorem4_bound,
+)
 from repro.analysis.supply import linear_supply_lower_bound
 from repro.tasks.taskset import TaskSet
+
+__all__ = ["lsched_schedulable_linear", "theorem4_bound"]
 
 
 def lsched_schedulable_linear(
     pi: int,
     theta: int,
     tasks: TaskSet,
+    engine: Optional[str] = None,
 ) -> LSchedResult:
     """Sufficient test: demand against the linear supply lower bound.
 
@@ -40,9 +51,7 @@ def lsched_schedulable_linear(
             f"invalid server (pi={pi}, theta={theta})"
         )
     names = [task.name for task in tasks]
-    slack = Fraction(theta, pi) - sum(
-        (Fraction(task.wcet, task.period) for task in tasks), Fraction(0)
-    )
+    slack = _exact_slack(pi, theta, tasks)
     if len(tasks) == 0:
         return LSchedResult(
             schedulable=True, horizon=0, slack=float(slack),
@@ -54,7 +63,12 @@ def lsched_schedulable_linear(
             failing_t=0, method="linear", server=(pi, theta),
             task_names=names,
         )
-    horizon = theorem4_bound(pi, theta, tasks)
+    horizon = _theorem4_bound_from_slack(pi, theta, tasks, slack)
+    if (
+        resolve_engine(engine) == "vectorized"
+        and _step_point_estimate(tasks, horizon) >= VECTORIZE_MIN_POINTS
+    ):
+        return _linear_window_vectorized(pi, theta, tasks, horizon, float(slack))
     signature = demand_signature(tasks)
     for t in dbf_step_points(tasks, horizon):
         demand = dbf_signature_demand(signature, t)
@@ -75,6 +89,65 @@ def lsched_schedulable_linear(
         schedulable=True,
         horizon=horizon,
         slack=float(slack),
+        method="linear",
+        server=(pi, theta),
+        task_names=names,
+    )
+
+
+def _linear_inverse(pi: int, theta: int, demand: int) -> int:
+    """Smallest ``t`` with ``linear_supply_lower_bound(pi, theta, t) >= demand``.
+
+    Computed in exact rational arithmetic, then bumped forward while the
+    *float* evaluation (the comparison the scalar loop actually performs)
+    still falls short -- the bump keeps the QPA skip range sound under
+    IEEE rounding, so both engines agree bit-for-bit.
+    """
+    if demand <= 0:
+        return 0
+    blackout = 2 * pi - theta - 1
+    t = -(-(demand + blackout) * pi // theta)
+    while linear_supply_lower_bound(pi, theta, t) < demand:
+        t += 1
+    return t
+
+
+def _linear_window_vectorized(
+    pi: int,
+    theta: int,
+    tasks: TaskSet,
+    horizon: int,
+    slack: float,
+) -> LSchedResult:
+    """QPA descent + numpy scan against the linear supply lower bound."""
+    from repro.analysis import vectorized as vec
+
+    names = [task.name for task in tasks]
+    signature = demand_signature(tasks)
+    failure = vec.taskset_failure(
+        signature,
+        horizon,
+        supply_of=lambda t: linear_supply_lower_bound(pi, theta, t),
+        inverse_of=lambda d: _linear_inverse(pi, theta, d),
+        supply_at=lambda ts: vec.linear_supply_at(pi, theta, ts),
+    )
+    if failure is None:
+        return LSchedResult(
+            schedulable=True,
+            horizon=horizon,
+            slack=slack,
+            method="linear",
+            server=(pi, theta),
+            task_names=names,
+        )
+    t, demand, supply = failure
+    return LSchedResult(
+        schedulable=False,
+        horizon=horizon,
+        slack=slack,
+        failing_t=t,
+        failing_demand=demand,
+        failing_supply=int(max(0.0, supply)),
         method="linear",
         server=(pi, theta),
         task_names=names,

@@ -21,12 +21,18 @@ from repro.analysis.demand import (
     dbf_taskset,
     demand_signature,
 )
+from repro.analysis.engine import resolve_engine
 from repro.analysis.hyperperiod import lcm_capped
-from repro.analysis.supply import sbf_server
+from repro.analysis.supply import sbf_server, sbf_server_inverse
 from repro.tasks.taskset import TaskSet
 
 #: Exact-test guard (see gsched_test.EXACT_TEST_CAP).
 EXACT_TEST_CAP = 5_000_000
+
+#: Windows with fewer step points than this run the plain Python loop
+#: even under ``engine="vectorized"``: numpy's per-call overhead only
+#: amortizes on larger grids, and both paths are bit-identical anyway.
+VECTORIZE_MIN_POINTS = 96
 
 
 @dataclass
@@ -47,6 +53,17 @@ class LSchedResult:
     def __bool__(self) -> bool:
         return self.schedulable
 
+    def summary(self) -> str:
+        from repro.analysis.result import witness_text
+
+        verdict = "schedulable" if self.schedulable else "unschedulable"
+        return (
+            f"L-Sched ({self.method}): {verdict}"
+            f"{witness_text(self.failing_t, self.failing_demand, self.failing_supply)}"
+            f" [server {self.server}, {len(self.task_names)} tasks, "
+            f"horizon {self.horizon}]"
+        )
+
 
 def theorem4_bound(pi: int, theta: int, tasks: TaskSet) -> int:
     """The Theorem-4 horizon (exclusive, ceiled).
@@ -57,9 +74,12 @@ def theorem4_bound(pi: int, theta: int, tasks: TaskSet) -> int:
     slack, mirroring the theorem's precondition.
     """
     _validate_server(pi, theta)
-    slack = Fraction(theta, pi) - sum(
-        (Fraction(task.wcet, task.period) for task in tasks), Fraction(0)
-    )
+    return _theorem4_bound_from_slack(pi, theta, tasks, _exact_slack(pi, theta, tasks))
+
+
+def _theorem4_bound_from_slack(
+    pi: int, theta: int, tasks: TaskSet, slack: Fraction
+) -> int:
     if slack <= 0:
         raise ValueError(
             f"Theorem 4 requires positive slack; got c'={float(slack):.6f} "
@@ -78,19 +98,28 @@ def _exact_slack(pi: int, theta: int, tasks: TaskSet) -> Fraction:
 
     Classifying the slack sign with floats occasionally disagrees with
     the exact value near zero, which would route borderline systems to
-    the wrong test.
+    the wrong test.  Accumulated as a raw numerator/denominator pair --
+    one normalization at the end instead of a gcd per Fraction add.
     """
-    return Fraction(theta, pi) - sum(
-        (Fraction(task.wcet, task.period) for task in tasks), Fraction(0)
-    )
+    num, den = theta, pi
+    for task in tasks:
+        num = num * task.period - task.wcet * den
+        den *= task.period
+    return Fraction(num, den)
 
 
 def lsched_schedulable(
     pi: int,
     theta: int,
     tasks: TaskSet,
+    engine: Optional[str] = None,
 ) -> LSchedResult:
-    """Theorem 4: pseudo-polynomial L-Sched test for one VM."""
+    """Theorem 4: pseudo-polynomial L-Sched test for one VM.
+
+    ``engine`` selects the step-point sweep implementation (``"scalar"``
+    or ``"vectorized"``; see :mod:`repro.analysis.engine`).  Both return
+    bit-identical results.
+    """
     _validate_server(pi, theta)
     slack = _exact_slack(pi, theta, tasks)
     names = [task.name for task in tasks]
@@ -116,9 +145,11 @@ def lsched_schedulable(
             task_names=names,
         )
     if slack == 0:
-        return lsched_schedulable_exact(pi, theta, tasks)
-    horizon = theorem4_bound(pi, theta, tasks)
-    return _check_window(pi, theta, tasks, horizon, float(slack), "theorem4")
+        return lsched_schedulable_exact(pi, theta, tasks, engine=engine)
+    horizon = _theorem4_bound_from_slack(pi, theta, tasks, slack)
+    return _check_window(
+        pi, theta, tasks, horizon, float(slack), "theorem4", engine=engine
+    )
 
 
 def lsched_schedulable_exact(
@@ -126,6 +157,7 @@ def lsched_schedulable_exact(
     theta: int,
     tasks: TaskSet,
     cap: int = EXACT_TEST_CAP,
+    engine: Optional[str] = None,
 ) -> LSchedResult:
     """Theorem 3: exact test up to lcm({Pi} u {T_k}) + max(D_k).
 
@@ -160,7 +192,9 @@ def lsched_schedulable_exact(
         )
     lcm = lcm_capped([pi] + [task.period for task in tasks], cap)
     horizon = lcm + max(task.deadline for task in tasks)
-    return _check_window(pi, theta, tasks, horizon, float(slack), "theorem3")
+    return _check_window(
+        pi, theta, tasks, horizon, float(slack), "theorem3", engine=engine
+    )
 
 
 def _check_window(
@@ -170,7 +204,13 @@ def _check_window(
     horizon: int,
     slack: float,
     method: str,
+    engine: Optional[str] = None,
 ) -> LSchedResult:
+    if (
+        resolve_engine(engine) == "vectorized"
+        and _step_point_estimate(tasks, horizon) >= VECTORIZE_MIN_POINTS
+    ):
+        return _check_window_vectorized(pi, theta, tasks, horizon, slack, method)
     names = [task.name for task in tasks]
     signature = demand_signature(tasks)
     for t in dbf_step_points(tasks, horizon):
@@ -192,6 +232,58 @@ def _check_window(
         schedulable=True,
         horizon=horizon,
         slack=slack,
+        method=method,
+        server=(pi, theta),
+        task_names=names,
+    )
+
+
+def _step_point_estimate(tasks: TaskSet, horizon: int) -> int:
+    """Upper bound on the number of dbf step points up to ``horizon``."""
+    total = 0
+    for task in tasks:
+        if horizon >= task.deadline:
+            total += (horizon - task.deadline) // task.period + 1
+    return total
+
+
+def _check_window_vectorized(
+    pi: int,
+    theta: int,
+    tasks: TaskSet,
+    horizon: int,
+    slack: float,
+    method: str,
+) -> LSchedResult:
+    """QPA descent + numpy witness scan; bit-identical to _check_window."""
+    from repro.analysis import vectorized as vec
+
+    names = [task.name for task in tasks]
+    signature = demand_signature(tasks)
+    failure = vec.taskset_failure(
+        signature,
+        horizon,
+        supply_of=lambda t: sbf_server(pi, theta, t),
+        inverse_of=lambda d: sbf_server_inverse(pi, theta, d),
+        supply_at=lambda ts: vec.sbf_server_at(pi, theta, ts),
+    )
+    if failure is None:
+        return LSchedResult(
+            schedulable=True,
+            horizon=horizon,
+            slack=slack,
+            method=method,
+            server=(pi, theta),
+            task_names=names,
+        )
+    t, demand, supply = failure
+    return LSchedResult(
+        schedulable=False,
+        horizon=horizon,
+        slack=slack,
+        failing_t=t,
+        failing_demand=demand,
+        failing_supply=int(supply),
         method=method,
         server=(pi, theta),
         task_names=names,

@@ -1,0 +1,62 @@
+"""The common shape of every schedulability verdict.
+
+Four result classes answer "is this schedulable?" at different layers:
+:class:`~repro.analysis.gsched_test.GSchedResult` (global, Theorems
+1-2), :class:`~repro.analysis.lsched_test.LSchedResult` (local,
+Theorems 3-4), :class:`~repro.core.admission.AdmissionDecision` (online
+admission) and
+:class:`~repro.analysis.schedulability.SystemSchedulabilityResult`
+(whole-system).  They all satisfy the :class:`SchedulabilityResult`
+protocol below, so callers can branch on the verdict, render it, and
+locate the witness without caring which layer produced it::
+
+    result = analyze(system)          # or gsched/lsched/admit(...)
+    if not result:                    # __bool__ is the verdict
+        print(result.summary())       # one-line / dict rendering
+        print(result.failing_t)       # the witness t, when one exists
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SchedulabilityResult(Protocol):
+    """Structural protocol shared by every schedulability verdict.
+
+    ``schedulable``
+        The boolean verdict; ``__bool__`` mirrors it so results can be
+        used directly in conditions.
+    ``failing_t``
+        The first instant at which demand exceeds supply (the witness of
+        unschedulability), or ``None`` when schedulable or when the
+        failure is structural (e.g. an unknown VM).
+    ``summary()``
+        A compact rendering for logs and reports.  Most results return a
+        one-line string; the whole-system report returns a dict (its
+        pre-existing contract).
+    """
+
+    schedulable: bool
+
+    @property
+    def failing_t(self) -> Optional[int]: ...  # noqa: E704 - protocol stub
+
+    def __bool__(self) -> bool: ...  # noqa: E704 - protocol stub
+
+    def summary(self) -> object: ...  # noqa: E704 - protocol stub
+
+
+def witness_text(
+    failing_t: Optional[int],
+    failing_demand: Optional[int],
+    failing_supply: Optional[int],
+) -> str:
+    """Uniform ``demand > supply`` witness rendering for summaries."""
+    if failing_t is None:
+        return ""
+    detail = f" at t={failing_t}"
+    if failing_demand is not None and failing_supply is not None:
+        detail += f" (demand {failing_demand} > supply {failing_supply})"
+    return detail

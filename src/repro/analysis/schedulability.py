@@ -41,6 +41,17 @@ class SystemSchedulabilityResult:
     def __bool__(self) -> bool:
         return self.schedulable
 
+    @property
+    def failing_t(self) -> Optional[int]:
+        """First failing witness across the global and local tests."""
+        if self.global_result is not None and self.global_result.failing_t is not None:
+            return self.global_result.failing_t
+        for vm_id in sorted(self.local_results):
+            result = self.local_results[vm_id]
+            if result.failing_t is not None:
+                return result.failing_t
+        return None
+
     def summary(self) -> Dict[str, object]:
         return {
             "schedulable": self.schedulable,

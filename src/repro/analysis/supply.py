@@ -78,6 +78,24 @@ def sbf_server_exact_blackout(pi: int, theta: int, t: int) -> int:
     return int(best or 0)
 
 
+def sbf_server_inverse(pi: int, theta: int, demand: int) -> int:
+    """Smallest window ``t`` with ``sbf_server(pi, theta, t) >= demand``.
+
+    The closed-form inverse of Eq. (8): write ``demand = q*theta + r``
+    with ``1 <= r <= theta``; the supply reaches it once ``q`` whole
+    periods plus ``r`` tail slots have been delivered after the
+    ``2*(pi - theta)`` blackout.  The QPA-style descent of
+    :mod:`repro.analysis.vectorized` uses this to skip every step point
+    whose supply provably covers the current demand.
+    """
+    _validate_server(pi, theta)
+    if demand <= 0:
+        return 0
+    whole, tail = divmod(demand - 1, theta)
+    tail += 1
+    return whole * pi + 2 * (pi - theta) + tail
+
+
 def linear_supply_lower_bound(pi: int, theta: int, t: int) -> float:
     """The linear lower bound on Eq. (8) used in the Theorem-4 proof.
 

@@ -1,0 +1,478 @@
+"""Single entry point for building, analyzing and running I/O-GUARD
+systems.
+
+The library's power users import from six submodules (``repro.tasks``,
+``repro.core``, ``repro.analysis``, ``repro.hw``, ...).  This facade
+packages the common workflow behind four verbs and two typed configs::
+
+    from repro.api import SystemConfig, build_system, analyze, admit, simulate
+
+    system = build_system(SystemConfig(tasks=[...]))
+    report = analyze(system)          # Theorems 2 + 4, auto-designed servers
+    decision = admit(system, task)    # online Theorem-4 admission
+    run = simulate(system, horizon=2_000)
+
+Every verdict (``analyze``'s :class:`AnalysisReport`, ``admit``'s
+:class:`~repro.core.admission.AdmissionDecision`, the per-layer
+G-Sched/L-Sched results reachable from them) satisfies the
+:class:`~repro.analysis.result.SchedulabilityResult` protocol:
+``schedulable``/``__bool__`` for the verdict, ``failing_t`` for the
+witness, ``summary()`` for a rendering.
+
+The commonly needed building blocks (:class:`~repro.tasks.task.IOTask`,
+:class:`~repro.tasks.taskset.TaskSet`,
+:class:`~repro.core.timeslot.TimeSlotTable`, the dbf/sbf kernels, the
+engine selectors) are re-exported here so example code and downstream
+scripts need exactly one import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.demand import dbf_server, dbf_sporadic, dbf_taskset
+from repro.analysis.engine import (
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.analysis.gsched_test import (
+    GSchedResult,
+    gsched_schedulable,
+    gsched_schedulable_exact,
+    theorem2_bound,
+)
+from repro.analysis.lsched_test import (
+    LSchedResult,
+    lsched_schedulable,
+    lsched_schedulable_exact,
+    theorem4_bound,
+)
+from repro.analysis.result import SchedulabilityResult
+from repro.analysis.servers import ServerDesign, design_servers, minimum_budget
+from repro.analysis.supply import sbf_server, sbf_sigma
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.gsched import ServerSpec
+from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
+from repro.core.timeslot import (
+    TableOverflowError,
+    TimeSlotTable,
+    build_pchannel_table,
+    stagger_offsets,
+)
+from repro.core.driver import VirtualizationDriver
+from repro.hw import (
+    CANController,
+    EchoDevice,
+    EthernetController,
+    FlexRayController,
+    GPIOController,
+    I2CController,
+    IOController,
+    SPIController,
+    UARTController,
+)
+from repro.tasks.generators import generate_random_taskset
+from repro.tasks.task import Criticality, IOTask, Job, TaskKind
+from repro.tasks.taskset import TaskSet
+
+__all__ = [
+    # facade verbs + configs
+    "SystemConfig",
+    "ServerConfig",
+    "System",
+    "build_system",
+    "analyze",
+    "admit",
+    "withdraw",
+    "simulate",
+    "AnalysisReport",
+    "SimulationReport",
+    # verdict protocol + concrete results
+    "SchedulabilityResult",
+    "AdmissionDecision",
+    "GSchedResult",
+    "LSchedResult",
+    # building blocks
+    "IOTask",
+    "Job",
+    "TaskKind",
+    "Criticality",
+    "TaskSet",
+    "TimeSlotTable",
+    "TableOverflowError",
+    "ServerSpec",
+    "AdmissionController",
+    "generate_random_taskset",
+    # analysis kernels and tests
+    "dbf_sporadic",
+    "dbf_taskset",
+    "dbf_server",
+    "sbf_sigma",
+    "sbf_server",
+    "gsched_schedulable",
+    "gsched_schedulable_exact",
+    "lsched_schedulable",
+    "lsched_schedulable_exact",
+    "theorem2_bound",
+    "theorem4_bound",
+    "minimum_budget",
+    "design_servers",
+    "ServerDesign",
+    # engine selection
+    "default_engine",
+    "resolve_engine",
+    "set_default_engine",
+    "use_engine",
+]
+
+
+@dataclass
+class ServerConfig:
+    """One VM's periodic server ``Gamma = (Pi, Theta)``."""
+
+    vm_id: int
+    pi: int
+    theta: int
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to instantiate an I/O-GUARD system.
+
+    Only ``tasks`` is required.  Servers are dimensioned automatically
+    (minimum-budget design embedding the Theorem-2 global test) unless
+    ``servers`` pins them; the time slot table is packed from the
+    pre-defined tasks unless ``table_pattern`` pins it.
+    """
+
+    tasks: Sequence[IOTask] = ()
+    name: str = "system"
+    #: Explicit per-VM servers; ``None`` auto-designs them.
+    servers: Optional[Sequence[ServerConfig]] = None
+    #: Explicit P-channel slot pattern (1 = busy); ``None`` packs the
+    #: pre-defined tasks into a table.
+    table_pattern: Optional[Sequence[int]] = None
+    #: Server-period policy for auto-design (see ``design_servers``).
+    policy: str = "min_deadline"
+    uniform_period: int = 50
+    #: Stagger pre-defined start times before packing the table.
+    stagger: bool = True
+    #: Slot length for simulation (cycles).
+    cycles_per_slot: int = 2_000
+    #: Analysis engine ("scalar"/"vectorized"); ``None`` uses the
+    #: session default (see :mod:`repro.analysis.engine`).
+    engine: Optional[str] = None
+
+
+class System:
+    """A built system: task set, time slot table and servers.
+
+    Create via :func:`build_system`; query and run via
+    :func:`analyze`, :func:`admit`, :func:`withdraw` and
+    :func:`simulate`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        tasks: TaskSet,
+        predefined: TaskSet,
+        table: TimeSlotTable,
+        servers: List[ServerSpec],
+        design: Optional[ServerDesign] = None,
+    ) -> None:
+        self.config = config
+        self.tasks = tasks
+        #: Pre-defined tasks with their (possibly staggered) offsets, as
+        #: packed into the table.
+        self.predefined = predefined
+        self.table = table
+        self.servers = servers
+        #: The auto-design record, when servers were not pinned.
+        self.design = design
+        self._controller: Optional[AdmissionController] = None
+
+    @property
+    def vm_ids(self) -> List[int]:
+        return [spec.vm_id for spec in self.servers]
+
+    def server_for(self, vm_id: int) -> ServerSpec:
+        for spec in self.servers:
+            if spec.vm_id == vm_id:
+                return spec
+        raise KeyError(f"no server for VM {vm_id}; have {self.vm_ids}")
+
+    @property
+    def controller(self) -> AdmissionController:
+        """The lazily created admission controller, seeded with the
+        system's own run-time tasks."""
+        if self._controller is None:
+            controller = AdmissionController(self.table, self.servers)
+            for task in self.tasks.runtime():
+                decision = controller.try_admit(task)
+                if not decision.schedulable:
+                    raise ValueError(
+                        f"configured task {task.name!r} is not admissible "
+                        f"under its own server: {decision.reason}"
+                    )
+            self._controller = controller
+        return self._controller
+
+    def runtime_population(self) -> Dict[int, TaskSet]:
+        """Current run-time tasks per VM (admissions included)."""
+        if self._controller is not None:
+            return {
+                vm_id: self._controller.admitted_tasks(vm_id)
+                for vm_id in sorted(self.vm_ids)
+            }
+        return self.tasks.runtime().by_vm()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"System({self.config.name!r}, {len(self.tasks)} tasks, "
+            f"H={self.table.total_slots}, {len(self.servers)} servers)"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Whole-system verdict from :func:`analyze`.
+
+    Satisfies the :class:`SchedulabilityResult` protocol; the per-layer
+    results are attached for drill-down.
+    """
+
+    schedulable: bool
+    table: TimeSlotTable
+    servers: List[ServerSpec]
+    global_result: Optional[GSchedResult] = None
+    local_results: Dict[int, LSchedResult] = field(default_factory=dict)
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+    @property
+    def failing_t(self) -> Optional[int]:
+        """First failing witness across the global and local tests."""
+        if self.global_result is not None and self.global_result.failing_t is not None:
+            return self.global_result.failing_t
+        for vm_id in sorted(self.local_results):
+            result = self.local_results[vm_id]
+            if result.failing_t is not None:
+                return result.failing_t
+        return None
+
+    def summary(self) -> str:
+        verdict = "schedulable" if self.schedulable else "unschedulable"
+        text = (
+            f"system: {verdict} "
+            f"[H={self.table.total_slots}, F={self.table.free_slots}, "
+            f"{len(self.servers)} servers, {len(self.local_results)} VMs]"
+        )
+        if self.reason:
+            text += f" - {self.reason}"
+        return text
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one :func:`simulate` run."""
+
+    horizon: int
+    completed: int
+    deadline_misses: int
+    missed_jobs: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.deadline_misses == 0
+
+    def summary(self) -> str:
+        return (
+            f"simulated {self.horizon} slots: {self.completed} jobs "
+            f"completed, {self.deadline_misses} deadline misses"
+        )
+
+
+def build_system(config: SystemConfig) -> System:
+    """Instantiate a system from its configuration.
+
+    Builds the time slot table (packing the pre-defined tasks unless a
+    pattern is pinned) and the per-VM servers (minimum-budget design
+    unless pinned).  Raises
+    :class:`~repro.core.timeslot.TableOverflowError` when the
+    pre-defined tasks cannot be packed.
+    """
+    taskset = TaskSet(list(config.tasks), name=config.name)
+    predefined = taskset.predefined()
+    if config.stagger:
+        predefined = stagger_offsets(predefined)
+    if config.table_pattern is not None:
+        table = TimeSlotTable.from_pattern(list(config.table_pattern))
+    else:
+        table = build_pchannel_table(predefined)
+    design: Optional[ServerDesign] = None
+    if config.servers is not None:
+        servers = [
+            ServerSpec(entry.vm_id, entry.pi, entry.theta)
+            for entry in config.servers
+        ]
+    else:
+        vm_tasksets = taskset.runtime().by_vm()
+        servers = []
+        if vm_tasksets:
+            design = design_servers(
+                table,
+                vm_tasksets,
+                policy=config.policy,
+                uniform_period=config.uniform_period,
+            )
+            servers = [
+                ServerSpec(vm_id, pi, theta)
+                for vm_id, (pi, theta) in sorted(design.servers.items())
+            ]
+    return System(config, taskset, predefined, table, servers, design)
+
+
+def analyze(system: System, *, engine: Optional[str] = None) -> AnalysisReport:
+    """Run the full Sec. IV analysis on the system's current population.
+
+    Theorem 2 over the servers against the table, then Theorem 4 per VM
+    over its run-time tasks (tasks admitted via :func:`admit` count).
+    ``engine`` overrides the config's analysis engine for this call.
+    """
+    engine = engine if engine is not None else system.config.engine
+    population = system.runtime_population()
+    pairs = [(spec.pi, spec.theta) for spec in system.servers]
+    global_result = (
+        gsched_schedulable(system.table, pairs, engine=engine) if pairs else None
+    )
+    local_results: Dict[int, LSchedResult] = {}
+    for spec in system.servers:
+        tasks = population.get(spec.vm_id, TaskSet(name=f"vm{spec.vm_id}"))
+        local_results[spec.vm_id] = lsched_schedulable(
+            spec.pi, spec.theta, tasks, engine=engine
+        )
+    design_failures = dict(system.design.failures) if system.design else {}
+    global_ok = global_result is None or global_result.schedulable
+    all_local = all(result.schedulable for result in local_results.values())
+    schedulable = global_ok and all_local and not design_failures
+    reason = ""
+    if design_failures:
+        reason = "; ".join(
+            design_failures[vm_id] for vm_id in sorted(design_failures)
+        )
+    elif not global_ok:
+        reason = "global Theorem-2 test failed"
+    elif not all_local:
+        failing = sorted(
+            vm_id
+            for vm_id, result in local_results.items()
+            if not result.schedulable
+        )
+        reason = f"local Theorem-4 test failed for VMs {failing}"
+    return AnalysisReport(
+        schedulable=schedulable,
+        table=system.table,
+        servers=system.servers,
+        global_result=global_result,
+        local_results=local_results,
+        reason=reason,
+    )
+
+
+def admit(system: System, task: IOTask) -> AdmissionDecision:
+    """Online Theorem-4 admission of one run-time task.
+
+    Delegates to the system's :class:`AdmissionController` (created on
+    first use, seeded with the configured run-time tasks); admitted
+    tasks join the population seen by :func:`analyze` and
+    :func:`simulate`.
+    """
+    return system.controller.try_admit(task)
+
+
+def withdraw(system: System, vm_id: int, task_name: str) -> IOTask:
+    """Remove a previously admitted run-time task, freeing its demand."""
+    return system.controller.withdraw(vm_id, task_name)
+
+
+#: Device-name prefixes mapped to their protocol controller; anything
+#: else gets the generic timing model.
+_CONTROLLER_PREFIXES: Tuple[Tuple[str, type], ...] = (
+    ("spi", SPIController),
+    ("i2c", I2CController),
+    ("uart", UARTController),
+    ("eth", EthernetController),
+    ("flexray", FlexRayController),
+    ("can", CANController),
+    ("gpio", GPIOController),
+)
+
+
+def _controller_for(device: str) -> IOController:
+    """Instantiate a controller matching the device's naming convention."""
+    lowered = device.lower()
+    for prefix, controller_cls in _CONTROLLER_PREFIXES:
+        if lowered.startswith(prefix):
+            return controller_cls(name=device)
+    return IOController(name=device)
+
+
+def simulate(system: System, horizon: int) -> SimulationReport:
+    """Execute the system for ``horizon`` slots on the hypervisor model.
+
+    Attaches one generic driver/device pair per distinct ``device`` name
+    in the task set, loads the pre-defined tasks into the P-channel and
+    releases every run-time job periodically.  Returns completion and
+    deadline-miss counts; with a ``schedulable`` analysis verdict the
+    miss count must be zero.
+    """
+    if horizon < 0:
+        raise ValueError(f"cannot simulate a negative horizon: {horizon}")
+    hypervisor = IOGuardHypervisor(
+        HypervisorConfig(cycles_per_slot=system.config.cycles_per_slot)
+    )
+    population = system.runtime_population()
+    runtime_tasks = [
+        task for vm_id in sorted(population) for task in population[vm_id]
+    ]
+    devices = sorted(
+        {task.device for task in system.predefined}
+        | {task.device for task in runtime_tasks}
+    )
+    for device in devices:
+        driver = VirtualizationDriver(
+            _controller_for(device), EchoDevice(f"{device}.dev")
+        )
+        on_device = TaskSet(
+            [task for task in system.predefined if task.device == device],
+            name=f"{device}.predefined",
+        )
+        hypervisor.attach_device(device, driver, on_device, system.servers)
+    releases: List[Tuple[int, IOTask, int]] = []
+    for task in runtime_tasks:
+        release, index = 0, 0
+        while release < horizon:
+            releases.append((release, task, index))
+            release += task.period
+            index += 1
+    releases.sort(key=lambda entry: entry[0])
+    cursor = 0
+    for slot in range(horizon):
+        while cursor < len(releases) and releases[cursor][0] == slot:
+            _slot, task, index = releases[cursor]
+            hypervisor.submit(task.job(release=slot, index=index))
+            cursor += 1
+        hypervisor.step(slot)
+    completed = hypervisor.completed_jobs
+    missed = [job for job in completed if job.met_deadline() is False]
+    return SimulationReport(
+        horizon=horizon,
+        completed=len(completed),
+        deadline_misses=len(missed),
+        missed_jobs=[job.name for job in missed],
+    )

@@ -12,12 +12,28 @@ set unschedulable.
 The controller is purely analytic (it consults the same tests the
 design-time analysis uses), so an admitted set always carries the full
 Sec. IV guarantee; rejection leaves the running set untouched.
+
+Admission is *incremental*: the controller maintains, per VM, the
+aggregate demand curve of the admitted set sampled at its dbf step
+points (:class:`_VMDemandState`).  Testing a candidate then only costs
+the *new* task's demand plus any extension of the Theorem-4 horizon,
+instead of re-evaluating every admitted task at every step point.  The
+verdict is bit-identical to a full re-test (the union grid *is* the
+candidate's step-point grid, and demand/supply are evaluated with the
+same integer arithmetic); near the schedulability boundary -- slack
+``c' <= 0`` -- the controller falls back to the exact scalar path,
+whose utilization/Theorem-3 handling the incremental curve cannot
+express.  :meth:`AdmissionController.withdraw` drops the VM's memoized
+curve, so the next admission rebuilds it from the live task set --
+admit/withdraw/admit sequences decide exactly like a fresh controller.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.gsched import ServerSpec
 from repro.core.timeslot import TimeSlotTable
@@ -25,27 +41,153 @@ from repro.tasks.task import IOTask, TaskKind
 from repro.tasks.taskset import TaskSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.demand import DemandSignature
     from repro.analysis.lsched_test import LSchedResult
 
 # The schedulability tests live in repro.analysis, which itself imports
 # repro.core (for the time slot table); importing them lazily inside the
 # methods below keeps the packages acyclic at import time.
 
+_MISSING = object()
 
-@dataclass
+
 class AdmissionDecision:
-    """Outcome of one admission request."""
+    """Outcome of one admission request.
 
-    admitted: bool
+    Satisfies the :class:`repro.api.SchedulabilityResult` protocol:
+    ``schedulable`` carries the verdict, ``failing_t`` the Theorem-4
+    witness (when one exists) and ``summary()`` a one-line rendering.
+    The pre-facade name for the verdict, ``admitted``, remains available
+    as a deprecated alias (attribute *and* constructor keyword).
+    """
+
+    schedulable: bool
     task_name: str
     vm_id: int
-    reason: str = ""
+    reason: str
     #: The Theorem-4 result backing the decision (None for structural
     #: rejections such as an unknown VM).
-    test_result: Optional[LSchedResult] = None
+    test_result: Optional[LSchedResult]
+
+    def __init__(
+        self,
+        schedulable: object = _MISSING,
+        task_name: str = "",
+        vm_id: int = -1,
+        reason: str = "",
+        test_result: Optional[LSchedResult] = None,
+        *,
+        admitted: object = _MISSING,
+    ) -> None:
+        if admitted is not _MISSING:
+            warnings.warn(
+                "AdmissionDecision(admitted=...) is deprecated; "
+                "pass schedulable=... instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if schedulable is _MISSING:
+                schedulable = admitted
+        if schedulable is _MISSING:
+            raise TypeError(
+                "AdmissionDecision() missing required argument: 'schedulable'"
+            )
+        self.schedulable = bool(schedulable)
+        self.task_name = task_name
+        self.vm_id = vm_id
+        self.reason = reason
+        self.test_result = test_result
+
+    @property
+    def admitted(self) -> bool:
+        """Deprecated alias for :attr:`schedulable`."""
+        warnings.warn(
+            "AdmissionDecision.admitted is deprecated; "
+            "use AdmissionDecision.schedulable",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.schedulable
+
+    @property
+    def failing_t(self) -> Optional[int]:
+        """The Theorem-4 witness behind a rejection, when one exists."""
+        if self.test_result is None:
+            return None
+        return self.test_result.failing_t
+
+    def summary(self) -> str:
+        verdict = "admitted" if self.schedulable else "rejected"
+        text = f"{self.task_name!r} -> VM {self.vm_id}: {verdict}"
+        if self.reason:
+            text += f" ({self.reason})"
+        return text
 
     def __bool__(self) -> bool:
-        return self.admitted
+        return self.schedulable
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdmissionDecision):
+            return NotImplemented
+        return (
+            self.schedulable == other.schedulable
+            and self.task_name == other.task_name
+            and self.vm_id == other.vm_id
+            and self.reason == other.reason
+            and self.test_result == other.test_result
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionDecision(schedulable={self.schedulable!r}, "
+            f"task_name={self.task_name!r}, vm_id={self.vm_id!r}, "
+            f"reason={self.reason!r}, test_result={self.test_result!r})"
+        )
+
+
+class _VMDemandState:
+    """Aggregate demand curve of one VM's admitted set, maintained
+    incrementally.
+
+    ``points`` holds the admitted signature's dbf step points over
+    ``[0, covered]`` (sorted, distinct) and ``demand`` the aggregate
+    Eq. (9) demand at each.  The dbf staircase only jumps at these
+    points, so demand at an arbitrary ``t <= covered`` is the value at
+    the largest stored point ``<= t``.
+    """
+
+    __slots__ = ("signature", "points", "demand", "covered")
+
+    def __init__(self, signature: DemandSignature) -> None:
+        self.signature = signature
+        self.points = np.zeros(0, dtype=np.int64)
+        self.demand = np.zeros(0, dtype=np.int64)
+        self.covered = 0
+
+    def extend(self, horizon: int) -> None:
+        """Grow the sampled curve to cover ``[0, horizon]``."""
+        if horizon <= self.covered or not self.signature:
+            self.covered = max(self.covered, horizon)
+            return
+        from repro.analysis import vectorized as vec
+
+        pairs = vec.step_pairs(self.signature)
+        fresh = vec._dedup_sorted(
+            vec.step_points_in_range(pairs, self.covered + 1, horizon)
+        )
+        if fresh.size:
+            self.points = np.concatenate([self.points, fresh])
+            self.demand = np.concatenate(
+                [self.demand, vec.dbf_taskset_at(self.signature, fresh)]
+            )
+        self.covered = horizon
+
+    def demand_at(self, ts: np.ndarray) -> np.ndarray:
+        """Aggregate demand of the admitted set at every ``t`` in ``ts``."""
+        if not self.points.size:
+            return np.zeros(ts.shape, dtype=np.int64)
+        index = np.searchsorted(self.points, ts, side="right") - 1
+        return np.where(index >= 0, self.demand[np.maximum(index, 0)], 0)
 
 
 class AdmissionController:
@@ -55,8 +197,11 @@ class AdmissionController:
         self,
         table: TimeSlotTable,
         servers: List[ServerSpec],
+        *,
+        incremental: bool = True,
     ) -> None:
         self.table = table
+        self.incremental = incremental
         self._servers: Dict[int, ServerSpec] = {}
         for spec in servers:
             if spec.vm_id in self._servers:
@@ -77,6 +222,7 @@ class AdmissionController:
         self._admitted: Dict[int, TaskSet] = {
             vm_id: TaskSet(name=f"admitted.vm{vm_id}") for vm_id in self._servers
         }
+        self._state: Dict[int, _VMDemandState] = {}
         self.admitted_count = 0
         self.rejected_count = 0
         self.decisions: List[AdmissionDecision] = []
@@ -104,7 +250,7 @@ class AdmissionController:
         """
         if task.kind != TaskKind.RUNTIME:
             decision = AdmissionDecision(
-                admitted=False,
+                schedulable=False,
                 task_name=task.name,
                 vm_id=task.vm_id,
                 reason="pre-defined tasks are loaded at initialization, "
@@ -113,7 +259,7 @@ class AdmissionController:
             return self._record(decision)
         if task.vm_id not in self._servers:
             decision = AdmissionDecision(
-                admitted=False,
+                schedulable=False,
                 task_name=task.name,
                 vm_id=task.vm_id,
                 reason=f"no server configured for VM {task.vm_id}",
@@ -122,20 +268,18 @@ class AdmissionController:
         current = self._admitted[task.vm_id]
         if task.name in current:
             decision = AdmissionDecision(
-                admitted=False,
+                schedulable=False,
                 task_name=task.name,
                 vm_id=task.vm_id,
                 reason=f"a task named {task.name!r} is already admitted",
             )
             return self._record(decision)
-        from repro.analysis.lsched_test import lsched_schedulable
-
         candidate = TaskSet(current.tasks + [task], name=current.name)
         spec = self._servers[task.vm_id]
-        result = lsched_schedulable(spec.pi, spec.theta, candidate)
+        result = self._test_candidate(spec, candidate, task)
         if not result.schedulable:
             decision = AdmissionDecision(
-                admitted=False,
+                schedulable=False,
                 task_name=task.name,
                 vm_id=task.vm_id,
                 reason=(
@@ -148,7 +292,7 @@ class AdmissionController:
             return self._record(decision)
         current.add(task)
         decision = AdmissionDecision(
-            admitted=True,
+            schedulable=True,
             task_name=task.name,
             vm_id=task.vm_id,
             reason="admitted under Theorem 4",
@@ -157,13 +301,135 @@ class AdmissionController:
         return self._record(decision)
 
     def withdraw(self, vm_id: int, task_name: str) -> IOTask:
-        """Remove a previously admitted task (frees its demand)."""
+        """Remove a previously admitted task (frees its demand).
+
+        Also drops the VM's memoized demand curve: the stored points and
+        aggregates are keyed to the *admitted signature*, so keeping
+        them would replay the withdrawn task's demand against future
+        candidates.  The next admission rebuilds the curve from the live
+        set, making admit/withdraw/admit indistinguishable from a fresh
+        controller.
+        """
         self._require_vm(vm_id)
-        return self._admitted[vm_id].remove(task_name)
+        removed = self._admitted[vm_id].remove(task_name)
+        self._state.pop(vm_id, None)
+        return removed
+
+    # -- incremental engine --------------------------------------------------
+
+    def _test_candidate(
+        self, spec: ServerSpec, candidate: TaskSet, task: IOTask
+    ) -> LSchedResult:
+        """Theorem-4 verdict for ``candidate``, incrementally when possible.
+
+        Bit-identical to ``lsched_schedulable(spec.pi, spec.theta,
+        candidate)``: same slack classification, same horizon, same
+        step-point grid, same first failing witness.
+        """
+        from repro.analysis.lsched_test import (
+            _exact_slack,
+            _theorem4_bound_from_slack,
+            lsched_schedulable,
+        )
+
+        slack = _exact_slack(spec.pi, spec.theta, candidate)
+        if not self.incremental or slack <= 0:
+            # The incremental curve only models the Theorem-4 window;
+            # boundary (c' == 0) and overload systems route through the
+            # exact/utilization handling of the full test.
+            return lsched_schedulable(spec.pi, spec.theta, candidate)
+        horizon = _theorem4_bound_from_slack(spec.pi, spec.theta, candidate, slack)
+        return self._incremental_window(
+            spec, candidate, task, horizon, float(slack)
+        )
+
+    def _incremental_window(
+        self,
+        spec: ServerSpec,
+        candidate: TaskSet,
+        task: IOTask,
+        horizon: int,
+        slack: float,
+    ) -> LSchedResult:
+        from repro.analysis import vectorized as vec
+        from repro.analysis.demand import demand_signature
+        from repro.analysis.lsched_test import LSchedResult
+
+        admitted_signature = demand_signature(self._admitted[task.vm_id])
+        state = self._state.get(task.vm_id)
+        if state is None or state.signature != admitted_signature:
+            # First use, or the curve no longer matches the live set
+            # (e.g. after a withdraw): rebuild from scratch.
+            state = _VMDemandState(admitted_signature)
+            self._state[task.vm_id] = state
+        state.extend(horizon)
+        cut = int(np.searchsorted(state.points, horizon, side="right"))
+        base_points = state.points[:cut]
+        task_points = (
+            np.arange(task.deadline, horizon + 1, task.period, dtype=np.int64)
+            if horizon >= task.deadline
+            else np.zeros(0, dtype=np.int64)
+        )
+        union = vec._dedup_sorted(
+            np.sort(np.concatenate([base_points, task_points]))
+        )
+        names = [each.name for each in candidate]
+        if not union.size:
+            # No step point falls inside the window: vacuously
+            # schedulable, and the (empty) grid is still the candidate's
+            # curve over [0, horizon] -- promote it so the state keeps
+            # tracking the admitted signature.
+            state.signature = demand_signature(candidate)
+            state.points = union
+            state.demand = np.zeros(0, dtype=np.int64)
+            state.covered = horizon
+            return LSchedResult(
+                schedulable=True,
+                horizon=horizon,
+                slack=slack,
+                method="theorem4",
+                server=(spec.pi, spec.theta),
+                task_names=names,
+            )
+        demand = state.demand_at(union)
+        if task_points.size:
+            jobs = (union - task.deadline) // task.period + 1
+            demand = demand + np.where(
+                union >= task.deadline, jobs * task.wcet, 0
+            )
+        supply = vec.sbf_server_at(spec.pi, spec.theta, union)
+        failing = np.nonzero(demand > supply)[0]
+        if failing.size:
+            index = int(failing[0])
+            return LSchedResult(
+                schedulable=False,
+                horizon=horizon,
+                slack=slack,
+                failing_t=int(union[index]),
+                failing_demand=int(demand[index]),
+                failing_supply=int(supply[index]),
+                method="theorem4",
+                server=(spec.pi, spec.theta),
+                task_names=names,
+            )
+        # Admission will follow: promote the union grid to the VM state
+        # so the next candidate only pays for its own step points.
+        state.signature = demand_signature(candidate)
+        state.points = union
+        state.demand = demand
+        state.covered = horizon
+        return LSchedResult(
+            schedulable=True,
+            horizon=horizon,
+            slack=slack,
+            method="theorem4",
+            server=(spec.pi, spec.theta),
+            task_names=names,
+        )
 
     def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
         self.decisions.append(decision)
-        if decision.admitted:
+        if decision.schedulable:
             self.admitted_count += 1
         else:
             self.rejected_count += 1

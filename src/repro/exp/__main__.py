@@ -11,6 +11,7 @@ Usage::
     python -m repro.exp isolation
     python -m repro.exp faults [--fault-trace PATH]
     python -m repro.exp acceptance
+    python -m repro.exp analysis-bench [--min-speedup X]
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
 Set ``REPRO_SCALE`` (e.g. 0.2 for a smoke run, 5 for a long run) to
@@ -21,6 +22,12 @@ because all randomness is derived per cell from the experiment seed
 (see :mod:`repro.exp.runner`).  The ``export`` subcommand additionally
 writes ``timing.json``, a machine-readable wall-clock/cache summary of
 the run.
+
+``analysis-bench`` is the one subcommand ``all`` does not include: it
+times the scalar vs vectorized analysis engines on a pinned sweep, so
+its output is inherently non-deterministic (wall clock).  It exits
+non-zero when the engines disagree or the vectorized speedup falls
+below ``--min-speedup`` -- CI runs it as a regression gate.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ import sys
 from pathlib import Path
 
 from repro.exp.acceptance import render_acceptance, run_acceptance
+from repro.exp.analysis_bench import (
+    export_analysis_bench_json,
+    render_analysis_bench,
+    run_analysis_bench,
+)
 from repro.exp.export import (
     export_fig7_csv,
     export_fig7_json,
@@ -60,6 +72,7 @@ EXPERIMENTS = [
     "isolation",
     "faults",
     "acceptance",
+    "analysis-bench",
     "export",
 ]
 
@@ -93,7 +106,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", type=Path, default=Path("results"),
-        help="output directory for the export subcommand",
+        help="output directory for the export/analysis-bench subcommands",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="analysis-bench: fail (exit 3) unless the vectorized engine "
+        "beats the scalar engine by this factor on the pinned sweep",
     )
     parser.add_argument(
         "--fault-trace", type=Path, default=None,
@@ -149,6 +167,34 @@ def main(argv=None) -> int:
             print(f"wrote {args.fault_trace}", file=sys.stderr)
     if args.experiment in ("all", "acceptance"):
         print(render_acceptance(run_acceptance(seed=args.seed, runner=runner)))
+    if args.experiment == "analysis-bench":
+        # Always serial: parallel workers would overlap the two engine
+        # measurements and poison the wall-clock comparison.
+        bench_runner = ExperimentRunner(
+            1, progress=True if args.progress else None, profile=args.profile
+        )
+        bench = run_analysis_bench(seed=args.seed, runner=bench_runner)
+        print(render_analysis_bench(bench))
+        args.out.mkdir(parents=True, exist_ok=True)
+        for path in (
+            export_analysis_bench_json(bench, args.out / "analysis_bench.json"),
+            export_timing_json(bench_runner.timing, args.out / "timing.json"),
+        ):
+            print(f"wrote {path}", file=sys.stderr)
+        if not bench.outputs_identical:
+            print(
+                "FAIL: scalar and vectorized engines rendered different "
+                "acceptance output",
+                file=sys.stderr,
+            )
+            return 2
+        if bench.speedup < args.min_speedup:
+            print(
+                f"FAIL: vectorized speedup {bench.speedup:.2f}x is below "
+                f"the required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 3
     if args.experiment == "export":
         args.out.mkdir(parents=True, exist_ok=True)
         config = CaseStudyConfig(

@@ -1,0 +1,240 @@
+"""Analysis-engine benchmark: the same pinned sweep on both engines.
+
+Runs a fig7-style acceptance sweep twice -- once with the scalar
+reference engine, once with the vectorized QPA engine -- and reports
+per-engine wall time plus a byte-comparison of the rendered acceptance
+output.  The sweep is pinned (fixed seed, fixed workload recipe) so CI
+can assert two invariants:
+
+* **identical output**: both engines must render byte-identical
+  acceptance tables (bit-identical verdicts);
+* **speedup**: the vectorized engine must beat the scalar engine by the
+  requested factor on this workload.
+
+The workload targets the regime the vectorized engine is built for:
+near-boundary utilization under a (Pi=20, Theta=14) server with
+slightly-constrained deadlines ``D = max(C, T - T/8..T/4)``.  Such
+systems are mostly schedulable, so the Theorem-4 window must be swept
+(nearly) to its horizon -- exactly where per-``t`` Python loops drown
+and the numpy step-point sweep pays off.  Low-utilization or
+failure-dominated draws would measure nothing: their windows end after
+a handful of points either way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import clear_caches
+from repro.analysis.engine import ENGINES
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
+from repro.sim.rng import RandomSource
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+#: Pinned sweep: utilization levels and samples per level.
+BENCH_UTILIZATIONS: Tuple[float, ...] = (0.66, 0.67, 0.68)
+BENCH_SAMPLES = 30
+BENCH_SERVER: Tuple[int, int] = (20, 14)
+BENCH_PERIODS: Tuple[int, int] = (40, 600)
+BENCH_TASK_COUNTS: Tuple[int, ...] = (12, 14, 16)
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One utilization level of the benchmark sweep, for one engine."""
+
+    engine: str
+    pi: int
+    theta: int
+    utilization: float
+    samples: int
+    seed: int
+
+
+@dataclass
+class EngineRun:
+    """One engine's pass over the pinned sweep."""
+
+    engine: str
+    output: str
+    elapsed_seconds: float
+
+
+@dataclass
+class AnalysisBenchResult:
+    """Both engines' passes plus the comparison CI asserts on."""
+
+    runs: List[EngineRun]
+
+    def run_for(self, engine: str) -> EngineRun:
+        for run in self.runs:
+            if run.engine == engine:
+                return run
+        raise KeyError(f"no run for engine {engine!r}")
+
+    @property
+    def outputs_identical(self) -> bool:
+        outputs = {run.output for run in self.runs}
+        return len(outputs) == 1
+
+    @property
+    def speedup(self) -> float:
+        """Scalar wall time over vectorized wall time."""
+        scalar = self.run_for("scalar").elapsed_seconds
+        fast = self.run_for("vectorized").elapsed_seconds
+        if fast <= 0:
+            return float("inf")
+        return scalar / fast
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "engines": {
+                run.engine: {"elapsed_seconds": run.elapsed_seconds}
+                for run in self.runs
+            },
+            "outputs_identical": self.outputs_identical,
+            "speedup": self.speedup,
+            "server": list(BENCH_SERVER),
+            "samples_per_level": BENCH_SAMPLES,
+            "utilizations": list(BENCH_UTILIZATIONS),
+        }
+
+
+def bench_taskset(
+    seed: int,
+    task_count: int,
+    utilization: float,
+    period_range: Tuple[int, int] = BENCH_PERIODS,
+) -> TaskSet:
+    """One pinned near-boundary task set.
+
+    Periods uniform in ``period_range``; utilization shares via a
+    normalized draw; deadlines slightly constrained below the period
+    (``D = max(C, T - T/8..T/4)``), which pushes step points off the
+    period grid and grows the Theorem-4 horizon without tipping the set
+    into trivial unschedulability.
+    """
+    rng = RandomSource(seed, "analysis-bench")
+    shares = [rng.random() for _ in range(task_count)]
+    scale = utilization / sum(shares)
+    tasks = []
+    for index, share in enumerate(shares):
+        period = rng.randint(*period_range)
+        wcet = max(1, round(share * scale * period))
+        deadline = max(wcet, period - rng.randint(period // 8, period // 4))
+        tasks.append(
+            IOTask(
+                name=f"bench.{seed}.{index}",
+                period=period,
+                wcet=wcet,
+                deadline=deadline,
+            )
+        )
+    return TaskSet(tasks, name=f"bench.{seed}")
+
+
+def run_bench_cell(cell: BenchCell) -> Tuple[float, int]:
+    """Acceptance count for one utilization level under one engine."""
+    accepted = 0
+    for index in range(cell.samples):
+        task_count = BENCH_TASK_COUNTS[index % len(BENCH_TASK_COUNTS)]
+        tasks = bench_taskset(
+            cell.seed + index * 7919, task_count, cell.utilization
+        )
+        result = lsched_schedulable(
+            cell.pi, cell.theta, tasks, engine=cell.engine
+        )
+        if result.schedulable:
+            accepted += 1
+    return cell.utilization, accepted
+
+
+def _render(rows: Sequence[Tuple[float, int]], samples: int) -> str:
+    pi, theta = BENCH_SERVER
+    # The engine name stays OUT of the rendered table: the whole point
+    # is that both engines must render these exact bytes.
+    return render_table(
+        ["utilization", "accepted", "ratio"],
+        [(u, accepted, accepted / samples) for u, accepted in rows],
+        title=(
+            f"Theorem-4 acceptance under (Pi={pi}, Theta={theta}), "
+            f"{samples} near-boundary sets/point"
+        ),
+    )
+
+
+def run_analysis_bench(
+    *,
+    seed: int = 2021,
+    samples: int = BENCH_SAMPLES,
+    engines: Sequence[str] = ENGINES,
+    runner: Optional[ExperimentRunner] = None,
+) -> AnalysisBenchResult:
+    """Run the pinned sweep once per engine; cold caches for each.
+
+    Timing phases land in the runner's :class:`TimingSummary` (labels
+    ``analysis-bench[<engine>]``) so ``timing.json`` carries the wall
+    times CI compares.  The sweep always runs serially within one
+    engine: parallel workers would overlap the two measurements.
+    """
+    runner = runner if runner is not None else ExperimentRunner(1)
+    pi, theta = BENCH_SERVER
+    runs: List[EngineRun] = []
+    for engine in engines:
+        cells = [
+            BenchCell(
+                engine=engine,
+                pi=pi,
+                theta=theta,
+                utilization=utilization,
+                samples=samples,
+                seed=seed,
+            )
+            for utilization in BENCH_UTILIZATIONS
+        ]
+        # Cold caches per engine: the memoized kernels are shared, and a
+        # warm second run would not measure the engine at all.
+        clear_caches()
+        started = time.perf_counter()  # iolint: disable=IOL003 -- host-side benchmark timing
+        rows = runner.map(
+            run_bench_cell, cells, label=f"analysis-bench[{engine}]"
+        )
+        elapsed = time.perf_counter() - started  # iolint: disable=IOL003 -- host-side benchmark timing
+        runs.append(
+            EngineRun(
+                engine=engine,
+                output=_render(rows, samples),
+                elapsed_seconds=elapsed,
+            )
+        )
+    return AnalysisBenchResult(runs=runs)
+
+
+def render_analysis_bench(result: AnalysisBenchResult) -> str:
+    lines = [result.runs[0].output if result.runs else "", ""]
+    for run in result.runs:
+        lines.append(
+            f"engine={run.engine}: {run.elapsed_seconds:.3f} s"
+        )
+    lines.append(
+        "outputs identical: "
+        + ("yes" if result.outputs_identical else "NO - ENGINES DISAGREE")
+    )
+    lines.append(f"vectorized speedup: {result.speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def export_analysis_bench_json(
+    result: AnalysisBenchResult, path: Path
+) -> Path:
+    """Machine-readable benchmark record (merged into ``timing.json``)."""
+    path = Path(path)
+    path.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    return path

@@ -45,16 +45,16 @@ class TestAdmission:
     def test_admit_light_task(self):
         ctrl = controller()
         decision = ctrl.try_admit(runtime_task("a", 100, 5))
-        assert decision.admitted
+        assert decision.schedulable
         assert "a" in ctrl.admitted_tasks(0)
         assert ctrl.admitted_count == 1
 
     def test_reject_overload(self):
         ctrl = controller()
         first = ctrl.try_admit(runtime_task("a", 40, 8))  # fits (10,5)
-        assert first.admitted
+        assert first.schedulable
         second = ctrl.try_admit(runtime_task("b", 40, 9))  # would exceed
-        assert not second.admitted
+        assert not second.schedulable
         assert "Theorem 4" in second.reason
         assert "b" not in ctrl.admitted_tasks(0)
         assert ctrl.rejected_count == 1
@@ -70,7 +70,7 @@ class TestAdmission:
         ctrl = controller()
         # Server (10, 5) has a 10-slot blackout; D=8 is unprotectable.
         decision = ctrl.try_admit(runtime_task("tight", 100, 1, deadline=8))
-        assert not decision.admitted
+        assert not decision.schedulable
 
     def test_reject_predefined(self):
         ctrl = controller()
@@ -78,36 +78,36 @@ class TestAdmission:
             name="p", period=50, wcet=2, kind=TaskKind.PREDEFINED, vm_id=0
         )
         decision = ctrl.try_admit(task)
-        assert not decision.admitted
+        assert not decision.schedulable
         assert "initialization" in decision.reason
 
     def test_reject_unknown_vm(self):
         ctrl = controller()
         decision = ctrl.try_admit(runtime_task("a", 100, 2, vm_id=9))
-        assert not decision.admitted
+        assert not decision.schedulable
         assert "no server" in decision.reason
 
     def test_reject_duplicate_name(self):
         ctrl = controller()
         assert ctrl.try_admit(runtime_task("a", 100, 2))
         decision = ctrl.try_admit(runtime_task("a", 200, 1))
-        assert not decision.admitted
+        assert not decision.schedulable
         assert "already admitted" in decision.reason
 
     def test_vm_isolation(self):
         """A saturated VM 0 does not block admissions into VM 1."""
         ctrl = controller()
         ctrl.try_admit(runtime_task("a", 40, 8, vm_id=0))
-        assert not ctrl.try_admit(runtime_task("b", 40, 9, vm_id=0)).admitted
-        assert ctrl.try_admit(runtime_task("c", 100, 5, vm_id=1)).admitted
+        assert not ctrl.try_admit(runtime_task("b", 40, 9, vm_id=0)).schedulable
+        assert ctrl.try_admit(runtime_task("c", 100, 5, vm_id=1)).schedulable
 
     def test_withdraw_frees_capacity(self):
         ctrl = controller()
         ctrl.try_admit(runtime_task("a", 40, 8))
-        assert not ctrl.try_admit(runtime_task("b", 40, 8)).admitted
+        assert not ctrl.try_admit(runtime_task("b", 40, 8)).schedulable
         withdrawn = ctrl.withdraw(0, "a")
         assert withdrawn.name == "a"
-        assert ctrl.try_admit(runtime_task("b", 40, 8)).admitted
+        assert ctrl.try_admit(runtime_task("b", 40, 8)).schedulable
 
     def test_withdraw_unknown(self):
         ctrl = controller()
@@ -121,8 +121,8 @@ class TestAdmission:
         ctrl.try_admit(runtime_task("a", 100, 2))
         ctrl.try_admit(runtime_task("a", 100, 2))
         assert len(ctrl.decisions) == 2
-        assert ctrl.decisions[0].admitted
-        assert not ctrl.decisions[1].admitted
+        assert ctrl.decisions[0].schedulable
+        assert not ctrl.decisions[1].schedulable
 
     def test_admitted_sets_always_schedulable(self):
         """Invariant: after any admission sequence, every VM's admitted
@@ -143,3 +143,90 @@ class TestAdmission:
             tasks = ctrl.admitted_tasks(vm_id)
             if len(tasks):
                 assert lsched_schedulable(spec.pi, spec.theta, tasks).schedulable
+
+
+class TestWithdrawInvalidation:
+    """`withdraw` must drop the VM's memoized demand curve (the
+    incremental-admission state), or subsequent admissions would test
+    against the withdrawn task's demand."""
+
+    def test_admit_withdraw_admit_matches_fresh_controller(self):
+        sequence = [
+            runtime_task("a", 40, 8),
+            runtime_task("b", 80, 4),
+            runtime_task("c", 120, 6),
+        ]
+        used = controller()
+        for task in sequence:
+            assert used.try_admit(task).schedulable
+        used.withdraw(0, "b")
+        fresh = controller()
+        for task in sequence:
+            if task.name != "b":
+                assert fresh.try_admit(task).schedulable
+        probe = runtime_task("probe", 40, 9)
+        decision_used = used.try_admit(probe)
+        decision_fresh = fresh.try_admit(probe)
+        assert decision_used == decision_fresh
+        assert decision_used.test_result == decision_fresh.test_result
+
+    def test_withdrawn_demand_is_released(self):
+        ctrl = controller()
+        assert ctrl.try_admit(runtime_task("big", 40, 8)).schedulable
+        assert not ctrl.try_admit(runtime_task("next", 40, 8)).schedulable
+        ctrl.withdraw(0, "big")
+        # With the stale curve this would still see "big"'s demand.
+        assert ctrl.try_admit(runtime_task("next", 40, 8)).schedulable
+
+    def test_incremental_flag_off_matches_on(self):
+        table = TimeSlotTable.empty(20)
+        servers = [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)]
+        incremental = AdmissionController(table, servers, incremental=True)
+        full = AdmissionController(table, servers, incremental=False)
+        for i, (period, wcet, vm) in enumerate(
+            [(40, 8, 0), (80, 4, 0), (40, 9, 0), (100, 5, 1), (50, 30, 1)]
+        ):
+            task = runtime_task(f"t{i}", period, wcet, vm_id=vm)
+            assert incremental.try_admit(task) == full.try_admit(task)
+
+
+class TestDeprecationShims:
+    def test_admitted_attribute_warns_and_aliases(self):
+        ctrl = controller()
+        decision = ctrl.try_admit(runtime_task("a", 100, 5))
+        with pytest.warns(DeprecationWarning, match="admitted is deprecated"):
+            assert decision.admitted is decision.schedulable
+
+    def test_admitted_kwarg_warns_and_maps(self):
+        from repro.core.admission import AdmissionDecision
+
+        with pytest.warns(DeprecationWarning, match="admitted=."):
+            decision = AdmissionDecision(
+                admitted=True, task_name="x", vm_id=0
+            )
+        assert decision.schedulable
+        assert bool(decision)
+
+    def test_schedulable_kwarg_does_not_warn(self):
+        import warnings
+
+        from repro.core.admission import AdmissionDecision
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            decision = AdmissionDecision(
+                schedulable=False, task_name="x", vm_id=0
+            )
+        assert not decision.schedulable
+
+    def test_decision_satisfies_result_protocol(self):
+        from repro.analysis.result import SchedulabilityResult
+
+        ctrl = controller()
+        decision = ctrl.try_admit(runtime_task("a", 100, 5))
+        assert isinstance(decision, SchedulabilityResult)
+        assert decision.failing_t is None
+        assert "admitted" in decision.summary()
+        rejected = ctrl.try_admit(runtime_task("b", 40, 16))
+        assert isinstance(rejected, SchedulabilityResult)
+        assert rejected.failing_t is not None

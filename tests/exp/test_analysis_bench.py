@@ -1,0 +1,49 @@
+"""Tests for the scalar-vs-vectorized analysis benchmark."""
+
+import json
+
+from repro.exp.analysis_bench import (
+    BENCH_SAMPLES,
+    bench_taskset,
+    export_analysis_bench_json,
+    run_analysis_bench,
+)
+from repro.exp.runner import ExperimentRunner
+
+
+class TestBenchWorkload:
+    def test_taskset_is_pinned(self):
+        first = bench_taskset(7, 12, 0.66)
+        second = bench_taskset(7, 12, 0.66)
+        assert [(t.period, t.wcet, t.deadline) for t in first] == [
+            (t.period, t.wcet, t.deadline) for t in second
+        ]
+
+    def test_deadlines_are_constrained(self):
+        tasks = bench_taskset(7, 16, 0.68)
+        assert len(tasks) == 16
+        for task in tasks:
+            assert task.wcet <= task.deadline <= task.period
+
+    def test_utilization_near_target(self):
+        tasks = bench_taskset(3, 14, 0.67)
+        utilization = sum(t.wcet / t.period for t in tasks)
+        # Integer WCET rounding moves the draw a little off target.
+        assert abs(utilization - 0.67) < 0.05
+
+
+class TestBenchRun:
+    def test_engines_agree_and_timings_recorded(self, tmp_path):
+        runner = ExperimentRunner(1)
+        result = run_analysis_bench(runner=runner)
+        assert result.outputs_identical
+        assert result.speedup > 0
+        labels = [phase.label for phase in runner.timing.phases]
+        assert "analysis-bench[scalar]" in labels
+        assert "analysis-bench[vectorized]" in labels
+
+        path = export_analysis_bench_json(result, tmp_path / "bench.json")
+        payload = json.loads(path.read_text())
+        assert payload["outputs_identical"] is True
+        assert set(payload["engines"]) == {"scalar", "vectorized"}
+        assert payload["samples_per_level"] == BENCH_SAMPLES
