@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.demand import dbf_sporadic
-from repro.analysis.supply import sbf_server
+from repro.analysis.engine import resolve_engine
+from repro.analysis.supply import sbf_server, sbf_server_inverse
 from repro.tasks.task import IOTask
 from repro.tasks.taskset import TaskSet
 
@@ -77,6 +78,8 @@ def response_time_bound(
     theta: int,
     tasks: TaskSet,
     task_name: str,
+    *,
+    engine: Optional[str] = None,
 ) -> ResponseTimeBound:
     """Sound WCRT bound for one task under EDF on server (pi, theta).
 
@@ -84,9 +87,23 @@ def response_time_bound(
     ``f`` covers the task's own WCET plus all competing EDF demand in
     its deadline window.  Diverging past the deadline yields ``None``
     (consistent with a failed Theorem-3 test at that point).
+
+    ``engine`` selects between the scalar reference loop and the
+    closed-form supply inverse (Eq. 8's inverse, the ``"vectorized"``
+    path); both return the identical bound -- the chain property suite
+    cross-checks them on every hop.
     """
     task = tasks[task_name]
     demand = task.wcet + edf_demand_before(tasks, task, task.deadline)
+    if resolve_engine(engine) == "vectorized":
+        # The scalar loop scans f = 0, 1, ... and gives up at the first
+        # unsatisfied f past the deadline, so the smallest satisfying
+        # window is reported iff it is <= deadline + 1.
+        f = sbf_server_inverse(pi, theta, demand)
+        wcrt: Optional[int] = f if f <= task.deadline + 1 else None
+        return ResponseTimeBound(
+            task_name=task_name, wcrt=wcrt, deadline=task.deadline
+        )
     f = 0
     for _ in range(MAX_ITERATIONS):
         if sbf_server(pi, theta, f) >= demand:
@@ -107,10 +124,14 @@ def response_time_bounds(
     pi: int,
     theta: int,
     tasks: TaskSet,
+    *,
+    engine: Optional[str] = None,
 ) -> Dict[str, ResponseTimeBound]:
     """WCRT bounds for every task in the VM."""
     return {
-        task.name: response_time_bound(pi, theta, tasks, task.name)
+        task.name: response_time_bound(
+            pi, theta, tasks, task.name, engine=engine
+        )
         for task in tasks
     }
 

@@ -53,6 +53,14 @@ from repro.analysis.lsched_test import (
 from repro.analysis.result import SchedulabilityResult
 from repro.analysis.servers import ServerDesign, design_servers, minimum_budget
 from repro.analysis.supply import sbf_server, sbf_sigma
+from repro.chains.analysis import ChainBound, HopBound, analyze_chain_set
+from repro.chains.generators import (
+    ChainWorkload,
+    ChainWorkloadConfig,
+    generate_chain_workload,
+)
+from repro.chains.model import CauseEffectChain, validate_chains
+from repro.chains.simulate import ChainSimulationReport, simulate_chains
 from repro.core.admission import AdmissionController, AdmissionDecision
 from repro.core.gsched import ServerSpec
 from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
@@ -74,6 +82,7 @@ from repro.hw import (
     SPIController,
     UARTController,
 )
+from repro.sim.trace import TraceRecorder
 from repro.tasks.generators import generate_random_taskset
 from repro.tasks.task import Criticality, IOTask, Job, TaskKind
 from repro.tasks.taskset import TaskSet
@@ -90,6 +99,20 @@ __all__ = [
     "simulate",
     "AnalysisReport",
     "SimulationReport",
+    # cause-effect chains
+    "ChainConfig",
+    "ChainWorkload",
+    "ChainWorkloadConfig",
+    "CauseEffectChain",
+    "ChainBound",
+    "HopBound",
+    "ChainAnalysisReport",
+    "ChainSimulationReport",
+    "build_chain_system",
+    "generate_chain_workload",
+    "validate_chains",
+    "analyze_chains",
+    "simulate_chains",
     # verdict protocol + concrete results
     "SchedulabilityResult",
     "AdmissionDecision",
@@ -400,6 +423,115 @@ def withdraw(system: System, vm_id: int, task_name: str) -> IOTask:
     return system.controller.withdraw(vm_id, task_name)
 
 
+@dataclass
+class ChainConfig:
+    """Everything needed to build and analyze a chain system.
+
+    Bundles a :class:`ChainWorkloadConfig` (what the chains look like)
+    with the build knobs of :class:`SystemConfig`; one ``seed`` pins
+    the whole draw, so a config replays bit-identically.
+    """
+
+    seed: int = 2021
+    workload: ChainWorkloadConfig = field(default_factory=ChainWorkloadConfig)
+    name: str = "chains"
+    #: Server-period policy for auto-design (see ``design_servers``).
+    policy: str = "min_deadline"
+    uniform_period: int = 50
+    cycles_per_slot: int = 2_000
+    engine: Optional[str] = None
+
+
+@dataclass
+class ChainAnalysisReport:
+    """Whole-system chain verdict from :func:`analyze_chains`.
+
+    ``base`` carries the Theorem 2 + 4 schedulability verdict; the
+    end-to-end bounds are only meaningful when it holds *and* every
+    hop's response-time iteration converged (:attr:`bounded`).
+    """
+
+    base: AnalysisReport
+    chains: Dict[str, ChainBound]
+    engine: str
+
+    @property
+    def bounded(self) -> bool:
+        return all(bound.bounded for bound in self.chains.values())
+
+    @property
+    def schedulable(self) -> bool:
+        return self.base.schedulable and self.bounded
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+    def data_age_bound(self, chain_name: str) -> Optional[int]:
+        return self.chains[chain_name].data_age_bound
+
+    def reaction_time_bound(self, chain_name: str) -> Optional[int]:
+        return self.chains[chain_name].reaction_time_bound
+
+    def summary(self) -> str:
+        lines = [self.base.summary()]
+        for chain_name in sorted(self.chains):
+            lines.append(self.chains[chain_name].summary())
+        return "\n".join(lines)
+
+
+def build_chain_system(
+    config: ChainConfig,
+) -> Tuple[System, Tuple[CauseEffectChain, ...]]:
+    """Generate a chain workload and build the system hosting it."""
+    workload = generate_chain_workload(
+        config.seed, config.workload, name=config.name
+    )
+    system = build_system(
+        SystemConfig(
+            tasks=workload.taskset.tasks,
+            name=config.name,
+            policy=config.policy,
+            uniform_period=config.uniform_period,
+            cycles_per_slot=config.cycles_per_slot,
+            engine=config.engine,
+        )
+    )
+    return system, workload.chains
+
+
+def analyze_chains(
+    system: System,
+    chains: Sequence[CauseEffectChain],
+    *,
+    engine: Optional[str] = None,
+) -> ChainAnalysisReport:
+    """Bound every chain's end-to-end latency over the system's schedule.
+
+    Runs the full :func:`analyze` verdict, then composes per-hop
+    response-time bounds (R-channel hops against their VM's server and
+    *entire* current run-time population, P-channel hops against their
+    table placement) into max-data-age and max-reaction-time bounds;
+    see :mod:`repro.chains.analysis` for the semantics.  Tasks admitted
+    via :func:`admit` count toward the interfering demand.
+    """
+    engine = engine if engine is not None else system.config.engine
+    base = analyze(system, engine=engine)
+    population = system.runtime_population()
+    tasks = TaskSet(name=f"{system.config.name}.population")
+    for task in system.predefined:
+        tasks.add(task)
+    for vm_id in sorted(population):
+        for task in population[vm_id]:
+            tasks.add(task)
+    servers = {spec.vm_id: spec for spec in system.servers}
+    bounds = analyze_chain_set(
+        tuple(chains), tasks, servers, engine=engine
+    )
+    return ChainAnalysisReport(
+        base=base, chains=bounds, engine=resolve_engine(engine)
+    )
+
+
 #: Device-name prefixes mapped to their protocol controller; anything
 #: else gets the generic timing model.
 _CONTROLLER_PREFIXES: Tuple[Tuple[str, type], ...] = (
@@ -422,7 +554,9 @@ def _controller_for(device: str) -> IOController:
     return IOController(name=device)
 
 
-def simulate(system: System, horizon: int) -> SimulationReport:
+def simulate(
+    system: System, horizon: int, *, trace: Optional[TraceRecorder] = None
+) -> SimulationReport:
     """Execute the system for ``horizon`` slots on the hypervisor model.
 
     Attaches one generic driver/device pair per distinct ``device`` name
@@ -430,11 +564,18 @@ def simulate(system: System, horizon: int) -> SimulationReport:
     releases every run-time job periodically.  Returns completion and
     deadline-miss counts; with a ``schedulable`` analysis verdict the
     miss count must be zero.
+
+    ``trace`` attaches a recorder to the hypervisor and every device
+    manager; :mod:`repro.obs` derives job and chain spans from the
+    recorded events.  Tracing is observation only -- attaching it
+    cannot change the run's outcome.
     """
     if horizon < 0:
         raise ValueError(f"cannot simulate a negative horizon: {horizon}")
     hypervisor = IOGuardHypervisor(
-        HypervisorConfig(cycles_per_slot=system.config.cycles_per_slot)
+        HypervisorConfig(
+            cycles_per_slot=system.config.cycles_per_slot, trace=trace
+        )
     )
     population = system.runtime_population()
     runtime_tasks = [

@@ -1,0 +1,41 @@
+"""Cause-effect chains: model, generation, analysis and simulation.
+
+The automotive systems I/O-GUARD targets care about *end-to-end*
+latency -- sensor in, compute, actuator out -- not isolated request
+response times.  This package models such cause-effect chains over the
+repo's task/device vocabulary and bounds (analytically) and measures
+(from simulation traces) their maximum data age and maximum reaction
+time.  See :mod:`repro.chains.model` for the communication semantics.
+"""
+
+from repro.chains.analysis import (
+    ChainBound,
+    HopBound,
+    analyze_chain,
+    analyze_chain_set,
+)
+from repro.chains.generators import (
+    WATERS_PERIOD_SHARES,
+    WATERS_PERIODS_MS,
+    ChainWorkload,
+    ChainWorkloadConfig,
+    generate_chain_workload,
+)
+from repro.chains.model import CauseEffectChain, validate_chains
+from repro.chains.simulate import ChainSimulationReport, simulate_chains
+
+__all__ = [
+    "CauseEffectChain",
+    "validate_chains",
+    "ChainWorkload",
+    "ChainWorkloadConfig",
+    "generate_chain_workload",
+    "WATERS_PERIODS_MS",
+    "WATERS_PERIOD_SHARES",
+    "HopBound",
+    "ChainBound",
+    "analyze_chain",
+    "analyze_chain_set",
+    "ChainSimulationReport",
+    "simulate_chains",
+]

@@ -1,0 +1,219 @@
+"""Random cause-effect-chain workload generation.
+
+Combines the repo's standard utilization recipe (UUniFast, from
+:mod:`repro.sim.rng`) with the WATERS automotive benchmark's period
+distribution: periods are drawn from a small set of characteristic
+values with the empirical share each has in production engine-control
+software (Kramer, Ziegenbein & Hamann, WATERS 2015), instead of
+log-uniformly.  Chains follow the paper's motivating shape: the first
+hop receives on an Ethernet controller, the last hop transmits on a
+FlexRay controller, and the hops in between are VM compute/I/O tasks,
+assigned round-robin across VMs so chains cross the virtualization
+boundary.
+
+All tasks are generated as R-channel (``RUNTIME``) tasks: chain
+instrumentation reconstructs end-to-end latencies from pool-enqueue and
+completion trace events, which only the R-channel path emits.  Chains
+over hand-built task sets may still include P-channel hops -- the
+analysis handles them via the table-placement bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.chains.model import CauseEffectChain, validate_chains
+from repro.sim.rng import RandomSource
+from repro.tasks.task import Criticality, IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+#: WATERS 2015 characteristic periods, in milliseconds ...
+WATERS_PERIODS_MS: Tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 1000)
+#: ... and the share (percent) of runnables at each period.
+WATERS_PERIOD_SHARES: Tuple[float, ...] = (3, 2, 2, 25, 25, 3, 20, 1, 4)
+
+
+@dataclass(frozen=True)
+class ChainWorkloadConfig:
+    """Knobs for one generated chain workload.
+
+    Attributes
+    ----------
+    chain_count:
+        Number of independent cause-effect chains.
+    hops_min, hops_max:
+        Uniform range for the per-chain hop count.
+    total_utilization:
+        Aggregate utilization split over *all* hops via UUniFast.
+    vm_count:
+        Hops are assigned to VMs round-robin over this many VMs.
+    periods:
+        Candidate periods in slots; defaults to the WATERS values at
+        ``slots_per_ms`` slots per millisecond, with the 1/2 ms classes
+        dropped (they would force every such hop to saturate its slot).
+    period_weights:
+        Draw weights matching ``periods``.
+    slots_per_ms:
+        Scale applied to :data:`WATERS_PERIODS_MS` for the default
+        period set.
+    first_device, last_device:
+        Devices of the chain's entry and exit hops.
+    compute_devices:
+        Devices for interior hops, assigned round-robin.
+    max_hop_utilization:
+        UUniFast redraw threshold (a hop above it cannot be realized
+        with ``C <= T``).
+    """
+
+    chain_count: int = 4
+    hops_min: int = 2
+    hops_max: int = 4
+    total_utilization: float = 0.5
+    vm_count: int = 2
+    periods: Tuple[int, ...] = ()
+    period_weights: Tuple[float, ...] = ()
+    slots_per_ms: int = 10
+    first_device: str = "ethernet0"
+    last_device: str = "flexray0"
+    compute_devices: Tuple[str, ...] = ("io0",)
+    max_hop_utilization: float = 1.0
+
+    def resolved_periods(self) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+        """The (periods, weights) pair after defaulting and validation."""
+        periods = self.periods
+        weights = self.period_weights
+        if not periods:
+            periods = tuple(
+                ms * self.slots_per_ms for ms in WATERS_PERIODS_MS[2:]
+            )
+            weights = WATERS_PERIOD_SHARES[2:]
+        if not weights:
+            weights = tuple(1.0 for _ in periods)
+        if len(weights) != len(periods):
+            raise ValueError(
+                f"{len(self.period_weights)} period weights for "
+                f"{len(periods)} periods"
+            )
+        if any(period < 2 for period in periods):
+            raise ValueError(f"periods must be >= 2 slots, got {periods}")
+        return periods, tuple(float(w) for w in weights)
+
+    def validate(self) -> None:
+        if self.chain_count < 1:
+            raise ValueError(f"chain_count must be >= 1, got {self.chain_count}")
+        if not 1 <= self.hops_min <= self.hops_max:
+            raise ValueError(
+                f"need 1 <= hops_min <= hops_max, got "
+                f"[{self.hops_min}, {self.hops_max}]"
+            )
+        if self.total_utilization <= 0:
+            raise ValueError(
+                f"total_utilization must be positive, got "
+                f"{self.total_utilization}"
+            )
+        if self.vm_count < 1:
+            raise ValueError(f"vm_count must be >= 1, got {self.vm_count}")
+        self.resolved_periods()
+
+
+@dataclass(frozen=True)
+class ChainWorkload:
+    """A generated task set plus the chains drawn over it."""
+
+    taskset: TaskSet
+    chains: Tuple[CauseEffectChain, ...]
+
+    @property
+    def utilization(self) -> float:
+        return self.taskset.utilization
+
+    def summary(self) -> str:
+        hops = sum(len(chain) for chain in self.chains)
+        return (
+            f"{len(self.chains)} chains, {hops} hops, "
+            f"U={self.taskset.utilization:.3f}, "
+            f"{len(self.taskset.vm_ids())} VMs"
+        )
+
+
+def _hop_device(config: ChainWorkloadConfig, hop: int, hops: int) -> str:
+    if hop == 0:
+        return config.first_device
+    if hop == hops - 1:
+        return config.last_device
+    interior = hop - 1
+    return config.compute_devices[interior % len(config.compute_devices)]
+
+
+def _draw_utilizations(
+    rng: RandomSource, n: int, total: float, cap: float
+) -> List[float]:
+    if total > n * cap:
+        raise ValueError(
+            f"cannot pack utilization {total} into {n} hops capped at {cap}"
+        )
+    for _attempt in range(100):
+        utilizations = rng.uunifast(n, total)
+        if all(u <= cap for u in utilizations):
+            return utilizations
+    raise ValueError(
+        f"could not draw {n} hop utilizations <= {cap} summing to {total}"
+    )
+
+
+def generate_chain_workload(
+    seed: int,
+    config: ChainWorkloadConfig = ChainWorkloadConfig(),
+    *,
+    name: str = "chains",
+) -> ChainWorkload:
+    """Draw one chain workload; bit-identical for a fixed ``(seed, config)``.
+
+    All randomness flows from a single :class:`RandomSource` derived
+    from ``seed``, so workloads replay identically across processes and
+    ``--jobs`` settings (the determinism contract).
+    """
+    config.validate()
+    periods, weights = config.resolved_periods()
+    rng = RandomSource(seed, f"{name}.workload")
+    hop_counts = [
+        rng.randint(config.hops_min, config.hops_max)
+        for _ in range(config.chain_count)
+    ]
+    total_hops = sum(hop_counts)
+    utilizations = _draw_utilizations(
+        rng, total_hops, config.total_utilization, config.max_hop_utilization
+    )
+    taskset = TaskSet(name=name)
+    chains: List[CauseEffectChain] = []
+    cursor = 0
+    for chain_index, hops in enumerate(hop_counts):
+        hop_names: List[str] = []
+        for hop in range(hops):
+            period = rng.choice_weighted(periods, weights)
+            utilization = utilizations[cursor]
+            wcet = max(1, int(round(utilization * period)))
+            wcet = min(wcet, period)
+            task = IOTask(
+                name=f"{name}.c{chain_index}h{hop}",
+                period=period,
+                wcet=wcet,
+                deadline=period,
+                vm_id=cursor % config.vm_count,
+                kind=TaskKind.RUNTIME,
+                criticality=Criticality.FUNCTION,
+                device=_hop_device(config, hop, hops),
+                payload_bytes=rng.choice([16, 32, 64, 128, 256]),
+            )
+            taskset.add(task)
+            hop_names.append(task.name)
+            cursor += 1
+        chains.append(
+            CauseEffectChain(
+                name=f"{name}.chain{chain_index}", task_names=tuple(hop_names)
+            )
+        )
+    workload = ChainWorkload(taskset=taskset, chains=tuple(chains))
+    validate_chains(workload.chains, workload.taskset)
+    return workload

@@ -1,0 +1,95 @@
+"""Cause-effect chains over I/O tasks.
+
+The automotive workloads I/O-GUARD targets are not isolated requests
+but *chains*: a sensor frame arrives on one device, is processed by one
+or more VM tasks, and leaves on another device (e.g. Ethernet-in ->
+VM compute -> FlexRay-out).  A :class:`CauseEffectChain` is an ordered
+sequence of task names -- the *hops* -- resolved against a
+:class:`~repro.tasks.taskset.TaskSet`.  Communication follows the
+register semantics standard in the automotive end-to-end literature
+(implicit communication): every job reads its input at release and
+publishes its output at completion; a hop always sees the *latest*
+published value of its predecessor.
+
+Two end-to-end metrics matter under these semantics:
+
+* **maximum data age** -- how stale the data behind an output can be:
+  the output's completion time minus the release of the first-hop job
+  whose sample it (transitively) consumed;
+* **maximum reaction time** -- how long an external input arriving just
+  after a first-hop release can take to be reflected in an output.
+
+:mod:`repro.chains.analysis` bounds both from the per-hop response-time
+bounds; :mod:`repro.obs.chains` measures both from simulation traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class CauseEffectChain:
+    """An ordered sequence of task hops, identified by task name.
+
+    The chain itself is pure structure; parameters (periods, devices,
+    VMs) live on the tasks it resolves to.  Hops may cross VMs and
+    devices freely -- that is the point.
+    """
+
+    name: str
+    task_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.task_names:
+            raise ValueError(f"chain {self.name!r} has no hops")
+        if len(set(self.task_names)) != len(self.task_names):
+            raise ValueError(
+                f"chain {self.name!r} repeats a task; hops must be distinct "
+                f"tasks: {self.task_names}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.task_names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.task_names)
+
+    def resolve(self, tasks: TaskSet) -> List[IOTask]:
+        """The hop tasks, in chain order; raises on an unknown hop."""
+        resolved = []
+        for task_name in self.task_names:
+            if task_name not in tasks:
+                raise KeyError(
+                    f"chain {self.name!r} references unknown task "
+                    f"{task_name!r} (task set {tasks.name!r})"
+                )
+            resolved.append(tasks[task_name])
+        return resolved
+
+    def devices(self, tasks: TaskSet) -> List[str]:
+        """Device of each hop, in chain order (duplicates preserved)."""
+        return [task.device for task in self.resolve(tasks)]
+
+    def vm_ids(self, tasks: TaskSet) -> List[int]:
+        """VM of each hop, in chain order (duplicates preserved)."""
+        return [task.vm_id for task in self.resolve(tasks)]
+
+    def summary(self) -> str:
+        return f"{self.name}: {' -> '.join(self.task_names)}"
+
+
+def validate_chains(
+    chains: Tuple[CauseEffectChain, ...], tasks: TaskSet
+) -> None:
+    """Check every chain resolves and chain names are unique."""
+    seen = set()
+    for chain in chains:
+        if chain.name in seen:
+            raise ValueError(f"duplicate chain name {chain.name!r}")
+        seen.add(chain.name)
+        chain.resolve(tasks)

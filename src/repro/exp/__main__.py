@@ -12,6 +12,7 @@ Usage::
     python -m repro.exp faults [--fault-trace PATH]
     python -m repro.exp acceptance
     python -m repro.exp analysis-bench [--min-speedup X]
+    python -m repro.exp chains [--trials N] [--horizon SLOTS] [--out DIR]
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
 Set ``REPRO_SCALE`` (e.g. 0.2 for a smoke run, 5 for a long run) to
@@ -23,11 +24,16 @@ because all randomness is derived per cell from the experiment seed
 writes ``timing.json``, a machine-readable wall-clock/cache summary of
 the run.
 
-``analysis-bench`` is the one subcommand ``all`` does not include: it
-times the scalar vs vectorized analysis engines on a pinned sweep, so
-its output is inherently non-deterministic (wall clock).  It exits
-non-zero when the engines disagree or the vectorized speedup falls
-below ``--min-speedup`` -- CI runs it as a regression gate.
+``analysis-bench`` and ``chains`` are the subcommands ``all`` does not
+include.  ``analysis-bench`` times the scalar vs vectorized analysis
+engines on a pinned sweep, so its output is inherently
+non-deterministic (wall clock); it exits non-zero when the engines
+disagree or the vectorized speedup falls below ``--min-speedup``.
+``chains`` sweeps chain length x utilization, compares analytical
+end-to-end bounds against simulated chain latencies, writes
+``chains.json``/``chains.csv`` artifacts to ``--out`` and exits 2 when
+any simulated instance violates its bound -- CI runs both as
+regression gates.
 """
 
 from __future__ import annotations
@@ -48,6 +54,13 @@ from repro.exp.export import (
     export_fig8_csv,
     export_predictability_csv,
     export_timing_json,
+)
+from repro.exp.chains import (
+    ChainsSweepConfig,
+    export_chains_csv,
+    export_chains_json,
+    render_chains_sweep,
+    run_chains_sweep,
 )
 from repro.exp.fig6 import render_fig6
 from repro.exp.fig7 import CaseStudyConfig, render_fig7, run_case_study
@@ -73,6 +86,7 @@ EXPERIMENTS = [
     "faults",
     "acceptance",
     "analysis-bench",
+    "chains",
     "export",
 ]
 
@@ -167,6 +181,30 @@ def main(argv=None) -> int:
             print(f"wrote {args.fault_trace}", file=sys.stderr)
     if args.experiment in ("all", "acceptance"):
         print(render_acceptance(run_acceptance(seed=args.seed, runner=runner)))
+    if args.experiment == "chains":
+        # Defaults are sized down from the fig7 flags: the sweep builds
+        # and simulates many small systems rather than a few big ones.
+        sweep_config = ChainsSweepConfig(
+            seed=args.seed,
+            trials=max(1, args.trials // 5),
+            horizon_slots=max(200, args.horizon // 25),
+        )
+        sweep = run_chains_sweep(sweep_config, runner=runner)
+        print(render_chains_sweep(sweep))
+        args.out.mkdir(parents=True, exist_ok=True)
+        for path in (
+            export_chains_json(sweep, args.out / "chains.json"),
+            export_chains_csv(sweep, args.out / "chains.csv"),
+        ):
+            # stderr keeps stdout byte-comparable across output dirs.
+            print(f"wrote {path}", file=sys.stderr)
+        if sweep.total_violations:
+            print(
+                f"FAIL: {sweep.total_violations} simulated chain instances "
+                "exceeded their analytical bound",
+                file=sys.stderr,
+            )
+            return 2
     if args.experiment == "analysis-bench":
         # Always serial: parallel workers would overlap the two engine
         # measurements and poison the wall-clock comparison.

@@ -1,0 +1,334 @@
+"""Chain-latency experiment: analysis bounds vs simulated latencies.
+
+Sweeps chain length x target utilization; every cell generates a few
+random chain workloads (WATERS-style periods, UUniFast utilizations),
+bounds every chain's max data age / max reaction time analytically, and
+simulates the same system to measure both.  The rendered output pairs
+the curves; the cell-level ``violations`` column is the differential
+contract in experiment form -- a non-zero count means a simulated
+instance beat its bound, and the CLI exits non-zero.
+
+Cells are mapped through the :class:`~repro.exp.runner.ExperimentRunner`
+and draw all randomness from per-cell derived seeds, so results are
+bit-identical for every ``--jobs`` setting and across reruns (the
+export artifacts are compared byte-for-byte in CI).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.api import (
+    ChainConfig,
+    ChainWorkloadConfig,
+    analyze_chains,
+    build_chain_system,
+    simulate_chains,
+)
+from repro.exp.reporting import render_table
+from repro.exp.runner import ExperimentRunner
+from repro.sim.rng import derive_seed
+
+PathLike = Union[str, Path]
+
+#: Small-period WATERS subset (slots): keeps cell hyperperiods tiny so
+#: a few thousand simulated slots observe many chain instances.
+SWEEP_PERIODS: Tuple[int, ...] = (10, 20, 50, 100)
+SWEEP_PERIOD_WEIGHTS: Tuple[float, ...] = (25, 25, 3, 20)
+
+
+@dataclass(frozen=True)
+class ChainsSweepConfig:
+    """The sweep grid and per-cell workload shape."""
+
+    seed: int = 2021
+    chain_lengths: Tuple[int, ...] = (2, 3, 4)
+    utilizations: Tuple[float, ...] = (0.3, 0.5, 0.7)
+    trials: int = 2
+    chain_count: int = 3
+    vm_count: int = 2
+    horizon_slots: int = 2_000
+    periods: Tuple[int, ...] = SWEEP_PERIODS
+    period_weights: Tuple[float, ...] = SWEEP_PERIOD_WEIGHTS
+
+
+@dataclass(frozen=True)
+class _ChainCell:
+    """One picklable sweep cell (length x utilization)."""
+
+    length: int
+    utilization: float
+    config: ChainsSweepConfig
+
+
+@dataclass(frozen=True)
+class ChainCellResult:
+    """Aggregates over one cell's trials."""
+
+    length: int
+    utilization: float
+    systems: int
+    schedulable_systems: int
+    chain_instances: int
+    reaction_samples: int
+    #: Largest analytical bound / observed value across the cell's
+    #: schedulable systems (None when none were schedulable).
+    max_age_bound: Optional[int]
+    max_age_observed: Optional[int]
+    max_reaction_bound: Optional[int]
+    max_reaction_observed: Optional[int]
+    #: Simulated instances exceeding their analytical bound -- the
+    #: differential contract says this must be zero.
+    violations: int
+
+
+@dataclass
+class ChainsSweepResult:
+    config: ChainsSweepConfig
+    cells: List[ChainCellResult]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(cell.violations for cell in self.cells)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(cell.chain_instances for cell in self.cells)
+
+
+def _run_chain_cell(cell: _ChainCell) -> ChainCellResult:
+    """Generate, analyze and simulate every trial of one cell."""
+    config = cell.config
+    systems = 0
+    schedulable = 0
+    instances = 0
+    reactions = 0
+    violations = 0
+    max_age_bound: Optional[int] = None
+    max_age_observed: Optional[int] = None
+    max_reaction_bound: Optional[int] = None
+    max_reaction_observed: Optional[int] = None
+    for trial in range(config.trials):
+        seed = derive_seed(
+            config.seed,
+            f"chains.L{cell.length}.u{cell.utilization:.3f}.t{trial}",
+        )
+        chain_config = ChainConfig(
+            seed=seed,
+            workload=ChainWorkloadConfig(
+                chain_count=config.chain_count,
+                hops_min=cell.length,
+                hops_max=cell.length,
+                total_utilization=cell.utilization,
+                vm_count=config.vm_count,
+                periods=config.periods,
+                period_weights=config.period_weights,
+            ),
+        )
+        systems += 1
+        system, chains = build_chain_system(chain_config)
+        report = analyze_chains(system, chains)
+        if not report.schedulable:
+            continue
+        schedulable += 1
+        sim = simulate_chains(system, chains, horizon=config.horizon_slots)
+        for chain in chains:
+            age_bound = report.data_age_bound(chain.name)
+            reaction_bound = report.reaction_time_bound(chain.name)
+            assert age_bound is not None and reaction_bound is not None
+            if max_age_bound is None or age_bound > max_age_bound:
+                max_age_bound = age_bound
+            if (
+                max_reaction_bound is None
+                or reaction_bound > max_reaction_bound
+            ):
+                max_reaction_bound = reaction_bound
+            for instance in sim.instances[chain.name]:
+                instances += 1
+                if instance.data_age > age_bound:
+                    violations += 1
+                if (
+                    max_age_observed is None
+                    or instance.data_age > max_age_observed
+                ):
+                    max_age_observed = instance.data_age
+            for sample in sim.reactions[chain.name]:
+                reactions += 1
+                if sample.reaction > reaction_bound:
+                    violations += 1
+                if (
+                    max_reaction_observed is None
+                    or sample.reaction > max_reaction_observed
+                ):
+                    max_reaction_observed = sample.reaction
+    return ChainCellResult(
+        length=cell.length,
+        utilization=cell.utilization,
+        systems=systems,
+        schedulable_systems=schedulable,
+        chain_instances=instances,
+        reaction_samples=reactions,
+        max_age_bound=max_age_bound,
+        max_age_observed=max_age_observed,
+        max_reaction_bound=max_reaction_bound,
+        max_reaction_observed=max_reaction_observed,
+        violations=violations,
+    )
+
+
+def run_chains_sweep(
+    config: ChainsSweepConfig = ChainsSweepConfig(),
+    runner: Optional[ExperimentRunner] = None,
+) -> ChainsSweepResult:
+    """Run the sweep; bit-identical for every worker count."""
+    runner = runner or ExperimentRunner(1)
+    cells = [
+        _ChainCell(length=length, utilization=utilization, config=config)
+        for length in config.chain_lengths
+        for utilization in config.utilizations
+    ]
+    results = runner.map(_run_chain_cell, cells, label="chains")
+    return ChainsSweepResult(config=config, cells=list(results))
+
+
+def _bar(value: Optional[int], scale: int, width: int = 32) -> str:
+    if value is None:
+        return "(no schedulable system)"
+    filled = 0 if scale <= 0 else round(width * value / scale)
+    return "#" * filled + "." * (width - filled) + f" {value}"
+
+
+def render_chains_sweep(result: ChainsSweepResult) -> str:
+    """ASCII table plus analysis-vs-simulation latency bars."""
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            [
+                cell.length,
+                f"{cell.utilization:.2f}",
+                cell.systems,
+                cell.schedulable_systems,
+                cell.chain_instances,
+                cell.max_age_bound if cell.max_age_bound is not None else "-",
+                cell.max_age_observed
+                if cell.max_age_observed is not None
+                else "-",
+                cell.max_reaction_bound
+                if cell.max_reaction_bound is not None
+                else "-",
+                cell.max_reaction_observed
+                if cell.max_reaction_observed is not None
+                else "-",
+                cell.violations,
+            ]
+        )
+    table = render_table(
+        [
+            "hops",
+            "util",
+            "systems",
+            "sched",
+            "instances",
+            "age bound",
+            "age obs",
+            "react bound",
+            "react obs",
+            "violations",
+        ],
+        rows,
+        title="Cause-effect chains: analysis bounds vs simulated latencies",
+    )
+    scale = max(
+        (cell.max_reaction_bound or 0 for cell in result.cells), default=0
+    )
+    lines = [table, "", "max data age, analysis (=) vs simulation (#):"]
+    for cell in result.cells:
+        label = f"L{cell.length} u{cell.utilization:.2f}"
+        bound_bar = _bar(cell.max_age_bound, scale).replace("#", "=")
+        lines.append(f"  {label} bound {bound_bar}")
+        lines.append(f"  {label} sim   {_bar(cell.max_age_observed, scale)}")
+    lines.append(
+        f"differential: {result.total_instances} instances, "
+        f"{result.total_violations} bound violations"
+    )
+    return "\n".join(lines)
+
+
+def export_chains_json(result: ChainsSweepResult, path: PathLike) -> Path:
+    """Nested JSON artifact; byte-identical across reruns and --jobs."""
+    path = Path(path)
+    payload = {
+        "config": {
+            "seed": result.config.seed,
+            "chain_lengths": list(result.config.chain_lengths),
+            "utilizations": list(result.config.utilizations),
+            "trials": result.config.trials,
+            "chain_count": result.config.chain_count,
+            "vm_count": result.config.vm_count,
+            "horizon_slots": result.config.horizon_slots,
+            "periods": list(result.config.periods),
+        },
+        "cells": [
+            {
+                "length": cell.length,
+                "utilization": cell.utilization,
+                "systems": cell.systems,
+                "schedulable_systems": cell.schedulable_systems,
+                "chain_instances": cell.chain_instances,
+                "reaction_samples": cell.reaction_samples,
+                "max_age_bound": cell.max_age_bound,
+                "max_age_observed": cell.max_age_observed,
+                "max_reaction_bound": cell.max_reaction_bound,
+                "max_reaction_observed": cell.max_reaction_observed,
+                "violations": cell.violations,
+            }
+            for cell in result.cells
+        ],
+        "total_instances": result.total_instances,
+        "total_violations": result.total_violations,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def export_chains_csv(result: ChainsSweepResult, path: PathLike) -> Path:
+    """One row per sweep cell."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "length",
+                "utilization",
+                "systems",
+                "schedulable_systems",
+                "chain_instances",
+                "reaction_samples",
+                "max_age_bound",
+                "max_age_observed",
+                "max_reaction_bound",
+                "max_reaction_observed",
+                "violations",
+            ]
+        )
+        for cell in result.cells:
+            writer.writerow(
+                [
+                    cell.length,
+                    cell.utilization,
+                    cell.systems,
+                    cell.schedulable_systems,
+                    cell.chain_instances,
+                    cell.reaction_samples,
+                    cell.max_age_bound,
+                    cell.max_age_observed,
+                    cell.max_reaction_bound,
+                    cell.max_reaction_observed,
+                    cell.violations,
+                ]
+            )
+    return path

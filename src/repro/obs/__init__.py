@@ -10,6 +10,8 @@ metrics snapshots.
 
 * :mod:`repro.obs.events` -- the event taxonomy and the span model
   derived from raw trace events;
+* :mod:`repro.obs.chains` -- cause-effect-chain instances, reactions
+  and spans reconstructed from the same job events;
 * :mod:`repro.obs.registry` -- one registry of named counters, gauges
   and histograms unifying the scattered metric sources;
 * :mod:`repro.obs.perfetto` -- Chrome/Perfetto ``trace.json`` export
@@ -21,6 +23,14 @@ metrics snapshots.
 """
 
 from repro.obs.capture import ObsCapture, build_registry, capture_fault_isolation
+from repro.obs.chains import (
+    CHAIN_TRACE_CATEGORIES,
+    ChainInstance,
+    ChainReaction,
+    derive_chain_instances,
+    derive_chain_reactions,
+    derive_chain_spans,
+)
 from repro.obs.events import (
     CATEGORIES,
     Span,
@@ -32,6 +42,9 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "CATEGORIES",
+    "CHAIN_TRACE_CATEGORIES",
+    "ChainInstance",
+    "ChainReaction",
     "Counter",
     "Gauge",
     "Histogram",
@@ -41,6 +54,9 @@ __all__ = [
     "build_registry",
     "capture_fault_isolation",
     "chrome_trace",
+    "derive_chain_instances",
+    "derive_chain_reactions",
+    "derive_chain_spans",
     "derive_job_spans",
     "job_wait_slots",
     "render_chrome_trace",

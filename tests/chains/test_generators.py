@@ -1,0 +1,132 @@
+"""Chain workload generation: structure and determinism."""
+
+import pytest
+
+from repro.chains.generators import (
+    WATERS_PERIOD_SHARES,
+    WATERS_PERIODS_MS,
+    ChainWorkloadConfig,
+    generate_chain_workload,
+)
+from repro.tasks.task import TaskKind
+
+SMALL = ChainWorkloadConfig(
+    chain_count=4,
+    hops_min=2,
+    hops_max=4,
+    total_utilization=0.6,
+    vm_count=3,
+    periods=(10, 20, 40, 80),
+    period_weights=(4, 3, 2, 1),
+)
+
+
+def _flatten(workload):
+    return [
+        (
+            task.name,
+            task.period,
+            task.wcet,
+            task.deadline,
+            task.vm_id,
+            task.device,
+            task.payload_bytes,
+        )
+        for task in workload.taskset
+    ]
+
+
+class TestGenerateChainWorkload:
+    def test_bit_identical_for_fixed_seed(self):
+        one = generate_chain_workload(42, SMALL)
+        two = generate_chain_workload(42, SMALL)
+        assert _flatten(one) == _flatten(two)
+        assert one.chains == two.chains
+
+    def test_different_seeds_differ(self):
+        one = generate_chain_workload(42, SMALL)
+        two = generate_chain_workload(43, SMALL)
+        assert _flatten(one) != _flatten(two)
+
+    def test_chain_count_and_hop_range(self):
+        workload = generate_chain_workload(7, SMALL)
+        assert len(workload.chains) == SMALL.chain_count
+        for chain in workload.chains:
+            assert SMALL.hops_min <= len(chain) <= SMALL.hops_max
+
+    def test_entry_and_exit_devices(self):
+        workload = generate_chain_workload(7, SMALL)
+        for chain in workload.chains:
+            devices = chain.devices(workload.taskset)
+            assert devices[0] == SMALL.first_device
+            if len(devices) > 1:
+                assert devices[-1] == SMALL.last_device
+            for device in devices[1:-1]:
+                assert device in SMALL.compute_devices
+
+    def test_periods_from_configured_set(self):
+        workload = generate_chain_workload(7, SMALL)
+        for task in workload.taskset:
+            assert task.period in SMALL.periods
+            assert 1 <= task.wcet <= task.deadline <= task.period
+
+    def test_all_tasks_are_runtime(self):
+        workload = generate_chain_workload(7, SMALL)
+        assert all(
+            task.kind == TaskKind.RUNTIME for task in workload.taskset
+        )
+
+    def test_vms_span_configured_count(self):
+        workload = generate_chain_workload(7, SMALL)
+        vm_ids = set(workload.taskset.vm_ids())
+        assert vm_ids <= set(range(SMALL.vm_count))
+        # Round-robin over >= vm_count hops touches every VM.
+        assert len(vm_ids) == SMALL.vm_count
+
+    def test_utilization_close_to_target(self):
+        workload = generate_chain_workload(7, SMALL)
+        # Each hop's WCET rounds u*T to an integer >= 1, so the per-hop
+        # utilization error is at most 1/T.
+        slack = sum(1 / task.period for task in workload.taskset)
+        assert abs(workload.utilization - SMALL.total_utilization) <= slack
+
+    def test_default_periods_are_scaled_waters(self):
+        config = ChainWorkloadConfig(slots_per_ms=10)
+        periods, weights = config.resolved_periods()
+        assert periods == tuple(ms * 10 for ms in WATERS_PERIODS_MS[2:])
+        assert weights == tuple(float(w) for w in WATERS_PERIOD_SHARES[2:])
+
+
+class TestConfigValidation:
+    def test_rejects_bad_hop_range(self):
+        with pytest.raises(ValueError, match="hops_min"):
+            generate_chain_workload(
+                1, ChainWorkloadConfig(hops_min=3, hops_max=2)
+            )
+
+    def test_rejects_nonpositive_utilization(self):
+        with pytest.raises(ValueError, match="total_utilization"):
+            generate_chain_workload(
+                1, ChainWorkloadConfig(total_utilization=0.0)
+            )
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            generate_chain_workload(
+                1,
+                ChainWorkloadConfig(
+                    periods=(10, 20), period_weights=(1, 2, 3)
+                ),
+            )
+
+    def test_rejects_infeasible_packing(self):
+        with pytest.raises(ValueError, match="cannot pack"):
+            generate_chain_workload(
+                1,
+                ChainWorkloadConfig(
+                    chain_count=1,
+                    hops_min=1,
+                    hops_max=1,
+                    total_utilization=1.5,
+                ),
+            )

@@ -1,0 +1,74 @@
+"""Chain model structure and resolution."""
+
+import pytest
+
+from repro.chains.model import CauseEffectChain, validate_chains
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def _tasks():
+    return TaskSet(
+        [
+            IOTask("rx", period=10, wcet=1, vm_id=0, device="ethernet0"),
+            IOTask("proc", period=20, wcet=2, vm_id=1, device="io0"),
+            IOTask("tx", period=20, wcet=1, vm_id=0, device="flexray0"),
+        ],
+        name="chainset",
+    )
+
+
+class TestCauseEffectChain:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError, match="no hops"):
+            CauseEffectChain(name="empty", task_names=())
+
+    def test_rejects_repeated_hop(self):
+        with pytest.raises(ValueError, match="distinct"):
+            CauseEffectChain(name="loop", task_names=("rx", "rx"))
+
+    def test_resolves_hops_in_order(self):
+        chain = CauseEffectChain("c", ("rx", "proc", "tx"))
+        resolved = chain.resolve(_tasks())
+        assert [task.name for task in resolved] == ["rx", "proc", "tx"]
+
+    def test_unknown_hop_raises_with_context(self):
+        chain = CauseEffectChain("c", ("rx", "ghost"))
+        with pytest.raises(KeyError, match="ghost"):
+            chain.resolve(_tasks())
+
+    def test_devices_and_vms_follow_chain_order(self):
+        chain = CauseEffectChain("c", ("rx", "proc", "tx"))
+        assert chain.devices(_tasks()) == ["ethernet0", "io0", "flexray0"]
+        assert chain.vm_ids(_tasks()) == [0, 1, 0]
+
+    def test_len_and_iter(self):
+        chain = CauseEffectChain("c", ("rx", "tx"))
+        assert len(chain) == 2
+        assert list(chain) == ["rx", "tx"]
+
+    def test_summary_mentions_hops(self):
+        chain = CauseEffectChain("c", ("rx", "tx"))
+        assert "rx -> tx" in chain.summary()
+
+
+class TestValidateChains:
+    def test_duplicate_chain_names_rejected(self):
+        chains = (
+            CauseEffectChain("c", ("rx",)),
+            CauseEffectChain("c", ("tx",)),
+        )
+        with pytest.raises(ValueError, match="duplicate chain name"):
+            validate_chains(chains, _tasks())
+
+    def test_all_chains_must_resolve(self):
+        chains = (CauseEffectChain("c", ("rx", "nope")),)
+        with pytest.raises(KeyError):
+            validate_chains(chains, _tasks())
+
+    def test_valid_set_passes(self):
+        chains = (
+            CauseEffectChain("c0", ("rx", "proc")),
+            CauseEffectChain("c1", ("proc", "tx")),
+        )
+        validate_chains(chains, _tasks())

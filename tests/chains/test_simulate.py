@@ -1,0 +1,99 @@
+"""Simulated chain latencies against a pinned generated system."""
+
+import pytest
+
+from repro.api import (
+    ChainConfig,
+    ChainWorkloadConfig,
+    analyze_chains,
+    build_chain_system,
+    simulate_chains,
+)
+
+CONFIG = ChainConfig(
+    seed=11,
+    workload=ChainWorkloadConfig(
+        chain_count=3,
+        hops_min=2,
+        hops_max=3,
+        total_utilization=0.4,
+        vm_count=2,
+        periods=(10, 20, 40),
+        period_weights=(3, 2, 1),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    system, chains = build_chain_system(CONFIG)
+    report = analyze_chains(system, chains)
+    assert report.schedulable
+    sim = simulate_chains(system, chains, horizon=400)
+    return chains, report, sim
+
+
+class TestSimulateChains:
+    def test_observes_instances_for_every_chain(self, run):
+        chains, _report, sim = run
+        for chain in chains:
+            assert len(sim.instances[chain.name]) > 0
+            assert len(sim.reactions[chain.name]) > 0
+
+    def test_instance_hops_are_causally_ordered(self, run):
+        chains, _report, sim = run
+        for chain in chains:
+            for instance in sim.instances[chain.name]:
+                assert len(instance.releases) == len(chain)
+                for hop in range(len(chain) - 1):
+                    # The value read at hop+1's release was published
+                    # (completed) no later than that release.
+                    assert (
+                        instance.completions[hop]
+                        <= instance.releases[hop + 1]
+                    )
+                for release, completion in zip(
+                    instance.releases, instance.completions
+                ):
+                    assert completion > release
+
+    def test_no_deadline_misses_when_schedulable(self, run):
+        _chains, _report, sim = run
+        assert sim.deadline_misses == 0
+        assert bool(sim)
+
+    def test_observed_latencies_within_bounds(self, run):
+        chains, report, sim = run
+        for chain in chains:
+            assert (
+                sim.max_data_age(chain.name)
+                <= report.data_age_bound(chain.name)
+            )
+            assert (
+                sim.max_reaction(chain.name)
+                <= report.reaction_time_bound(chain.name)
+            )
+
+    def test_reaction_exceeds_data_age_semantics(self, run):
+        chains, _report, sim = run
+        for chain in chains:
+            for sample in sim.reactions[chain.name]:
+                # The input waits for its sampling release before the
+                # chain even starts.
+                assert sample.releases[0] > sample.input_slot
+                assert sample.reaction > 0
+
+    def test_summary_counts_instances(self, run):
+        _chains, _report, sim = run
+        assert f"{sim.instance_count()} chain instances" in sim.summary()
+
+    def test_rejects_non_system(self):
+        with pytest.raises(TypeError, match="repro.api.System"):
+            simulate_chains(object(), (), horizon=10)
+
+    def test_rerun_is_deterministic(self, run):
+        chains, _report, sim = run
+        system, chains_again = build_chain_system(CONFIG)
+        again = simulate_chains(system, chains_again, horizon=400)
+        assert again.instances == sim.instances
+        assert again.reactions == sim.reactions

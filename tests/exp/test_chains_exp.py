@@ -1,0 +1,95 @@
+"""The chains experiment: determinism, artifacts and the CLI gate."""
+
+from repro.exp.__main__ import main
+from repro.exp.chains import (
+    ChainsSweepConfig,
+    export_chains_csv,
+    export_chains_json,
+    render_chains_sweep,
+    run_chains_sweep,
+)
+from repro.exp.runner import ExperimentRunner
+
+#: One cell, one trial: enough to cross the whole pipeline in well
+#: under a second while the full-size sweep stays a CLI-only affair.
+TINY = ChainsSweepConfig(
+    seed=2021,
+    chain_lengths=(2,),
+    utilizations=(0.4,),
+    trials=1,
+    chain_count=2,
+    vm_count=2,
+    horizon_slots=400,
+    periods=(10, 20, 40),
+    period_weights=(2, 2, 1),
+)
+
+
+class TestChainsSweep:
+    def test_sweep_produces_instances_and_no_violations(self):
+        result = run_chains_sweep(TINY)
+        assert len(result.cells) == 1
+        cell = result.cells[0]
+        assert cell.systems == 1
+        assert result.total_violations == 0
+        if cell.schedulable_systems:
+            assert cell.chain_instances > 0
+            assert cell.max_age_bound is not None
+            assert cell.max_age_observed <= cell.max_age_bound
+            assert cell.max_reaction_observed <= cell.max_reaction_bound
+
+    def test_byte_identical_across_reruns_and_jobs(self, tmp_path):
+        serial = run_chains_sweep(TINY, runner=ExperimentRunner(1))
+        again = run_chains_sweep(TINY, runner=ExperimentRunner(1))
+        fanned = run_chains_sweep(TINY, runner=ExperimentRunner(2))
+        paths = {}
+        for label, result in (
+            ("serial", serial), ("again", again), ("fanned", fanned)
+        ):
+            json_path = export_chains_json(result, tmp_path / f"{label}.json")
+            csv_path = export_chains_csv(result, tmp_path / f"{label}.csv")
+            paths[label] = (json_path.read_bytes(), csv_path.read_bytes())
+        assert paths["serial"] == paths["again"]
+        assert paths["serial"] == paths["fanned"]
+        assert render_chains_sweep(serial) == render_chains_sweep(fanned)
+
+    def test_render_contains_table_and_differential_line(self):
+        result = run_chains_sweep(TINY)
+        rendered = render_chains_sweep(result)
+        assert "Cause-effect chains" in rendered
+        assert "differential:" in rendered
+        assert "0 bound violations" in rendered
+
+
+class TestChainsCli:
+    def test_cli_runs_writes_artifacts_and_passes_gate(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "chains"
+        argv = [
+            "chains", "--trials", "5", "--horizon", "10000",
+            "--out", str(out_dir),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Cause-effect chains" in captured.out
+        assert "chains.json" in captured.err
+        assert (out_dir / "chains.json").exists()
+        assert (out_dir / "chains.csv").exists()
+
+    def test_cli_stdout_and_artifacts_byte_identical(self, tmp_path, capsys):
+        outputs = []
+        artifacts = []
+        for run in ("one", "two"):
+            out_dir = tmp_path / run
+            assert main([
+                "chains", "--trials", "5", "--horizon", "10000",
+                "--out", str(out_dir),
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+            artifacts.append((
+                (out_dir / "chains.json").read_bytes(),
+                (out_dir / "chains.csv").read_bytes(),
+            ))
+        assert outputs[0] == outputs[1]
+        assert artifacts[0] == artifacts[1]

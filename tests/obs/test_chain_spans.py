@@ -1,0 +1,134 @@
+"""Chain derivation from hand-built traces: exact register semantics."""
+
+from repro.chains.model import CauseEffectChain
+from repro.obs.chains import (
+    CHAIN_TRACE_CATEGORIES,
+    derive_chain_instances,
+    derive_chain_reactions,
+    derive_chain_spans,
+)
+from repro.obs.events import IOPOOL_ENQUEUE, JOB_COMPLETE
+from repro.sim.trace import TraceRecorder
+
+
+def _record_job(recorder, task, index, release, complete_slot, vm=0):
+    """One job's release and (optionally) completion, executor style.
+
+    ``complete_slot`` follows the trace convention: the job finishes
+    *in* that slot, so its value is published at ``complete_slot + 1``.
+    """
+    recorder.record(
+        release, IOPOOL_ENQUEUE, f"iopool.vm{vm}",
+        vm=vm, job=f"{task}#{index}", deadline=release + 100,
+    )
+    if complete_slot is not None:
+        recorder.record(
+            complete_slot, JOB_COMPLETE, "hypervisor.dev",
+            job=f"{task}#{index}", deadline_met=True,
+        )
+
+
+def _two_hop_trace():
+    """a (T=4) feeds b: a#0 [0,2), a#1 [4,6), b#0 [5,7), b#1 [9,11)."""
+    recorder = TraceRecorder(categories=list(CHAIN_TRACE_CATEGORIES))
+    _record_job(recorder, "a", 0, release=0, complete_slot=1)
+    _record_job(recorder, "a", 1, release=4, complete_slot=5)
+    _record_job(recorder, "b", 0, release=5, complete_slot=6, vm=1)
+    _record_job(recorder, "b", 1, release=9, complete_slot=10, vm=1)
+    return recorder, CauseEffectChain("ab", ("a", "b"))
+
+
+class TestDeriveChainInstances:
+    def test_reads_latest_publication_at_release(self):
+        recorder, chain = _two_hop_trace()
+        instances = derive_chain_instances(recorder, chain)
+        assert len(instances) == 2
+        # b#0 released at 5: a#0 published at 2, a#1 only at 6 -> reads a#0.
+        assert instances[0].releases == (0, 5)
+        assert instances[0].completions == (2, 7)
+        assert instances[0].data_age == 7 - 0
+        # b#1 released at 9: a#1 (published 6) is the freshest value.
+        assert instances[1].releases == (4, 9)
+        assert instances[1].data_age == 11 - 4
+
+    def test_publication_at_release_boundary_is_visible(self):
+        recorder = TraceRecorder(categories=list(CHAIN_TRACE_CATEGORIES))
+        # a#0 finishes in slot 4 -> published at 5, exactly b#0's release.
+        _record_job(recorder, "a", 0, release=0, complete_slot=4)
+        _record_job(recorder, "b", 0, release=5, complete_slot=6, vm=1)
+        instances = derive_chain_instances(
+            recorder, CauseEffectChain("ab", ("a", "b"))
+        )
+        assert len(instances) == 1
+        assert instances[0].releases == (0, 5)
+
+    def test_warmup_instance_without_predecessor_is_skipped(self):
+        recorder = TraceRecorder(categories=list(CHAIN_TRACE_CATEGORIES))
+        _record_job(recorder, "a", 0, release=0, complete_slot=3)
+        # b#0 releases at 2, before any a publication (available at 4).
+        _record_job(recorder, "b", 0, release=2, complete_slot=5, vm=1)
+        _record_job(recorder, "b", 1, release=6, complete_slot=8, vm=1)
+        instances = derive_chain_instances(
+            recorder, CauseEffectChain("ab", ("a", "b"))
+        )
+        assert [inst.releases for inst in instances] == [(0, 6)]
+
+    def test_incomplete_output_job_is_skipped(self):
+        recorder, chain = _two_hop_trace()
+        _record_job(recorder, "b", 2, release=13, complete_slot=None, vm=1)
+        instances = derive_chain_instances(recorder, chain)
+        assert len(instances) == 2
+
+    def test_rederivation_is_identical(self):
+        recorder, chain = _two_hop_trace()
+        assert derive_chain_instances(recorder, chain) == (
+            derive_chain_instances(recorder, chain)
+        )
+
+
+class TestDeriveChainReactions:
+    def test_forward_propagation_from_missed_input(self):
+        recorder, chain = _two_hop_trace()
+        reactions = derive_chain_reactions(recorder, chain)
+        # Input just after a#0's release 0: sampled by a#1 (release 4,
+        # published 6); first b release >= 6 is b#1 at 9, done at 11.
+        assert len(reactions) == 1
+        sample = reactions[0]
+        assert sample.input_slot == 0
+        assert sample.releases == (4, 9)
+        assert sample.completions == (6, 11)
+        assert sample.reaction == 11 - 0
+
+    def test_sample_falling_off_horizon_is_dropped(self):
+        recorder = TraceRecorder(categories=list(CHAIN_TRACE_CATEGORIES))
+        _record_job(recorder, "a", 0, release=0, complete_slot=1)
+        _record_job(recorder, "a", 1, release=4, complete_slot=5)
+        # No b job releases at/after 6: the reaction never completes.
+        _record_job(recorder, "b", 0, release=5, complete_slot=6, vm=1)
+        reactions = derive_chain_reactions(
+            recorder, CauseEffectChain("ab", ("a", "b"))
+        )
+        assert reactions == []
+
+    def test_incomplete_sampling_job_is_dropped(self):
+        recorder = TraceRecorder(categories=list(CHAIN_TRACE_CATEGORIES))
+        _record_job(recorder, "a", 0, release=0, complete_slot=1)
+        _record_job(recorder, "a", 1, release=4, complete_slot=None)
+        _record_job(recorder, "b", 0, release=9, complete_slot=10, vm=1)
+        reactions = derive_chain_reactions(
+            recorder, CauseEffectChain("ab", ("a", "b"))
+        )
+        assert reactions == []
+
+
+class TestDeriveChainSpans:
+    def test_spans_cover_sample_to_output(self):
+        recorder, chain = _two_hop_trace()
+        spans = derive_chain_spans(recorder, chain)
+        assert [span.name for span in spans] == ["ab#0", "ab#1"]
+        assert spans[0].track == "chain.ab"
+        assert spans[0].start_slot == 0
+        assert spans[0].end_slot == 7
+        assert spans[0].args["data_age"] == 7
+        assert spans[0].args["kind"] == "chain"
+        assert spans[1].args["hops"] == 2

@@ -1,0 +1,137 @@
+"""Differential verification: simulated chain latencies vs analysis.
+
+The chain analysis composes per-hop response-time bounds into
+max-data-age and max-reaction-time bounds (:mod:`repro.chains.analysis`).
+This suite is the contract that makes those bounds trustworthy: over
+hundreds of randomly generated systems, **every** simulated chain
+instance's observed data age must be at or below the analytical bound,
+and every observed reaction likewise.  A failure report pins the seed
+and the full instance so the counterexample replays with one call.
+
+The generation space deliberately varies every axis the analysis
+composes over: chain length (including single-hop), chain count, VM
+count (hops crossing VMs), utilization, and period sets with non-unit
+hyperperiod ratios.
+"""
+
+import pytest
+
+from repro.api import (
+    ChainConfig,
+    ChainWorkloadConfig,
+    analyze_chains,
+    build_chain_system,
+    simulate_chains,
+)
+from repro.sim.rng import RandomSource
+
+#: Chunked so one failure reports quickly under ``-x`` while the whole
+#: suite still covers SYSTEMS_PER_CHUNK * chunks randomized systems.
+CHUNKS = 10
+SYSTEMS_PER_CHUNK = 25
+HORIZON = 400
+
+PERIOD_MENU = (
+    ((10, 20, 40, 80), (4, 3, 2, 1)),
+    ((10, 20, 50, 100), (25, 25, 3, 20)),
+    ((8, 16, 64), (2, 2, 1)),
+    ((12, 24, 48), (1, 1, 1)),
+)
+
+
+def _draw_config(seed: int) -> ChainConfig:
+    """One randomized system shape, fully determined by ``seed``."""
+    rng = RandomSource(seed, "chain-differential")
+    periods, weights = PERIOD_MENU[rng.randrange(len(PERIOD_MENU))]
+    hops_min = rng.randint(1, 2)
+    return ChainConfig(
+        seed=seed,
+        workload=ChainWorkloadConfig(
+            chain_count=rng.randint(2, 3),
+            hops_min=hops_min,
+            hops_max=rng.randint(hops_min + 1, 4),
+            total_utilization=round(rng.uniform(0.2, 0.6), 3),
+            vm_count=rng.randint(1, 3),
+            periods=periods,
+            period_weights=weights,
+        ),
+    )
+
+
+def _repro_hint(seed: int, config: ChainConfig) -> str:
+    return (
+        f"seed={seed}; replay with build_chain_system(ChainConfig(seed={seed}, "
+        f"workload={config.workload!r})) and simulate_chains(..., "
+        f"horizon={HORIZON})"
+    )
+
+
+@pytest.mark.parametrize("chunk", range(CHUNKS))
+def test_simulated_latencies_never_exceed_bounds(chunk):
+    schedulable = 0
+    instances_checked = 0
+    reactions_checked = 0
+    for offset in range(SYSTEMS_PER_CHUNK):
+        seed = 100_000 + chunk * SYSTEMS_PER_CHUNK + offset
+        config = _draw_config(seed)
+        system, chains = build_chain_system(config)
+        report = analyze_chains(system, chains)
+        if not report.schedulable:
+            # Bounds are only claimed for schedulable systems.
+            continue
+        schedulable += 1
+        sim = simulate_chains(system, chains, horizon=HORIZON)
+        assert sim.deadline_misses == 0, (
+            f"schedulable system missed deadlines: {sim.summary()}; "
+            f"{_repro_hint(seed, config)}"
+        )
+        for chain in chains:
+            age_bound = report.data_age_bound(chain.name)
+            reaction_bound = report.reaction_time_bound(chain.name)
+            for index, instance in enumerate(sim.instances[chain.name]):
+                instances_checked += 1
+                assert instance.data_age <= age_bound, (
+                    f"DATA-AGE VIOLATION: chain {chain.name!r} instance "
+                    f"#{index} observed age {instance.data_age} > bound "
+                    f"{age_bound}\n"
+                    f"  releases={instance.releases} "
+                    f"completions={instance.completions}\n"
+                    f"  hop bounds={report.chains[chain.name].hops}\n"
+                    f"  {_repro_hint(seed, config)}"
+                )
+            for index, sample in enumerate(sim.reactions[chain.name]):
+                reactions_checked += 1
+                assert sample.reaction <= reaction_bound, (
+                    f"REACTION VIOLATION: chain {chain.name!r} sample "
+                    f"#{index} observed reaction {sample.reaction} > bound "
+                    f"{reaction_bound}\n"
+                    f"  input={sample.input_slot} releases={sample.releases} "
+                    f"completions={sample.completions}\n"
+                    f"  hop bounds={report.chains[chain.name].hops}\n"
+                    f"  {_repro_hint(seed, config)}"
+                )
+    # The suite must actually exercise the contract: most drawn systems
+    # are schedulable at these utilizations, and each contributes many
+    # instances.  A collapse here means the generator drifted.
+    assert schedulable >= SYSTEMS_PER_CHUNK // 3, (
+        f"only {schedulable}/{SYSTEMS_PER_CHUNK} systems schedulable; "
+        "the differential suite lost its coverage"
+    )
+    assert instances_checked >= 20 * schedulable
+    assert reactions_checked >= 5 * schedulable
+
+
+def test_bound_invariant_reaction_minus_age_is_last_period():
+    """Structural invariant of the two bounds, on every generated system."""
+    for seed in (1, 2, 3, 4, 5):
+        config = _draw_config(10_000 + seed)
+        system, chains = build_chain_system(config)
+        report = analyze_chains(system, chains)
+        if not report.bounded:
+            continue
+        for chain in chains:
+            bound = report.chains[chain.name]
+            assert (
+                bound.reaction_time_bound - bound.data_age_bound
+                == bound.hops[-1].period
+            )

@@ -1,0 +1,97 @@
+"""Property tests for the random task-set generator.
+
+Three contracts the schedulability sweeps lean on: UUniFast splits the
+requested utilization exactly (the realized task set only deviates by
+integer-slot rounding), a fixed seed replays bit-identically, and
+periods stay inside the configured log-uniform range.
+"""
+
+import pytest
+
+from repro.sim.rng import RandomSource
+from repro.tasks.generators import TaskSetGenerator, generate_random_taskset
+
+
+def _fingerprint(taskset):
+    return [
+        (
+            task.name,
+            task.period,
+            task.wcet,
+            task.deadline,
+            task.vm_id,
+            task.kind,
+            task.device,
+            task.payload_bytes,
+        )
+        for task in taskset
+    ]
+
+
+class TestUUniFastSums:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("n,total", [(1, 0.5), (3, 0.7), (8, 2.5)])
+    def test_utilizations_sum_exactly_to_target(self, seed, n, total):
+        rng = RandomSource(seed, "uunifast-prop")
+        utilizations = rng.uunifast(n, total)
+        assert len(utilizations) == n
+        assert all(u >= 0 for u in utilizations)
+        assert sum(utilizations) == pytest.approx(total, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_taskset_utilization_within_rounding(self, seed):
+        target = 0.8
+        taskset = generate_random_taskset(
+            seed, task_count=6, total_utilization=target,
+            period_min=10, period_max=200,
+        )
+        # C = max(1, round(u*T)) puts each task within 1/T of its drawn
+        # utilization; the aggregate deviation is bounded by the sum.
+        slack = sum(1 / task.period for task in taskset)
+        assert abs(taskset.utilization - target) <= slack
+
+    def test_infeasible_target_rejected(self):
+        with pytest.raises(ValueError, match="cannot pack"):
+            generate_random_taskset(1, task_count=2, total_utilization=2.5)
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 2021, 999_983])
+    def test_bit_identical_across_runs(self, seed):
+        kwargs = dict(
+            task_count=8, total_utilization=1.2, vm_count=3,
+            period_min=20, period_max=500,
+        )
+        assert _fingerprint(
+            generate_random_taskset(seed, **kwargs)
+        ) == _fingerprint(generate_random_taskset(seed, **kwargs))
+
+    def test_seed_changes_output(self):
+        kwargs = dict(task_count=8, total_utilization=1.2)
+        assert _fingerprint(
+            generate_random_taskset(1, **kwargs)
+        ) != _fingerprint(generate_random_taskset(2, **kwargs))
+
+    def test_generator_object_replays_from_fresh_rng(self):
+        generator = TaskSetGenerator(period_min=10, period_max=100)
+        one = generator.generate(RandomSource(5, "a"), 5, 0.9)
+        two = generator.generate(RandomSource(5, "a"), 5, 0.9)
+        assert _fingerprint(one) == _fingerprint(two)
+
+
+class TestPeriodRange:
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize(
+        "period_min,period_max", [(5, 50), (20, 2_000), (2, 10), (100, 101)]
+    )
+    def test_periods_respect_configured_range(
+        self, seed, period_min, period_max
+    ):
+        taskset = generate_random_taskset(
+            seed, task_count=10, total_utilization=0.5,
+            period_min=period_min, period_max=period_max,
+        )
+        low = max(2, period_min)
+        for task in taskset:
+            assert low <= task.period <= period_max
+            assert 1 <= task.wcet <= task.deadline <= task.period
