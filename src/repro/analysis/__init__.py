@@ -18,9 +18,11 @@
   value-identical by construction and cross-checked by the property
   tests.
 * :mod:`repro.analysis.engine` -- selects the step-point sweep
-  implementation ("scalar" reference loop vs the "vectorized" numpy +
-  QPA engine in :mod:`repro.analysis.vectorized`); both are
-  bit-identical, enforced by the property suite.
+  implementation: the "scalar" reference loop, the "vectorized" numpy +
+  QPA engine in :mod:`repro.analysis.vectorized`, or the whole-batch
+  "batched" engine in :mod:`repro.analysis.batched` (shared
+  hyper-period-tiled grids, lock-step QPA over many requests at once);
+  all three are bit-identical, enforced by the property suite.
 * :mod:`repro.analysis.result` -- the :class:`SchedulabilityResult`
   protocol every verdict class satisfies.
 """

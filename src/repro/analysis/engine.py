@@ -1,6 +1,6 @@
 """Analysis engine selection: scalar reference vs vectorized kernels.
 
-The schedulability tests ship two decision engines:
+The schedulability tests ship three decision engines:
 
 * ``"scalar"`` -- the original per-``t`` Python loops over the memoized
   kernels.  This is the ground-truth reference implementation.
@@ -8,8 +8,14 @@ The schedulability tests ship two decision engines:
   of the dbf/sbf curves over *all* step points at once, fronted by a
   QPA-style descent that usually decides schedulability after a handful
   of probes instead of enumerating the full Theorem-2/4 horizon.
+* ``"batched"`` -- :mod:`repro.analysis.batched`: many (taskset, server)
+  pairs packed into padded 2-D int64 arrays and decided per numpy pass.
+  On a *single* pair the batched engine is the vectorized engine (a
+  batch of one); the throughput win comes from the batch entry points
+  (``lsched_schedulable_batch``/``gsched_schedulable_batch`` and
+  ``repro.api.analyze_many``), which sweep columns of systems at once.
 
-Both engines are decision-bit-identical by construction (they share the
+All engines are decision-bit-identical by construction (they share the
 same preambles, horizons and step-point grids, and the property suite
 cross-checks every result field), so the choice only affects wall-clock
 time.  The default resolves with the precedence *explicit argument* >
@@ -25,7 +31,14 @@ from typing import Iterator, Optional
 from contextlib import contextmanager
 
 #: Supported engines, in reference-first order.
-ENGINES = ("scalar", "vectorized")
+ENGINES = ("scalar", "vectorized", "batched")
+
+#: Windows with fewer step points than this run the plain Python loop
+#: even under the vectorized/batched engines: numpy's per-call overhead
+#: only amortizes on larger grids, and all paths are bit-identical
+#: anyway.  Single source of truth -- the theorem-test modules re-export
+#: it, so the cutoff cannot drift between G-Sched and L-Sched.
+VECTORIZE_MIN_POINTS = 96
 
 #: Environment knob consulted when no explicit engine is given,
 #: mirroring ``REPRO_JOBS`` / ``REPRO_SCALE``.

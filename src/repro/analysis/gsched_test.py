@@ -16,7 +16,7 @@ from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.demand import dbf_server, server_step_points
-from repro.analysis.engine import resolve_engine
+from repro.analysis.engine import VECTORIZE_MIN_POINTS, resolve_engine
 from repro.analysis.hyperperiod import lcm_capped
 from repro.core.timeslot import TimeSlotTable
 
@@ -24,9 +24,8 @@ from repro.core.timeslot import TimeSlotTable
 #: exponential in the input values; refuse beyond this many slots.
 EXACT_TEST_CAP = 5_000_000
 
-#: Windows with fewer step points than this run the plain Python loop
-#: even under ``engine="vectorized"`` (see lsched_test).
-VECTORIZE_MIN_POINTS = 96
+# VECTORIZE_MIN_POINTS is re-exported (and monkeypatchable) here, but
+# defined once in repro.analysis.engine -- see the note there.
 
 
 @dataclass
@@ -207,7 +206,7 @@ def _check_window(
     engine: Optional[str] = None,
 ) -> GSchedResult:
     if (
-        resolve_engine(engine) == "vectorized"
+        resolve_engine(engine) != "scalar"
         and sum(horizon // pi for pi, _theta in servers) >= VECTORIZE_MIN_POINTS
     ):
         return _check_window_vectorized(table, servers, horizon, slack, method)

@@ -32,19 +32,38 @@ def lcm_all(values: Iterable[int]) -> int:
     return _lcm_cached(tuple(values))
 
 
+@lru_cache(maxsize=1 << 16)
+def _lcm_capped_cached(values: Tuple[int, ...], cap: int) -> int:
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"hyper-period needs positive values, got {value}")
+        result = math.lcm(result, value)
+        if result > cap:
+            # The running LCM only ever grows, so bail before folding in
+            # the remaining values: with adversarial co-prime inputs the
+            # full product is astronomically large and computing it would
+            # defeat the guard this function exists to provide.  The
+            # raise also keeps the failing tuple out of the memo
+            # (lru_cache never caches exceptions), so OverflowError is
+            # re-raised -- cheaply -- on every invocation.
+            raise OverflowError(
+                f"hyper-period exceeds cap {cap}; "
+                "use the pseudo-polynomial test"
+            )
+    return result
+
+
+register_cache("hyperperiod.lcm_capped", _lcm_capped_cached)
+
+
 def lcm_capped(values: Iterable[int], cap: int) -> int:
     """LCM with an explicit explosion guard.
 
     Exact tests (Theorems 1 and 3 checked to the LCM) are exponential in
     the input values; callers pass a cap and fall back to the
-    pseudo-polynomial tests when it is exceeded.
+    pseudo-polynomial tests when it is exceeded.  The cap is enforced
+    *inside* the reduction loop: the guard bails out as soon as the
+    running LCM crosses it instead of materializing the full LCM first.
     """
-    values = tuple(values)
-    # Pre-screen cheaply through the shared memo; only the cap check is
-    # recomputed, so failing calls keep raising on every invocation.
-    result = _lcm_cached(values)
-    if result > cap:
-        raise OverflowError(
-            f"hyper-period exceeds cap {cap}; use the pseudo-polynomial test"
-        )
-    return result
+    return _lcm_capped_cached(tuple(values), cap)

@@ -18,9 +18,8 @@ from repro.analysis.demand import (
     dbf_step_points,
     demand_signature,
 )
-from repro.analysis.engine import resolve_engine
+from repro.analysis.engine import VECTORIZE_MIN_POINTS, resolve_engine
 from repro.analysis.lsched_test import (
-    VECTORIZE_MIN_POINTS,
     LSchedResult,
     _exact_slack,
     _step_point_estimate,
@@ -65,7 +64,7 @@ def lsched_schedulable_linear(
         )
     horizon = _theorem4_bound_from_slack(pi, theta, tasks, slack)
     if (
-        resolve_engine(engine) == "vectorized"
+        resolve_engine(engine) != "scalar"
         and _step_point_estimate(tasks, horizon) >= VECTORIZE_MIN_POINTS
     ):
         return _linear_window_vectorized(pi, theta, tasks, horizon, float(slack))

@@ -21,7 +21,7 @@ from repro.analysis.demand import (
     dbf_taskset,
     demand_signature,
 )
-from repro.analysis.engine import resolve_engine
+from repro.analysis.engine import VECTORIZE_MIN_POINTS, resolve_engine
 from repro.analysis.hyperperiod import lcm_capped
 from repro.analysis.supply import sbf_server, sbf_server_inverse
 from repro.tasks.taskset import TaskSet
@@ -29,10 +29,8 @@ from repro.tasks.taskset import TaskSet
 #: Exact-test guard (see gsched_test.EXACT_TEST_CAP).
 EXACT_TEST_CAP = 5_000_000
 
-#: Windows with fewer step points than this run the plain Python loop
-#: even under ``engine="vectorized"``: numpy's per-call overhead only
-#: amortizes on larger grids, and both paths are bit-identical anyway.
-VECTORIZE_MIN_POINTS = 96
+# VECTORIZE_MIN_POINTS is re-exported (and monkeypatchable) here, but
+# defined once in repro.analysis.engine -- see the note there.
 
 
 @dataclass
@@ -207,7 +205,7 @@ def _check_window(
     engine: Optional[str] = None,
 ) -> LSchedResult:
     if (
-        resolve_engine(engine) == "vectorized"
+        resolve_engine(engine) != "scalar"
         and _step_point_estimate(tasks, horizon) >= VECTORIZE_MIN_POINTS
     ):
         return _check_window_vectorized(pi, theta, tasks, horizon, slack, method)

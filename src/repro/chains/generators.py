@@ -25,6 +25,7 @@ from typing import List, Tuple
 
 from repro.chains.model import CauseEffectChain, validate_chains
 from repro.sim.rng import RandomSource
+from repro.tasks.generators import target_wcet
 from repro.tasks.task import Criticality, IOTask, TaskKind
 from repro.tasks.taskset import TaskSet
 
@@ -193,8 +194,7 @@ def generate_chain_workload(
         for hop in range(hops):
             period = rng.choice_weighted(periods, weights)
             utilization = utilizations[cursor]
-            wcet = max(1, int(round(utilization * period)))
-            wcet = min(wcet, period)
+            wcet = target_wcet(utilization, period)
             task = IOTask(
                 name=f"{name}.c{chain_index}h{hop}",
                 period=period,

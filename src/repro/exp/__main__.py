@@ -11,7 +11,8 @@ Usage::
     python -m repro.exp isolation
     python -m repro.exp faults [--fault-trace PATH]
     python -m repro.exp acceptance
-    python -m repro.exp analysis-bench [--min-speedup X]
+    python -m repro.exp analysis-bench [--batched] [--min-speedup X]
+                                       [--bench-history PATH]
     python -m repro.exp chains [--trials N] [--horizon SLOTS] [--out DIR]
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
@@ -26,9 +27,13 @@ the run.
 
 ``analysis-bench`` and ``chains`` are the subcommands ``all`` does not
 include.  ``analysis-bench`` times the scalar vs vectorized analysis
-engines on a pinned sweep, so its output is inherently
-non-deterministic (wall clock); it exits non-zero when the engines
-disagree or the vectorized speedup falls below ``--min-speedup``.
+engines on a pinned sweep (plus the batched engine with ``--batched``),
+so its output is inherently non-deterministic (wall clock); it exits
+non-zero when the engines disagree or a speedup falls below
+``--min-speedup`` (vectorized over scalar and, with ``--batched``,
+batched over vectorized).  ``--bench-history PATH`` writes the
+schema-stable ``BENCH_analysis.json`` record the repo commits at its
+root.
 ``chains`` sweeps chain length x utilization, compares analytical
 end-to-end bounds against simulated chain latencies, writes
 ``chains.json``/``chains.csv`` artifacts to ``--out`` and exits 2 when
@@ -47,6 +52,7 @@ from repro.exp.analysis_bench import (
     export_analysis_bench_json,
     render_analysis_bench,
     run_analysis_bench,
+    write_bench_history,
 )
 from repro.exp.export import (
     export_fig7_csv,
@@ -125,7 +131,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=2.0,
         help="analysis-bench: fail (exit 3) unless the vectorized engine "
-        "beats the scalar engine by this factor on the pinned sweep",
+        "beats the scalar engine by this factor on the pinned sweep "
+        "(with --batched, also required of batched over vectorized)",
+    )
+    parser.add_argument(
+        "--batched", action="store_true",
+        help="analysis-bench: include the batched engine (whole-column "
+        "lsched_schedulable_batch submission) in the comparison",
+    )
+    parser.add_argument(
+        "--bench-history", type=Path, default=None,
+        help="analysis-bench: write the schema-stable BENCH_analysis.json "
+        "record here (the repo commits one at its root)",
     )
     parser.add_argument(
         "--fault-trace", type=Path, default=None,
@@ -211,17 +228,28 @@ def main(argv=None) -> int:
         bench_runner = ExperimentRunner(
             1, progress=True if args.progress else None, profile=args.profile
         )
-        bench = run_analysis_bench(seed=args.seed, runner=bench_runner)
+        engines = (
+            ("scalar", "vectorized", "batched")
+            if args.batched
+            else ("scalar", "vectorized")
+        )
+        bench = run_analysis_bench(
+            seed=args.seed, engines=engines, runner=bench_runner
+        )
         print(render_analysis_bench(bench))
         args.out.mkdir(parents=True, exist_ok=True)
-        for path in (
+        written = [
             export_analysis_bench_json(bench, args.out / "analysis_bench.json"),
             export_timing_json(bench_runner.timing, args.out / "timing.json"),
-        ):
+        ]
+        if args.bench_history is not None:
+            args.bench_history.parent.mkdir(parents=True, exist_ok=True)
+            written.append(write_bench_history(bench, args.bench_history))
+        for path in written:
             print(f"wrote {path}", file=sys.stderr)
         if not bench.outputs_identical:
             print(
-                "FAIL: scalar and vectorized engines rendered different "
+                "FAIL: the analysis engines rendered different "
                 "acceptance output",
                 file=sys.stderr,
             )
@@ -230,6 +258,13 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: vectorized speedup {bench.speedup:.2f}x is below "
                 f"the required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 3
+        if args.batched and bench.batched_speedup < args.min_speedup:
+            print(
+                f"FAIL: batched speedup {bench.batched_speedup:.2f}x over "
+                f"vectorized is below the required {args.min_speedup:.1f}x",
                 file=sys.stderr,
             )
             return 3

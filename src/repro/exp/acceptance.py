@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.batched import lsched_schedulable_batch
 from repro.analysis.linear_test import lsched_schedulable_linear
 from repro.analysis.lsched_test import lsched_schedulable
 from repro.exp.reporting import render_table
@@ -42,6 +43,12 @@ class AcceptanceCell:
     Task-set draws are keyed by ``seed + sample index`` and a name
     encoding the cell's utilization, exactly as in the serial loop, so
     parallel execution reproduces serial ratios bit for bit.
+
+    ``engine`` selects the Theorem-4 implementation: ``"batched"``
+    submits the cell's whole column of task sets as one
+    :func:`~repro.analysis.batched.lsched_schedulable_batch` call,
+    anything else dispatches :func:`lsched_schedulable` per sample.
+    Verdicts are bit-identical either way.
     """
 
     pi: int
@@ -53,14 +60,15 @@ class AcceptanceCell:
     period_min: int
     period_max: int
     implicit_deadlines: bool
+    engine: Optional[str] = None
 
 
 def run_acceptance_cell(cell: AcceptanceCell) -> AcceptancePoint:
     """Evaluate all three tests over one utilization level's samples."""
     bandwidth = cell.theta / cell.pi
     counts = {"theorem4": 0, "linear": 0, "bandwidth": 0}
-    for index in range(cell.samples):
-        tasks = generate_random_taskset(
+    tasksets = [
+        generate_random_taskset(
             cell.seed + index,
             task_count=cell.task_count,
             total_utilization=cell.utilization,
@@ -69,9 +77,21 @@ def run_acceptance_cell(cell: AcceptanceCell) -> AcceptancePoint:
             implicit_deadlines=cell.implicit_deadlines,
             name=f"acc.u{cell.utilization}.s{index}",
         )
+        for index in range(cell.samples)
+    ]
+    if cell.engine == "batched":
+        verdicts = lsched_schedulable_batch(
+            [(cell.pi, cell.theta, tasks) for tasks in tasksets]
+        )
+    else:
+        verdicts = [
+            lsched_schedulable(cell.pi, cell.theta, tasks, engine=cell.engine)
+            for tasks in tasksets
+        ]
+    for tasks, verdict in zip(tasksets, verdicts):
         if tasks.utilization <= bandwidth:
             counts["bandwidth"] += 1
-        if lsched_schedulable(cell.pi, cell.theta, tasks).schedulable:
+        if verdict.schedulable:
             counts["theorem4"] += 1
         if lsched_schedulable_linear(cell.pi, cell.theta, tasks).schedulable:
             counts["linear"] += 1
@@ -102,6 +122,7 @@ def run_acceptance(
     period_min: int = 40,
     period_max: int = 400,
     implicit_deadlines: bool = True,
+    engine: Optional[str] = None,
     jobs: Optional[int] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> AcceptanceResult:
@@ -110,6 +131,8 @@ def run_acceptance(
     Utilization levels fan out over the :mod:`repro.exp.runner` backend
     when ``jobs``/``runner`` ask for parallelism; each level's draws are
     independently seeded, so the ratios never depend on worker count.
+    ``engine`` is forwarded to every cell (see :class:`AcceptanceCell`);
+    the ratios are engine-independent by the batch parity contract.
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
@@ -125,6 +148,7 @@ def run_acceptance(
             period_min=period_min,
             period_max=period_max,
             implicit_deadlines=implicit_deadlines,
+            engine=engine,
         )
         for utilization in utilizations
     ]

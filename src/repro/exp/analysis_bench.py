@@ -1,15 +1,24 @@
-"""Analysis-engine benchmark: the same pinned sweep on both engines.
+"""Analysis-engine benchmark: the same pinned sweep on every engine.
 
-Runs a fig7-style acceptance sweep twice -- once with the scalar
-reference engine, once with the vectorized QPA engine -- and reports
-per-engine wall time plus a byte-comparison of the rendered acceptance
-output.  The sweep is pinned (fixed seed, fixed workload recipe) so CI
-can assert two invariants:
+Runs a fig7-style acceptance sweep once per engine -- the scalar
+reference, the vectorized QPA engine, and the batched engine (which
+submits each utilization level's whole column of task sets as one
+:func:`~repro.analysis.batched.lsched_schedulable_batch` call) -- and
+reports per-engine wall time plus a byte-comparison of the rendered
+acceptance output.  The sweep is pinned (fixed seed, fixed workload
+recipe) so CI can assert three invariants:
 
-* **identical output**: both engines must render byte-identical
+* **identical output**: all engines must render byte-identical
   acceptance tables (bit-identical verdicts);
 * **speedup**: the vectorized engine must beat the scalar engine by the
-  requested factor on this workload.
+  requested factor on this workload;
+* **batched speedup**: the batched engine must beat the per-pair
+  vectorized engine by the requested factor.
+
+:func:`write_bench_history` records the run as ``BENCH_analysis.json``
+-- a schema-stable snapshot committed at the repo root so CI can compare
+a fresh run against the recorded baseline
+(:func:`validate_bench_schema` checks both sides).
 
 The workload targets the regime the vectorized engine is built for:
 near-boundary utilization under a (Pi=20, Theta=14) server with
@@ -18,7 +27,14 @@ systems are mostly schedulable, so the Theorem-4 window must be swept
 (nearly) to its horizon -- exactly where per-``t`` Python loops drown
 and the numpy step-point sweep pays off.  Low-utilization or
 failure-dominated draws would measure nothing: their windows end after
-a handful of points either way.
+a handful of points either way.  Periods come from the pinned
+prime-factorization basis :data:`BENCH_BASIS`
+(:class:`~repro.tasks.generators.HyperperiodBasis`), the workload
+recipe the batched engine is co-designed with: every period divides the
+3600-slot basis hyper-period, so the batched engine builds each lane's
+step grid and demand curve from one hyper-period and *tiles* it across
+the Theorem-4 horizon, while the per-pair engines enumerate the full
+window.
 """
 
 from __future__ import annotations
@@ -29,21 +45,39 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.batched import lsched_schedulable_batch
 from repro.analysis.cache import clear_caches
 from repro.analysis.engine import ENGINES
 from repro.analysis.lsched_test import lsched_schedulable
 from repro.exp.reporting import render_table
 from repro.exp.runner import ExperimentRunner
 from repro.sim.rng import RandomSource
+from repro.tasks.generators import HyperperiodBasis
 from repro.tasks.task import IOTask
 from repro.tasks.taskset import TaskSet
 
 #: Pinned sweep: utilization levels and samples per level.
-BENCH_UTILIZATIONS: Tuple[float, ...] = (0.66, 0.67, 0.68)
-BENCH_SAMPLES = 30
+BENCH_UTILIZATIONS: Tuple[float, ...] = (0.60, 0.62, 0.64)
+BENCH_SAMPLES = 60
 BENCH_SERVER: Tuple[int, int] = (20, 14)
 BENCH_PERIODS: Tuple[int, int] = (40, 600)
-BENCH_TASK_COUNTS: Tuple[int, ...] = (12, 14, 16)
+BENCH_TASK_COUNTS: Tuple[int, ...] = (10, 12, 14)
+#: Timed passes per engine; the minimum is reported.  One pass is a few
+#: tens of milliseconds, so a scheduler hiccup lands squarely in the
+#: measured window -- the min over a handful of passes is the standard
+#: noise-robust statistic and keeps the CI speedup gate from flaking.
+BENCH_REPETITIONS = 3
+#: Prime-factorization period basis (hyper-period 2^4 * 3^2 * 5^2 =
+#: 3600): the workload recipe the batched engine's tiled grids target.
+BENCH_BASIS = HyperperiodBasis(
+    factors=(2, 2, 2, 2, 3, 3, 5, 5),
+    period_min=BENCH_PERIODS[0],
+    period_max=BENCH_PERIODS[1],
+)
+
+#: Version of the committed ``BENCH_analysis.json`` record; bump when
+#: its structure changes, and keep :func:`validate_bench_schema` in step.
+BENCH_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -69,9 +103,11 @@ class EngineRun:
 
 @dataclass
 class AnalysisBenchResult:
-    """Both engines' passes plus the comparison CI asserts on."""
+    """Every engine's pass plus the comparisons CI asserts on."""
 
     runs: List[EngineRun]
+    seed: int = 2021
+    samples: int = BENCH_SAMPLES
 
     def run_for(self, engine: str) -> EngineRun:
         for run in self.runs:
@@ -79,19 +115,31 @@ class AnalysisBenchResult:
                 return run
         raise KeyError(f"no run for engine {engine!r}")
 
+    def has_engine(self, engine: str) -> bool:
+        return any(run.engine == engine for run in self.runs)
+
     @property
     def outputs_identical(self) -> bool:
         outputs = {run.output for run in self.runs}
         return len(outputs) == 1
 
+    def speedup_over(self, baseline: str, engine: str) -> float:
+        """Baseline wall time over ``engine`` wall time."""
+        base = self.run_for(baseline).elapsed_seconds
+        fast = self.run_for(engine).elapsed_seconds
+        if fast <= 0:
+            return float("inf")
+        return base / fast
+
     @property
     def speedup(self) -> float:
         """Scalar wall time over vectorized wall time."""
-        scalar = self.run_for("scalar").elapsed_seconds
-        fast = self.run_for("vectorized").elapsed_seconds
-        if fast <= 0:
-            return float("inf")
-        return scalar / fast
+        return self.speedup_over("scalar", "vectorized")
+
+    @property
+    def batched_speedup(self) -> float:
+        """Vectorized wall time over batched wall time."""
+        return self.speedup_over("vectorized", "batched")
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -101,8 +149,9 @@ class AnalysisBenchResult:
             },
             "outputs_identical": self.outputs_identical,
             "speedup": self.speedup,
+            "speedups": _speedups_dict(self),
             "server": list(BENCH_SERVER),
-            "samples_per_level": BENCH_SAMPLES,
+            "samples_per_level": self.samples,
             "utilizations": list(BENCH_UTILIZATIONS),
         }
 
@@ -111,11 +160,13 @@ def bench_taskset(
     seed: int,
     task_count: int,
     utilization: float,
-    period_range: Tuple[int, int] = BENCH_PERIODS,
+    basis: HyperperiodBasis = BENCH_BASIS,
 ) -> TaskSet:
     """One pinned near-boundary task set.
 
-    Periods uniform in ``period_range``; utilization shares via a
+    Periods from the :data:`BENCH_BASIS` prime-factorization sampler
+    (every period divides the 3600-slot basis hyper-period, the regime
+    the batched engine's tiled grids exploit); utilization shares via a
     normalized draw; deadlines slightly constrained below the period
     (``D = max(C, T - T/8..T/4)``), which pushes step points off the
     period grid and grows the Theorem-4 horizon without tipping the set
@@ -126,7 +177,7 @@ def bench_taskset(
     scale = utilization / sum(shares)
     tasks = []
     for index, share in enumerate(shares):
-        period = rng.randint(*period_range)
+        period = basis.sample_period(rng)
         wcet = max(1, round(share * scale * period))
         deadline = max(wcet, period - rng.randint(period // 8, period // 4))
         tasks.append(
@@ -140,20 +191,40 @@ def bench_taskset(
     return TaskSet(tasks, name=f"bench.{seed}")
 
 
-def run_bench_cell(cell: BenchCell) -> Tuple[float, int]:
-    """Acceptance count for one utilization level under one engine."""
-    accepted = 0
-    for index in range(cell.samples):
-        task_count = BENCH_TASK_COUNTS[index % len(BENCH_TASK_COUNTS)]
-        tasks = bench_taskset(
-            cell.seed + index * 7919, task_count, cell.utilization
+def run_bench_cell(cell: BenchCell) -> Tuple[float, int, float]:
+    """Acceptance count and engine seconds for one utilization level.
+
+    The per-pair engines dispatch one :func:`lsched_schedulable` call
+    per sample; the batched engine submits the level's whole column of
+    task sets as a single
+    :func:`~repro.analysis.batched.lsched_schedulable_batch` call --
+    the usage pattern the batched engine exists for.  Task-set
+    generation is identical either way (same seeds, same draws), so the
+    verdict columns must match byte for byte.  Only the engine calls
+    are timed: generation time is engine-independent and would dilute
+    the speedup this benchmark exists to gate.
+    """
+    tasksets = [
+        bench_taskset(
+            cell.seed + index * 7919,
+            BENCH_TASK_COUNTS[index % len(BENCH_TASK_COUNTS)],
+            cell.utilization,
         )
-        result = lsched_schedulable(
-            cell.pi, cell.theta, tasks, engine=cell.engine
+        for index in range(cell.samples)
+    ]
+    started = time.perf_counter()  # iolint: disable=IOL003 -- host-side benchmark timing
+    if cell.engine == "batched":
+        results = lsched_schedulable_batch(
+            [(cell.pi, cell.theta, tasks) for tasks in tasksets]
         )
-        if result.schedulable:
-            accepted += 1
-    return cell.utilization, accepted
+    else:
+        results = [
+            lsched_schedulable(cell.pi, cell.theta, tasks, engine=cell.engine)
+            for tasks in tasksets
+        ]
+    elapsed = time.perf_counter() - started  # iolint: disable=IOL003 -- host-side benchmark timing
+    accepted = sum(1 for result in results if result.schedulable)
+    return cell.utilization, accepted, elapsed
 
 
 def _render(rows: Sequence[Tuple[float, int]], samples: int) -> str:
@@ -175,15 +246,22 @@ def run_analysis_bench(
     seed: int = 2021,
     samples: int = BENCH_SAMPLES,
     engines: Sequence[str] = ENGINES,
+    repetitions: int = BENCH_REPETITIONS,
     runner: Optional[ExperimentRunner] = None,
 ) -> AnalysisBenchResult:
-    """Run the pinned sweep once per engine; cold caches for each.
+    """Run the pinned sweep per engine; best of ``repetitions`` passes.
 
-    Timing phases land in the runner's :class:`TimingSummary` (labels
-    ``analysis-bench[<engine>]``) so ``timing.json`` carries the wall
-    times CI compares.  The sweep always runs serially within one
-    engine: parallel workers would overlap the two measurements.
+    ``elapsed_seconds`` per engine is the *minimum* over ``repetitions``
+    cold-cache passes of the summed engine time reported by the cells
+    (analysis calls only -- task-set generation is identical across
+    engines and excluded; the minimum discards scheduler hiccups, which
+    only ever inflate a pass).  Wall-clock phases still land in the
+    runner's :class:`TimingSummary` (labels ``analysis-bench[<engine>]``)
+    so ``timing.json`` carries them too.  The sweep always runs serially
+    within one engine: parallel workers would overlap the measurements.
     """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     runner = runner if runner is not None else ExperimentRunner(1)
     pi, theta = BENCH_SERVER
     runs: List[EngineRun] = []
@@ -199,22 +277,29 @@ def run_analysis_bench(
             )
             for utilization in BENCH_UTILIZATIONS
         ]
-        # Cold caches per engine: the memoized kernels are shared, and a
-        # warm second run would not measure the engine at all.
-        clear_caches()
-        started = time.perf_counter()  # iolint: disable=IOL003 -- host-side benchmark timing
-        rows = runner.map(
-            run_bench_cell, cells, label=f"analysis-bench[{engine}]"
-        )
-        elapsed = time.perf_counter() - started  # iolint: disable=IOL003 -- host-side benchmark timing
+        output = ""
+        best_elapsed = float("inf")
+        for _repetition in range(repetitions):
+            # Cold caches per pass: the memoized kernels are shared, and
+            # a warm second pass would not measure the engine at all.
+            clear_caches()
+            rows = runner.map(
+                run_bench_cell, cells, label=f"analysis-bench[{engine}]"
+            )
+            # The verdict columns are pinned, so every pass renders the
+            # same bytes; only the timing varies.
+            output = _render(
+                [(u, accepted) for u, accepted, _seconds in rows], samples
+            )
+            best_elapsed = min(
+                best_elapsed, sum(seconds for _u, _a, seconds in rows)
+            )
         runs.append(
             EngineRun(
-                engine=engine,
-                output=_render(rows, samples),
-                elapsed_seconds=elapsed,
+                engine=engine, output=output, elapsed_seconds=best_elapsed
             )
         )
-    return AnalysisBenchResult(runs=runs)
+    return AnalysisBenchResult(runs=runs, seed=seed, samples=samples)
 
 
 def render_analysis_bench(result: AnalysisBenchResult) -> str:
@@ -228,6 +313,10 @@ def render_analysis_bench(result: AnalysisBenchResult) -> str:
         + ("yes" if result.outputs_identical else "NO - ENGINES DISAGREE")
     )
     lines.append(f"vectorized speedup: {result.speedup:.2f}x")
+    if result.has_engine("batched"):
+        lines.append(
+            f"batched speedup over vectorized: {result.batched_speedup:.2f}x"
+        )
     return "\n".join(lines)
 
 
@@ -238,3 +327,110 @@ def export_analysis_bench_json(
     path = Path(path)
     path.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True))
     return path
+
+
+# -- BENCH_analysis.json history record --------------------------------------
+
+
+def _speedups_dict(result: AnalysisBenchResult) -> Dict[str, Optional[float]]:
+    both = result.has_engine("scalar") and result.has_engine("vectorized")
+    batched = result.has_engine("vectorized") and result.has_engine("batched")
+    return {
+        "vectorized_over_scalar": result.speedup if both else None,
+        "batched_over_vectorized": result.batched_speedup if batched else None,
+    }
+
+
+def bench_history_record(result: AnalysisBenchResult) -> Dict[str, object]:
+    """The schema-stable record committed as ``BENCH_analysis.json``.
+
+    Structural contract enforced by :func:`validate_bench_schema`;
+    absolute times vary by host, so CI compares *structure* (and the
+    recorded speedups' presence), never wall-clock values.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "sweep": {
+            "seed": result.seed,
+            "samples_per_level": result.samples,
+            "server": list(BENCH_SERVER),
+            "task_counts": list(BENCH_TASK_COUNTS),
+            "periods": list(BENCH_PERIODS),
+            "utilizations": list(BENCH_UTILIZATIONS),
+        },
+        "engines": {
+            run.engine: {"elapsed_seconds": run.elapsed_seconds}
+            for run in result.runs
+        },
+        "speedups": _speedups_dict(result),
+        "outputs_identical": result.outputs_identical,
+    }
+
+
+def write_bench_history(result: AnalysisBenchResult, path: Path) -> Path:
+    record = bench_history_record(result)
+    problems = validate_bench_schema(record)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid bench record: " + "; ".join(problems)
+        )
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+_SWEEP_KEYS = (
+    "seed",
+    "samples_per_level",
+    "server",
+    "task_counts",
+    "periods",
+    "utilizations",
+)
+
+
+def validate_bench_schema(doc: object) -> List[str]:
+    """Structural check of a ``BENCH_analysis.json`` document.
+
+    Returns a list of human-readable problems; empty means valid.  Used
+    by CI against both the committed baseline and a fresh run.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, dict):
+        problems.append("missing 'sweep' object")
+    else:
+        for key in _SWEEP_KEYS:
+            if key not in sweep:
+                problems.append(f"sweep lacks {key!r}")
+    engines = doc.get("engines")
+    if not isinstance(engines, dict) or not engines:
+        problems.append("missing non-empty 'engines' object")
+    else:
+        for name, entry in engines.items():
+            elapsed = entry.get("elapsed_seconds") if isinstance(entry, dict) else None
+            if not isinstance(elapsed, (int, float)) or elapsed <= 0:
+                problems.append(
+                    f"engine {name!r} lacks a positive elapsed_seconds"
+                )
+    speedups = doc.get("speedups")
+    if not isinstance(speedups, dict):
+        problems.append("missing 'speedups' object")
+    else:
+        for key in ("vectorized_over_scalar", "batched_over_vectorized"):
+            if key not in speedups:
+                problems.append(f"speedups lacks {key!r}")
+            elif speedups[key] is not None and not isinstance(
+                speedups[key], (int, float)
+            ):
+                problems.append(f"speedups[{key!r}] is not numeric or null")
+    if not isinstance(doc.get("outputs_identical"), bool):
+        problems.append("missing boolean 'outputs_identical'")
+    return problems

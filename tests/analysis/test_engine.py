@@ -1,0 +1,58 @@
+"""Engine selection and the single-source-of-truth cutoff constant."""
+
+import pytest
+
+from repro.analysis import engine as engine_mod
+from repro.analysis import gsched_test, linear_test, lsched_test
+from repro.analysis.engine import (
+    ENGINES,
+    VECTORIZE_MIN_POINTS,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+    use_engine,
+)
+
+
+class TestResolution:
+    def test_precedence_argument_over_override(self):
+        previous = set_default_engine("scalar")
+        try:
+            assert resolve_engine("batched") == "batched"
+            assert resolve_engine(None) == "scalar"
+        finally:
+            set_default_engine(previous)
+
+    def test_env_var_consulted_when_unset(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_default_override", None)
+        monkeypatch.setenv(engine_mod.ENGINE_ENV_VAR, "batched")
+        assert default_engine() == "batched"
+        monkeypatch.delenv(engine_mod.ENGINE_ENV_VAR)
+        assert default_engine() == "vectorized"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis engine"):
+            resolve_engine("simd")
+
+    def test_use_engine_restores(self):
+        before = default_engine()
+        with use_engine("scalar") as active:
+            assert active == "scalar"
+            assert default_engine() == "scalar"
+        assert default_engine() == before
+
+    def test_batched_is_a_supported_engine(self):
+        assert ENGINES == ("scalar", "vectorized", "batched")
+
+
+class TestVectorizeMinPointsSingleSource:
+    def test_theorem_modules_do_not_drift(self):
+        """The cutoff is defined once in ``repro.analysis.engine``; the
+        theorem-test modules re-export it.  A module growing its own
+        value would silently route G-Sched and L-Sched differently."""
+        for module in (lsched_test, gsched_test, linear_test):
+            assert module.VECTORIZE_MIN_POINTS == VECTORIZE_MIN_POINTS
+
+    def test_pinned_value(self):
+        # Deliberate drift guard: retune in engine.py, not per module.
+        assert VECTORIZE_MIN_POINTS == 96

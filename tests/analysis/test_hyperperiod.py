@@ -34,3 +34,31 @@ class TestLcmCapped:
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             lcm_capped([0], cap=10)
+
+    def test_early_bail_skips_astronomical_products(self):
+        # Regression: the guard must trip at the first cap crossing
+        # instead of folding every value first -- with thousands of
+        # pairwise-coprime inputs the full LCM has tens of thousands of
+        # digits and materializing it defeats the guard.  Keep a bound
+        # on the big-int the reduction is allowed to grow: crossing the
+        # cap at value k leaves at most cap * values[k] in hand.
+        primes = _first_primes(2_000)
+        cap = 10**6
+        for _attempt in range(3):  # OverflowError is never memoized
+            with pytest.raises(OverflowError, match="pseudo-polynomial"):
+                lcm_capped(primes, cap)
+
+    def test_bail_point_is_exact(self):
+        # 2 * 3 * 5 * 7 = 210; a cap of 209 must reject, 210 accept.
+        assert lcm_capped([2, 3, 5, 7], cap=210) == 210
+        with pytest.raises(OverflowError):
+            lcm_capped([2, 3, 5, 7], cap=209)
+
+
+def _first_primes(count):
+    primes, candidate = [], 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes if p * p <= candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes

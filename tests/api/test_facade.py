@@ -14,6 +14,7 @@ from repro.api import (
     TaskKind,
     admit,
     analyze,
+    analyze_many,
     build_system,
     simulate,
     withdraw,
@@ -103,6 +104,56 @@ class TestAnalyze:
         assert scalar.schedulable == fast.schedulable
         assert scalar.global_result == fast.global_result
         assert scalar.local_results == fast.local_results
+
+
+class TestAnalyzeMany:
+    def systems(self):
+        mixed = [
+            build_system(SystemConfig(tasks=sample_tasks())),
+            build_system(
+                SystemConfig(
+                    tasks=[
+                        IOTask(name="heavy", period=20, wcet=15, vm_id=0,
+                               kind=TaskKind.RUNTIME),
+                    ],
+                    table_pattern=[0] * 10,
+                    servers=[ServerConfig(0, 20, 10)],
+                )
+            ),
+            build_system(
+                SystemConfig(
+                    table_pattern=[1, 0, 0, 1, 0, 0, 0, 0, 0, 0],
+                    servers=[ServerConfig(0, 20, 8), ServerConfig(1, 20, 6)],
+                )
+            ),
+        ]
+        return mixed
+
+    def test_empty_batch(self):
+        assert analyze_many([]) == []
+
+    def test_batched_matches_per_system_analyze(self):
+        systems = self.systems()
+        reports = analyze_many(systems, engine="batched")
+        assert len(reports) == len(systems)
+        for system, report in zip(systems, reports):
+            reference = analyze(system)
+            assert report.schedulable == reference.schedulable
+            assert report.global_result == reference.global_result
+            assert report.local_results == reference.local_results
+
+    def test_non_batched_engines_degrade_to_per_system(self):
+        systems = self.systems()
+        for engine in ("scalar", "vectorized"):
+            reports = analyze_many(systems, engine=engine)
+            for system, report in zip(systems, reports):
+                reference = analyze(system, engine=engine)
+                assert report.schedulable == reference.schedulable
+                assert report.local_results == reference.local_results
+
+    def test_mixed_verdicts_keep_order(self):
+        reports = analyze_many(self.systems(), engine="batched")
+        assert [r.schedulable for r in reports] == [True, False, True]
 
 
 class TestAdmitAndSimulate:

@@ -1,12 +1,22 @@
-"""Tests for the scalar-vs-vectorized analysis benchmark."""
+"""Tests for the analysis-engine benchmark (scalar/vectorized/batched)."""
 
 import json
 
+import pytest
+
+from repro.analysis.engine import ENGINES
 from repro.exp.analysis_bench import (
+    BENCH_BASIS,
     BENCH_SAMPLES,
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
     bench_taskset,
+    bench_history_record,
     export_analysis_bench_json,
     run_analysis_bench,
+    run_bench_cell,
+    validate_bench_schema,
+    write_bench_history,
 )
 from repro.exp.runner import ExperimentRunner
 
@@ -31,19 +41,80 @@ class TestBenchWorkload:
         # Integer WCET rounding moves the draw a little off target.
         assert abs(utilization - 0.67) < 0.05
 
+    def test_periods_divide_the_basis_hyperperiod(self):
+        hyperperiod = BENCH_BASIS.hyperperiod()
+        for seed in (3, 7, 11):
+            for task in bench_taskset(seed, 12, 0.62):
+                assert hyperperiod % task.period == 0
+
+
+class TestBenchCell:
+    def test_batched_cell_matches_per_pair_cells(self):
+        cells = [
+            BenchCell(
+                engine=engine, pi=20, theta=14,
+                utilization=0.62, samples=6, seed=2021,
+            )
+            for engine in ("scalar", "vectorized", "batched")
+        ]
+        rows = [run_bench_cell(cell) for cell in cells]
+        verdicts = {(u, accepted) for u, accepted, _seconds in rows}
+        assert len(verdicts) == 1
+        for _u, _accepted, seconds in rows:
+            assert seconds > 0
+
 
 class TestBenchRun:
     def test_engines_agree_and_timings_recorded(self, tmp_path):
         runner = ExperimentRunner(1)
-        result = run_analysis_bench(runner=runner)
+        result = run_analysis_bench(samples=6, repetitions=1, runner=runner)
         assert result.outputs_identical
         assert result.speedup > 0
+        assert result.batched_speedup > 0
         labels = [phase.label for phase in runner.timing.phases]
-        assert "analysis-bench[scalar]" in labels
-        assert "analysis-bench[vectorized]" in labels
+        for engine in ENGINES:
+            assert f"analysis-bench[{engine}]" in labels
 
         path = export_analysis_bench_json(result, tmp_path / "bench.json")
         payload = json.loads(path.read_text())
         assert payload["outputs_identical"] is True
-        assert set(payload["engines"]) == {"scalar", "vectorized"}
-        assert payload["samples_per_level"] == BENCH_SAMPLES
+        assert set(payload["engines"]) == set(ENGINES)
+        assert set(ENGINES) >= {"scalar", "vectorized", "batched"}
+        assert payload["samples_per_level"] == 6
+
+    def test_repetitions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_analysis_bench(repetitions=0)
+
+    def test_default_samples_pinned(self):
+        assert BENCH_SAMPLES == 60
+
+
+class TestBenchHistory:
+    def _result(self):
+        return run_analysis_bench(
+            samples=4, repetitions=1, runner=ExperimentRunner(1)
+        )
+
+    def test_record_passes_schema(self):
+        record = bench_history_record(self._result())
+        assert validate_bench_schema(record) == []
+        assert record["schema_version"] == BENCH_SCHEMA_VERSION
+        assert record["speedups"]["vectorized_over_scalar"] is not None
+        assert record["speedups"]["batched_over_vectorized"] is not None
+
+    def test_write_and_reload_roundtrip(self, tmp_path):
+        path = write_bench_history(
+            self._result(), tmp_path / "BENCH_analysis.json"
+        )
+        doc = json.loads(path.read_text())
+        assert validate_bench_schema(doc) == []
+
+    def test_validator_flags_structural_damage(self):
+        record = bench_history_record(self._result())
+        record.pop("speedups")
+        record["schema_version"] = 999
+        problems = validate_bench_schema(record)
+        assert any("speedups" in p for p in problems)
+        assert any("schema_version" in p for p in problems)
+        assert validate_bench_schema([]) == ["document is not a JSON object"]

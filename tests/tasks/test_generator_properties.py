@@ -6,10 +6,19 @@ integer-slot rounding), a fixed seed replays bit-identically, and
 periods stay inside the configured log-uniform range.
 """
 
+import math
+
 import pytest
 
+from repro.analysis.hyperperiod import lcm_all
 from repro.sim.rng import RandomSource
-from repro.tasks.generators import TaskSetGenerator, generate_random_taskset
+from repro.tasks.generators import (
+    HyperperiodBasis,
+    TaskSetGenerator,
+    generate_factorized_taskset,
+    generate_random_taskset,
+    target_wcet,
+)
 
 
 def _fingerprint(taskset):
@@ -45,8 +54,8 @@ class TestUUniFastSums:
             seed, task_count=6, total_utilization=target,
             period_min=10, period_max=200,
         )
-        # C = max(1, round(u*T)) puts each task within 1/T of its drawn
-        # utilization; the aggregate deviation is bounded by the sum.
+        # C = floor(u*T) clamped to [1, T] puts each task within 1/T of
+        # its drawn utilization; aggregate deviation is bounded by the sum.
         slack = sum(1 / task.period for task in taskset)
         assert abs(taskset.utilization - target) <= slack
 
@@ -95,3 +104,83 @@ class TestPeriodRange:
         for task in taskset:
             assert low <= task.period <= period_max
             assert 1 <= task.wcet <= task.deadline <= task.period
+
+
+class TestWcetQuantization:
+    """The single quantization rule: ``C = floor(U * T)`` clamped.
+
+    Flooring (rather than ``round``) guarantees a realized task never
+    exceeds its requested utilization except through the ``minimum``
+    clamp -- sweeps position cells just below the schedulability
+    boundary, and round-up bias silently pushed them over it.
+    """
+
+    def test_round_half_up_regression(self):
+        # round(0.7 * 5) banker's-rounds to 4 (U = 0.8 > 0.7 requested);
+        # floor gives 3 (U = 0.6 <= 0.7).
+        assert target_wcet(0.7, 5) == 3
+
+    def test_clamps(self):
+        assert target_wcet(0.9, 1) == 1  # floor would give 0
+        assert target_wcet(2.0, 5) == 5  # capped at the period
+        assert target_wcet(0.01, 10, minimum=2) == 2
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_realized_never_overshoots_beyond_clamp(self, seed):
+        target = 0.75
+        taskset = generate_random_taskset(
+            seed, task_count=8, total_utilization=target,
+            period_min=10, period_max=400,
+        )
+        # floor keeps each unclamped task at or below its share; only
+        # min-WCET-clamped tasks (wcet == 1 exceeding floor(u*T)) can
+        # push the aggregate above the request, by at most 1/T each.
+        clamp_allowance = sum(
+            1 / task.period for task in taskset if task.wcet == 1
+        )
+        assert taskset.utilization <= target + clamp_allowance + 1e-12
+
+
+class TestHyperperiodBasis:
+    def test_candidates_divide_the_hyperperiod(self):
+        basis = HyperperiodBasis(factors=(2, 2, 3, 5), period_min=2)
+        hyperperiod = basis.hyperperiod()
+        assert hyperperiod == 60
+        for period in basis.candidate_periods():
+            assert hyperperiod % period == 0
+
+    def test_sampled_periods_stay_in_range(self):
+        basis = HyperperiodBasis(
+            factors=(2, 2, 2, 3, 3, 5), period_min=6, period_max=90
+        )
+        rng = RandomSource(11, "basis-prop")
+        for _draw in range(200):
+            period = basis.sample_period(rng)
+            assert 6 <= period <= 90
+            assert basis.hyperperiod() % period == 0
+
+    def test_sampling_is_deterministic(self):
+        basis = HyperperiodBasis()
+        first = [basis.sample_period(RandomSource(3, "det")) for _ in range(5)]
+        second = [basis.sample_period(RandomSource(3, "det")) for _ in range(5)]
+        assert first == second
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError):
+            HyperperiodBasis(factors=())
+        with pytest.raises(ValueError):
+            HyperperiodBasis(factors=(1, 2))
+        with pytest.raises(ValueError):
+            HyperperiodBasis(factors=(2, 3), period_min=7)  # no candidate
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_factorized_taskset_lcms_stay_bounded(self, seed):
+        basis = HyperperiodBasis(factors=(2, 2, 2, 3, 3, 5), period_min=4)
+        taskset = generate_factorized_taskset(
+            seed, task_count=8, total_utilization=0.6, basis=basis
+        )
+        periods = [task.period for task in taskset]
+        # The LCM of ANY subset of sampled periods divides the basis
+        # hyper-period -- the whole point of the factorized draw.
+        assert basis.hyperperiod() % lcm_all(periods) == 0
+        assert math.lcm(*periods) == lcm_all(periods)
