@@ -40,6 +40,18 @@ ENGINES = ("scalar", "vectorized", "batched")
 #: it, so the cutoff cannot drift between G-Sched and L-Sched.
 VECTORIZE_MIN_POINTS = 96
 
+#: Largest horizon/step-point magnitude the numpy int64 kernels accept.
+#: Theorem-4 horizons are exact integers and can be astronomically large
+#: when the slack is a hair above zero; int64 arithmetic on such values
+#: wraps silently (a negative demand reads as schedulable) or crashes
+#: with an opaque conversion error at array-fill time.  The kernels in
+#: :mod:`repro.analysis.vectorized` / :mod:`repro.analysis.batched`
+#: check their bounds against this cap and raise ``OverflowError``
+#: instead.  ``2**60`` leaves 8x headroom below ``2**63`` for the
+#: ``start + k*period`` / tiled-shift products the kernels form.
+#: Single source of truth, like :data:`VECTORIZE_MIN_POINTS`.
+INT64_SAFE_HORIZON = 1 << 60
+
 #: Environment knob consulted when no explicit engine is given,
 #: mirroring ``REPRO_JOBS`` / ``REPRO_SCALE``.
 ENGINE_ENV_VAR = "REPRO_ANALYSIS_ENGINE"

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.analysis.cache import register_cache
 from repro.analysis.demand import DemandSignature, dbf_signature_demand
+from repro.analysis.engine import INT64_SAFE_HORIZON
 from repro.analysis.supply import supply_at_least
 from repro.core.timeslot import TimeSlotTable
 
@@ -185,6 +186,12 @@ def step_points_in_range(pairs: StepPairs, lo: int, hi: int) -> np.ndarray:
     tasks appears once per task -- harmless for scanning, and skipping
     the dedup keeps the per-chunk cost at one sort.
     """
+    if hi > INT64_SAFE_HORIZON:
+        raise OverflowError(
+            f"step-point range top {hi} exceeds the int64-safe cap "
+            f"{INT64_SAFE_HORIZON}; the start + k*period grid points "
+            f"would wrap in int64 -- use the exact (hyper-period) test"
+        )
     arrays: List[np.ndarray] = []
     for deadline, period in pairs:
         if hi < deadline:
@@ -216,6 +223,12 @@ def server_points_in_range(
     periods: Sequence[int], lo: int, hi: int
 ) -> np.ndarray:
     """Sorted Eq. (3) jump points (period multiples) in [lo, hi]."""
+    if hi > INT64_SAFE_HORIZON:
+        raise OverflowError(
+            f"server step-point range top {hi} exceeds the int64-safe "
+            f"cap {INT64_SAFE_HORIZON}; period-multiple grid points "
+            f"would wrap in int64 -- use the exact (hyper-period) test"
+        )
     arrays: List[np.ndarray] = []
     for pi in periods:
         if hi < pi:
@@ -234,6 +247,10 @@ def _largest_step_le(pairs: StepPairs, limit: int) -> Optional[int]:
     best: Optional[int] = None
     for deadline, period in pairs:
         if limit >= deadline:
+            # iolint: disable=IOL008 -- pure-Python int arithmetic
+            # (arbitrary precision, cannot wrap); results stay Python
+            # ints until the scan ranges, which are capped at
+            # INT64_SAFE_HORIZON by step_points_in_range
             point = deadline + ((limit - deadline) // period) * period
             if best is None or point > best:
                 best = point
@@ -247,6 +264,9 @@ def _largest_server_step_le(
     best: Optional[int] = None
     for pi in periods:
         if limit >= pi:
+            # iolint: disable=IOL008 -- pure-Python int arithmetic
+            # (arbitrary precision, cannot wrap); scan ranges built from
+            # the result are capped by server_points_in_range
             point = (limit // pi) * pi
             if best is None or point > best:
                 best = point

@@ -13,8 +13,9 @@ from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Baseline
 from repro.lint.config import load_config
-from repro.lint.engine import lint_paths
-from repro.lint.formatters import FORMATTERS, format_stats
+from repro.lint.engine import DEFAULT_CACHE_DIR, lint_paths
+from repro.lint.formatters import FORMATTERS, format_profile, format_stats
+from repro.lint.program_rules import all_program_rules
 from repro.lint.rules import all_rules
 
 DEFAULT_BASELINE = "iolint-baseline.json"
@@ -58,7 +59,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="append per-rule finding counts to the report",
+        help="append per-rule finding counts and rule timing to the report",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a phase breakdown (parse / graph build / rule passes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel phase-1 workers (0 = one per CPU; output is "
+        "byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"phase-1 record cache, keyed on content+config+analyzer "
+        f"hashes (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the phase-1 record cache",
     )
     parser.add_argument(
         "--list-rules",
@@ -83,6 +109,12 @@ def _list_rules() -> str:
     for rule in all_rules():
         lines.append(f"{rule.rule_id} [{rule.severity.value}] {rule.summary}")
         lines.append(f"    fix: {rule.fix_hint}")
+    for program_rule in all_program_rules():
+        lines.append(
+            f"{program_rule.rule_id} [{program_rule.severity.value}] "
+            f"(whole-program) {program_rule.summary}"
+        )
+        lines.append(f"    fix: {program_rule.fix_hint}")
     return "\n".join(lines)
 
 
@@ -106,8 +138,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"iolint: cannot read baseline: {exc}", file=sys.stderr)
             return 2
 
+    cache_dir: Optional[str] = None
+    if not args.no_cache:
+        cache_path = Path(args.cache_dir)
+        if not cache_path.is_absolute():
+            cache_path = root / cache_path
+        cache_dir = str(cache_path)
+
     paths: List[str] = list(args.paths)
-    result = lint_paths(paths, config=config, baseline=baseline)
+    result = lint_paths(
+        paths,
+        config=config,
+        baseline=baseline,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
 
     if args.write_baseline:
         fresh = Baseline.from_findings(result.findings)
@@ -123,6 +168,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(FORMATTERS[args.format](result))
     if args.stats:
         print(format_stats(result))
+    if args.profile:
+        print(format_profile(result))
     return result.exit_code
 
 

@@ -69,6 +69,58 @@ class LintConfig:
         "Server",
     )
 
+    #: -- whole-program (v2) knobs ------------------------------------------
+
+    #: Function-name substrings that make a function an IOL007 taint
+    #: root even outside a digest-scope module: anything that digests,
+    #: exports or canonicalizes artifacts must be entropy-free all the
+    #: way down its call tree.
+    taint_root_markers: Tuple[str, ...] = (
+        "digest",
+        "export",
+        "serialize",
+        "canonical",
+    )
+
+    #: Path prefixes (posix, relative) where IOL008 audits numpy int64
+    #: arithmetic.  Only the exact-analysis kernels carry the
+    #: overflow-soundness obligation.
+    overflow_scope_prefixes: Tuple[str, ...] = ("src/repro/analysis/",)
+
+    #: Identifier substrings that mark a value as period/horizon/LCM
+    #: typed for the IOL008 provenance lattice.
+    overflow_value_markers: Tuple[str, ...] = (
+        "period",
+        "horizon",
+        "lcm",
+        "hyper",
+        "laxity",
+    )
+
+    #: Callee-name substrings that count as an explicit overflow guard:
+    #: a function calling any of these has accepted the cap obligation.
+    overflow_guard_callees: Tuple[str, ...] = ("lcm_capped", "_capped")
+
+    #: Identifier substrings (case-insensitive) whose mere mention marks
+    #: a function as cap-guarded (``GRID_LCM_CAP``, an ``lcm_cap``
+    #: parameter, ...).
+    overflow_guard_markers: Tuple[str, ...] = ("cap",)
+
+    #: Class-name substrings identifying parallel runners for IOL009.
+    runner_class_markers: Tuple[str, ...] = ("ExperimentRunner", "Runner")
+
+    #: Method names on a runner that submit worker functions.
+    runner_submit_methods: Tuple[str, ...] = ("map", "starmap", "submit")
+
+    #: Module-level names workers may read even though they are mutable
+    #: containers (per-process caches and the like, re-created in each
+    #: worker process rather than shared).
+    runner_shared_whitelist: Tuple[str, ...] = ()
+
+    #: Where IOL010 finds the engine registry: module and constant name.
+    engine_registry_module: str = "repro.analysis.engine"
+    engine_registry_name: str = "ENGINES"
+
     #: Relative-path fragments excluded from analysis entirely.  The
     #: fixture corpus contains deliberate violations and must never be
     #: linted as production code.
@@ -77,6 +129,7 @@ class LintConfig:
         "__pycache__",
         ".git",
         ".egg-info",
+        ".iolint-cache",
         "build/",
         "dist/",
     )
@@ -96,6 +149,9 @@ class LintConfig:
 
     def in_slot_scope(self, rel_path: str) -> bool:
         return any(rel_path.startswith(p) for p in self.slot_scope_prefixes)
+
+    def in_overflow_scope(self, rel_path: str) -> bool:
+        return any(rel_path.startswith(p) for p in self.overflow_scope_prefixes)
 
 
 def _coerce(value: object) -> object:

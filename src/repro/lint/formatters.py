@@ -1,4 +1,4 @@
-"""Output formatters: human text, machine JSON, GitHub annotations."""
+"""Output formatters: human text, machine JSON, GitHub annotations, SARIF."""
 
 from __future__ import annotations
 
@@ -6,7 +6,9 @@ import json
 from typing import Dict, List
 
 from repro.lint.engine import LintResult
-from repro.lint.findings import Severity
+from repro.lint.findings import Finding, Severity
+from repro.lint.program_rules import all_program_rules
+from repro.lint.rules import all_rules
 
 
 def format_text(result: LintResult, verbose: bool = False) -> str:
@@ -88,14 +90,22 @@ def _escape(message: str) -> str:
 
 
 def format_stats(result: LintResult) -> str:
-    """Per-rule finding counts, for CHANGES.md bookkeeping."""
+    """Per-rule finding counts and rule-pass timing."""
     stats = result.stats()
-    lines = ["rule    active  baselined  suppressed"]
+    lines = ["rule    active  baselined  suppressed     seconds"]
     for rule_id, row in stats.items():
+        seconds = result.rule_timings.get(rule_id, 0.0)
         lines.append(
             f"{rule_id:<8}{row['active']:>6}{row['baselined']:>11}"
-            f"{row['suppressed']:>12}"
+            f"{row['suppressed']:>12}{seconds:>12.3f}"
         )
+    # rules that ran clean still cost time; show them below the table
+    for rule_id in sorted(result.rule_timings):
+        if rule_id not in stats:
+            lines.append(
+                f"{rule_id:<8}{0:>6}{0:>11}{0:>12}"
+                f"{result.rule_timings[rule_id]:>12.3f}"
+            )
     totals: Dict[str, int] = {"active": 0, "baselined": 0, "suppressed": 0}
     for row in stats.values():
         for key in totals:
@@ -103,14 +113,112 @@ def format_stats(result: LintResult) -> str:
     lines.append(
         f"{'total':<8}{totals['active']:>6}{totals['baselined']:>11}"
         f"{totals['suppressed']:>12}"
+        f"{sum(result.rule_timings.values()):>12.3f}"
     )
     return "\n".join(lines)
+
+
+def format_profile(result: LintResult) -> str:
+    """Phase breakdown for ``--profile``: where analyzer time goes."""
+    order = (
+        ("parse", "parse"),
+        ("file_rules", "file-local rules"),
+        ("graph_extract", "summary extraction"),
+        ("graph_build", "call-graph build"),
+        ("program_rules", "whole-program rules"),
+        ("phase1", "phase 1 wall clock"),
+    )
+    lines = ["phase                     seconds"]
+    for key, label in order:
+        if key in result.timings:
+            lines.append(f"{label:<24}{result.timings[key]:>9.3f}")
+    lines.append(
+        f"{'cache':<24}{result.cache_hits:>4} hit"
+        f" / {result.cache_misses} miss"
+    )
+    return "\n".join(lines)
+
+
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "note" if finding.baselined else _SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"iolintFingerprint/v1": finding.fingerprint()},
+    }
+    if finding.suppressed:
+        entry["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.justification or "",
+            }
+        ]
+    return entry
+
+
+def format_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log (sorted keys + fixed indent = byte-stable)."""
+    rule_entries = []
+    for rule in (*all_rules(), *all_program_rules()):
+        rule_entries.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "help": {"text": rule.fix_hint},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[rule.severity]
+                },
+            }
+        )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "iolint",
+                        "informationUri": "docs/ARCHITECTURE.md",
+                        "rules": sorted(
+                            rule_entries, key=lambda r: str(r["id"])
+                        ),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [
+                    _sarif_result(f) for f in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 FORMATTERS = {
     "text": format_text,
     "json": format_json,
     "github": format_github,
+    "sarif": format_sarif,
 }
 
 __all__ = [
@@ -118,5 +226,7 @@ __all__ = [
     "format_text",
     "format_json",
     "format_github",
+    "format_sarif",
     "format_stats",
+    "format_profile",
 ]

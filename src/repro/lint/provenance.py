@@ -1,0 +1,402 @@
+"""Value-provenance lattice for the int64 overflow-safety rule (IOL008).
+
+The exact-analysis kernels in ``repro.analysis`` do their arithmetic in
+numpy ``int64``.  Unlike Python ints, ``int64`` wraps silently: a
+product of a hyper-period and a tile count, or a cumulative sum of
+demand over a long horizon, can cross ``2**63`` and come back negative
+-- and a negative demand makes an unschedulable task set look
+schedulable.  The repository's contract is that any such product is
+either *bounded by construction* (an explicit cap such as
+``lcm_capped``/``GRID_LCM_CAP`` was checked first) or must not exist.
+
+This module implements the lightweight per-function lattice that rule
+IOL008 evaluates:
+
+* **Taint** -- a value is period/horizon/LCM-typed if its name contains
+  a configured marker (``period``, ``horizon``, ``lcm``, ``hyper``,
+  ``laxity``), or it was computed from tainted values.  Taint
+  propagates through assignments, arithmetic, unary ops, subscripts and
+  shape-preserving numpy calls (``arange``, ``asarray``, ``sort``,
+  ``concatenate``...).  Statements are interpreted in order, with a
+  second pass to pick up loop-carried bindings.
+
+* **Hazards** -- a multiplication whose operands are *both* tainted
+  (magnitude can square), or a cumulative sum over a tainted array
+  (magnitude scales with length x horizon).
+
+* **Guards** -- a function that calls a capped helper
+  (``lcm_capped``), mentions a cap identifier (``GRID_LCM_CAP``, an
+  ``lcm_cap`` parameter), or raises ``OverflowError`` itself has
+  visibly accepted the bounding obligation, and its hazards are
+  forgiven.  The check is deliberately syntactic: the rule's job is to
+  force the cap to be *written down where the product happens*, not to
+  prove the bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+#: numpy helpers whose result carries the taint of their arguments.
+_PASSTHROUGH_CALLS = {
+    "arange",
+    "asarray",
+    "array",
+    "astype",
+    "abs",
+    "absolute",
+    "concatenate",
+    "copy",
+    "diff",
+    "flatten",
+    "maximum",
+    "minimum",
+    "repeat",
+    "reshape",
+    "ravel",
+    "sort",
+    "tile",
+    "unique",
+    "where",
+    "int64",
+    "max",
+    "min",
+    "sum",
+    "lcm",
+    "gcd",
+}
+
+#: Receiver methods treated the same way (``values.astype(...)``).
+_PASSTHROUGH_METHODS = {
+    "astype",
+    "copy",
+    "max",
+    "min",
+    "reshape",
+    "ravel",
+    "sum",
+    "repeat",
+    "sort",
+}
+
+_CUMSUM_NAMES = {"cumsum", "cumprod"}
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One unguarded-overflow candidate inside a function."""
+
+    lineno: int
+    col: int
+    kind: str  #: ``"product"`` or ``"cumsum"``
+    detail: str
+
+
+@dataclass
+class FunctionProvenance:
+    """Lattice result for one function."""
+
+    tainted: Set[str] = field(default_factory=set)
+    hazards: List[Hazard] = field(default_factory=list)
+    guarded: bool = False
+
+
+def _describe(node: ast.expr) -> str:
+    """Short deterministic rendering of an operand for messages."""
+    if isinstance(node, ast.Name):
+        return node.id
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+    if len(text) > 40:
+        text = text[:37] + "..."
+    return text
+
+
+class _TaintInterpreter:
+    """Flow-ordered statement interpreter computing taint and hazards."""
+
+    def __init__(self, markers: Sequence[str]) -> None:
+        self.markers = tuple(m.lower() for m in markers)
+        self.tainted: Set[str] = set()
+        self.hazards: List[Hazard] = []
+        self._recording = True
+
+    # -- name/expression taint ----------------------------------------------
+
+    def name_is_marked(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(marker in lowered for marker in self.markers)
+
+    def is_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted or self.name_is_marked(node.id)
+        if isinstance(node, ast.Attribute):
+            # task.period, self.hyperperiod, ...
+            return self.name_is_marked(node.attr) or self.is_tainted(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self.is_tainted(el) for el in node.elts)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return self.is_tainted(node.elt)
+        return False
+
+    def _call_callee_name(self, node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+    def _call_taint(self, node: ast.Call) -> bool:
+        name = self._call_callee_name(node)
+        if name in _PASSTHROUGH_CALLS or name in _CUMSUM_NAMES:
+            if any(self.is_tainted(arg) for arg in node.args):
+                return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and name in (_PASSTHROUGH_METHODS | _CUMSUM_NAMES)
+            and self.is_tainted(node.func.value)
+        ):
+            return True
+        # a callee whose *name* is marked returns a marked value
+        # (``lcm_all(periods)``, ``theorem4_horizon(...)``)
+        return self.name_is_marked(name)
+
+    # -- statement interpretation -------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        # two passes: the second sees loop-carried and later bindings
+        self._recording = False
+        self._exec_block(body)
+        self._recording = True
+        self._exec_block(body)
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs are analyzed with the current taint environment
+            self._exec_block(stmt.body)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._exec_block(stmt.body)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value)
+            taint = self.is_tainted(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value)
+                self._bind(stmt.target, self.is_tainted(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                if self.is_tainted(stmt.value) or self.is_tainted(stmt.target):
+                    self.tainted.add(stmt.target.id)
+                if isinstance(stmt.op, ast.Mult):
+                    self._check_product_operands(
+                        stmt, stmt.target, stmt.value
+                    )
+            return
+        if isinstance(stmt, ast.For):
+            self._scan_expr(stmt.iter)
+            self._bind(stmt.target, self.is_tainted(stmt.iter))
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        self.is_tainted(item.context_expr),
+                    )
+            self._exec_block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._scan_expr(stmt.value)
+            return
+        # raise/assert/pass/del/import -- scan any embedded expressions
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    def _bind(self, target: ast.expr, taint: bool) -> None:
+        if isinstance(target, ast.Name):
+            if taint or self.name_is_marked(target.id):
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        # subscript/attribute stores do not rebind a name
+
+    # -- hazard detection ----------------------------------------------------
+
+    def _scan_expr(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult):
+                self._check_product_operands(sub, sub.left, sub.right)
+            elif isinstance(sub, ast.Call):
+                self._check_cumsum(sub)
+
+    def _check_product_operands(
+        self, site: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        if not self._recording:
+            return
+        if self.is_tainted(left) and self.is_tainted(right):
+            self.hazards.append(
+                Hazard(
+                    lineno=getattr(site, "lineno", 0),
+                    col=getattr(site, "col_offset", 0),
+                    kind="product",
+                    detail=(
+                        f"product of tainted values "
+                        f"'{_describe(left)}' and '{_describe(right)}'"
+                    ),
+                )
+            )
+
+    def _check_cumsum(self, node: ast.Call) -> None:
+        if not self._recording:
+            return
+        name = self._call_callee_name(node)
+        if name not in _CUMSUM_NAMES:
+            return
+        operand: ast.expr
+        if isinstance(node.func, ast.Attribute) and not node.args:
+            operand = node.func.value
+            if isinstance(operand, ast.Name) and operand.id in ("np", "numpy"):
+                return
+        elif node.args:
+            operand = node.args[0]
+        else:
+            return
+        if self.is_tainted(operand):
+            self.hazards.append(
+                Hazard(
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    kind="cumsum",
+                    detail=f"cumulative sum over tainted '{_describe(operand)}'",
+                )
+            )
+
+
+def _is_guarded(
+    func: ast.AST,
+    guard_callees: Sequence[str],
+    guard_markers: Sequence[str],
+) -> bool:
+    lowered_markers = tuple(m.lower() for m in guard_markers)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else getattr(callee, "attr", "")
+            )
+            if any(fragment in name for fragment in guard_callees):
+                return True
+        if isinstance(node, ast.Name):
+            if any(m in node.id.lower() for m in lowered_markers):
+                return True
+        if isinstance(node, ast.arg):
+            if any(m in node.arg.lower() for m in lowered_markers):
+                return True
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            exc_name = ""
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                exc_name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                exc_name = exc.id
+            if exc_name == "OverflowError":
+                return True
+    return False
+
+
+def analyze_function(
+    func: ast.AST,
+    value_markers: Sequence[str],
+    guard_callees: Sequence[str] = (),
+    guard_markers: Sequence[str] = (),
+) -> FunctionProvenance:
+    """Run the lattice over one ``FunctionDef``.
+
+    Parameters seed the taint set via the name markers; the body is then
+    interpreted in statement order (twice, for loop-carried bindings).
+    ``guarded`` is computed over the whole function including nested
+    defs, so a cap checked anywhere in the function covers all of its
+    hazards.
+    """
+    interpreter = _TaintInterpreter(value_markers)
+    body: Sequence[ast.stmt]
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for param in func.args.posonlyargs + func.args.args + func.args.kwonlyargs:
+            if interpreter.name_is_marked(param.arg):
+                interpreter.tainted.add(param.arg)
+        body = func.body
+    elif isinstance(func, ast.Module):
+        body = func.body
+    else:  # pragma: no cover - callers pass functions or modules
+        body = []
+    interpreter.run(body)
+    result = FunctionProvenance(
+        tainted=interpreter.tainted,
+        hazards=sorted(
+            interpreter.hazards, key=lambda h: (h.lineno, h.col, h.kind)
+        ),
+        guarded=_is_guarded(func, guard_callees, guard_markers),
+    )
+    return result
+
+
+__all__ = ["FunctionProvenance", "Hazard", "analyze_function"]

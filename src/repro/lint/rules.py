@@ -282,6 +282,13 @@ class UnorderedIterationRule(Rule):
     insertion-ordered in Python 3.7+ and therefore allowed -- but a dict
     *built from a set* inherits the poison, which the local inference
     catches at the set itself.)
+
+    The inference is *flow-sensitive*: statements are interpreted in
+    source order, so ``names = sorted(names)`` launders a set into a
+    list (no finding downstream), while a name that is a set on only
+    one ``if``/``else`` path is treated as may-be-a-set afterwards
+    (branch states merge by union).  Loop bodies are interpreted twice
+    so loop-carried set bindings are seen on the first reported pass.
     """
 
     rule_id = "IOL002"
@@ -293,60 +300,6 @@ class UnorderedIterationRule(Rule):
     )
 
     _SET_ANNOTATIONS = {"set", "Set", "FrozenSet", "frozenset", "MutableSet", "AbstractSet"}
-
-    def _set_typed_names(
-        self, scope_body: List[ast.stmt]
-    ) -> Tuple[Set[str], Set[str]]:
-        """``(set_names, shadowed)`` for one scope (non-recursive).
-
-        Nested function/class bodies are separate scopes: a ``names:
-        Set[str]`` in one helper must not poison an unrelated ``names``
-        list elsewhere in the file.  ``shadowed`` holds names the scope
-        rebinds to non-set values, which mask inherited set bindings.
-        """
-        names: Set[str] = set()
-        shadowed: Set[str] = set()
-        for node in self._walk_scope(scope_body):
-            if isinstance(node, ast.Assign):
-                is_set = self._is_set_expr(node.value, names)
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        if is_set:
-                            names.add(target.id)
-                        elif target.id not in names:
-                            shadowed.add(target.id)
-            elif isinstance(node, ast.AnnAssign) and isinstance(
-                node.target, ast.Name
-            ):
-                ann = node.annotation
-                base = ann.value if isinstance(ann, ast.Subscript) else ann
-                dotted = _dotted_name(base) or ""
-                if dotted.split(".")[-1] in self._SET_ANNOTATIONS:
-                    names.add(node.target.id)
-                else:
-                    shadowed.add(node.target.id)
-        return names, shadowed - names
-
-    @staticmethod
-    def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
-        """Walk a scope in source order without entering nested scopes.
-
-        Nested function/class/lambda nodes are yielded (so callers can
-        discover and recurse into them) but their bodies are not
-        traversed here.
-        """
-        queue: List[ast.AST] = list(body)
-        index = 0
-        while index < len(queue):
-            node = queue[index]
-            index += 1
-            yield node
-            if isinstance(
-                node,
-                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
-            ):
-                continue
-            queue.extend(ast.iter_child_nodes(node))
 
     def _is_set_expr(self, node: ast.AST, set_names: Set[str]) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
@@ -364,6 +317,15 @@ class UnorderedIterationRule(Rule):
             )
         return False
 
+    def _is_set_annotation(self, annotation: ast.expr) -> bool:
+        base = (
+            annotation.value
+            if isinstance(annotation, ast.Subscript)
+            else annotation
+        )
+        dotted = _dotted_name(base) or ""
+        return dotted.split(".")[-1] in self._SET_ANNOTATIONS
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         yield from self._check_scope(ctx, ctx.tree.body, frozenset())
 
@@ -373,38 +335,16 @@ class UnorderedIterationRule(Rule):
         body: List[ast.stmt],
         inherited: "frozenset[str]",
     ) -> Iterator[Finding]:
-        local_sets, shadowed = self._set_typed_names(body)
-        set_names = (set(inherited) - shadowed) | local_sets
-
-        def iter_sites(node: ast.AST) -> Iterator[ast.AST]:
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                yield node.iter
-            elif isinstance(
-                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-            ):
-                for gen in node.generators:
-                    yield gen.iter
-            elif isinstance(node, ast.Call) and _callee_name(node) in {
-                "list",
-                "tuple",
-                "enumerate",
-            }:
-                if node.args:
-                    yield node.args[0]
-
-        for node in self._walk_scope(body):
-            for site in iter_sites(node):
-                if self._is_set_expr(site, set_names):
-                    yield self.finding(
-                        ctx,
-                        site,
-                        "iterating an unordered set; order leaks into "
-                        "downstream decisions",
-                    )
-        # Recurse into nested scopes; module/enclosing set names stay
-        # visible (closures read them), locals of siblings do not, and
-        # function parameters shadow whatever they share a name with.
-        for node in self._walk_scope(body):
+        now: Set[str] = set(inherited)
+        ever: Set[str] = set(inherited)
+        findings: List[Finding] = []
+        nested: List[ast.stmt] = []
+        self._exec_block(ctx, body, now, ever, nested, findings, report=True)
+        yield from findings
+        # Recurse into nested scopes; a closure can run at any time, so
+        # it inherits every name that was set-typed at *some* point in
+        # this scope (``ever``), minus its own parameters.
+        for node in nested:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 params = {
                     arg.arg
@@ -416,10 +356,235 @@ class UnorderedIterationRule(Rule):
                     )
                 }
                 yield from self._check_scope(
-                    ctx, node.body, frozenset(set_names - params)
+                    ctx, node.body, frozenset(ever - params)
                 )
             elif isinstance(node, ast.ClassDef):
-                yield from self._check_scope(ctx, node.body, frozenset(set_names))
+                yield from self._check_scope(ctx, node.body, frozenset(ever))
+
+    # -- flow-sensitive statement interpretation -----------------------------
+
+    def _bind(
+        self, target: ast.expr, is_set: bool, now: Set[str], ever: Set[str]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                now.add(target.id)
+                ever.add(target.id)
+            else:
+                now.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # unpacking yields elements, not the container
+            for element in target.elts:
+                self._bind(element, False, now, ever)
+
+    def _expr_sites(self, node: ast.expr) -> Iterator[ast.AST]:
+        """Iteration sites inside one expression (lambda bodies skipped)."""
+        queue: List[ast.AST] = [node]
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            if isinstance(current, ast.Lambda):
+                continue
+            if isinstance(
+                current,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for gen in current.generators:
+                    yield gen.iter
+            elif isinstance(current, ast.Call) and _callee_name(current) in {
+                "list",
+                "tuple",
+                "enumerate",
+            }:
+                if current.args:
+                    yield current.args[0]
+            queue.extend(ast.iter_child_nodes(current))
+
+    def _check_expr(
+        self,
+        ctx: ModuleContext,
+        node: Optional[ast.expr],
+        now: Set[str],
+        findings: List[Finding],
+        report: bool,
+    ) -> None:
+        if node is None or not report:
+            return
+        for site in self._expr_sites(node):
+            if self._is_set_expr(site, now):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        site,
+                        "iterating an unordered set; order leaks into "
+                        "downstream decisions",
+                    )
+                )
+
+    def _exec_block(
+        self,
+        ctx: ModuleContext,
+        body: List[ast.stmt],
+        now: Set[str],
+        ever: Set[str],
+        nested: List[ast.stmt],
+        findings: List[Finding],
+        report: bool,
+    ) -> None:
+        for stmt in body:
+            self._exec_stmt(ctx, stmt, now, ever, nested, findings, report)
+
+    def _exec_stmt(
+        self,
+        ctx: ModuleContext,
+        stmt: ast.stmt,
+        now: Set[str],
+        ever: Set[str],
+        nested: List[ast.stmt],
+        findings: List[Finding],
+        report: bool,
+    ) -> None:
+        check = self._check_expr
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if report:
+                nested.append(stmt)
+            now.discard(stmt.name)
+            return
+        if isinstance(stmt, ast.Assign):
+            check(ctx, stmt.value, now, findings, report)
+            is_set = self._is_set_expr(stmt.value, now)
+            for target in stmt.targets:
+                self._bind(target, is_set, now, ever)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            check(ctx, stmt.value, now, findings, report)
+            if isinstance(stmt.target, ast.Name):
+                is_set = self._is_set_annotation(stmt.annotation) or (
+                    stmt.value is not None
+                    and self._is_set_expr(stmt.value, now)
+                )
+                self._bind(stmt.target, is_set, now, ever)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            check(ctx, stmt.value, now, findings, report)
+            if isinstance(stmt.target, ast.Name):
+                if isinstance(
+                    stmt.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+                ):
+                    # s |= other keeps (or becomes) a set
+                    if stmt.target.id in now or self._is_set_expr(
+                        stmt.value, now
+                    ):
+                        now.add(stmt.target.id)
+                        ever.add(stmt.target.id)
+                else:
+                    now.discard(stmt.target.id)
+            return
+        if isinstance(stmt, ast.If):
+            check(ctx, stmt.test, now, findings, report)
+            then_state = set(now)
+            else_state = set(now)
+            self._exec_block(
+                ctx, stmt.body, then_state, ever, nested, findings, report
+            )
+            self._exec_block(
+                ctx, stmt.orelse, else_state, ever, nested, findings, report
+            )
+            now.clear()
+            now.update(then_state | else_state)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            check(ctx, stmt.iter, now, findings, report)
+            if report and self._is_set_expr(stmt.iter, now):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        stmt.iter,
+                        "iterating an unordered set; order leaks into "
+                        "downstream decisions",
+                    )
+                )
+            pre = set(now)
+            self._bind(stmt.target, False, now, ever)
+            # silent pre-pass so loop-carried set bindings are visible
+            # when the body is reported
+            carried = set(now)
+            self._exec_block(
+                ctx, stmt.body, carried, ever, nested, findings, report=False
+            )
+            now.update(carried)
+            self._exec_block(
+                ctx, stmt.body, now, ever, nested, findings, report
+            )
+            now.update(pre)  # zero-iteration path
+            else_state = set(now)
+            self._exec_block(
+                ctx, stmt.orelse, else_state, ever, nested, findings, report
+            )
+            now.update(else_state)
+            return
+        if isinstance(stmt, ast.While):
+            check(ctx, stmt.test, now, findings, report)
+            pre = set(now)
+            carried = set(now)
+            self._exec_block(
+                ctx, stmt.body, carried, ever, nested, findings, report=False
+            )
+            now.update(carried)
+            self._exec_block(
+                ctx, stmt.body, now, ever, nested, findings, report
+            )
+            now.update(pre)
+            else_state = set(now)
+            self._exec_block(
+                ctx, stmt.orelse, else_state, ever, nested, findings, report
+            )
+            now.update(else_state)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                check(ctx, item.context_expr, now, findings, report)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, False, now, ever)
+            self._exec_block(
+                ctx, stmt.body, now, ever, nested, findings, report
+            )
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_block(
+                ctx, stmt.body, now, ever, nested, findings, report
+            )
+            for handler in stmt.handlers:
+                handler_state = set(now)
+                self._exec_block(
+                    ctx,
+                    handler.body,
+                    handler_state,
+                    ever,
+                    nested,
+                    findings,
+                    report,
+                )
+                now.update(handler_state)
+            self._exec_block(
+                ctx, stmt.orelse, now, ever, nested, findings, report
+            )
+            self._exec_block(
+                ctx, stmt.finalbody, now, ever, nested, findings, report
+            )
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    now.discard(target.id)
+            return
+        # simple statements: check any embedded expressions
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                check(ctx, child, now, findings, report)
 
 
 # -- IOL003 ------------------------------------------------------------------

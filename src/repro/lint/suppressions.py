@@ -35,9 +35,10 @@ _RULE_ID_RE = re.compile(r"^IOL\d{3}$")
 
 def _known_rule_ids() -> Set[str]:
     """Registered rule ids; imported lazily to keep module load light."""
+    from repro.lint.program_rules import program_rule_ids
     from repro.lint.rules import rule_ids
 
-    return set(rule_ids()) | {META_RULE_ID}
+    return set(rule_ids()) | set(program_rule_ids()) | {META_RULE_ID}
 
 
 @dataclass

@@ -11,3 +11,19 @@ squares = [n for n in set(range(4))]                   # line 9: comprehension
 merged = names | {"vm3"}
 for name in merged:                                    # line 12: set algebra
     print(name)
+
+
+def branch_rebound(cond, items):
+    ids = list(items)
+    if cond:
+        ids = set(items)
+    for vm in ids:                                     # line 20: set on one path
+        print(vm)
+
+
+def loop_carried(rows):
+    seen = []
+    for row in rows:
+        for key in seen:                               # line 27: set after iter 1
+            print(key)
+        seen = set(row)

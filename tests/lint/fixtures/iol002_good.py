@@ -16,3 +16,22 @@ def local_scope_is_isolated():
     names = ["x", "y"]
     for name in names:
         print(name)
+
+
+def sorted_rebind_launders(items):
+    # rebinding to sorted(...) turns the set into a list; iterating the
+    # rebound name is fine
+    pending = set(items)
+    pending = sorted(pending)
+    for item in pending:
+        print(item)
+
+
+def both_branches_rebind(cond, items):
+    ids = set(items)
+    if cond:
+        ids = sorted(ids)
+    else:
+        ids = list(items)
+    for vm in ids:
+        print(vm)

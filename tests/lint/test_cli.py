@@ -81,8 +81,9 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("IOL001", "IOL002", "IOL003", "IOL004", "IOL005", "IOL006"):
-            assert rule_id in out
+        for number in range(1, 11):
+            assert f"IOL{number:03d}" in out
+        assert "(whole-program)" in out
 
     def test_stats_output(self, tmp_path, capsys):
         write_tree(tmp_path)

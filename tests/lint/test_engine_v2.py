@@ -1,0 +1,209 @@
+"""v2 engine tests: parallel phase-1, AST cache, and SARIF output."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, LintConfig, lint_paths
+from repro.lint.cli import main
+from repro.lint.engine import resolve_jobs
+from repro.lint.formatters import format_sarif
+
+TREE = {
+    "src/pkg/bad.py": (
+        "table = {}\n"
+        "obj = object()\n"
+        "table[id(obj)] = 1\n"
+    ),
+    "src/pkg/sets.py": (
+        "names = {'a', 'b'}\n"
+        "for n in names:\n"
+        "    print(n)\n"
+    ),
+    "src/pkg/suppressed.py": (
+        "import time\n"
+        "t = time.time()  # iolint: disable=IOL003 -- host-side only\n"
+    ),
+    "src/pkg/clean.py": "x = 1\n",
+}
+
+
+def write_tree(tmp_path):
+    for rel_path, source in TREE.items():
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+class TestParallelPhase1:
+    def test_jobs_output_is_byte_identical(self, tmp_path, capsys):
+        """Acceptance criterion: --jobs 2 output == serial output."""
+        write_tree(tmp_path)
+        code_serial = main(
+            ["--root", str(tmp_path), "--no-cache", "--jobs", "1", "src"]
+        )
+        serial = capsys.readouterr().out
+        code_parallel = main(
+            ["--root", str(tmp_path), "--no-cache", "--jobs", "2", "src"]
+        )
+        parallel = capsys.readouterr().out
+        assert code_serial == code_parallel == 1
+        assert parallel == serial
+
+    def test_jobs_findings_match_lint_paths(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        serial = lint_paths([str(tmp_path / "src")], config=config, jobs=1)
+        parallel = lint_paths([str(tmp_path / "src")], config=config, jobs=2)
+        assert [f.to_dict() for f in serial.findings] == [
+            f.to_dict() for f in parallel.findings
+        ]
+        assert serial.files_checked == parallel.files_checked == len(TREE)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(-2) == 1
+        assert resolve_jobs(0) >= 1
+
+
+class TestAstCache:
+    def test_second_run_hits_cache_with_same_findings(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        cache_dir = str(tmp_path / ".iolint-cache")
+        cold = lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=cache_dir
+        )
+        warm = lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=cache_dir
+        )
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(TREE)
+        assert warm.cache_hits == len(TREE)
+        assert warm.cache_misses == 0
+        assert [f.to_dict() for f in cold.findings] == [
+            f.to_dict() for f in warm.findings
+        ]
+
+    def test_edited_file_invalidates_only_itself(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        cache_dir = str(tmp_path / ".iolint-cache")
+        lint_paths([str(tmp_path / "src")], config=config, cache_dir=cache_dir)
+        (tmp_path / "src/pkg/clean.py").write_text("x = 2\n")
+        result = lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=cache_dir
+        )
+        assert result.cache_misses == 1
+        assert result.cache_hits == len(TREE) - 1
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        cache_dir = tmp_path / ".iolint-cache"
+        lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=str(cache_dir)
+        )
+        for entry in cache_dir.iterdir():
+            entry.write_bytes(b"not a pickle")
+        result = lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=str(cache_dir)
+        )
+        assert result.cache_hits == 0
+        assert result.cache_misses == len(TREE)
+        assert result.exit_code == 1
+
+    def test_parallel_run_uses_cache(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        cache_dir = str(tmp_path / ".iolint-cache")
+        lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=cache_dir, jobs=2
+        )
+        warm = lint_paths(
+            [str(tmp_path / "src")], config=config, cache_dir=cache_dir, jobs=2
+        )
+        assert warm.cache_hits == len(TREE)
+
+
+class TestSarif:
+    def result(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(root=str(tmp_path))
+        return lint_paths([str(tmp_path / "src")], config=config)
+
+    def test_sarif_is_valid_and_byte_stable(self, tmp_path):
+        result = self.result(tmp_path)
+        text = format_sarif(result)
+        assert format_sarif(result) == text
+        doc = json.loads(text)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"IOL001", "IOL002", "IOL007", "IOL008"} <= rule_ids
+
+    def test_sarif_results_carry_fingerprints_and_suppressions(self, tmp_path):
+        result = self.result(tmp_path)
+        doc = json.loads(format_sarif(result))
+        results = doc["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert "IOL001" in by_rule and "IOL002" in by_rule
+        for entry in results:
+            assert entry["partialFingerprints"]["iolintFingerprint/v1"]
+        suppressed = by_rule["IOL003"]
+        assert suppressed["suppressions"][0]["kind"] == "inSource"
+        assert "host-side only" in suppressed["suppressions"][0]["justification"]
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        code = main(
+            ["--root", str(tmp_path), "--format=sarif", "--no-cache", "src"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["runs"][0]["results"]
+
+    def test_baselined_findings_downgraded_to_note(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        assert main(["--root", str(tmp_path), "--write-baseline", "src"]) == 0
+        capsys.readouterr()
+        assert main(["--root", str(tmp_path), "--format=sarif", "src"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        errors = [
+            r
+            for r in doc["runs"][0]["results"]
+            if r["level"] == "error" and not r.get("suppressions")
+        ]
+        assert errors == []
+
+
+class TestProfileOutput:
+    def test_profile_lists_phases(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        main(["--root", str(tmp_path), "--profile", "--no-cache", "src"])
+        out = capsys.readouterr().out
+        assert "parse" in out
+        assert "call-graph build" in out
+        assert "whole-program rules" in out
+
+    def test_stats_lists_per_rule_seconds(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        main(["--root", str(tmp_path), "--stats", "--no-cache", "src"])
+        out = capsys.readouterr().out
+        assert "seconds" in out
+        assert "IOL001" in out
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_baseline_respected_under_jobs(tmp_path, capsys, jobs):
+    write_tree(tmp_path)
+    assert main(["--root", str(tmp_path), "--write-baseline", "src"]) == 0
+    capsys.readouterr()
+    assert (
+        main(["--root", str(tmp_path), "--jobs", str(jobs), "src"]) == 0
+    )
+    baseline = Baseline.load(tmp_path / "iolint-baseline.json")
+    assert len(baseline) > 0

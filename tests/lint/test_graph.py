@@ -1,0 +1,198 @@
+"""Call-graph construction tests: linking, re-exports, methods, cycles.
+
+The fixture is an in-memory mini-package exercising every resolution
+path the whole-program rules rely on: plain imports, ``__init__``
+re-exports, method calls on scheduler-like classes (both ``self.`` and
+through a constructed instance), and a module-level import cycle.  Edge
+assertions are exact -- the graph is the foundation for IOL007/IOL009
+and a silently dropped edge would silently drop findings.
+"""
+
+import ast
+import time
+from pathlib import Path
+
+from repro.lint import CallGraph, LintConfig, lint_paths, summarize_module
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+MINI_PACKAGE = {
+    "src/graphpkg/__init__.py": (
+        "from graphpkg.sched import TableScheduler\n"
+        "from graphpkg.util import helper as exported_helper\n"
+    ),
+    "src/graphpkg/util.py": (
+        "def helper(x):\n"
+        "    return x + 1\n"
+        "\n"
+        "\n"
+        "def uses_helper(x):\n"
+        "    return helper(x)\n"
+    ),
+    "src/graphpkg/sched.py": (
+        "from graphpkg.util import helper\n"
+        "\n"
+        "\n"
+        "class TableScheduler:\n"
+        "    def plan(self, jobs):\n"
+        "        return self.order(jobs)\n"
+        "\n"
+        "    def order(self, jobs):\n"
+        "        return helper(len(jobs))\n"
+        "\n"
+        "\n"
+        "def drive():\n"
+        "    sched = TableScheduler()\n"
+        "    return sched.plan([])\n"
+    ),
+    "src/graphpkg/cli.py": (
+        "import graphpkg\n"
+        "from graphpkg.sched import drive\n"
+        "\n"
+        "\n"
+        "def main():\n"
+        "    graphpkg.exported_helper(1)\n"
+        "    return drive()\n"
+    ),
+    # module-level import cycle: a <-> b
+    "src/graphpkg/a.py": (
+        "from graphpkg.b import beta\n"
+        "\n"
+        "\n"
+        "def alpha():\n"
+        "    return beta()\n"
+    ),
+    "src/graphpkg/b.py": (
+        "from graphpkg.a import alpha\n"
+        "\n"
+        "\n"
+        "def beta():\n"
+        "    return 0\n"
+        "\n"
+        "\n"
+        "def call_alpha():\n"
+        "    return alpha()\n"
+    ),
+}
+
+
+def build_graph(files=MINI_PACKAGE, config=None):
+    cfg = config if config is not None else LintConfig()
+    summaries = [
+        summarize_module(rel_path, ast.parse(source), cfg)
+        for rel_path, source in sorted(files.items())
+    ]
+    return CallGraph.build(summaries, cfg)
+
+
+class TestMiniPackage:
+    def test_plain_import_edge(self):
+        graph = build_graph()
+        assert graph.edges["graphpkg.util.uses_helper"] == (
+            "graphpkg.util.helper",
+        )
+
+    def test_reexport_through_init(self):
+        """graphpkg.exported_helper resolves through the __init__ alias."""
+        graph = build_graph()
+        assert "graphpkg.util.helper" in graph.edges["graphpkg.cli.main"]
+        assert "graphpkg.sched.drive" in graph.edges["graphpkg.cli.main"]
+
+    def test_self_method_call(self):
+        graph = build_graph()
+        assert graph.edges["graphpkg.sched.TableScheduler.plan"] == (
+            "graphpkg.sched.TableScheduler.order",
+        )
+
+    def test_method_call_through_instance_var(self):
+        """drive() constructs a scheduler and calls .plan on the variable."""
+        graph = build_graph()
+        assert (
+            "graphpkg.sched.TableScheduler.plan"
+            in graph.edges["graphpkg.sched.drive"]
+        )
+
+    def test_method_body_calls_imported_function(self):
+        graph = build_graph()
+        assert graph.edges["graphpkg.sched.TableScheduler.order"] == (
+            "graphpkg.util.helper",
+        )
+
+    def test_import_cycle_terminates_and_links(self):
+        """a <-> b import each other; both edges must still resolve."""
+        graph = build_graph()
+        assert graph.edges["graphpkg.a.alpha"] == ("graphpkg.b.beta",)
+        assert graph.edges["graphpkg.b.call_alpha"] == ("graphpkg.a.alpha",)
+
+    def test_every_function_is_registered(self):
+        graph = build_graph()
+        for qualname in (
+            "graphpkg.util.helper",
+            "graphpkg.util.uses_helper",
+            "graphpkg.sched.TableScheduler.plan",
+            "graphpkg.sched.TableScheduler.order",
+            "graphpkg.sched.drive",
+            "graphpkg.cli.main",
+            "graphpkg.a.alpha",
+            "graphpkg.b.beta",
+            "graphpkg.b.call_alpha",
+        ):
+            assert qualname in graph.functions, qualname
+
+    def test_reachability_crosses_modules(self):
+        graph = build_graph()
+        reached = graph.reachable_from(["graphpkg.cli.main"])
+        assert "graphpkg.util.helper" in reached
+        assert "graphpkg.sched.TableScheduler.order" in reached
+        # the a/b cycle is not reachable from cli.main
+        assert "graphpkg.a.alpha" not in reached
+
+    def test_chain_is_shortest_and_deterministic(self):
+        graph = build_graph()
+        reached = graph.reachable_from(["graphpkg.cli.main"])
+        chain = graph.chain_to(reached, "graphpkg.util.helper")
+        assert chain[0] == "graphpkg.cli.main"
+        assert chain[-1] == "graphpkg.util.helper"
+        again = graph.chain_to(
+            graph.reachable_from(["graphpkg.cli.main"]),
+            "graphpkg.util.helper",
+        )
+        assert chain == again
+
+
+class TestSelfResolution:
+    """The graph must resolve nearly every intra-project call in src/repro."""
+
+    def test_resolution_rate_on_shipped_tree(self):
+        result = lint_paths(
+            [str(REPO_ROOT / "src" / "repro")],
+            config=LintConfig(root=str(REPO_ROOT)),
+        )
+        assert result.graph is not None
+        stats = result.graph.stats
+        assert stats.project_candidates > 1000, stats
+        assert stats.resolution_rate >= 0.95, (
+            f"resolved {stats.resolved}/{stats.project_candidates} "
+            f"({stats.resolution_rate:.3f})"
+        )
+
+    def test_graph_build_under_two_seconds(self):
+        """Acceptance benchmark: call-graph build < 2s on the shipped tree."""
+        config = LintConfig(root=str(REPO_ROOT))
+        files = {}
+        for rel_path in sorted(
+            p.relative_to(REPO_ROOT).as_posix()
+            for p in (REPO_ROOT / "src" / "repro").rglob("*.py")
+        ):
+            files[rel_path] = (REPO_ROOT / rel_path).read_text()
+        summaries = [
+            summarize_module(rel_path, ast.parse(source), config)
+            for rel_path, source in files.items()
+        ]
+        # iolint: disable=IOL003 -- benchmark wall-clock; measures the analyzer, not the sim
+        started = time.perf_counter()
+        graph = CallGraph.build(summaries, config)
+        # iolint: disable=IOL003 -- benchmark wall-clock; measures the analyzer, not the sim
+        elapsed = time.perf_counter() - started
+        assert graph.functions
+        assert elapsed < 2.0, f"graph build took {elapsed:.3f}s"

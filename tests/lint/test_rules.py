@@ -44,7 +44,7 @@ class TestIOL001:
 class TestIOL002:
     def test_bad_fixture_every_site(self):
         findings = run_fixture("iol002_bad.py")
-        assert lines_of(findings, "IOL002") == [4, 7, 9, 12]
+        assert lines_of(findings, "IOL002") == [4, 7, 9, 12, 20, 27]
 
     def test_good_fixture_clean(self):
         assert active(run_fixture("iol002_good.py")) == []
