@@ -65,7 +65,12 @@ from repro.chains.generators import (
 )
 from repro.chains.model import CauseEffectChain, validate_chains
 from repro.chains.simulate import ChainSimulationReport, simulate_chains
-from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ConfigurationError,
+    ControllerSnapshot,
+)
 from repro.core.gsched import ServerSpec
 from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
 from repro.core.timeslot import (
@@ -121,6 +126,8 @@ __all__ = [
     # verdict protocol + concrete results
     "SchedulabilityResult",
     "AdmissionDecision",
+    "ConfigurationError",
+    "ControllerSnapshot",
     "GSchedResult",
     "LSchedResult",
     # building blocks
@@ -236,7 +243,13 @@ class System:
     @property
     def controller(self) -> AdmissionController:
         """The lazily created admission controller, seeded with the
-        system's own run-time tasks."""
+        system's own run-time tasks.
+
+        Raises :class:`ConfigurationError` (a ``ValueError`` subclass
+        carrying ``failing_t`` and the ``(vm_id, pi, theta)`` triples)
+        when the configured servers fail the global Theorem-2 test --
+        services turn this into a structured rejection, not a 500.
+        """
         if self._controller is None:
             controller = AdmissionController(self.table, self.servers)
             for task in self.tasks.runtime():

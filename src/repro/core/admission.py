@@ -26,12 +26,23 @@ whose utilization/Theorem-3 handling the incremental curve cannot
 express.  :meth:`AdmissionController.withdraw` drops the VM's memoized
 curve, so the next admission rebuilds it from the live task set --
 admit/withdraw/admit sequences decide exactly like a fresh controller.
+
+The controller is also *long-lived state*: :meth:`AdmissionController.snapshot`
+captures the full controller (servers, admitted sets, memoized
+demand-curve state, counters and the decision ring) as a versioned,
+canonical-JSON :class:`ControllerSnapshot`, and
+:meth:`AdmissionController.restore` rebuilds a controller that decides
+bit-identically to the live one -- the enabler for the
+:mod:`repro.serve` admission service, whose shards are rebalanced and
+warm-restarted through exactly this round trip.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -49,6 +60,59 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # methods below keeps the packages acyclic at import time.
 
 _MISSING = object()
+
+#: Default bound on the retained decision ring.  The controller is
+#: designed to live inside a long-running service (:mod:`repro.serve`);
+#: an unbounded ``decisions`` list is a memory leak there.  Totals are
+#: never lost: ``admitted_count``/``rejected_count`` keep counting and
+#: ``dropped_decisions`` counts ring evictions (mirroring the
+#: ``TraceRecorder`` ``max_events``/``dropped_events`` contract).
+DEFAULT_MAX_DECISIONS = 4096
+
+#: Version stamp of the :class:`ControllerSnapshot` wire format.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Deprecation shims that already warned in this process.  Server
+#: request loops hit the shims once per request; warning on every call
+#: would flood the log, so each shim fires exactly once per process.
+_WARNED_DEPRECATIONS: Set[str] = set()
+
+
+def _warn_deprecated_once(key: str, message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning once per process."""
+    if key in _WARNED_DEPRECATIONS:
+        return
+    _WARNED_DEPRECATIONS.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process deprecation shims (test hook)."""
+    _WARNED_DEPRECATIONS.clear()
+
+
+class ConfigurationError(ValueError):
+    """A server set that can never host admissions.
+
+    Raised at controller construction when the configured servers fail
+    the global (Theorem-2) test -- or are structurally invalid -- so a
+    service can turn the condition into a structured, typed rejection
+    instead of an opaque 500.  ``failing_t`` carries the Theorem-2
+    witness (when one exists) and ``servers`` the offending
+    ``(vm_id, pi, theta)`` triples.  Subclasses ``ValueError`` so
+    pre-existing callers catching the untyped error keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failing_t: Optional[int] = None,
+        servers: Sequence[Tuple[int, int, int]] = (),
+    ) -> None:
+        super().__init__(message)
+        self.failing_t = failing_t
+        self.servers: Tuple[Tuple[int, int, int], ...] = tuple(servers)
 
 
 class AdmissionDecision:
@@ -80,11 +144,10 @@ class AdmissionDecision:
         admitted: object = _MISSING,
     ) -> None:
         if admitted is not _MISSING:
-            warnings.warn(
+            _warn_deprecated_once(
+                "AdmissionDecision.__init__.admitted",
                 "AdmissionDecision(admitted=...) is deprecated; "
                 "pass schedulable=... instead",
-                DeprecationWarning,
-                stacklevel=2,
             )
             if schedulable is _MISSING:
                 schedulable = admitted
@@ -101,11 +164,10 @@ class AdmissionDecision:
     @property
     def admitted(self) -> bool:
         """Deprecated alias for :attr:`schedulable`."""
-        warnings.warn(
+        _warn_deprecated_once(
+            "AdmissionDecision.admitted",
             "AdmissionDecision.admitted is deprecated; "
             "use AdmissionDecision.schedulable",
-            DeprecationWarning,
-            stacklevel=2,
         )
         return self.schedulable
 
@@ -143,6 +205,165 @@ class AdmissionDecision:
             f"task_name={self.task_name!r}, vm_id={self.vm_id!r}, "
             f"reason={self.reason!r}, test_result={self.test_result!r})"
         )
+
+
+def result_to_dict(result: Optional[LSchedResult]) -> Optional[Dict[str, Any]]:
+    """JSON-safe form of a Theorem-4 result (``None`` passes through)."""
+    if result is None:
+        return None
+    return {
+        "schedulable": result.schedulable,
+        "horizon": result.horizon,
+        "slack": result.slack,
+        "failing_t": result.failing_t,
+        "failing_demand": result.failing_demand,
+        "failing_supply": result.failing_supply,
+        "method": result.method,
+        "server": list(result.server),
+        "task_names": list(result.task_names),
+    }
+
+
+def result_from_dict(data: Optional[Dict[str, Any]]) -> Optional[LSchedResult]:
+    """Inverse of :func:`result_to_dict`; round trips bit-identically."""
+    if data is None:
+        return None
+    from repro.analysis.lsched_test import LSchedResult
+
+    server = data["server"]
+    return LSchedResult(
+        schedulable=bool(data["schedulable"]),
+        horizon=int(data["horizon"]),
+        slack=float(data["slack"]),
+        failing_t=None if data["failing_t"] is None else int(data["failing_t"]),
+        failing_demand=(
+            None if data["failing_demand"] is None else int(data["failing_demand"])
+        ),
+        failing_supply=(
+            None if data["failing_supply"] is None else int(data["failing_supply"])
+        ),
+        method=str(data["method"]),
+        server=(int(server[0]), int(server[1])),
+        task_names=[str(name) for name in data["task_names"]],
+    )
+
+
+def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
+    """JSON-safe form of one decision (the snapshot/service wire form)."""
+    return {
+        "schedulable": decision.schedulable,
+        "task_name": decision.task_name,
+        "vm_id": decision.vm_id,
+        "reason": decision.reason,
+        "test_result": result_to_dict(decision.test_result),
+    }
+
+
+def decision_from_dict(data: Dict[str, Any]) -> AdmissionDecision:
+    """Inverse of :func:`decision_to_dict`; round trips ``==``-equal."""
+    return AdmissionDecision(
+        schedulable=bool(data["schedulable"]),
+        task_name=str(data["task_name"]),
+        vm_id=int(data["vm_id"]),
+        reason=str(data["reason"]),
+        test_result=result_from_dict(data["test_result"]),
+    )
+
+
+@dataclass
+class ControllerSnapshot:
+    """Versioned, canonical-JSON image of one controller's full state.
+
+    ``admitted`` preserves each VM's admission order (the order the
+    incremental curve was grown in); ``memo`` captures the per-VM
+    demand-curve state verbatim (signature triples, step points,
+    aggregate demand, covered horizon), so a restored controller replays
+    the *same* incremental path as the live one -- not merely the same
+    verdicts.  Counters and the (bounded) decision ring are carried so
+    restarts never lose counts.
+    """
+
+    table_pattern: List[int]
+    servers: List[Tuple[int, int, int]]
+    incremental: bool
+    max_decisions: Optional[int]
+    admitted: Dict[int, List[Dict[str, Any]]]
+    memo: Dict[int, Dict[str, Any]]
+    admitted_count: int
+    rejected_count: int
+    dropped_decisions: int
+    decisions: List[Dict[str, Any]] = field(default_factory=list)
+    schema_version: int = SNAPSHOT_SCHEMA_VERSION
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict form (int keys stringified, tuples listed)."""
+        return {
+            "schema_version": self.schema_version,
+            "table_pattern": list(self.table_pattern),
+            "servers": [list(entry) for entry in self.servers],
+            "incremental": self.incremental,
+            "max_decisions": self.max_decisions,
+            "admitted": {
+                str(vm_id): list(tasks)
+                for vm_id, tasks in sorted(self.admitted.items())
+            },
+            "memo": {
+                str(vm_id): entry for vm_id, entry in sorted(self.memo.items())
+            },
+            "admitted_count": self.admitted_count,
+            "rejected_count": self.rejected_count,
+            "dropped_decisions": self.dropped_decisions,
+            "decisions": list(self.decisions),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators.
+
+        Two controllers with equal state produce byte-identical strings,
+        which is what the service's rebalance/warm-restart paths and the
+        property suite compare.
+        """
+        from repro.tasks.serialization import canonical_json
+
+        return canonical_json(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ControllerSnapshot":
+        version = payload.get("schema_version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported controller snapshot schema_version "
+                f"{version!r}; this build reads {SNAPSHOT_SCHEMA_VERSION}"
+            )
+        max_decisions = payload["max_decisions"]
+        return cls(
+            table_pattern=[int(bit) for bit in payload["table_pattern"]],
+            servers=[
+                (int(entry[0]), int(entry[1]), int(entry[2]))
+                for entry in payload["servers"]
+            ],
+            incremental=bool(payload["incremental"]),
+            max_decisions=None if max_decisions is None else int(max_decisions),
+            admitted={
+                int(vm_id): list(tasks)
+                for vm_id, tasks in payload["admitted"].items()
+            },
+            memo={
+                int(vm_id): dict(entry)
+                for vm_id, entry in payload["memo"].items()
+            },
+            admitted_count=int(payload["admitted_count"]),
+            rejected_count=int(payload["rejected_count"]),
+            dropped_decisions=int(payload["dropped_decisions"]),
+            decisions=list(payload["decisions"]),
+            schema_version=int(version),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ControllerSnapshot":
+        import json
+
+        return cls.from_payload(json.loads(text))
 
 
 class _VMDemandState:
@@ -199,13 +420,25 @@ class AdmissionController:
         servers: List[ServerSpec],
         *,
         incremental: bool = True,
+        max_decisions: Optional[int] = DEFAULT_MAX_DECISIONS,
     ) -> None:
+        if max_decisions is not None:
+            max_decisions = int(max_decisions)
+            if max_decisions < 1:
+                raise ValueError(
+                    f"max_decisions must be >= 1 (or None for unbounded), "
+                    f"got {max_decisions}"
+                )
         self.table = table
         self.incremental = incremental
+        self.max_decisions = max_decisions
         self._servers: Dict[int, ServerSpec] = {}
         for spec in servers:
             if spec.vm_id in self._servers:
-                raise ValueError(f"duplicate server for VM {spec.vm_id}")
+                raise ConfigurationError(
+                    f"duplicate server for VM {spec.vm_id}",
+                    servers=[(s.vm_id, s.pi, s.theta) for s in servers],
+                )
             self._servers[spec.vm_id] = spec
         # The global layer must hold for the configured servers before
         # any admission makes sense.
@@ -214,10 +447,14 @@ class AdmissionController:
         pairs = [(s.pi, s.theta) for s in self._servers.values()]
         global_result = gsched_schedulable(table, pairs)
         if not global_result.schedulable:
-            raise ValueError(
+            raise ConfigurationError(
                 "server set fails the global (Theorem-2) test at "
                 f"t={global_result.failing_t}; fix the configuration before "
-                "admitting tasks"
+                "admitting tasks",
+                failing_t=global_result.failing_t,
+                servers=[
+                    (s.vm_id, s.pi, s.theta) for s in self._servers.values()
+                ],
             )
         self._admitted: Dict[int, TaskSet] = {
             vm_id: TaskSet(name=f"admitted.vm{vm_id}") for vm_id in self._servers
@@ -225,7 +462,10 @@ class AdmissionController:
         self._state: Dict[int, _VMDemandState] = {}
         self.admitted_count = 0
         self.rejected_count = 0
-        self.decisions: List[AdmissionDecision] = []
+        #: Bounded ring of recent decisions; totals live in the counters.
+        self.decisions: Deque[AdmissionDecision] = deque()
+        #: Decisions evicted from the ring (0 when unbounded).
+        self.dropped_decisions = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -428,12 +668,110 @@ class AdmissionController:
         )
 
     def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
+        if (
+            self.max_decisions is not None
+            and len(self.decisions) >= self.max_decisions
+        ):
+            # Ring-buffer mode: evict the oldest decision, explicitly
+            # counted -- the admitted/rejected totals never decay.
+            self.decisions.popleft()
+            self.dropped_decisions += 1
         self.decisions.append(decision)
         if decision.schedulable:
             self.admitted_count += 1
         else:
             self.rejected_count += 1
         return decision
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> ControllerSnapshot:
+        """Capture the controller as a :class:`ControllerSnapshot`.
+
+        The snapshot is *complete*: restoring it yields a controller
+        whose future decisions (and memoized demand-curve growth) are
+        bit-identical to this one's, which the property suite asserts
+        against a replayed fresh controller.
+        """
+        from repro.tasks.serialization import task_to_dict
+
+        memo: Dict[int, Dict[str, Any]] = {}
+        for vm_id in sorted(self._state):
+            state = self._state[vm_id]
+            memo[vm_id] = {
+                "signature": [list(triple) for triple in state.signature],
+                "points": state.points.tolist(),
+                "demand": state.demand.tolist(),
+                "covered": state.covered,
+            }
+        return ControllerSnapshot(
+            table_pattern=self.table.occupancy_pattern(),
+            servers=[
+                (spec.vm_id, spec.pi, spec.theta)
+                for spec in (
+                    self._servers[vm_id] for vm_id in sorted(self._servers)
+                )
+            ],
+            incremental=self.incremental,
+            max_decisions=self.max_decisions,
+            admitted={
+                vm_id: [
+                    task_to_dict(task) for task in self._admitted[vm_id].tasks
+                ]
+                for vm_id in sorted(self._admitted)
+            },
+            memo=memo,
+            admitted_count=self.admitted_count,
+            rejected_count=self.rejected_count,
+            dropped_decisions=self.dropped_decisions,
+            decisions=[decision_to_dict(entry) for entry in self.decisions],
+        )
+
+    @classmethod
+    def restore(cls, snapshot: ControllerSnapshot) -> "AdmissionController":
+        """Rebuild a controller from a snapshot (warm restart).
+
+        The restored controller re-validates the server set (Theorem 2
+        is deterministic, so a snapshot that was constructible once
+        always restores) and then reinstates the admitted sets, memoized
+        demand curves, counters and decision ring verbatim -- no
+        decision is replayed, so counters keep their totals.
+        """
+        from repro.tasks.serialization import task_from_dict
+
+        controller = cls(
+            TimeSlotTable.from_pattern(snapshot.table_pattern),
+            [ServerSpec(vm_id, pi, theta) for vm_id, pi, theta in snapshot.servers],
+            incremental=snapshot.incremental,
+            max_decisions=snapshot.max_decisions,
+        )
+        for vm_id in sorted(snapshot.admitted):
+            if vm_id not in controller._admitted:
+                raise ValueError(
+                    f"snapshot admits tasks into VM {vm_id}, which has no "
+                    "server in the snapshot's configuration"
+                )
+            admitted = controller._admitted[vm_id]
+            for data in snapshot.admitted[vm_id]:
+                admitted.add(task_from_dict(data))
+        for vm_id in sorted(snapshot.memo):
+            entry = snapshot.memo[vm_id]
+            signature = tuple(
+                (int(triple[0]), int(triple[1]), int(triple[2]))
+                for triple in entry["signature"]
+            )
+            state = _VMDemandState(signature)
+            state.points = np.asarray(entry["points"], dtype=np.int64)
+            state.demand = np.asarray(entry["demand"], dtype=np.int64)
+            state.covered = int(entry["covered"])
+            controller._state[vm_id] = state
+        controller.admitted_count = snapshot.admitted_count
+        controller.rejected_count = snapshot.rejected_count
+        controller.dropped_decisions = snapshot.dropped_decisions
+        controller.decisions = deque(
+            decision_from_dict(entry) for entry in snapshot.decisions
+        )
+        return controller
 
     def _require_vm(self, vm_id: int) -> None:
         if vm_id not in self._servers:

@@ -13,6 +13,8 @@ Usage::
     python -m repro.exp acceptance
     python -m repro.exp analysis-bench [--batched] [--min-speedup X]
                                        [--bench-history PATH]
+    python -m repro.exp admission-serve [--serve-shards 1,2]
+                                        [--bench-history PATH]
     python -m repro.exp chains [--trials N] [--horizon SLOTS] [--out DIR]
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
@@ -39,6 +41,13 @@ end-to-end bounds against simulated chain latencies, writes
 ``chains.json``/``chains.csv`` artifacts to ``--out`` and exits 2 when
 any simulated instance violates its bound -- CI runs both as
 regression gates.
+``admission-serve`` benchmarks the admission service (:mod:`repro.serve`):
+it fires the same deterministic concurrent burst at servers with each
+``--serve-shards`` count (twice each), reports requests/sec, and exits
+2 unless every run's decision log is byte-identical -- sharding must
+not change any admission outcome.  ``--bench-history PATH`` writes the
+schema-stable ``BENCH_admission.json`` record the repo commits at its
+root.
 """
 
 from __future__ import annotations
@@ -48,6 +57,11 @@ import sys
 from pathlib import Path
 
 from repro.exp.acceptance import render_acceptance, run_acceptance
+from repro.exp.admission_serve import (
+    render_admission_serve,
+    run_admission_serve,
+    write_admission_serve_history,
+)
 from repro.exp.analysis_bench import (
     export_analysis_bench_json,
     render_analysis_bench,
@@ -92,6 +106,7 @@ EXPERIMENTS = [
     "faults",
     "acceptance",
     "analysis-bench",
+    "admission-serve",
     "chains",
     "export",
 ]
@@ -143,6 +158,19 @@ def main(argv=None) -> int:
         "--bench-history", type=Path, default=None,
         help="analysis-bench: write the schema-stable BENCH_analysis.json "
         "record here (the repo commits one at its root)",
+    )
+    parser.add_argument(
+        "--serve-shards", default="1,2",
+        help="admission-serve: comma list of shard counts to benchmark "
+        "(each run twice; decision logs must be byte-identical)",
+    )
+    parser.add_argument(
+        "--serve-backend", choices=("process", "inline"), default="process",
+        help="admission-serve: shard backend (worker processes or inline)",
+    )
+    parser.add_argument(
+        "--serve-ops", type=int, default=25,
+        help="admission-serve: scripted operations per VM in the burst",
     )
     parser.add_argument(
         "--fault-trace", type=Path, default=None,
@@ -268,6 +296,28 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 3
+    if args.experiment == "admission-serve":
+        shard_counts = [
+            int(part) for part in args.serve_shards.split(",") if part
+        ]
+        record = run_admission_serve(
+            shard_counts,
+            ops_per_vm=args.serve_ops,
+            seed=args.seed,
+            backend=args.serve_backend,
+        )
+        print(render_admission_serve(record))
+        if args.bench_history is not None:
+            args.bench_history.parent.mkdir(parents=True, exist_ok=True)
+            path = write_admission_serve_history(record, args.bench_history)
+            print(f"wrote {path}", file=sys.stderr)
+        if not record["deterministic"]:
+            print(
+                "FAIL: decision-log digests diverged across shard counts "
+                "or reruns",
+                file=sys.stderr,
+            )
+            return 2
     if args.experiment == "export":
         args.out.mkdir(parents=True, exist_ok=True)
         config = CaseStudyConfig(

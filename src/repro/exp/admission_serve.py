@@ -1,0 +1,86 @@
+"""The ``admission-serve`` experiment: service throughput + determinism.
+
+A thin experiment wrapper over :mod:`repro.serve.bench`: runs the
+concurrent admission burst for each shard count (``repeats`` times
+each), renders a throughput table, and writes the schema-versioned
+``BENCH_admission.json`` record the repo commits at its root.
+
+The gate is determinism, not speed: the run fails (exit 2 from the
+CLI) unless every repetition of every shard count produced the same
+decision-log digest -- the byte-level witness that sharding the
+admission controller does not change any admission outcome.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+from repro.serve.bench import (
+    DEFAULT_NUM_VMS,
+    DEFAULT_OPS_PER_VM,
+    DEFAULT_SEED,
+    run_admission_bench,
+    validate_admission_bench_schema,
+    write_admission_bench,
+)
+
+__all__ = [
+    "run_admission_serve",
+    "render_admission_serve",
+    "write_admission_serve_history",
+    "validate_admission_bench_schema",
+]
+
+
+def run_admission_serve(
+    shard_counts: Sequence[int] = (1, 2),
+    *,
+    repeats: int = 2,
+    num_vms: int = DEFAULT_NUM_VMS,
+    ops_per_vm: int = DEFAULT_OPS_PER_VM,
+    seed: int = DEFAULT_SEED,
+    backend: str = "process",
+) -> Dict[str, Any]:
+    """Run the full shard-count x repeats matrix; returns the record."""
+    return run_admission_bench(
+        shard_counts,
+        repeats=repeats,
+        num_vms=num_vms,
+        ops_per_vm=ops_per_vm,
+        seed=seed,
+        backend=backend,
+    )
+
+
+def render_admission_serve(record: Dict[str, Any]) -> str:
+    """Human-readable table of the bench record."""
+    workload = record["workload"]
+    lines = [
+        "admission-serve: concurrent admission bursts "
+        f"({workload['num_vms']} VMs x {workload['ops_per_vm']} ops, "
+        f"seed {workload['seed']}, backend "
+        f"{record['runs'][0]['backend'] if record['runs'] else '?'})",
+        f"{'shards':>7}  {'requests':>9}  {'rate (req/s)':>13}  "
+        f"{'log':>5}  digest",
+    ]
+    for run in record["runs"]:
+        lines.append(
+            f"{run['shards']:>7}  {run['requests']:>9}  "
+            f"{run['requests_per_sec']:>13.0f}  {run['log_entries']:>5}  "
+            f"{run['log_digest'][:16]}"
+        )
+    verdict = "byte-identical" if record["deterministic"] else "DIVERGED"
+    lines.append(
+        f"decision log across {len(record['runs'])} runs: {verdict}"
+    )
+    return "\n".join(lines)
+
+
+def write_admission_serve_history(
+    record: Dict[str, Any], path: Path
+) -> Path:
+    """Write the committed ``BENCH_admission.json`` form of the record."""
+    path = Path(path)
+    write_admission_bench(record, str(path))
+    return path

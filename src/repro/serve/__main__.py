@@ -1,0 +1,171 @@
+"""CLI for the admission service.
+
+Subcommands::
+
+    python -m repro.serve serve  --system system.json [--port 0 ...]
+    python -m repro.serve client --port 40123 --op ping
+    python -m repro.serve client --port 40123 --script burst.json
+    python -m repro.serve bench  --shards 1,2 --output BENCH_admission.json
+
+``serve`` prints one machine-readable ``LISTENING <host> <port>`` line
+once the socket is bound (the CI smoke job reads it to find the
+ephemeral port), then runs until a ``shutdown`` request arrives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.serve.bench import (
+    DEFAULT_NUM_VMS,
+    DEFAULT_OPS_PER_VM,
+    DEFAULT_SEED,
+    run_admission_bench,
+    write_admission_bench,
+)
+from repro.serve.client import ServeClient, load_script, run_script
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import AdmissionServer, ServeConfig, load_system_file
+from repro.tasks.serialization import canonical_json
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    payload = load_system_file(args.system)
+    config = ServeConfig.from_system_payload(
+        payload,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        backend=args.backend,
+        epoch_interval=args.epoch_interval,
+        queue_limit=args.queue_limit,
+    )
+
+    async def _main() -> None:
+        server = AdmissionServer(config)
+        await server.start()
+        print(f"LISTENING {config.host} {server.port}", flush=True)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    if (args.op is None) == (args.script is None):
+        print(
+            "client: exactly one of --op / --script is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.script is not None:
+        requests = load_script(args.script)
+        responses = run_script(args.host, args.port, requests)
+        for response in responses:
+            print(canonical_json(response))
+        return 0 if all(r.get("ok") for r in responses) else 1
+    message: Dict[str, Any] = {"op": args.op}
+    if args.data:
+        extra = json.loads(args.data)
+        if not isinstance(extra, dict):
+            print("client: --data must be a JSON object", file=sys.stderr)
+            return 2
+        message.update(extra)
+    with ServeClient(args.host, args.port) as client:
+        response = client.request(message)
+    if args.op == "log" and response.get("ok"):
+        # Print the raw decision-log lines: the byte-comparable artifact.
+        for line in response["log"]:
+            print(line)
+        return 0
+    print(canonical_json(response))
+    return 0 if response.get("ok") else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    shard_counts = [int(part) for part in args.shards.split(",") if part]
+    record = run_admission_bench(
+        shard_counts,
+        repeats=args.repeats,
+        num_vms=args.num_vms,
+        ops_per_vm=args.ops_per_vm,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    for run in record["runs"]:
+        print(
+            f"shards={run['shards']} requests={run['requests']} "
+            f"rate={run['requests_per_sec']:.0f}/s "
+            f"log={run['log_entries']} digest={run['log_digest'][:12]}"
+        )
+    print(f"deterministic={record['deterministic']}")
+    if args.output:
+        write_admission_bench(record, args.output)
+        print(f"wrote {args.output}")
+    if not record["deterministic"]:
+        print(
+            "bench: decision log digests diverged across runs",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Admission service: server, client and benchmark.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run an admission server")
+    serve.add_argument("--system", required=True, help="system JSON file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--backend", choices=("process", "inline"), default="process"
+    )
+    serve.add_argument("--epoch-interval", type=float, default=0.01)
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser("client", help="drive a running server")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--op", help="single operation to send")
+    client.add_argument(
+        "--data", help="JSON object merged into the single request"
+    )
+    client.add_argument("--script", help="JSON file with a request list")
+    client.set_defaults(func=_cmd_client)
+
+    bench = sub.add_parser("bench", help="throughput/determinism benchmark")
+    bench.add_argument("--shards", default="1,2", help="comma list, e.g. 1,2")
+    bench.add_argument("--repeats", type=int, default=2)
+    bench.add_argument("--num-vms", type=int, default=DEFAULT_NUM_VMS)
+    bench.add_argument("--ops-per-vm", type=int, default=DEFAULT_OPS_PER_VM)
+    bench.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    bench.add_argument(
+        "--backend", choices=("process", "inline"), default="process"
+    )
+    bench.add_argument("--output", help="write BENCH_admission.json here")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return int(args.func(args))
+    except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""Admission-service benchmark: concurrent bursts, determinism checks.
+
+The bench starts a real :class:`~repro.serve.server.AdmissionServer`
+on a loopback port, opens one client connection per VM (per-VM streams
+stay FIFO, the decision-log contract), fires every VM's scripted burst
+concurrently, and reports sustained requests/sec.
+
+Determinism is the point, not just throughput: the workload is a pure
+function of ``seed``, every request carries a pre-assigned ``seq``
+(``vm_id * SEQ_STRIDE + index``), and the decision log is dumped in
+seq order -- so the log's SHA-256 digest must be byte-identical across
+reruns *and* across shard counts.  ``run_admission_bench`` enforces
+exactly that and records the verdict in the schema-versioned
+``BENCH_admission.json`` document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random  # iolint: disable=IOL003 -- seeded per-VM Random, pure function of the bench seed
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import ServeClient
+from repro.serve.server import AdmissionServer, ServeConfig
+
+#: Version of the committed ``BENCH_admission.json`` record; bump when
+#: the document shape changes.
+ADMISSION_BENCH_SCHEMA_VERSION = 1
+
+#: Per-VM seq stride; VM ``v``'s requests use ``v * SEQ_STRIDE + i``.
+SEQ_STRIDE = 1_000_000
+
+#: Default workload shape (kept small enough for CI smoke runs).
+DEFAULT_NUM_VMS = 4
+DEFAULT_OPS_PER_VM = 25
+DEFAULT_SEED = 7
+
+
+def default_system(num_vms: int = DEFAULT_NUM_VMS) -> Dict[str, Any]:
+    """A Theorem-2-feasible bench system: H=20 table, one server per VM.
+
+    Four of twenty slots are P-channel-busy; the server set demands at
+    most 14 of the 16 free slots per hyperperiod, leaving headroom so
+    admissions (not the global test) decide the workload's fate.
+    """
+    pattern = [1 if slot % 5 == 0 else 0 for slot in range(20)]
+    servers: List[List[int]] = []
+    for vm_id in range(num_vms):
+        if vm_id % 2 == 0:
+            servers.append([vm_id, 10, 2])
+        else:
+            servers.append([vm_id, 20, 3])
+    return {"table_pattern": pattern, "servers": servers}
+
+
+def generate_workload(
+    num_vms: int = DEFAULT_NUM_VMS,
+    ops_per_vm: int = DEFAULT_OPS_PER_VM,
+    seed: int = DEFAULT_SEED,
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Deterministic per-VM request scripts (admit/withdraw/analyze mix).
+
+    Each VM's script is generated from its own ``random.Random`` stream
+    and stamped with globally unique, per-VM-increasing ``seq`` values,
+    so the merged decision log is a pure function of ``(num_vms,
+    ops_per_vm, seed)`` -- independent of shard count and of how the
+    concurrent connections interleave.
+    """
+    scripts: Dict[int, List[Dict[str, Any]]] = {}
+    for vm_id in range(num_vms):
+        rng = random.Random(f"{seed}:{vm_id}")
+        script: List[Dict[str, Any]] = []
+        submitted: List[str] = []
+        for index in range(ops_per_vm):
+            seq = vm_id * SEQ_STRIDE + index
+            roll = rng.random()
+            if roll < 0.70 or not submitted:
+                name = f"vm{vm_id}.task{index}"
+                task = {
+                    "name": name,
+                    "vm_id": vm_id,
+                    "period": rng.choice((50, 100, 200)),
+                    "wcet": rng.randint(1, 3),
+                    "device": f"dev{vm_id}",
+                }
+                submitted.append(name)
+                script.append({"op": "admit", "seq": seq, "task": task})
+            elif roll < 0.90:
+                name = rng.choice(submitted)
+                script.append(
+                    {
+                        "op": "withdraw",
+                        "seq": seq,
+                        "vm_id": vm_id,
+                        "task_name": name,
+                    }
+                )
+            else:
+                probe = {
+                    "name": f"vm{vm_id}.probe{index}",
+                    "vm_id": vm_id,
+                    "period": 100,
+                    "wcet": 1,
+                    "device": f"dev{vm_id}",
+                }
+                script.append({"op": "analyze", "seq": seq, "tasks": [probe]})
+        scripts[vm_id] = script
+    return scripts
+
+
+def digest_log(lines: Sequence[str]) -> str:
+    """SHA-256 over the newline-joined decision log."""
+    blob = ("\n".join(lines) + "\n") if lines else ""
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_serve_bench(
+    num_shards: int,
+    *,
+    num_vms: int = DEFAULT_NUM_VMS,
+    ops_per_vm: int = DEFAULT_OPS_PER_VM,
+    seed: int = DEFAULT_SEED,
+    backend: str = "process",
+    epoch_interval: float = 0.005,
+) -> Dict[str, Any]:
+    """One bench run: start a server, fire the burst, collect the log."""
+    system = default_system(num_vms)
+    scripts = generate_workload(num_vms, ops_per_vm, seed)
+    config = ServeConfig.from_system_payload(
+        system,
+        shards=num_shards,
+        backend=backend,
+        epoch_interval=epoch_interval,
+        name=f"bench.s{num_shards}",
+    )
+
+    async def _run() -> Dict[str, Any]:
+        import time
+
+        server = AdmissionServer(config)
+        await server.start()
+        assert server.port is not None
+        loop = asyncio.get_running_loop()
+
+        def worker(script: List[Dict[str, Any]]) -> int:
+            with ServeClient("127.0.0.1", server.port) as client:
+                for message in script:
+                    client.request(message)
+            return len(script)
+
+        try:
+            # Dedicated executor: client threads must not starve the
+            # server's own run_in_executor shard calls.
+            with ThreadPoolExecutor(max_workers=max(1, num_vms)) as pool:
+                start = time.perf_counter()  # iolint: disable=IOL003 -- host-side benchmark timing
+                counts = await asyncio.gather(
+                    *[
+                        loop.run_in_executor(pool, worker, scripts[vm_id])
+                        for vm_id in sorted(scripts)
+                    ]
+                )
+                elapsed = time.perf_counter() - start  # iolint: disable=IOL003 -- host-side benchmark timing
+            await server._flush_epoch()  # settle any just-arrived batch
+            log_lines = server.decision_log_lines()
+            counters = dict(server.counters)
+            pool_counters = await loop.run_in_executor(
+                None, server.pool.counters
+            )
+        finally:
+            await server.stop()
+        requests = int(sum(counts))
+        return {
+            "shards": num_shards,
+            "backend": backend,
+            "num_vms": num_vms,
+            "ops_per_vm": ops_per_vm,
+            "seed": seed,
+            "requests": requests,
+            "elapsed_seconds": max(elapsed, 1e-9),
+            "requests_per_sec": requests / max(elapsed, 1e-9),
+            "log_entries": len(log_lines),
+            "log_digest": digest_log(log_lines),
+            "log_lines": log_lines,
+            "counters": counters,
+            "pool_counters": pool_counters,
+        }
+
+    return asyncio.run(_run())
+
+
+def run_admission_bench(
+    shard_counts: Sequence[int] = (1, 2),
+    *,
+    repeats: int = 2,
+    num_vms: int = DEFAULT_NUM_VMS,
+    ops_per_vm: int = DEFAULT_OPS_PER_VM,
+    seed: int = DEFAULT_SEED,
+    backend: str = "process",
+) -> Dict[str, Any]:
+    """The full determinism matrix: every shard count, ``repeats`` times.
+
+    Returns the ``BENCH_admission.json`` record.  ``deterministic`` is
+    true iff every run of every shard count produced byte-identical
+    decision-log digests.
+    """
+    if not shard_counts:
+        raise ValueError("need at least one shard count")
+    runs: List[Dict[str, Any]] = []
+    digests: List[str] = []
+    for num_shards in shard_counts:
+        for _repeat in range(repeats):
+            result = run_serve_bench(
+                num_shards,
+                num_vms=num_vms,
+                ops_per_vm=ops_per_vm,
+                seed=seed,
+                backend=backend,
+            )
+            digests.append(result["log_digest"])
+            runs.append(
+                {
+                    key: result[key]
+                    for key in (
+                        "shards",
+                        "backend",
+                        "requests",
+                        "elapsed_seconds",
+                        "requests_per_sec",
+                        "log_entries",
+                        "log_digest",
+                    )
+                }
+            )
+    return {
+        "schema_version": ADMISSION_BENCH_SCHEMA_VERSION,
+        "workload": {
+            "num_vms": num_vms,
+            "ops_per_vm": ops_per_vm,
+            "seed": seed,
+            "shard_counts": [int(count) for count in shard_counts],
+            "repeats": repeats,
+        },
+        "runs": runs,
+        "log_digest": digests[0],
+        "deterministic": len(set(digests)) == 1,
+    }
+
+
+_WORKLOAD_KEYS = ("num_vms", "ops_per_vm", "seed", "shard_counts", "repeats")
+_RUN_KEYS = (
+    "shards",
+    "backend",
+    "requests",
+    "elapsed_seconds",
+    "requests_per_sec",
+    "log_entries",
+    "log_digest",
+)
+
+
+def validate_admission_bench_schema(doc: object) -> List[str]:
+    """Structural check of a ``BENCH_admission.json`` document.
+
+    Returns human-readable problems; empty means valid.  CI runs it
+    against both the committed baseline and a freshly generated record
+    (absolute rates vary by host, so only structure is compared).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != ADMISSION_BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {ADMISSION_BENCH_SCHEMA_VERSION}"
+        )
+    workload = doc.get("workload")
+    if not isinstance(workload, dict):
+        problems.append("missing 'workload' object")
+    else:
+        for key in _WORKLOAD_KEYS:
+            if key not in workload:
+                problems.append(f"workload lacks {key!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("missing non-empty 'runs' list")
+    else:
+        for index, run in enumerate(runs):
+            if not isinstance(run, dict):
+                problems.append(f"runs[{index}] is not an object")
+                continue
+            for key in _RUN_KEYS:
+                if key not in run:
+                    problems.append(f"runs[{index}] lacks {key!r}")
+            rate = run.get("requests_per_sec")
+            if not isinstance(rate, (int, float)) or rate <= 0:
+                problems.append(
+                    f"runs[{index}] lacks a positive requests_per_sec"
+                )
+    if not isinstance(doc.get("log_digest"), str):
+        problems.append("missing string 'log_digest'")
+    if not isinstance(doc.get("deterministic"), bool):
+        problems.append("missing boolean 'deterministic'")
+    return problems
+
+
+def write_admission_bench(doc: Dict[str, Any], path: str) -> str:
+    """Validate and write the record (indent-2, sorted keys, newline)."""
+    import json
+
+    problems = validate_admission_bench_schema(doc)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid bench record: " + "; ".join(problems)
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_digests(
+    records: Sequence[Dict[str, Any]],
+) -> Optional[Tuple[str, str]]:
+    """First mismatching digest pair across bench records, else None."""
+    digests = [str(record.get("log_digest", "")) for record in records]
+    for digest in digests[1:]:
+        if digest != digests[0]:
+            return digests[0], digest
+    return None

@@ -1,0 +1,146 @@
+"""Synchronous client for the admission service.
+
+One TCP connection speaking the newline-JSON framing
+(:mod:`repro.serve.protocol`).  Requests on a single connection are
+answered in order, so a client that owns one VM's stream and stamps
+increasing ``seq`` values gets exactly the FIFO semantics the decision
+log's determinism contract requires.
+
+The module also hosts :func:`run_script`, the engine behind
+``python -m repro.serve client --script``: it executes a JSON list of
+requests against a live server and returns every response, which is
+what the CI smoke job drives its byte-compared bursts with.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.protocol import ProtocolError, decode_message, encode_message
+
+
+class ServeClient:
+    """One newline-JSON connection to a running admission server."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_seq = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request dict; block for its response.
+
+        A missing ``seq`` is stamped from the connection-local counter
+        (monotonically increasing, hence log-order preserving).
+        """
+        if "seq" not in message:
+            message = dict(message)
+            message["seq"] = self._next_seq
+        self._next_seq = max(self._next_seq, int(message["seq"])) + 1
+        self._sock.sendall(encode_message(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- op helpers ---------------------------------------------------------
+
+    def admit(
+        self, task: Dict[str, Any], seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "admit", "task": task}
+        if seq is not None:
+            message["seq"] = seq
+        return self.request(message)
+
+    def withdraw(
+        self, vm_id: int, task_name: str, seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "op": "withdraw",
+            "vm_id": vm_id,
+            "task_name": task_name,
+        }
+        if seq is not None:
+            message["seq"] = seq
+        return self.request(message)
+
+    def analyze(
+        self,
+        tasks: Sequence[Dict[str, Any]] = (),
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "analyze", "tasks": list(tasks)}
+        if seq is not None:
+            message["seq"] = seq
+        return self.request(message)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.request({"op": "snapshot"})
+
+    def rebalance(self, shards: int) -> Dict[str, Any]:
+        return self.request({"op": "rebalance", "shards": shards})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def log(self) -> List[str]:
+        """The server's decision log as canonical-JSON lines (seq order)."""
+        response = self.request({"op": "log"})
+        if not response.get("ok"):
+            raise ProtocolError(f"log request failed: {response!r}")
+        return [str(line) for line in response["log"]]
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+
+def run_script(
+    host: str, port: int, requests: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Execute a request list over one connection; return all responses.
+
+    Requests without an explicit ``seq`` get connection-local stamps, so
+    a fixed script always produces the same decision-log bytes.
+    """
+    responses: List[Dict[str, Any]] = []
+    with ServeClient(host, port) as client:
+        for message in requests:
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"script entries must be objects, got {message!r}"
+                )
+            responses.append(client.request(message))
+    return responses
+
+
+def load_script(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON request list (the ``--script`` file format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ValueError("script file must hold a JSON list of requests")
+    return payload

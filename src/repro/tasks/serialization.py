@@ -34,6 +34,16 @@ PathLike = Union[str, Path]
 REQUIRED_FIELDS = ("name", "period", "wcet")
 
 
+def canonical_json(payload: object) -> str:
+    """Canonical JSON: sorted keys, compact separators, no trailing space.
+
+    Equal payloads serialize to byte-identical strings, so canonical
+    forms can be compared (and digested) directly -- the contract behind
+    controller snapshots and the admission service's decision log.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def task_to_dict(task: IOTask) -> dict:
     """Stable dictionary form of one task."""
     return {

@@ -1,8 +1,14 @@
 """Unit tests for the online admission controller."""
 
+import warnings
+
 import pytest
 
-from repro.core.admission import AdmissionController
+from repro.core.admission import (
+    AdmissionController,
+    ConfigurationError,
+    reset_deprecation_warnings,
+)
 from repro.core.gsched import ServerSpec
 from repro.core.timeslot import TimeSlotTable
 from repro.tasks.task import IOTask, TaskKind
@@ -39,6 +45,28 @@ class TestConstruction:
             AdmissionController(
                 table, [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)]
             )
+
+    def test_infeasible_servers_raise_typed_configuration_error(self):
+        """Services need a structured rejection: the error is typed and
+        carries the Theorem-2 witness plus the offending triples."""
+        table = TimeSlotTable.from_pattern([1, 0] * 10)
+        with pytest.raises(ConfigurationError) as info:
+            AdmissionController(
+                table, [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)]
+            )
+        assert info.value.failing_t is not None
+        assert info.value.servers == ((0, 10, 5), (1, 10, 4))
+        # Still a ValueError, so pre-facade callers keep working.
+        assert isinstance(info.value, ValueError)
+
+    def test_duplicate_server_error_is_typed(self):
+        with pytest.raises(ConfigurationError) as info:
+            AdmissionController(
+                TimeSlotTable.empty(10),
+                [ServerSpec(0, 10, 5), ServerSpec(0, 5, 1)],
+            )
+        assert info.value.failing_t is None
+        assert (0, 10, 5) in info.value.servers
 
 
 class TestAdmission:
@@ -124,6 +152,63 @@ class TestAdmission:
         assert ctrl.decisions[0].schedulable
         assert not ctrl.decisions[1].schedulable
 
+
+class TestDecisionRing:
+    """The decision log must not grow without bound: a controller living
+    inside a long-running server would otherwise leak memory.  The ring
+    mirrors the TraceRecorder ``max_events``/``dropped_events`` contract:
+    truncation is explicit, totals never decay."""
+
+    def ring_controller(self, max_decisions):
+        table = TimeSlotTable.empty(20)
+        return AdmissionController(
+            table,
+            [ServerSpec(0, 10, 5), ServerSpec(1, 10, 4)],
+            max_decisions=max_decisions,
+        )
+
+    def test_ring_is_bounded_and_counts_evictions(self):
+        ctrl = self.ring_controller(max_decisions=3)
+        for i in range(8):
+            ctrl.try_admit(runtime_task(f"t{i}", 400, 1))
+        assert len(ctrl.decisions) == 3
+        assert ctrl.dropped_decisions == 5
+        # The ring keeps the *newest* decisions.
+        assert [d.task_name for d in ctrl.decisions] == ["t5", "t6", "t7"]
+
+    def test_totals_survive_eviction(self):
+        ctrl = self.ring_controller(max_decisions=2)
+        admitted = rejected = 0
+        for i in range(6):
+            wcet = 1 if i % 2 == 0 else 300  # odd ones overload -> reject
+            if ctrl.try_admit(runtime_task(f"t{i}", 400, wcet)).schedulable:
+                admitted += 1
+            else:
+                rejected += 1
+        assert ctrl.admitted_count == admitted
+        assert ctrl.rejected_count == rejected
+        assert (
+            len(ctrl.decisions) + ctrl.dropped_decisions
+            == admitted + rejected
+        )
+
+    def test_default_is_bounded(self):
+        from repro.core.admission import DEFAULT_MAX_DECISIONS
+
+        ctrl = controller()
+        assert ctrl.max_decisions == DEFAULT_MAX_DECISIONS
+
+    def test_unbounded_opt_in(self):
+        ctrl = self.ring_controller(max_decisions=None)
+        for i in range(10):
+            ctrl.try_admit(runtime_task(f"t{i}", 400, 1))
+        assert len(ctrl.decisions) == 10
+        assert ctrl.dropped_decisions == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_decisions"):
+            self.ring_controller(max_decisions=0)
+
     def test_admitted_sets_always_schedulable(self):
         """Invariant: after any admission sequence, every VM's admitted
         set passes Theorem 4 against its server."""
@@ -192,6 +277,7 @@ class TestWithdrawInvalidation:
 
 class TestDeprecationShims:
     def test_admitted_attribute_warns_and_aliases(self):
+        reset_deprecation_warnings()
         ctrl = controller()
         decision = ctrl.try_admit(runtime_task("a", 100, 5))
         with pytest.warns(DeprecationWarning, match="admitted is deprecated"):
@@ -200,12 +286,59 @@ class TestDeprecationShims:
     def test_admitted_kwarg_warns_and_maps(self):
         from repro.core.admission import AdmissionDecision
 
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning, match="admitted=."):
             decision = AdmissionDecision(
                 admitted=True, task_name="x", vm_id=0
             )
         assert decision.schedulable
         assert bool(decision)
+
+    def test_admitted_attribute_warns_exactly_once_per_process(self):
+        """A server touching the shim per request must not flood its log:
+        even under an ``always`` warnings filter (which defeats Python's
+        per-location dedup) the shim fires once per process."""
+        reset_deprecation_warnings()
+        ctrl = controller()
+        decision = ctrl.try_admit(runtime_task("a", 100, 5))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(50):
+                assert decision.admitted is decision.schedulable
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_admitted_kwarg_warns_exactly_once_per_process(self):
+        from repro.core.admission import AdmissionDecision
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(50):
+                AdmissionDecision(admitted=True, task_name="x", vm_id=0)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_shim_keys_are_independent(self):
+        """The attribute and the constructor kwarg each get their own
+        once-per-process slot."""
+        from repro.core.admission import AdmissionDecision
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            decision = AdmissionDecision(admitted=True, task_name="x", vm_id=0)
+            decision.admitted  # noqa: B018 - shim side effect under test
+            AdmissionDecision(admitted=False, task_name="y", vm_id=1)
+            decision.admitted  # noqa: B018 - shim side effect under test
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
 
     def test_schedulable_kwarg_does_not_warn(self):
         import warnings

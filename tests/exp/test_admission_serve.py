@@ -1,0 +1,115 @@
+"""Tests for the admission-serve benchmark and its committed record."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exp.admission_serve import (
+    render_admission_serve,
+    run_admission_serve,
+    write_admission_serve_history,
+)
+from repro.serve.bench import (
+    ADMISSION_BENCH_SCHEMA_VERSION,
+    compare_digests,
+    default_system,
+    digest_log,
+    generate_workload,
+    validate_admission_bench_schema,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestWorkload:
+    def test_generation_is_deterministic(self):
+        assert generate_workload(3, 10, 42) == generate_workload(3, 10, 42)
+        assert generate_workload(3, 10, 42) != generate_workload(3, 10, 43)
+
+    def test_seq_values_are_unique_and_per_vm_increasing(self):
+        scripts = generate_workload(4, 20, 7)
+        seen = set()
+        for vm_id, script in scripts.items():
+            seqs = [message["seq"] for message in script]
+            assert seqs == sorted(seqs)
+            seen.update(seqs)
+        assert len(seen) == 4 * 20
+
+    def test_default_system_has_one_server_per_vm(self):
+        system = default_system(5)
+        assert [entry[0] for entry in system["servers"]] == [0, 1, 2, 3, 4]
+        assert set(system["table_pattern"]) <= {0, 1}
+
+    def test_digest_is_stable(self):
+        assert digest_log(["a", "b"]) == digest_log(["a", "b"])
+        assert digest_log([]) != digest_log(["a"])
+
+
+class TestBenchRecord:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # Inline backend and a small burst: this is a structural test,
+        # not a performance measurement.
+        return run_admission_serve(
+            (1, 2), repeats=1, num_vms=2, ops_per_vm=6, backend="inline"
+        )
+
+    def test_record_is_schema_valid(self, record):
+        assert validate_admission_bench_schema(record) == []
+
+    def test_record_is_deterministic_across_shard_counts(self, record):
+        assert record["deterministic"] is True
+        assert compare_digests(record["runs"]) is None
+
+    def test_reports_positive_throughput(self, record):
+        for run in record["runs"]:
+            assert run["requests_per_sec"] > 0
+            assert run["requests"] == 2 * 6
+
+    def test_render_mentions_the_verdict(self, record):
+        text = render_admission_serve(record)
+        assert "byte-identical" in text
+        assert "req/s" in text
+
+    def test_history_write_round_trips(self, record, tmp_path):
+        path = write_admission_serve_history(
+            record, tmp_path / "BENCH_admission.json"
+        )
+        loaded = json.loads(path.read_text())
+        assert validate_admission_bench_schema(loaded) == []
+        assert loaded["log_digest"] == record["log_digest"]
+
+
+class TestSchemaValidation:
+    def test_committed_baseline_is_valid(self):
+        doc = json.loads((REPO_ROOT / "BENCH_admission.json").read_text())
+        assert validate_admission_bench_schema(doc) == []
+        assert doc["schema_version"] == ADMISSION_BENCH_SCHEMA_VERSION
+        assert doc["deterministic"] is True
+
+    def test_rejects_non_object(self):
+        assert validate_admission_bench_schema([]) != []
+
+    def test_rejects_wrong_version(self):
+        doc = {
+            "schema_version": 999,
+            "workload": {},
+            "runs": [],
+            "log_digest": "x",
+            "deterministic": True,
+        }
+        problems = validate_admission_bench_schema(doc)
+        assert any("schema_version" in p for p in problems)
+
+    def test_rejects_runs_without_rate(self):
+        doc = json.loads(
+            (REPO_ROOT / "BENCH_admission.json").read_text()
+        )
+        doc["runs"][0].pop("requests_per_sec")
+        problems = validate_admission_bench_schema(doc)
+        assert any("requests_per_sec" in p for p in problems)
+
+    def test_writer_refuses_invalid_record(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid bench record"):
+            write_admission_serve_history({}, tmp_path / "x.json")

@@ -1,0 +1,153 @@
+"""Property suite: controller snapshot/restore is bit-identical.
+
+The admission service's warm restarts, shard rebalances and crash
+recovery all round-trip through :class:`ControllerSnapshot`; the
+contract is *bit*-identity, not equivalence: a restored controller
+must serialize to the same canonical JSON as its source and must make
+byte-identical decisions (and memoized demand curves) on every future
+request -- including snapshots taken immediately after ``withdraw``,
+which exercises the memo-invalidation path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import (
+    AdmissionController,
+    ControllerSnapshot,
+    decision_to_dict,
+)
+from repro.core.gsched import ServerSpec
+from repro.core.timeslot import TimeSlotTable
+from repro.tasks.serialization import task_to_dict
+from repro.tasks.task import IOTask
+
+#: H=12, three P-channel slots -> F=9 free; the two servers demand at
+#: most 7 slots per hyperperiod, so the set is Theorem-2 feasible.
+PATTERN = (1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0)
+SERVERS = ((0, 6, 2), (1, 12, 3))
+
+
+def make_controller(**kwargs):
+    return AdmissionController(
+        TimeSlotTable.from_pattern(list(PATTERN)),
+        [ServerSpec(vm_id, pi, theta) for vm_id, pi, theta in SERVERS],
+        **kwargs,
+    )
+
+
+@st.composite
+def op_sequences(draw, min_size=0, max_size=14):
+    """Admit/withdraw scripts over the two VMs.
+
+    Withdraws target names submitted earlier in the script -- possibly
+    already withdrawn or never admitted, so the KeyError path is part
+    of the property.
+    """
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    ops = []
+    submitted = []
+    for index in range(count):
+        if submitted and draw(st.integers(0, 3)) == 0:
+            vm_id, name = draw(st.sampled_from(submitted))
+            ops.append(("withdraw", vm_id, name))
+        else:
+            vm_id = draw(st.integers(0, 1))
+            name = f"vm{vm_id}.t{index}"
+            period = draw(st.sampled_from((12, 24, 48)))
+            wcet = draw(st.integers(1, 3))
+            submitted.append((vm_id, name))
+            ops.append(("admit", vm_id, name, period, wcet))
+    return ops
+
+
+def apply_op(controller, op):
+    """Run one op; return a JSON-comparable outcome."""
+    if op[0] == "admit":
+        _kind, vm_id, name, period, wcet = op
+        decision = controller.try_admit(
+            IOTask(name=name, period=period, wcet=wcet, vm_id=vm_id)
+        )
+        return ("decision", decision_to_dict(decision))
+    _kind, vm_id, name = op
+    try:
+        removed = controller.withdraw(vm_id, name)
+    except KeyError:
+        return ("missing", vm_id, name)
+    return ("withdrawn", task_to_dict(removed))
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(op_sequences())
+    def test_restore_is_bit_identical(self, ops):
+        controller = make_controller()
+        for op in ops:
+            apply_op(controller, op)
+        snapshot = controller.snapshot()
+        restored = AdmissionController.restore(snapshot)
+        assert restored.snapshot().to_json() == snapshot.to_json()
+
+    @settings(max_examples=80, deadline=None)
+    @given(op_sequences())
+    def test_json_round_trip_is_stable(self, ops):
+        controller = make_controller()
+        for op in ops:
+            apply_op(controller, op)
+        text = controller.snapshot().to_json()
+        assert ControllerSnapshot.from_json(text).to_json() == text
+
+    @settings(max_examples=60, deadline=None)
+    @given(op_sequences(max_size=10), op_sequences(max_size=8))
+    def test_restored_controller_replays_identically(self, prefix, suffix):
+        live = make_controller()
+        for op in prefix:
+            apply_op(live, op)
+        restored = AdmissionController.restore(live.snapshot())
+        for op in suffix:
+            assert apply_op(live, op) == apply_op(restored, op)
+        assert restored.snapshot().to_json() == live.snapshot().to_json()
+
+    @settings(max_examples=60, deadline=None)
+    @given(op_sequences(max_size=8), st.integers(1, 3))
+    def test_snapshot_immediately_after_withdraw(self, ops, wcet):
+        """The post-withdraw memo state must survive the round trip."""
+        live = make_controller()
+        for op in ops:
+            apply_op(live, op)
+        anchor = IOTask(name="anchor", period=24, wcet=wcet, vm_id=0)
+        if live.try_admit(anchor).schedulable:
+            live.withdraw(0, "anchor")
+        snapshot = live.snapshot()
+        restored = AdmissionController.restore(snapshot)
+        assert restored.snapshot().to_json() == snapshot.to_json()
+        probe = ("admit", 0, "probe", 12, wcet)
+        assert apply_op(live, probe) == apply_op(restored, probe)
+        assert restored.snapshot().to_json() == live.snapshot().to_json()
+
+
+class TestSnapshotCounters:
+    def test_ring_state_survives_restore(self):
+        """Eviction counters and ring contents are part of the image."""
+        controller = make_controller(max_decisions=3)
+        for index in range(7):
+            controller.try_admit(
+                IOTask(name=f"t{index}", period=48, wcet=1, vm_id=index % 2)
+            )
+        assert controller.dropped_decisions == 4
+        restored = AdmissionController.restore(controller.snapshot())
+        assert restored.dropped_decisions == 4
+        assert restored.admitted_count == controller.admitted_count
+        assert restored.rejected_count == controller.rejected_count
+        assert [d.task_name for d in restored.decisions] == [
+            d.task_name for d in controller.decisions
+        ]
+        assert restored.snapshot().to_json() == controller.snapshot().to_json()
+
+    def test_non_incremental_controller_round_trips(self):
+        controller = make_controller(incremental=False)
+        controller.try_admit(IOTask(name="a", period=12, wcet=2, vm_id=0))
+        restored = AdmissionController.restore(controller.snapshot())
+        assert restored.snapshot().to_json() == controller.snapshot().to_json()
+        probe = ("admit", 1, "b", 24, 2)
+        assert apply_op(controller, probe) == apply_op(restored, probe)

@@ -1,0 +1,149 @@
+"""Wire-protocol unit tests: framing, validation, HTTP adaptation."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    GET_OPS,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    format_http_response,
+    http_path_to_op,
+    http_status_for,
+    looks_like_http,
+    ok_response,
+    parse_http_request_line,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_encode_is_canonical_and_newline_terminated(self):
+        frame = encode_message({"b": 1, "a": 2})
+        assert frame == b'{"a":2,"b":1}\n'
+
+    def test_round_trip(self):
+        message = {"op": "ping", "seq": 3}
+        assert decode_message(encode_message(message)) == message
+
+    def test_equal_messages_are_byte_identical(self):
+        one = encode_message({"op": "admit", "seq": 1, "task": {"x": 1}})
+        two = encode_message({"task": {"x": 1}, "seq": 1, "op": "admit"})
+        assert one == two
+
+    @pytest.mark.parametrize(
+        "frame", [b"not json\n", b"[1, 2]\n", b'"text"\n', b"\xff\xfe\n"]
+    )
+    def test_bad_frames_raise(self, frame):
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
+
+
+class TestValidation:
+    def test_defaults_seq_to_zero(self):
+        assert validate_request({"op": "ping"})["seq"] == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "explode", "seq": 1})
+
+    @pytest.mark.parametrize("seq", [-1, 1.5, "7", True, None])
+    def test_bad_seq_rejected(self, seq):
+        with pytest.raises(ProtocolError, match="seq"):
+            validate_request({"op": "ping", "seq": seq})
+
+    @pytest.mark.parametrize(
+        "op,missing",
+        [("admit", "task"), ("withdraw", "vm_id"), ("rebalance", "shards")],
+    )
+    def test_required_fields_enforced(self, op, missing):
+        with pytest.raises(ProtocolError, match=missing):
+            validate_request({"op": op, "seq": 0})
+
+    def test_every_op_has_a_field_spec(self):
+        for op in OPS:
+            message = {"op": op, "seq": 0}
+            try:
+                validate_request(message)
+            except ProtocolError as exc:
+                assert "requires field" in str(exc)
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(5, epoch=2)
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "seq": 5,
+            "ok": True,
+            "epoch": 2,
+        }
+
+    def test_error_response_carries_kind_and_details(self):
+        response = error_response(3, "shedding", "busy", vm_id=1)
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "shedding"
+        assert response["error"]["vm_id"] == 1
+
+
+class TestHttp:
+    def test_sniffing(self):
+        assert looks_like_http(b"POST /v1/admit HTTP/1.1\r\n")
+        assert looks_like_http(b"GET /v1/stats HTTP/1.1\r\n")
+        assert not looks_like_http(b'{"op": "ping"}\n')
+
+    def test_request_line_parsing(self):
+        assert parse_http_request_line(b"POST /v1/admit HTTP/1.1\r\n") == (
+            "POST",
+            "/v1/admit",
+        )
+        with pytest.raises(ProtocolError):
+            parse_http_request_line(b"POST /v1/admit\r\n")
+
+    def test_path_mapping(self):
+        assert http_path_to_op("POST", "/v1/admit") == "admit"
+        for op in GET_OPS:
+            assert http_path_to_op("GET", f"/v1/{op}") == op
+
+    def test_get_rejected_for_mutating_ops(self):
+        with pytest.raises(ProtocolError, match="requires POST"):
+            http_path_to_op("GET", "/v1/admit")
+
+    @pytest.mark.parametrize(
+        "method,path",
+        [("POST", "/nope"), ("POST", "/v1/explode"), ("PUT", "/v1/admit")],
+    )
+    def test_bad_routes_rejected(self, method, path):
+        with pytest.raises(ProtocolError):
+            http_path_to_op(method, path)
+
+    def test_response_formatting(self):
+        body = ok_response(1, epoch=4)
+        raw = format_http_response(body)
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert f"Content-Length: {len(payload)}".encode() in head
+        assert json.loads(payload) == body
+
+    @pytest.mark.parametrize(
+        "kind,status",
+        [
+            ("protocol", "400 Bad Request"),
+            ("unknown_vm", "404 Not Found"),
+            ("unknown_task", "404 Not Found"),
+            ("configuration", "409 Conflict"),
+            ("shedding", "503 Service Unavailable"),
+            ("quarantined", "503 Service Unavailable"),
+            ("internal", "500 Internal Server Error"),
+        ],
+    )
+    def test_status_mapping(self, kind, status):
+        assert http_status_for(error_response(0, kind, "x")) == status
+
+    def test_ok_maps_to_200(self):
+        assert http_status_for(ok_response(0)) == "200 OK"

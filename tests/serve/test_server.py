@@ -1,0 +1,369 @@
+"""Admission-server tests: dispatch, batching, shedding, rebalance.
+
+Each test runs a real server on an ephemeral loopback port inside
+``asyncio.run`` and talks to it over asyncio streams (same loop, no
+threads), with the inline shard backend for speed; the process backend
+gets one dedicated round trip.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.admission import ConfigurationError
+from repro.serve.protocol import decode_message, encode_message
+from repro.serve.server import AdmissionServer, ServeConfig
+
+PATTERN = [1 if slot % 5 == 0 else 0 for slot in range(20)]
+SERVERS = [(0, 10, 2), (1, 10, 2), (2, 20, 3), (3, 20, 3)]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        table_pattern=PATTERN,
+        servers=SERVERS,
+        shards=2,
+        backend="inline",
+        epoch_interval=0.005,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def run_with_server(test_body, **config_overrides):
+    """Start a server, hand (server, request) to the coroutine, stop."""
+
+    async def _main():
+        server = AdmissionServer(make_config(**config_overrides))
+        await server.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+
+        async def request(message):
+            writer.write(encode_message(message))
+            await writer.drain()
+            return decode_message(await reader.readline())
+
+        try:
+            return await test_body(server, request)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+
+    return asyncio.run(_main())
+
+
+def admit(seq, vm_id, name, period=100, wcet=2):
+    return {
+        "op": "admit",
+        "seq": seq,
+        "task": {"name": name, "vm_id": vm_id, "period": period, "wcet": wcet},
+    }
+
+
+class TestDispatch:
+    def test_ping_reports_epoch(self):
+        async def body(server, request):
+            response = await request({"op": "ping", "seq": 4})
+            assert response["ok"] and response["seq"] == 4
+            assert isinstance(response["epoch"], int)
+
+        run_with_server(body)
+
+    def test_admit_withdraw_round_trip(self):
+        async def body(server, request):
+            response = await request(admit(1, 0, "a"))
+            assert response["ok"] and response["decision"]["schedulable"]
+            response = await request(
+                {"op": "withdraw", "seq": 2, "vm_id": 0, "task_name": "a"}
+            )
+            assert response["ok"] and response["task"]["name"] == "a"
+            response = await request(
+                {"op": "withdraw", "seq": 3, "vm_id": 0, "task_name": "a"}
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "unknown_task"
+
+        run_with_server(body)
+
+    def test_unknown_vm_is_typed(self):
+        async def body(server, request):
+            response = await request(admit(1, 99, "a"))
+            assert not response["ok"]
+            assert response["error"]["kind"] == "unknown_vm"
+
+        run_with_server(body)
+
+    def test_malformed_line_is_a_protocol_error(self):
+        async def body(server, request):
+            response = await request({"op": "explode", "seq": 1})
+            assert not response["ok"]
+            assert response["error"]["kind"] == "protocol"
+            assert server.counters["protocol_errors"] == 1
+
+        run_with_server(body)
+
+    def test_stats_and_snapshot_ops(self):
+        async def body(server, request):
+            await request(admit(1, 0, "a"))
+            stats = (await request({"op": "stats", "seq": 2}))["stats"]
+            assert stats["shards"] == 2
+            assert stats["counters"]["admits"] == 1
+            snapshot = (await request({"op": "snapshot", "seq": 3}))[
+                "snapshot"
+            ]
+            assert snapshot["schema_version"] == 1
+            assert [entry[0] for entry in snapshot["servers"]] == [0, 1, 2, 3]
+
+        run_with_server(body)
+
+    def test_shutdown_op_stops_serve_loop(self):
+        async def _main():
+            server = AdmissionServer(make_config())
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(encode_message({"op": "shutdown", "seq": 1}))
+            await writer.drain()
+            response = decode_message(await reader.readline())
+            assert response["ok"] and response["shutting_down"]
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=10)
+            writer.close()
+
+        asyncio.run(_main())
+
+
+class TestDecisionLog:
+    def test_log_is_canonical_and_seq_sorted(self):
+        async def body(server, request):
+            await request(admit(20, 1, "b"))
+            await request(admit(10, 0, "a"))
+            await request(
+                {"op": "withdraw", "seq": 15, "vm_id": 1, "task_name": "b"}
+            )
+            lines = (await request({"op": "log", "seq": 99}))["log"]
+            seqs = [json.loads(line)["seq"] for line in lines]
+            assert seqs == [10, 15, 20]
+            for line in lines:
+                payload = json.loads(line)
+                assert line == json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                )
+
+        run_with_server(body)
+
+    def test_log_ring_is_bounded_with_counters(self):
+        async def body(server, request):
+            for index in range(6):
+                await request(admit(index, 0, f"t{index}", period=200, wcet=1))
+            assert len(server.log) == 3
+            assert server.dropped_log_entries == 3
+
+        run_with_server(body, log_limit=3)
+
+
+class TestEpochBatching:
+    def test_concurrent_analyzes_share_a_batch(self):
+        async def _main():
+            server = AdmissionServer(make_config(epoch_interval=0.05))
+            await server.start()
+
+            async def one_analyze(seq):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode_message({"op": "analyze", "seq": seq, "tasks": []})
+                )
+                await writer.drain()
+                response = decode_message(await reader.readline())
+                writer.close()
+                return response
+
+            try:
+                responses = await asyncio.gather(
+                    *[one_analyze(seq) for seq in range(3)]
+                )
+            finally:
+                await server.stop()
+            assert all(r["ok"] for r in responses)
+            assert all(r["report"]["schedulable"] for r in responses)
+            # All three arrived within one epoch interval -> one batch.
+            assert server.counters["analyze_batches"] == 1
+            assert server.counters["analyzes"] == 3
+
+        asyncio.run(_main())
+
+    def test_analyze_sees_admitted_population(self):
+        async def body(server, request):
+            await request(admit(1, 0, "a", period=50, wcet=2))
+            report = (
+                await request({"op": "analyze", "seq": 2, "tasks": []})
+            )["report"]
+            assert report["schedulable"]
+            local = report["local_results"]["0"]
+            assert local["task_names"] == ["a"]
+            # A what-if probe is analyzed without being admitted.
+            probe = {"name": "w", "vm_id": 0, "period": 50, "wcet": 1}
+            report = (
+                await request({"op": "analyze", "seq": 3, "tasks": [probe]})
+            )["report"]
+            assert sorted(report["local_results"]["0"]["task_names"]) == [
+                "a",
+                "w",
+            ]
+            population = server.pool.population()
+            assert [t["name"] for t in population[0]] == ["a"]
+
+        run_with_server(body)
+
+
+class TestOverload:
+    def test_shedding_then_quarantine(self):
+        async def body(server, request):
+            # queue_limit=0: every admit is shed; reject_limit=2 trips
+            # the DegradationPolicy quarantine on the second streak hit.
+            first = await request(admit(1, 0, "a"))
+            assert first["error"]["kind"] == "shedding"
+            assert first["error"]["quarantined"] is False
+            second = await request(admit(2, 0, "b"))
+            assert second["error"]["kind"] == "shedding"
+            assert second["error"]["quarantined"] is True
+            third = await request(admit(3, 0, "c"))
+            assert third["error"]["kind"] == "quarantined"
+            stats = (await request({"op": "stats", "seq": 4}))["stats"]
+            assert stats["counters"]["shed"] == 2
+            assert stats["counters"]["quarantined_rejects"] == 1
+            assert stats["quarantined_vms"] == [0]
+            assert stats["quarantine_log"][0]["category"] == "vm"
+            # Other VMs are unaffected: isolation holds under overload.
+            ok = await request(admit(5, 1, "d"))
+            assert ok["error"]["kind"] == "shedding"  # still shed, not quarantined
+
+        run_with_server(body, queue_limit=0, reject_limit=2)
+
+    def test_accept_resets_the_streak(self):
+        async def body(server, request):
+            shed = await request(admit(1, 0, "a"))
+            assert shed["error"]["kind"] == "shedding"
+            server.config.queue_limit = 64  # relieve the pressure
+            accepted = await request(admit(2, 0, "b"))
+            assert accepted["ok"]
+            server.config.queue_limit = 0
+            shed = await request(admit(3, 0, "c"))
+            assert shed["error"]["kind"] == "shedding"
+            assert shed["error"]["quarantined"] is False
+
+        run_with_server(body, queue_limit=0, reject_limit=2)
+
+
+class TestRebalance:
+    def test_rebalance_preserves_state_and_decisions(self):
+        async def body(server, request):
+            for index in range(4):
+                await request(admit(index, index, f"t{index}"))
+            response = await request({"op": "rebalance", "seq": 10, "shards": 4})
+            assert response["ok"] and response["shards"] == 4
+            assert server.pool.num_shards == 4
+            population = server.pool.population()
+            assert [t["name"] for t in population[2]] == ["t2"]
+            # Decisions continue as if nothing happened.
+            response = await request(admit(11, 2, "probe", period=50, wcet=1))
+            assert response["ok"]
+
+        run_with_server(body)
+
+    def test_rebalance_rejects_zero_shards(self):
+        async def body(server, request):
+            response = await request(
+                {"op": "rebalance", "seq": 1, "shards": 0}
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "protocol"
+
+        run_with_server(body)
+
+
+class TestHttpFraming:
+    def test_post_and_get_round_trip(self):
+        async def _main():
+            server = AdmissionServer(make_config())
+            await server.start()
+
+            async def http(raw):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(raw)
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                head, _, body = data.partition(b"\r\n\r\n")
+                return head.split(b"\r\n")[0].decode(), json.loads(body)
+
+            try:
+                body = json.dumps(
+                    {
+                        "seq": 1,
+                        "task": {
+                            "name": "a",
+                            "vm_id": 0,
+                            "period": 100,
+                            "wcet": 2,
+                        },
+                    }
+                ).encode()
+                status, response = await http(
+                    b"POST /v1/admit HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                assert status == "HTTP/1.1 200 OK"
+                assert response["decision"]["schedulable"]
+                status, response = await http(
+                    b"GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                assert status == "HTTP/1.1 200 OK"
+                assert response["stats"]["counters"]["admits"] == 1
+                status, response = await http(
+                    b"POST /v1/explode HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 2\r\n\r\n{}"
+                )
+                assert status == "HTTP/1.1 400 Bad Request"
+                assert response["error"]["kind"] == "protocol"
+            finally:
+                await server.stop()
+
+        asyncio.run(_main())
+
+
+class TestStartupValidation:
+    def test_infeasible_servers_raise_configuration_error(self):
+        # Demand 4 + 4 per 10 slots > 8 free slots in every window of 10.
+        config = make_config(
+            table_pattern=[1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+            servers=[(0, 10, 5), (1, 10, 5)],
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            AdmissionServer(config)
+        assert excinfo.value.failing_t is not None
+        assert excinfo.value.servers == ((0, 10, 5), (1, 10, 5))
+
+    def test_from_system_payload_validates_keys(self):
+        with pytest.raises(ValueError, match="servers"):
+            ServeConfig.from_system_payload({"table_pattern": [0, 1]})
+
+
+class TestProcessBackendEndToEnd:
+    def test_admit_via_worker_processes(self):
+        async def body(server, request):
+            response = await request(admit(1, 3, "deep"))
+            assert response["ok"] and response["decision"]["schedulable"]
+            stats = (await request({"op": "stats", "seq": 2}))["stats"]
+            assert stats["pool"]["admitted_count"] == 1
+
+        run_with_server(body, backend="process")
