@@ -18,7 +18,7 @@ locate the witness without caring which layer produced it::
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Iterable, Optional, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -46,6 +46,48 @@ class SchedulabilityResult(Protocol):
     def __bool__(self) -> bool: ...  # noqa: E704 - protocol stub
 
     def summary(self) -> object: ...  # noqa: E704 - protocol stub
+
+
+class ReportBase:
+    """Shared verdict plumbing for the api-level report classes.
+
+    ``AnalysisReport``, ``ChainAnalysisReport`` and ``SynthesisReport``
+    all expose the :class:`SchedulabilityResult` protocol over nested
+    per-layer results; this mixin centralizes the ``__bool__`` and
+    ``failing_t`` plumbing they used to duplicate.  Deliberately *not* a
+    dataclass and field-free, so mixing it into the existing dataclasses
+    changes neither their generated ``__init__``/``__repr__``/``__eq__``
+    nor their field order -- reprs stay byte-identical.
+
+    Subclasses provide ``schedulable`` (field or property) and override
+    :meth:`_witness_results` to yield their nested results in witness
+    precedence order; ``failing_t`` returns the first non-``None``
+    witness among them.  ``summary()`` stays subclass-specific (each
+    report renders differently); the base raises ``NotImplementedError``
+    to keep the protocol honest.
+    """
+
+    def __bool__(self) -> bool:
+        return self.schedulable  # type: ignore[attr-defined, no-any-return]
+
+    @property
+    def failing_t(self) -> Optional[int]:
+        """First failing witness across the nested per-layer results."""
+        for result in self._witness_results():
+            if result is None:
+                continue
+            witness = result.failing_t
+            if witness is not None:
+                return witness
+        return None
+
+    def _witness_results(self) -> Iterable[Optional["SchedulabilityResult"]]:
+        return ()
+
+    def summary(self) -> object:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement summary()"
+        )
 
 
 def witness_text(

@@ -81,6 +81,155 @@ def minimum_budget(
     return low
 
 
+@dataclass
+class BudgetSearchStats:
+    """Accounting for one batched minimum-budget search.
+
+    ``oracle_calls`` counts Theorem-4 lanes submitted to the batch
+    oracle (the quantity the ``synth-bench`` gate bounds), ``pruned``
+    the candidate lanes eliminated by the utilization lower bound
+    before any oracle call, and ``rounds`` the lock-step binary-search
+    iterations (each round is one :func:`lsched_schedulable_batch`
+    numpy pass over every still-undecided lane).
+    """
+
+    oracle_calls: int = 0
+    pruned: int = 0
+    rounds: int = 0
+
+    def merge(self, other: "BudgetSearchStats") -> None:
+        self.oracle_calls += other.oracle_calls
+        self.pruned += other.pruned
+        self.rounds += other.rounds
+
+
+def utilization_budget_floor(pi: int, tasks: TaskSet) -> int:
+    """The utilization lower bound on ``theta`` for period ``pi``.
+
+    No budget below ``ceil(U * pi)`` can pass Theorem 4 (the server
+    would deliver less bandwidth than the tasks demand), so this is a
+    sound per-node bound for pruning candidate periods: if even the
+    floor's bandwidth ``floor/pi`` is no better than an incumbent
+    design, the period cannot improve on it.  Matches the search floor
+    of :func:`minimum_budget` exactly (same float-ceiling evaluation).
+    """
+    if pi < 1:
+        raise ValueError(f"server period must be >= 1, got {pi}")
+    if len(tasks) == 0:
+        return 1
+    return max(1, int(math.ceil(tasks.utilization * pi)))
+
+
+def minimum_budgets_batched(
+    candidates: Sequence[Tuple[int, TaskSet]],
+    *,
+    theta_cap: Optional[int] = None,
+    theta_caps: Optional[Sequence[Optional[int]]] = None,
+    cap_feasible: Optional[Sequence[bool]] = None,
+    bandwidth_bounds: Optional[Sequence[Optional[float]]] = None,
+    engine: Optional[str] = None,
+    stats: Optional[BudgetSearchStats] = None,
+) -> List[Optional[int]]:
+    """:func:`minimum_budget` over many ``(pi, tasks)`` lanes at once.
+
+    Runs the per-lane binary searches in *lock step*: every round packs
+    the still-undecided lanes' probes into one
+    :func:`~repro.analysis.batched.lsched_schedulable_batch` call, so a
+    whole candidate frontier costs ``O(log max_pi)`` numpy passes
+    instead of one engine dispatch per probe.  Lane ``i`` returns
+    exactly ``minimum_budget(*candidates[i], theta_cap=theta_cap)``
+    (``None`` when infeasible) -- the probes, floors and caps are
+    identical, only their submission is batched.
+
+    ``bandwidth_bounds`` enables the synthesis search's incumbent-bound
+    early exit: a lane whose utilization floor
+    (:func:`utilization_budget_floor`) already implies bandwidth
+    ``>= bandwidth_bounds[i]`` can never improve on the incumbent and is
+    pruned to ``None`` without touching the oracle.  Pass ``None`` (or
+    per-lane ``None``) to disable pruning; pruned lanes are the only
+    permitted divergence from the per-lane reference.
+
+    ``theta_caps`` overrides ``theta_cap`` per lane (still clamped to
+    ``pi``), and ``cap_feasible[i] = True`` asserts that lane ``i``'s
+    cap is already known to pass Theorem 4, skipping its round-0 cap
+    probe -- the synthesis fast path uses both to hand over a window
+    whose upper end it has proved sufficient in closed form.  Soundness
+    note: asserting feasibility of an infeasible cap would return the
+    cap itself instead of ``None``; only pass caps verified against the
+    same oracle.
+    """
+    from repro.analysis.batched import lsched_schedulable_batch
+
+    count = len(candidates)
+    results: List[Optional[int]] = [None] * count
+    # Per-lane closed interval [low, high] still to be searched; None
+    # marks a decided lane.
+    windows: List[Optional[Tuple[int, int]]] = [None] * count
+    seed_probes: List[Tuple[int, int, TaskSet]] = []
+    seed_lanes: List[int] = []
+    for index, (pi, tasks) in enumerate(candidates):
+        if pi < 1:
+            raise ValueError(f"server period must be >= 1, got {pi}")
+        cap: Optional[int] = theta_cap
+        if theta_caps is not None and theta_caps[index] is not None:
+            cap = theta_caps[index]
+        cap = min(cap if cap is not None else pi, pi)
+        if len(tasks) == 0:
+            results[index] = 1
+            continue
+        low = utilization_budget_floor(pi, tasks)
+        if low > cap:
+            continue
+        bound = bandwidth_bounds[index] if bandwidth_bounds is not None else None
+        if bound is not None and low / pi >= bound:
+            if stats is not None:
+                stats.pruned += 1
+            continue
+        windows[index] = (low, cap)
+        if cap_feasible is not None and cap_feasible[index]:
+            continue
+        seed_probes.append((pi, cap, tasks))
+        seed_lanes.append(index)
+    # Round 0: the cap-feasibility probe every per-lane search starts
+    # with; lanes failing at the cap are infeasible for this period.
+    if seed_probes:
+        if stats is not None:
+            stats.oracle_calls += len(seed_probes)
+            stats.rounds += 1
+        for lane, verdict in zip(
+            seed_lanes, lsched_schedulable_batch(seed_probes, engine=engine)
+        ):
+            if not verdict.schedulable:
+                windows[lane] = None
+    # Lock-step binary search over every still-open window.
+    while True:
+        probes: List[Tuple[int, int, TaskSet]] = []
+        lanes: List[int] = []
+        for index, window in enumerate(windows):
+            if window is None:
+                continue
+            low, high = window
+            if low >= high:
+                results[index] = low
+                windows[index] = None
+                continue
+            mid = (low + high) // 2
+            probes.append((candidates[index][0], mid, candidates[index][1]))
+            lanes.append(index)
+        if not probes:
+            break
+        if stats is not None:
+            stats.oracle_calls += len(probes)
+            stats.rounds += 1
+        for lane, probe, verdict in zip(
+            lanes, probes, lsched_schedulable_batch(probes, engine=engine)
+        ):
+            low, high = windows[lane]  # type: ignore[misc]
+            mid = probe[1]
+            windows[lane] = (low, mid) if verdict.schedulable else (mid + 1, high)
+    return results
+
+
 def choose_period(
     vm_tasks: TaskSet,
     policy: str,

@@ -54,8 +54,13 @@ from repro.analysis.lsched_test import (
     lsched_schedulable_exact,
     theorem4_bound,
 )
-from repro.analysis.result import SchedulabilityResult
-from repro.analysis.servers import ServerDesign, design_servers, minimum_budget
+from repro.analysis.result import ReportBase, SchedulabilityResult
+from repro.analysis.servers import (
+    ServerDesign,
+    bandwidth_of,
+    design_servers,
+    minimum_budget,
+)
 from repro.analysis.supply import sbf_server, sbf_sigma
 from repro.chains.analysis import ChainBound, HopBound, analyze_chain_set
 from repro.chains.generators import (
@@ -70,6 +75,7 @@ from repro.core.admission import (
     AdmissionDecision,
     ConfigurationError,
     ControllerSnapshot,
+    _warn_deprecated_once,
 )
 from repro.core.gsched import ServerSpec
 from repro.core.hypervisor import HypervisorConfig, IOGuardHypervisor
@@ -92,6 +98,16 @@ from repro.hw import (
     UARTController,
 )
 from repro.sim.trace import TraceRecorder
+from repro.synth.report import SynthesisReport
+from repro.synth.servers import ServerSearchOutcome, synthesize_servers
+from repro.synth.solvers import (
+    SolverUnavailableError,
+    default_solver,
+    resolve_solver,
+    set_default_solver,
+    use_solver,
+)
+from repro.synth.table import TableConstraint, synthesize_table
 from repro.tasks.generators import generate_random_taskset
 from repro.tasks.task import Criticality, IOTask, Job, TaskKind
 from repro.tasks.taskset import TaskSet
@@ -109,6 +125,14 @@ __all__ = [
     "simulate",
     "AnalysisReport",
     "SimulationReport",
+    # synthesis
+    "synthesize",
+    "SynthesisReport",
+    "ServerSearchOutcome",
+    "synthesize_servers",
+    "synthesize_table",
+    "TableConstraint",
+    "SolverUnavailableError",
     # cause-effect chains
     "ChainConfig",
     "ChainWorkload",
@@ -125,6 +149,7 @@ __all__ = [
     "simulate_chains",
     # verdict protocol + concrete results
     "SchedulabilityResult",
+    "ReportBase",
     "AdmissionDecision",
     "ConfigurationError",
     "ControllerSnapshot",
@@ -161,16 +186,66 @@ __all__ = [
     "resolve_engine",
     "set_default_engine",
     "use_engine",
+    # solver selection (synthesis backends)
+    "default_solver",
+    "resolve_solver",
+    "set_default_solver",
+    "use_solver",
 ]
 
 
-@dataclass
+@dataclass(init=False)
 class ServerConfig:
-    """One VM's periodic server ``Gamma = (Pi, Theta)``."""
+    """One VM's periodic server ``Gamma = (Pi, Theta)``.
+
+    ``theta=None`` pins the period but leaves the budget to the
+    synthesis layer: :func:`build_system` computes the minimum
+    Theorem-4 budget for the pinned ``pi``.  Omitting the whole
+    ``servers`` block synthesizes both parameters (see
+    :func:`synthesize`).
+
+    Passing ``pi``/``theta`` positionally -- ``ServerConfig(0, 20, 8)``
+    -- is deprecated (one-shot ``DeprecationWarning``): now that
+    ``theta`` is optional the positional field order invites silently
+    swapped arguments; spell ``ServerConfig(0, pi=20, theta=8)``.
+    """
 
     vm_id: int
     pi: int
-    theta: int
+    theta: Optional[int]
+
+    def __init__(
+        self,
+        vm_id: int,
+        *args: int,
+        pi: Optional[int] = None,
+        theta: Optional[int] = None,
+    ) -> None:
+        if args:
+            _warn_deprecated_once(
+                "server-config-positional",
+                "positional ServerConfig(vm_id, pi, theta) field order is "
+                "deprecated; pass the server parameters by keyword: "
+                "ServerConfig(vm_id, pi=..., theta=...)",
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    "ServerConfig takes at most 3 positional arguments "
+                    f"(vm_id, pi, theta), got {1 + len(args)}"
+                )
+            if pi is not None or (theta is not None and len(args) == 2):
+                raise TypeError(
+                    "ServerConfig got both positional and keyword values "
+                    "for pi/theta"
+                )
+            pi = args[0]
+            if len(args) == 2:
+                theta = args[1]
+        if pi is None:
+            raise TypeError("ServerConfig requires pi (the server period)")
+        self.vm_id = vm_id
+        self.pi = pi
+        self.theta = theta
 
 
 @dataclass
@@ -185,21 +260,36 @@ class SystemConfig:
 
     tasks: Sequence[IOTask] = ()
     name: str = "system"
-    #: Explicit per-VM servers; ``None`` auto-designs them.
+    #: Explicit per-VM servers; ``None`` synthesizes a
+    #: bandwidth-minimal design (:mod:`repro.synth`), recorded on
+    #: ``System.synthesis``.  Entries with ``theta=None`` pin the
+    #: period and synthesize the budget.
     servers: Optional[Sequence[ServerConfig]] = None
     #: Explicit P-channel slot pattern (1 = busy); ``None`` packs the
-    #: pre-defined tasks into a table.
+    #: pre-defined tasks into a table.  Pinned patterns are validated
+    #: against the pre-defined jobs (:class:`ConfigurationError` names
+    #: the conflicting device/slot pair when hosting is impossible).
     table_pattern: Optional[Sequence[int]] = None
+    #: Precedence/time-lag constraints between pre-defined tasks; when
+    #: set (and no pattern is pinned) the table comes from
+    #: :func:`repro.synth.table.synthesize_table` instead of the greedy
+    #: packer.
+    table_constraints: Sequence[TableConstraint] = ()
     #: Server-period policy for auto-design (see ``design_servers``).
     policy: str = "min_deadline"
     uniform_period: int = 50
     #: Stagger pre-defined start times before packing the table.
+    #: Ignored when ``table_constraints`` are given -- the constraint
+    #: model treats the configured release offsets as semantic.
     stagger: bool = True
     #: Slot length for simulation (cycles).
     cycles_per_slot: int = 2_000
     #: Analysis engine ("scalar"/"vectorized"); ``None`` uses the
     #: session default (see :mod:`repro.analysis.engine`).
     engine: Optional[str] = None
+    #: Synthesis solver backend ("python"/"ortools"); ``None`` uses the
+    #: session default (see :mod:`repro.synth.solvers`).
+    solver: Optional[str] = None
 
 
 class System:
@@ -218,6 +308,7 @@ class System:
         table: TimeSlotTable,
         servers: List[ServerSpec],
         design: Optional[ServerDesign] = None,
+        synthesis: Optional[SynthesisReport] = None,
     ) -> None:
         self.config = config
         self.tasks = tasks
@@ -228,6 +319,9 @@ class System:
         self.servers = servers
         #: The auto-design record, when servers were not pinned.
         self.design = design
+        #: The full synthesis report (witness + provenance), when the
+        #: servers went through :mod:`repro.synth`.
+        self.synthesis = synthesis
         self._controller: Optional[AdmissionController] = None
 
     @property
@@ -279,11 +373,13 @@ class System:
 
 
 @dataclass
-class AnalysisReport:
+class AnalysisReport(ReportBase):
     """Whole-system verdict from :func:`analyze`.
 
-    Satisfies the :class:`SchedulabilityResult` protocol; the per-layer
-    results are attached for drill-down.
+    Satisfies the :class:`SchedulabilityResult` protocol via the shared
+    :class:`ReportBase` plumbing (``__bool__`` mirrors ``schedulable``;
+    ``failing_t`` scans the global then the per-VM results); the
+    per-layer results are attached for drill-down.
     """
 
     schedulable: bool
@@ -293,19 +389,10 @@ class AnalysisReport:
     local_results: Dict[int, LSchedResult] = field(default_factory=dict)
     reason: str = ""
 
-    def __bool__(self) -> bool:
-        return self.schedulable
-
-    @property
-    def failing_t(self) -> Optional[int]:
-        """First failing witness across the global and local tests."""
-        if self.global_result is not None and self.global_result.failing_t is not None:
-            return self.global_result.failing_t
+    def _witness_results(self):
+        yield self.global_result
         for vm_id in sorted(self.local_results):
-            result = self.local_results[vm_id]
-            if result.failing_t is not None:
-                return result.failing_t
-        return None
+            yield self.local_results[vm_id]
 
     def summary(self) -> str:
         verdict = "schedulable" if self.schedulable else "unschedulable"
@@ -338,44 +425,225 @@ class SimulationReport:
         )
 
 
+def _validate_pinned_table(table: TimeSlotTable, predefined: TaskSet) -> None:
+    """Check a hand-written pattern can host every pre-defined job.
+
+    Every job of every pre-defined task needs ``C`` *occupied* slots
+    inside its release window; jobs are matched to slots EDF-greedily
+    (earliest absolute deadline takes the earliest slots), which is
+    exact for unit-slot interval scheduling.  Failures raise
+    :class:`ConfigurationError` naming the conflicting device/slot pair
+    -- not just a witness instant -- so the integrator knows *which*
+    table row to fix.
+    """
+    if len(predefined) == 0:
+        return
+    h = table.total_slots
+    for task in sorted(predefined, key=lambda task: task.name):
+        if h % task.period != 0:
+            raise ConfigurationError(
+                f"pinned table of {h} slots does not tile pre-defined task "
+                f"{task.name!r} (device {task.device!r}, period "
+                f"{task.period}): H must be a multiple of every pre-defined "
+                "period",
+                device=task.device,
+                slot=task.offset % h,
+            )
+    jobs = []
+    for task in predefined:
+        for index in range(h // task.period):
+            release = task.offset + index * task.period
+            jobs.append((release + task.deadline, release, task, index))
+    jobs.sort(key=lambda entry: (entry[0], entry[1], entry[2].name, entry[3]))
+    available = set(table.occupied_indices())
+    for absolute_deadline, release, task, index in jobs:
+        window = [
+            slot
+            for slot in range(release, absolute_deadline)
+            if slot % h in available
+        ]
+        if len(window) < task.wcet:
+            raise ConfigurationError(
+                f"pinned table cannot host pre-defined task {task.name!r} "
+                f"(device {task.device!r}): job {index} releasing at slot "
+                f"{release % h} needs {task.wcet} occupied slots in its "
+                f"{task.deadline}-slot window but only {len(window)} are "
+                "unclaimed",
+                device=task.device,
+                slot=release % h,
+            )
+        for slot in window[: task.wcet]:
+            available.discard(slot % h)
+
+
+def _build_table(
+    config: SystemConfig,
+    predefined: TaskSet,
+    *,
+    solver: Optional[str] = None,
+) -> TimeSlotTable:
+    """The sigma* for a config: pinned, synthesized, or greedily packed."""
+    if config.table_pattern is not None:
+        table = TimeSlotTable.from_pattern(list(config.table_pattern))
+        _validate_pinned_table(table, predefined)
+        return table
+    if config.table_constraints:
+        synthesis = synthesize_table(
+            predefined,
+            constraints=config.table_constraints,
+            solver=solver if solver is not None else config.solver,
+        )
+        if not synthesis.feasible or synthesis.table is None:
+            raise ConfigurationError(
+                f"table synthesis failed: {synthesis.reason}",
+                device=synthesis.failed_device,
+                slot=synthesis.failed_slot,
+            )
+        return synthesis.table
+    return build_pchannel_table(predefined)
+
+
+def _synthesize_servers_for(
+    config: SystemConfig,
+    table: TimeSlotTable,
+    taskset: TaskSet,
+    *,
+    engine: Optional[str] = None,
+    solver: Optional[str] = None,
+) -> Tuple[Optional[SynthesisReport], Optional[ServerSearchOutcome]]:
+    """Run server synthesis for every VM the config leaves open.
+
+    Fully specified ``ServerConfig`` entries become fixed pins, entries
+    with ``theta=None`` pin the period only, and with no ``servers``
+    block at all every VM with run-time tasks is synthesized from
+    scratch.  Returns ``(None, None)`` when there is nothing to design
+    (no run-time VMs and no pinned servers).
+    """
+    vm_tasksets = taskset.runtime().by_vm()
+    fixed: Dict[int, Tuple[int, int]] = {}
+    pinned_periods: Dict[int, int] = {}
+    if config.servers is not None:
+        for entry in config.servers:
+            if entry.theta is not None:
+                fixed[entry.vm_id] = (entry.pi, entry.theta)
+            else:
+                pinned_periods[entry.vm_id] = entry.pi
+        for vm_id in sorted(set(fixed) | set(pinned_periods)):
+            vm_tasksets.setdefault(vm_id, TaskSet(name=f"vm{vm_id}"))
+    if not vm_tasksets:
+        return None, None
+    engine = engine if engine is not None else config.engine
+    outcome = synthesize_servers(
+        table,
+        vm_tasksets,
+        policy=config.policy,
+        uniform_period=config.uniform_period,
+        fixed=fixed,
+        pinned_periods=pinned_periods,
+        engine=engine,
+    )
+    seed_bandwidth: Optional[float] = None
+    if outcome.seed is not None and outcome.seed.servers:
+        seed_bandwidth = bandwidth_of(
+            sorted(outcome.seed.servers.values()) + sorted(fixed.values())
+        )
+    reason = "; ".join(
+        outcome.failures[key] for key in sorted(outcome.failures)
+    )
+    report = SynthesisReport(
+        schedulable=outcome.feasible,
+        table=table,
+        servers=[
+            ServerSpec(vm_id, pi, theta)
+            for vm_id, (pi, theta) in sorted(outcome.servers.items())
+        ],
+        engine=resolve_engine(engine) if engine is not None else "batched",
+        solver=resolve_solver(solver if solver is not None else config.solver),
+        global_result=outcome.global_result,
+        local_results=dict(outcome.local_results),
+        reason=reason,
+        stats=outcome.stats,
+        seed_bandwidth=seed_bandwidth,
+        improved=outcome.improved,
+        fast_path_vms=outcome.fast_path_vms,
+    )
+    return report, outcome
+
+
 def build_system(config: SystemConfig) -> System:
     """Instantiate a system from its configuration.
 
     Builds the time slot table (packing the pre-defined tasks unless a
-    pattern is pinned) and the per-VM servers (minimum-budget design
-    unless pinned).  Raises
+    pattern is pinned or constraints request synthesis) and the per-VM
+    servers.  Servers the config leaves open -- no ``servers`` block,
+    or entries with ``theta=None`` -- are synthesized bandwidth-
+    minimally (:mod:`repro.synth`); the full :class:`SynthesisReport`
+    lands on ``System.synthesis`` and its design summary on
+    ``System.design``.  Raises
     :class:`~repro.core.timeslot.TableOverflowError` when the
-    pre-defined tasks cannot be packed.
+    pre-defined tasks cannot be packed and :class:`ConfigurationError`
+    (naming the conflicting device/slot pair) when a pinned pattern
+    cannot host them.
     """
     taskset = TaskSet(list(config.tasks), name=config.name)
     predefined = taskset.predefined()
-    if config.stagger:
+    if config.stagger and not config.table_constraints:
         predefined = stagger_offsets(predefined)
-    if config.table_pattern is not None:
-        table = TimeSlotTable.from_pattern(list(config.table_pattern))
-    else:
-        table = build_pchannel_table(predefined)
+    table = _build_table(config, predefined)
     design: Optional[ServerDesign] = None
-    if config.servers is not None:
+    synthesis: Optional[SynthesisReport] = None
+    if config.servers is not None and all(
+        entry.theta is not None for entry in config.servers
+    ):
         servers = [
             ServerSpec(entry.vm_id, entry.pi, entry.theta)
             for entry in config.servers
         ]
     else:
-        vm_tasksets = taskset.runtime().by_vm()
+        synthesis, outcome = _synthesize_servers_for(config, table, taskset)
         servers = []
-        if vm_tasksets:
-            design = design_servers(
-                table,
-                vm_tasksets,
-                policy=config.policy,
-                uniform_period=config.uniform_period,
-            )
-            servers = [
-                ServerSpec(vm_id, pi, theta)
-                for vm_id, (pi, theta) in sorted(design.servers.items())
-            ]
-    return System(config, taskset, predefined, table, servers, design)
+        if synthesis is not None and outcome is not None:
+            design = outcome.as_design()
+            servers = list(synthesis.servers)
+    return System(config, taskset, predefined, table, servers, design, synthesis)
+
+
+def synthesize(
+    config: SystemConfig,
+    *,
+    engine: Optional[str] = None,
+    solver: Optional[str] = None,
+) -> SynthesisReport:
+    """Compute a verified design for the config's open parameters.
+
+    The design-time counterpart of :func:`analyze`: builds sigma*
+    (honoring ``table_pattern``/``table_constraints``), searches
+    bandwidth-minimal servers for every VM the config leaves open, and
+    returns the :class:`SynthesisReport` -- verdict, witness design and
+    search provenance.  ``build_system`` on the same config round-trips
+    through exactly this path, so the report's servers are the ones a
+    built system would run.
+    """
+    taskset = TaskSet(list(config.tasks), name=config.name)
+    predefined = taskset.predefined()
+    if config.stagger and not config.table_constraints:
+        predefined = stagger_offsets(predefined)
+    table = _build_table(config, predefined, solver=solver)
+    report, _outcome = _synthesize_servers_for(
+        config, table, taskset, engine=engine, solver=solver
+    )
+    if report is None:
+        return SynthesisReport(
+            schedulable=True,
+            table=table,
+            servers=[],
+            engine=resolve_engine(engine if engine is not None else config.engine)
+            if (engine is not None or config.engine is not None)
+            else "batched",
+            solver=resolve_solver(solver if solver is not None else config.solver),
+            reason="nothing to synthesize: no run-time VMs",
+        )
+    return report
 
 
 def analyze(system: System, *, engine: Optional[str] = None) -> AnalysisReport:
@@ -515,12 +783,15 @@ class ChainConfig:
 
 
 @dataclass
-class ChainAnalysisReport:
+class ChainAnalysisReport(ReportBase):
     """Whole-system chain verdict from :func:`analyze_chains`.
 
     ``base`` carries the Theorem 2 + 4 schedulability verdict; the
     end-to-end bounds are only meaningful when it holds *and* every
     hop's response-time iteration converged (:attr:`bounded`).
+    ``__bool__``/``failing_t`` come from :class:`ReportBase`: the
+    verdict mirrors :attr:`schedulable`, the witness delegates to the
+    base report (chain bounds carry no witness instant).
     """
 
     base: AnalysisReport
@@ -535,8 +806,8 @@ class ChainAnalysisReport:
     def schedulable(self) -> bool:
         return self.base.schedulable and self.bounded
 
-    def __bool__(self) -> bool:
-        return self.schedulable
+    def _witness_results(self):
+        return self.base._witness_results()
 
     def data_age_bound(self, chain_name: str) -> Optional[int]:
         return self.chains[chain_name].data_age_bound

@@ -99,8 +99,12 @@ class ConfigurationError(ValueError):
     service can turn the condition into a structured, typed rejection
     instead of an opaque 500.  ``failing_t`` carries the Theorem-2
     witness (when one exists) and ``servers`` the offending
-    ``(vm_id, pi, theta)`` triples.  Subclasses ``ValueError`` so
-    pre-existing callers catching the untyped error keep working.
+    ``(vm_id, pi, theta)`` triples.  For infeasible hand-written slot
+    tables ``device``/``slot`` name the conflicting device/slot pair
+    (the pre-defined task's device and the release slot whose window
+    cannot host it) instead of leaving only the witness instant.
+    Subclasses ``ValueError`` so pre-existing callers catching the
+    untyped error keep working.
     """
 
     def __init__(
@@ -109,10 +113,14 @@ class ConfigurationError(ValueError):
         *,
         failing_t: Optional[int] = None,
         servers: Sequence[Tuple[int, int, int]] = (),
+        device: Optional[str] = None,
+        slot: Optional[int] = None,
     ) -> None:
         super().__init__(message)
         self.failing_t = failing_t
         self.servers: Tuple[Tuple[int, int, int], ...] = tuple(servers)
+        self.device = device
+        self.slot = slot
 
 
 class AdmissionDecision:

@@ -16,6 +16,9 @@ Usage::
     python -m repro.exp admission-serve [--serve-shards 1,2]
                                         [--bench-history PATH]
     python -m repro.exp chains [--trials N] [--horizon SLOTS] [--out DIR]
+    python -m repro.exp synth
+    python -m repro.exp synth-bench [--max-oracle-calls N]
+                                    [--bench-history PATH]
     python -m repro.exp export --out results/   # CSV/JSON artefacts
 
 Set ``REPRO_SCALE`` (e.g. 0.2 for a smoke run, 5 for a long run) to
@@ -41,6 +44,12 @@ end-to-end bounds against simulated chain latencies, writes
 ``chains.json``/``chains.csv`` artifacts to ``--out`` and exits 2 when
 any simulated instance violates its bound -- CI runs both as
 regression gates.
+``synth`` runs the pinned synthesis sweep (every scenario under every
+analysis engine and every available solver backend) and exits 2 unless
+each design passes scalar re-verification, beats the hand-written
+baselines and is byte-identical across backends; ``synth-bench``
+additionally pins the search effort (``--max-oracle-calls``, exit 3)
+and writes the committed ``BENCH_synth.json`` via ``--bench-history``.
 ``admission-serve`` benchmarks the admission service (:mod:`repro.serve`):
 it fires the same deterministic concurrent burst at servers with each
 ``--serve-shards`` count (twice each), reports requests/sec, and exits
@@ -93,6 +102,12 @@ from repro.exp.isolation import (
 )
 from repro.exp.predictability import render_predictability, run_predictability
 from repro.exp.runner import ExperimentRunner
+from repro.exp.synth import (
+    SYNTH_BENCH_MAX_ORACLE_CALLS,
+    render_synth_sweep,
+    run_synth_sweep,
+    write_synth_bench_history,
+)
 from repro.exp.table1 import render_table1
 
 EXPERIMENTS = [
@@ -108,6 +123,8 @@ EXPERIMENTS = [
     "analysis-bench",
     "admission-serve",
     "chains",
+    "synth",
+    "synth-bench",
     "export",
 ]
 
@@ -171,6 +188,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--serve-ops", type=int, default=25,
         help="admission-serve: scripted operations per VM in the burst",
+    )
+    parser.add_argument(
+        "--max-oracle-calls", type=int, default=SYNTH_BENCH_MAX_ORACLE_CALLS,
+        help="synth-bench: fail (exit 3) when the sweep's total oracle "
+        "calls exceed this (call counts are deterministic, so this is an "
+        "exact search-effort regression pin)",
     )
     parser.add_argument(
         "--fault-trace", type=Path, default=None,
@@ -296,6 +319,29 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 3
+    if args.experiment in ("synth", "synth-bench"):
+        sweep = run_synth_sweep(runner=runner)
+        print(render_synth_sweep(sweep))
+        if args.experiment == "synth-bench":
+            if args.bench_history is not None:
+                args.bench_history.parent.mkdir(parents=True, exist_ok=True)
+                path = write_synth_bench_history(sweep, args.bench_history)
+                print(f"wrote {path}", file=sys.stderr)
+            if sweep.total_oracle_calls > args.max_oracle_calls:
+                print(
+                    f"FAIL: {sweep.total_oracle_calls} oracle calls exceed "
+                    f"the pinned budget of {args.max_oracle_calls}",
+                    file=sys.stderr,
+                )
+                return 3
+        if not sweep.ok:
+            print(
+                "FAIL: synthesis sweep violated its contract "
+                "(infeasible design, scalar re-verification failure, "
+                "bandwidth regression, or backend disagreement)",
+                file=sys.stderr,
+            )
+            return 2
     if args.experiment == "admission-serve":
         shard_counts = [
             int(part) for part in args.serve_shards.split(",") if part

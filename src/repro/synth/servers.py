@@ -1,0 +1,357 @@
+"""Bandwidth-minimal server selection (Πᵢ, Θᵢ per VM).
+
+The paper states Theorems 1-4 *given* the servers; this module computes
+them.  The search minimizes the total server bandwidth ``ΣΘᵢ/Πᵢ`` (the
+share of the R-channel the design reserves) subject to every theorem
+passing:
+
+1. **Candidate periods** per VM: divisors of the table hyper-period
+   ``H`` (a server period dividing ``H`` tiles exactly into sigma*, so
+   the G-Sched grids stay hyper-period-bounded), clipped to the VM's
+   tightest deadline, plus the policy period
+   :func:`~repro.analysis.servers.choose_period` would pick -- the
+   incumbent seed, so synthesis can never do worse than the policy
+   designer.
+2. **Minimum budgets** per candidate period via the lock-step batched
+   binary search (:func:`~repro.analysis.servers.minimum_budgets_batched`):
+   a whole frontier of Theorem-4 probes per numpy pass.  Candidates
+   whose utilization floor already meets the incumbent's bandwidth are
+   pruned without touching the oracle; harmonic task sets take the
+   closed-form fast path (:func:`harmonic_fast_budget`), which inverts
+   the linear supply bound at the dbf step points and needs at most two
+   oracle lanes to certify exactness.
+3. **Assembly** of one candidate per VM by best-first branch-and-bound
+   (:func:`~repro.synth.search.best_first_assignment`): assignments are
+   enumerated in non-decreasing total bandwidth with exact ``Fraction``
+   bounds and verified against Theorem 2 in batched frontiers, so the
+   first accepted assignment is bandwidth-minimal over the grid.
+
+Everything is deterministic; ties break lexicographically.  The outcome
+carries the chosen servers, full verification results, and the search
+provenance consumed by :class:`~repro.synth.report.SynthesisReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.batched import gsched_schedulable_batch, lsched_schedulable_batch
+from repro.analysis.gsched_test import GSchedResult, gsched_schedulable
+from repro.analysis.lsched_test import LSchedResult
+from repro.analysis.servers import (
+    BudgetSearchStats,
+    ServerDesign,
+    bandwidth_of,
+    choose_period,
+    design_servers,
+    minimum_budgets_batched,
+    utilization_budget_floor,
+)
+from repro.core.timeslot import TimeSlotTable
+from repro.synth.search import SearchStats, best_first_assignment
+from repro.tasks.generators import divisors
+from repro.tasks.taskset import TaskSet
+
+#: Frontier width for the Theorem-2 assembly rounds.
+ASSEMBLY_BATCH_WIDTH = 16
+
+#: Node cap for the assembly search; on exhaustion the seed design wins.
+ASSEMBLY_MAX_NODES = 4_096
+
+
+@dataclass
+class ServerSearchOutcome:
+    """Everything the server-selection search learned.
+
+    ``servers`` is the chosen design (vm_id -> (pi, theta));
+    ``local_results``/``global_result`` its Theorem-4/Theorem-2
+    verification; ``seed`` the policy design used as the incumbent;
+    ``stats`` the search provenance.  ``improved`` records whether the
+    search beat the seed's bandwidth (as opposed to matching it).
+    """
+
+    servers: Dict[int, Tuple[int, int]]
+    feasible: bool
+    local_results: Dict[int, LSchedResult] = field(default_factory=dict)
+    global_result: Optional[GSchedResult] = None
+    failures: Dict[int, str] = field(default_factory=dict)
+    seed: Optional[ServerDesign] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    improved: bool = False
+    fast_path_vms: int = 0
+
+    @property
+    def bandwidth(self) -> float:
+        return bandwidth_of(sorted(self.servers.values()))
+
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        return [self.servers[vm] for vm in sorted(self.servers)]
+
+    def as_design(self) -> ServerDesign:
+        """Back-compat :class:`ServerDesign` view of the outcome."""
+        return ServerDesign(
+            servers=dict(self.servers),
+            local_ok=self.feasible or not self.failures,
+            global_result=self.global_result,
+            failures=dict(self.failures),
+        )
+
+
+def harmonic_fast_budget(pi: int, tasks: TaskSet) -> Optional[int]:
+    """Closed-form sufficient budget for harmonic implicit-deadline sets.
+
+    When every deadline is implicit and the distinct task periods form a
+    harmonic chain (each divides the next), the dbf step points within
+    one VM hyper-period ``H_vm = max T`` are all multiples of ``min T``,
+    and the linear supply bound ``lsbf(t) = t*theta/pi - (2*pi-theta-1)``
+    inverts per point to ``theta >= pi*(dbf(t) + 2*pi - 1) / (t + pi)``.
+    The maximum of those ceilings over ``t in (0, H_vm]`` -- together
+    with the bandwidth condition ``theta/pi >= U``, which extends the
+    check past ``H_vm`` because ``dbf(t + H_vm) = dbf(t) + U*H_vm`` --
+    is a budget that provably passes Theorem 4.  It upper-bounds the
+    exact minimum (the linear bound under-approximates sbf), so the
+    caller shrinks its binary-search window to ``[floor, theta_fast]``
+    and certifies exactness with at most two oracle lanes.
+
+    Returns ``None`` when the set is not harmonic/implicit (no fast
+    path) or the closed form lands above ``pi`` (window unchanged).
+    """
+    if pi < 1:
+        raise ValueError(f"server period must be >= 1, got {pi}")
+    if len(tasks) == 0:
+        return None
+    ordered = sorted(tasks, key=lambda task: (task.period, task.name))
+    periods: List[int] = []
+    for task in ordered:
+        if task.deadline != task.period:
+            return None
+        if not periods or task.period != periods[-1]:
+            periods.append(task.period)
+    for smaller, larger in zip(periods, periods[1:]):
+        if larger % smaller != 0:
+            return None
+    h_vm = periods[-1]
+    base = periods[0]
+    if h_vm // base > 4_096:  # degenerate spread; fall back to search
+        return None
+    floor = utilization_budget_floor(pi, tasks)
+    theta_fast = floor
+    demand = 0
+    for step in range(1, h_vm // base + 1):
+        t = step * base
+        demand = sum((t // task.period) * task.wcet for task in ordered)
+        if demand <= 0:
+            continue
+        numerator = pi * (demand + 2 * pi - 1)
+        theta_point = -(-numerator // (t + pi))
+        if theta_point > theta_fast:
+            theta_fast = theta_point
+    if theta_fast > pi:
+        return None
+    return theta_fast
+
+
+def candidate_periods_for(
+    table: TimeSlotTable,
+    tasks: TaskSet,
+    *,
+    policy: str = "min_deadline",
+    uniform_period: int = 50,
+    extra: Sequence[int] = (),
+) -> Tuple[int, ...]:
+    """The candidate server periods for one VM, sorted ascending.
+
+    Divisors of the table hyper-period (so the synthesized ``Pi`` never
+    enlarges any LCM the analysis takes), clipped to the VM's tightest
+    deadline (a server period beyond it cannot deliver a full budget
+    window before the deadline), always including the policy seed period
+    and any ``extra`` candidates the caller pins.
+    """
+    seed = choose_period(tasks, policy, uniform_period=uniform_period)
+    ceiling = min(task.deadline for task in tasks) if len(tasks) else seed
+    grid = {
+        value
+        for value in (divisors(table.total_slots) if table.total_slots > 1 else ())
+        if 1 <= value <= ceiling
+    }
+    grid.add(seed)
+    grid.update(value for value in extra if value >= 1)
+    return tuple(sorted(grid))
+
+
+def synthesize_servers(
+    table: TimeSlotTable,
+    vm_tasksets: Dict[int, TaskSet],
+    *,
+    policy: str = "min_deadline",
+    uniform_period: int = 50,
+    fixed: Optional[Dict[int, Tuple[int, int]]] = None,
+    pinned_periods: Optional[Dict[int, int]] = None,
+    engine: Optional[str] = None,
+    stats: Optional[SearchStats] = None,
+) -> ServerSearchOutcome:
+    """Search a bandwidth-minimal verified server design.
+
+    ``fixed`` pins whole ``(pi, theta)`` pairs (VMs the caller specified
+    completely); ``pinned_periods`` pins a VM's period but synthesizes
+    its budget (a ``ServerConfig`` with ``theta=None``).  All remaining
+    VMs get the full candidate-period grid.  The policy design from
+    :func:`~repro.analysis.servers.design_servers` seeds the incumbent:
+    the returned design's bandwidth is never worse than the seed's, and
+    when the seed itself is infeasible the search may still succeed.
+    """
+    stats = stats if stats is not None else SearchStats()
+    fixed = dict(fixed or {})
+    pinned_periods = dict(pinned_periods or {})
+    outcome = ServerSearchOutcome(servers={}, feasible=False, stats=stats)
+    vm_ids = sorted(vm_tasksets)
+    if not vm_ids:
+        outcome.feasible = True
+        return outcome
+
+    seed = design_servers(
+        table,
+        {vm: vm_tasksets[vm] for vm in vm_ids if vm not in fixed},
+        policy=policy,
+        uniform_period=uniform_period,
+        global_validation=False,
+    )
+    outcome.seed = seed
+
+    # -- per-VM candidate budgets (one lock-step batched search) ---------
+    lane_specs: List[Tuple[int, int, TaskSet]] = []  # (vm, pi, tasks)
+    for vm in vm_ids:
+        if vm in fixed:
+            continue
+        tasks = vm_tasksets[vm]
+        if vm in pinned_periods:
+            periods = (pinned_periods[vm],)
+        else:
+            periods = candidate_periods_for(
+                table,
+                tasks,
+                policy=policy,
+                uniform_period=uniform_period,
+            )
+        for pi in periods:
+            lane_specs.append((vm, pi, tasks))
+
+    bounds: List[Optional[float]] = []
+    caps: List[Optional[int]] = []
+    cap_ok: List[bool] = []
+    for vm, pi, tasks in lane_specs:
+        seed_pair = seed.servers.get(vm)
+        # Never prune the seed's own period (the incumbent must stay in
+        # the grid) or a caller-pinned period (it is the only lane).
+        exempt = vm in pinned_periods or (
+            seed_pair is not None and seed_pair[0] == pi
+        )
+        if seed_pair is not None and not exempt:
+            bounds.append(seed_pair[1] / seed_pair[0])
+        else:
+            bounds.append(None)
+        fast = harmonic_fast_budget(pi, tasks) if len(tasks) else None
+        if fast is not None:
+            caps.append(fast)
+            cap_ok.append(True)
+            outcome.fast_path_vms += 1
+        else:
+            caps.append(None)
+            cap_ok.append(False)
+
+    budget_stats = BudgetSearchStats()
+    budgets = minimum_budgets_batched(
+        [(pi, tasks) for _vm, pi, tasks in lane_specs],
+        theta_caps=caps,
+        cap_feasible=cap_ok,
+        bandwidth_bounds=bounds,
+        engine=engine,
+        stats=budget_stats,
+    )
+    stats.absorb_budget(budget_stats)
+
+    # -- rank candidates per VM -----------------------------------------
+    per_vm: Dict[int, List[Tuple[Fraction, int, int]]] = {vm: [] for vm in vm_ids}
+    for (vm, pi, _tasks), theta in zip(lane_specs, budgets):
+        if theta is not None:
+            per_vm[vm].append((Fraction(theta, pi), pi, theta))
+    for vm, pair in sorted(fixed.items()):
+        if vm in per_vm:
+            per_vm[vm] = [(Fraction(pair[1], pair[0]), pair[0], pair[1])]
+    for vm in vm_ids:
+        per_vm[vm].sort()
+        if not per_vm[vm]:
+            tasks = vm_tasksets[vm]
+            outcome.failures[vm] = seed.failures.get(
+                vm,
+                f"no candidate (pi, theta) satisfies Theorem 4 for VM {vm} "
+                f"(utilization {tasks.utilization:.3f})",
+            )
+    if outcome.failures:
+        outcome.servers = dict(seed.servers)
+        outcome.servers.update(fixed)
+        return outcome
+
+    # -- assemble: best-first over total bandwidth, Theorem-2 oracle ----
+    groups = [per_vm[vm] for vm in vm_ids]
+    objectives = [[candidate[0] for candidate in group] for group in groups]
+
+    def pairs_of(node: Tuple[int, ...]) -> List[Tuple[int, int]]:
+        return [
+            (group[index][1], group[index][2])
+            for group, index in zip(groups, node)
+        ]
+
+    def feasible_batch(nodes: Sequence[Tuple[int, ...]]) -> List[bool]:
+        verdicts = gsched_schedulable_batch(
+            [(table, pairs_of(node)) for node in nodes], engine=engine
+        )
+        return [bool(verdict.schedulable) for verdict in verdicts]
+
+    chosen = best_first_assignment(
+        objectives,
+        feasible_batch,
+        stats=stats,
+        batch_width=ASSEMBLY_BATCH_WIDTH,
+        max_nodes=ASSEMBLY_MAX_NODES,
+    )
+
+    if chosen is not None:
+        outcome.servers = {
+            vm: (groups[position][index][1], groups[position][index][2])
+            for position, (vm, index) in enumerate(zip(vm_ids, chosen))
+        }
+    else:
+        # Grid exhausted without a Theorem-2 pass: fall back to the seed
+        # (+ fixed pairs), which final verification below adjudicates.
+        outcome.servers = dict(seed.servers)
+        outcome.servers.update(fixed)
+        outcome.failures[-1] = (
+            "no candidate assignment passed Theorem 2; falling back to the "
+            "policy seed design"
+        )
+
+    # -- final verification (stored as the report's evidence) -----------
+    ordered = [(vm, outcome.servers[vm]) for vm in sorted(outcome.servers)]
+    lanes = [
+        (pair[0], pair[1], vm_tasksets[vm]) for vm, pair in ordered
+    ]
+    stats.oracle_calls += len(lanes) + 1
+    stats.rounds += 1
+    local = lsched_schedulable_batch(lanes, engine=engine)
+    outcome.local_results = {vm: result for (vm, _), result in zip(ordered, local)}
+    outcome.global_result = gsched_schedulable(
+        table, [pair for _vm, pair in ordered], engine=engine
+    )
+    outcome.feasible = (
+        all(result.schedulable for result in local)
+        and outcome.global_result.schedulable
+    )
+    if outcome.feasible:
+        outcome.failures.pop(-1, None)
+        seed_pairs = sorted(seed.servers.values()) + sorted(fixed.values())
+        if seed.servers and len(seed.servers) + len(fixed) == len(vm_ids):
+            outcome.improved = outcome.bandwidth < bandwidth_of(seed_pairs)
+    return outcome

@@ -1,0 +1,114 @@
+"""Synthesis solver selection: pure-python search vs CP-SAT.
+
+The synthesis subsystem ships two solver backends behind a registry that
+mirrors :mod:`repro.analysis.engine`'s ``ENGINES``:
+
+* ``"python"`` -- the deterministic search core in
+  :mod:`repro.synth.search` / :mod:`repro.synth.table`: branch-and-bound
+  with exact lower bounds and lexicographic tie-breaking.  Always
+  available, the default, and the backend CI requires.
+* ``"ortools"`` -- the same integer models handed to OR-Tools CP-SAT.
+  Optional: the import is gated, and requesting it without the package
+  installed raises :class:`SolverUnavailableError` with an actionable
+  message instead of an ImportError deep inside a solve.
+
+Both backends are specified to return the *lexicographically minimal*
+feasible solution under the same canonical variable order, so their
+outputs are byte-identical by construction -- the differential suite
+cross-checks this whenever ``ortools`` is importable.  The default
+resolves with the precedence *explicit argument* >
+:func:`set_default_solver` > ``REPRO_SYNTH_SOLVER`` environment variable
+> ``"python"``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Supported solver backends, default-first order.
+SOLVERS = ("python", "ortools")
+
+#: Environment knob consulted when no explicit solver is given,
+#: mirroring ``REPRO_ANALYSIS_ENGINE`` / ``REPRO_JOBS``.
+SOLVER_ENV_VAR = "REPRO_SYNTH_SOLVER"
+
+_default_override: Optional[str] = None
+
+
+class SolverUnavailableError(RuntimeError):
+    """Raised when a requested solver backend cannot be imported."""
+
+
+def _validate(solver: str) -> str:
+    if solver not in SOLVERS:
+        raise ValueError(
+            f"unknown synthesis solver {solver!r}; expected one of {SOLVERS}"
+        )
+    return solver
+
+
+def resolve_solver(solver: Optional[str] = None) -> str:
+    """Resolve a solver name: argument > override > env var > python."""
+    if solver is not None:
+        return _validate(solver)
+    if _default_override is not None:
+        return _default_override
+    raw = os.environ.get(SOLVER_ENV_VAR, "").strip().lower()
+    if raw:
+        return _validate(raw)
+    return "python"
+
+
+def default_solver() -> str:
+    """The solver used when callers pass ``solver=None``."""
+    return resolve_solver(None)
+
+
+def set_default_solver(solver: Optional[str]) -> Optional[str]:
+    """Set (or clear, with ``None``) the process-wide solver override.
+
+    Returns the previous override so callers can restore it; prefer the
+    :func:`use_solver` context manager for scoped switches.
+    """
+    global _default_override
+    if solver is not None:
+        _validate(solver)
+    previous = _default_override
+    _default_override = solver
+    return previous
+
+
+@contextmanager
+def use_solver(solver: str) -> Iterator[str]:
+    """Scoped solver override (benchmarks and differential tests)."""
+    previous = set_default_solver(solver)
+    try:
+        yield _validate(solver)
+    finally:
+        set_default_solver(previous)
+
+
+def solver_available(solver: Optional[str] = None) -> bool:
+    """Whether the resolved backend can actually run in this process."""
+    resolved = resolve_solver(solver)
+    if resolved == "python":
+        return True
+    try:  # pragma: no cover - exercised only when ortools is installed
+        import ortools.sat.python.cp_model  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_solver(solver: Optional[str] = None) -> str:
+    """Resolve a solver and fail fast when its backend is missing."""
+    resolved = resolve_solver(solver)
+    if not solver_available(resolved):
+        raise SolverUnavailableError(
+            f"synthesis solver {resolved!r} requires the 'ortools' package, "
+            "which is not installed; use solver='python' (the default, "
+            "always available) or install ortools"
+        )
+    return resolved

@@ -84,6 +84,23 @@ class HyperperiodBasis:
             if self.period_min <= value <= high
         )
 
+    def divisor_periods(self) -> Tuple[int, ...]:
+        """All in-range divisors of the basis hyper-period, sorted.
+
+        The candidate-period grid for server synthesis: a server period
+        dividing the hyper-period tiles exactly into every P-channel
+        table and task window built on this basis, so the synthesized
+        ``(Pi, Theta)`` grid never introduces a new LCM.  A superset of
+        :meth:`candidate_periods` when the factor basis contains
+        composites (e.g. factor 4 also yields divisor 2).
+        """
+        high = self.period_max if self.period_max is not None else self.hyperperiod()
+        return tuple(
+            value
+            for value in divisors(self.hyperperiod())
+            if self.period_min <= value <= high
+        )
+
     def sample_period(self, rng: RandomSource) -> int:
         """Draw one period: a 0/1 inclusion "filter" over the factors.
 
@@ -104,6 +121,27 @@ class HyperperiodBasis:
                 if self.period_max is None or period <= self.period_max:
                     return period
         return rng.choice(list(candidates))
+
+
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n``, sorted ascending.
+
+    Trial division up to ``sqrt(n)`` -- the hyper-periods this is used
+    on are bounded by construction (:class:`HyperperiodBasis`, the slot
+    table cap), so the scan is a few thousand iterations at most.
+    """
+    if n < 1:
+        raise ValueError(f"divisors() requires n >= 1, got {n}")
+    small: list = []
+    large: list = []
+    step = 1
+    while step * step <= n:
+        if n % step == 0:
+            small.append(step)
+            if step != n // step:
+                large.append(n // step)
+        step += 1
+    return tuple(small + large[::-1])
 
 
 def _basis_product(factors: Tuple[int, ...]) -> int:

@@ -58,7 +58,7 @@ class TestBuildSystem:
         system = build_system(
             SystemConfig(
                 table_pattern=[1, 0, 0, 0],
-                servers=[ServerConfig(0, 10, 5)],
+                servers=[ServerConfig(0, pi=10, theta=5)],
             )
         )
         assert system.design is None
@@ -89,7 +89,7 @@ class TestAnalyze:
                            kind=TaskKind.RUNTIME),
                 ],
                 table_pattern=[0] * 10,
-                servers=[ServerConfig(0, 20, 10)],
+                servers=[ServerConfig(0, pi=20, theta=10)],
             )
         )
         report = analyze(system)
@@ -117,13 +117,13 @@ class TestAnalyzeMany:
                                kind=TaskKind.RUNTIME),
                     ],
                     table_pattern=[0] * 10,
-                    servers=[ServerConfig(0, 20, 10)],
+                    servers=[ServerConfig(0, pi=20, theta=10)],
                 )
             ),
             build_system(
                 SystemConfig(
                     table_pattern=[1, 0, 0, 1, 0, 0, 0, 0, 0, 0],
-                    servers=[ServerConfig(0, 20, 8), ServerConfig(1, 20, 6)],
+                    servers=[ServerConfig(0, pi=20, theta=8), ServerConfig(1, pi=20, theta=6)],
                 )
             ),
         ]
@@ -161,7 +161,7 @@ class TestAdmitAndSimulate:
         return build_system(
             SystemConfig(
                 table_pattern=[1, 0, 0, 1, 0, 0, 0, 0, 0, 0],
-                servers=[ServerConfig(0, 20, 8), ServerConfig(1, 20, 6)],
+                servers=[ServerConfig(0, pi=20, theta=8), ServerConfig(1, pi=20, theta=6)],
             )
         )
 

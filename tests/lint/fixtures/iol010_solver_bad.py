@@ -1,0 +1,22 @@
+"""IOL010 fixture: solver dispatch bypassing the SOLVERS registry."""
+from repro.synth.solvers import resolve_solver
+
+
+def pick(tasks, solver=None):
+    if solver == "python":                       # line 6: raw param compare
+        return 0
+    return 1
+
+
+def choose(tasks, solver=None):
+    if resolve_solver(solver) == "gurobi":       # line 12: unknown literal
+        return 0
+    return 1
+
+
+def run(tasks, solver=None):
+    return tasks
+
+
+def drive(tasks):
+    return run(tasks, solver="cplex")            # line 22: unknown kwarg

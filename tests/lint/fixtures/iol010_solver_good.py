@@ -1,0 +1,16 @@
+"""IOL010 fixture: solver dispatch resolved through the SOLVERS registry."""
+from repro.synth.solvers import resolve_solver
+
+
+def choose(tasks, solver=None):
+    if resolve_solver(solver) == "ortools":
+        return 0
+    return 1
+
+
+def run(tasks, solver=None):
+    return tasks
+
+
+def drive(tasks):
+    return run(tasks, solver="python")

@@ -1,0 +1,92 @@
+"""Differential properties: searched designs vs the reference analysis.
+
+The synthesis acceptance contract, asserted end to end:
+
+* every synthesized design re-passes the ``"scalar"`` reference engine
+  (the search's own oracle never grades its own homework);
+* ``sum Theta/Pi`` never exceeds the hand-written example baselines;
+* the canonical payload is byte-identical across engines, reruns and
+  worker counts (``REPRO_JOBS``).
+"""
+
+import json
+
+from repro.analysis.engine import ENGINES
+from repro.exp.runner import ExperimentRunner
+from repro.exp.synth import (
+    SynthCell,
+    run_synth_cell,
+    run_synth_sweep,
+    scenario_names,
+    synth_bench_record,
+    validate_synth_bench_schema,
+)
+
+
+class TestScalarReverification:
+    def test_every_scenario_engine_cell_verifies(self):
+        sweep = run_synth_sweep()
+        assert sweep.all_feasible
+        assert sweep.all_scalar_verified
+
+
+class TestBandwidthBaselines:
+    def test_never_worse_than_hand_written_or_seed(self):
+        sweep = run_synth_sweep()
+        assert sweep.all_bandwidth_ok
+        admission = sweep.for_scenario("admission-control")[0]
+        assert admission.bandwidth <= 8 / 20 + 6 / 20
+        assert admission.improved
+
+
+class TestByteIdentity:
+    def test_identical_across_engines(self):
+        digests = {
+            run_synth_cell(
+                SynthCell("admission-control", engine, "python")
+            ).payload_digest
+            for engine in ENGINES
+        }
+        assert len(digests) == 1
+
+    def test_identical_across_worker_counts(self):
+        serial = run_synth_sweep(runner=ExperimentRunner(1))
+        parallel = run_synth_sweep(runner=ExperimentRunner(2))
+        for scenario in scenario_names():
+            first = {c.payload_digest for c in serial.for_scenario(scenario)}
+            second = {
+                c.payload_digest for c in parallel.for_scenario(scenario)
+            }
+            assert first == second
+            assert len(first) == 1
+
+    def test_identical_across_reruns(self):
+        first = run_synth_cell(SynthCell("quickstart", "batched", "python"))
+        second = run_synth_cell(SynthCell("quickstart", "batched", "python"))
+        assert first.payload_digest == second.payload_digest
+        assert first.oracle_calls == second.oracle_calls
+
+
+class TestBenchRecord:
+    def test_record_passes_its_own_schema(self):
+        sweep = run_synth_sweep(engines=("batched",))
+        record = synth_bench_record(sweep)
+        assert validate_synth_bench_schema(record) == []
+
+    def test_record_round_trips_through_json(self):
+        sweep = run_synth_sweep(engines=("batched",))
+        record = synth_bench_record(sweep)
+        reloaded = json.loads(json.dumps(record, sort_keys=True))
+        assert validate_synth_bench_schema(reloaded) == []
+
+    def test_schema_rejects_garbage(self):
+        assert validate_synth_bench_schema([]) != []
+        assert validate_synth_bench_schema({}) != []
+        assert validate_synth_bench_schema({"schema_version": 999}) != []
+
+    def test_committed_baseline_is_valid(self):
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[2] / "BENCH_synth.json"
+        doc = json.loads(committed.read_text())
+        assert validate_synth_bench_schema(doc) == []

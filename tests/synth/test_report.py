@@ -1,0 +1,76 @@
+"""SynthesisReport: protocol conformance and canonical payload."""
+
+from repro.analysis.result import ReportBase, SchedulabilityResult
+from repro.core.gsched import ServerSpec
+from repro.core.timeslot import TimeSlotTable
+from repro.synth.report import SynthesisReport
+from repro.synth.search import SearchStats
+
+
+def make_report(**overrides):
+    table = TimeSlotTable.from_pattern([1, 0, 1, 0])
+    defaults = dict(
+        schedulable=True,
+        table=table,
+        servers=[ServerSpec(0, 10, 3), ServerSpec(1, 20, 4)],
+    )
+    defaults.update(overrides)
+    return SynthesisReport(**defaults)
+
+
+class TestProtocol:
+    def test_satisfies_schedulability_result(self):
+        report = make_report()
+        assert isinstance(report, SchedulabilityResult)
+        assert isinstance(report, ReportBase)
+
+    def test_bool_mirrors_verdict(self):
+        assert bool(make_report())
+        assert not bool(make_report(schedulable=False))
+
+    def test_failing_t_none_when_feasible(self):
+        assert make_report().failing_t is None
+
+    def test_failing_t_surfaces_witness(self):
+        class FakeResult:
+            schedulable = False
+            failing_t = 42
+
+        report = make_report(
+            schedulable=False, local_results={1: FakeResult()}
+        )
+        assert report.failing_t == 42
+
+    def test_summary_mentions_verdict_and_effort(self):
+        stats = SearchStats()
+        stats.oracle_calls = 9
+        report = make_report(stats=stats)
+        text = report.summary()
+        assert "feasible" in text
+        assert "9 oracle calls" in text
+
+
+class TestPayload:
+    def test_bandwidth_and_pairs(self):
+        report = make_report()
+        assert report.bandwidth == 3 / 10 + 4 / 20
+        assert report.server_pairs() == [(10, 3), (20, 4)]
+
+    def test_payload_is_canonical(self):
+        import json
+
+        first = json.dumps(make_report().to_payload(), sort_keys=True)
+        second = json.dumps(make_report().to_payload(), sort_keys=True)
+        assert first == second
+
+    def test_payload_carries_provenance(self):
+        stats = SearchStats()
+        stats.nodes_expanded = 2
+        stats.record_incumbent(0.5)
+        payload = make_report(stats=stats).to_payload()
+        assert payload["provenance"]["nodes_expanded"] == 2
+        assert payload["provenance"]["bound_trajectory"] == [[2, 0.5]]
+        assert payload["servers"] == [
+            {"vm_id": 0, "pi": 10, "theta": 3},
+            {"vm_id": 1, "pi": 20, "theta": 4},
+        ]

@@ -1,0 +1,179 @@
+"""Bandwidth-minimal server synthesis: optimality, pins, fast path."""
+
+import pytest
+
+from repro.analysis.gsched_test import gsched_schedulable
+from repro.analysis.lsched_test import lsched_schedulable
+from repro.analysis.servers import minimum_budget
+from repro.core.timeslot import TimeSlotTable
+from repro.synth.servers import (
+    candidate_periods_for,
+    harmonic_fast_budget,
+    synthesize_servers,
+)
+from repro.tasks.task import IOTask
+from repro.tasks.taskset import TaskSet
+
+
+def admission_workload():
+    table = TimeSlotTable.from_pattern([1, 0, 0, 1, 0, 0, 0, 0, 0, 0])
+    vm_tasksets = {
+        0: TaskSet(
+            [
+                IOTask("steer", period=100, wcet=8),
+                IOTask("park", period=200, wcet=20),
+            ],
+            name="vm0",
+        ),
+        1: TaskSet(
+            [
+                IOTask("media", period=250, wcet=25),
+                IOTask("nav", period=500, wcet=30),
+            ],
+            name="vm1",
+        ),
+    }
+    return table, vm_tasksets
+
+
+class TestSynthesizeServers:
+    def test_feasible_and_verified(self):
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms)
+        assert outcome.feasible
+        assert set(outcome.servers) == {0, 1}
+        assert outcome.global_result is not None
+        assert outcome.global_result.schedulable
+        for vm_id, (pi, theta) in outcome.servers.items():
+            assert lsched_schedulable(pi, theta, vms[vm_id]).schedulable
+
+    def test_beats_hand_written_baseline(self):
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms)
+        hand_written = 8 / 20 + 6 / 20  # examples/admission_control.py
+        assert outcome.bandwidth <= hand_written
+
+    def test_budgets_are_exactly_minimal(self):
+        # Shrinking any theta by one must break the design: either the
+        # VM's own Theorem-4 test or nothing -- the search returns the
+        # cheapest feasible point, so local minimality must hold.
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms)
+        for vm_id, (pi, theta) in sorted(outcome.servers.items()):
+            if theta == 1:
+                continue
+            assert not lsched_schedulable(pi, theta - 1, vms[vm_id]).schedulable
+
+    def test_deterministic_across_reruns(self):
+        table, vms = admission_workload()
+        first = synthesize_servers(table, vms)
+        second = synthesize_servers(table, vms)
+        assert first.servers == second.servers
+        assert first.stats.oracle_calls == second.stats.oracle_calls
+        assert first.stats.bound_trajectory == second.stats.bound_trajectory
+
+    def test_fixed_server_respected(self):
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms, fixed={0: (20, 8)})
+        assert outcome.feasible
+        assert outcome.servers[0] == (20, 8)
+
+    def test_pinned_period_respected(self):
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms, pinned_periods={1: 10})
+        assert outcome.feasible
+        assert outcome.servers[1][0] == 10
+
+    def test_empty_vms_trivially_feasible(self):
+        table, _ = admission_workload()
+        outcome = synthesize_servers(table, {})
+        assert outcome.feasible
+        assert outcome.servers == {}
+        assert outcome.bandwidth == 0
+
+    def test_overloaded_vm_reported_infeasible(self):
+        table = TimeSlotTable.from_pattern([1, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+        vms = {
+            0: TaskSet([IOTask("hog", period=10, wcet=9)], name="vm0"),
+        }
+        outcome = synthesize_servers(table, vms)
+        assert not outcome.feasible
+        assert outcome.failures
+
+    def test_as_design_backcompat(self):
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms)
+        design = outcome.as_design()
+        assert design.servers == outcome.servers
+        assert bool(design.global_result.schedulable)
+
+    def test_global_check_prunes_infeasible_assignments(self):
+        # Both VMs want big budgets but the table only frees 8 of 10
+        # slots; the assembly search must walk past the cheapest locally
+        # feasible pairs until the Theorem-2 check passes.
+        table, vms = admission_workload()
+        outcome = synthesize_servers(table, vms)
+        pairs = [outcome.servers[vm] for vm in sorted(outcome.servers)]
+        assert gsched_schedulable(table, pairs).schedulable
+
+
+class TestHarmonicFastBudget:
+    def test_matches_exact_minimum_on_harmonic_sets(self):
+        tasks = TaskSet(
+            [
+                IOTask("a", period=8, wcet=1),
+                IOTask("b", period=16, wcet=2),
+                IOTask("c", period=32, wcet=2),
+            ],
+            name="harmonic",
+        )
+        for pi in (2, 4, 5, 8, 10, 16):
+            fast = harmonic_fast_budget(pi, tasks)
+            if fast is None:
+                continue
+            exact = minimum_budget(pi, tasks)
+            assert exact is not None
+            # Soundness: the closed-form budget passes the oracle...
+            assert lsched_schedulable(pi, fast, tasks).schedulable
+            # ...and never undercuts the exact search.
+            assert fast >= exact
+
+    def test_non_harmonic_returns_none(self):
+        tasks = TaskSet(
+            [IOTask("a", period=6, wcet=1), IOTask("b", period=10, wcet=1)],
+            name="non-harmonic",
+        )
+        assert harmonic_fast_budget(4, tasks) is None
+
+    def test_constrained_deadline_returns_none(self):
+        tasks = TaskSet(
+            [IOTask("a", period=8, wcet=1, deadline=4)], name="constrained"
+        )
+        assert harmonic_fast_budget(4, tasks) is None
+
+    def test_empty_returns_none(self):
+        assert harmonic_fast_budget(4, TaskSet(name="empty")) is None
+
+
+class TestCandidatePeriods:
+    def test_divisors_of_table_length_clipped_to_deadline(self):
+        table = TimeSlotTable.from_pattern([1, 0] * 6)  # 12 slots
+        tasks = TaskSet([IOTask("a", period=6, wcet=1)], name="t")
+        periods = candidate_periods_for(
+            table, tasks, policy="min_deadline", uniform_period=50
+        )
+        assert all(period <= 6 for period in periods)
+        assert all(12 % period == 0 or period == 6 for period in periods)
+        assert periods == tuple(sorted(set(periods)))
+
+    def test_extra_periods_included(self):
+        table = TimeSlotTable.from_pattern([1, 0] * 6)
+        tasks = TaskSet([IOTask("a", period=8, wcet=1)], name="t")
+        periods = candidate_periods_for(
+            table,
+            tasks,
+            policy="min_deadline",
+            uniform_period=50,
+            extra=(7,),
+        )
+        assert 7 in periods

@@ -1,0 +1,86 @@
+"""SOLVERS registry: resolution precedence, context override, gating."""
+
+import pytest
+
+from repro.synth.solvers import (
+    SOLVER_ENV_VAR,
+    SOLVERS,
+    SolverUnavailableError,
+    default_solver,
+    require_solver,
+    resolve_solver,
+    set_default_solver,
+    solver_available,
+    use_solver,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_solver_default():
+    previous = set_default_solver(None)
+    yield
+    set_default_solver(previous)
+
+
+class TestResolution:
+    def test_registry_contents(self):
+        assert SOLVERS == ("python", "ortools")
+
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(SOLVER_ENV_VAR, raising=False)
+        assert resolve_solver(None) == "python"
+        assert default_solver() == "python"
+
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV_VAR, "ortools")
+        set_default_solver("ortools")
+        assert resolve_solver("python") == "python"
+
+    def test_session_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV_VAR, "python")
+        set_default_solver("ortools")
+        assert resolve_solver(None) == "ortools"
+
+    def test_env_beats_builtin_default(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV_VAR, "ortools")
+        assert resolve_solver(None) == "ortools"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="cplex"):
+            resolve_solver("cplex")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV_VAR, "gurobi")
+        with pytest.raises(ValueError, match="gurobi"):
+            resolve_solver(None)
+
+    def test_set_default_returns_previous(self):
+        assert set_default_solver("python") is None
+        assert set_default_solver(None) == "python"
+
+
+class TestUseSolver:
+    def test_scoped_override_restored(self, monkeypatch):
+        monkeypatch.delenv(SOLVER_ENV_VAR, raising=False)
+        with use_solver("ortools"):
+            assert resolve_solver(None) == "ortools"
+        assert resolve_solver(None) == "python"
+
+    def test_restored_on_exception(self, monkeypatch):
+        monkeypatch.delenv(SOLVER_ENV_VAR, raising=False)
+        with pytest.raises(RuntimeError):
+            with use_solver("ortools"):
+                raise RuntimeError("boom")
+        assert resolve_solver(None) == "python"
+
+
+class TestAvailability:
+    def test_python_always_available(self):
+        assert solver_available("python") is True
+        assert require_solver("python") == "python"
+
+    def test_missing_ortools_raises_actionable_error(self):
+        if solver_available("ortools"):  # pragma: no cover - ortools present
+            pytest.skip("ortools installed in this environment")
+        with pytest.raises(SolverUnavailableError, match="ortools"):
+            require_solver("ortools")

@@ -1,0 +1,186 @@
+"""Slot-table synthesis: canonical lex-min model, constraints, wrap."""
+
+import pytest
+
+from repro.synth.search import SearchStats
+from repro.synth.table import (
+    OBJECTIVES,
+    TableConstraint,
+    synthesize_table,
+)
+from repro.tasks.task import IOTask, TaskKind
+from repro.tasks.taskset import TaskSet
+
+
+def predefined(*specs):
+    tasks = []
+    for spec in specs:
+        tasks.append(
+            IOTask(
+                name=spec["name"],
+                period=spec.get("period", 20),
+                wcet=spec.get("wcet", 1),
+                deadline=spec.get("deadline"),
+                offset=spec.get("offset", 0),
+                device=spec.get("device", "dev0"),
+                kind=TaskKind.PREDEFINED,
+            )
+        )
+    return TaskSet(tasks, name="predefined")
+
+
+class TestFeasibleSynthesis:
+    def test_basic_placement_covers_every_job(self):
+        tasks = predefined(
+            {"name": "a", "period": 10, "wcet": 2},
+            {"name": "b", "period": 20, "wcet": 3},
+        )
+        result = synthesize_table(tasks)
+        assert result.feasible
+        assert result.hyperperiod == 20
+        # 2 jobs x 2 slots for "a" + 1 job x 3 slots for "b".
+        assert result.table.total_slots == 20
+        assert len(result.table.occupied_indices()) == 7
+        assert sorted(result.placements) == ["a", "b"]
+        assert [len(job) for job in result.placements["a"]] == [2, 2]
+
+    def test_slots_fall_inside_release_windows(self):
+        tasks = predefined(
+            {"name": "a", "period": 10, "wcet": 2, "deadline": 6},
+        )
+        result = synthesize_table(tasks)
+        assert result.feasible
+        for index, job_slots in enumerate(result.placements["a"]):
+            release = index * 10
+            for slot in job_slots:
+                assert release <= slot < release + 6
+
+    def test_time_lag_constraint_enforced_per_job(self):
+        tasks = predefined(
+            {"name": "sense", "period": 20, "wcet": 2, "deadline": 10,
+             "device": "lidar"},
+            {"name": "act", "period": 20, "wcet": 1, "device": "canbus"},
+        )
+        constraint = TableConstraint("sense", "act", min_lag=2, max_lag=12)
+        result = synthesize_table(tasks, constraints=[constraint])
+        assert result.feasible
+        for sense_job, act_job in zip(
+            result.placements["sense"], result.placements["act"]
+        ):
+            lag = act_job[0] - sense_job[-1]
+            assert 1 + constraint.min_lag <= lag <= 1 + constraint.max_lag
+
+    def test_reruns_byte_identical(self):
+        tasks = predefined(
+            {"name": "a", "period": 10, "wcet": 2},
+            {"name": "b", "period": 20, "wcet": 3},
+        )
+        first = synthesize_table(tasks)
+        second = synthesize_table(tasks)
+        assert first.pattern() == second.pattern()
+        assert first.placements == second.placements
+
+    def test_objectives_registry(self):
+        assert OBJECTIVES == ("spread", "packed")
+        tasks = predefined({"name": "a", "period": 10, "wcet": 2})
+        spread = synthesize_table(tasks, objective="spread")
+        packed = synthesize_table(tasks, objective="packed")
+        assert spread.feasible and packed.feasible
+        # Packed fills from the front of each window.
+        assert packed.placements["a"][0] == [0, 1]
+
+    def test_empty_taskset_trivial(self):
+        result = synthesize_table(TaskSet(name="empty"))
+        assert result.feasible
+        assert result.table.total_slots == 1
+
+    def test_fixed_free_slots_avoided(self):
+        tasks = predefined({"name": "a", "period": 4, "wcet": 2})
+        result = synthesize_table(
+            tasks, objective="packed", fixed_free=(0,)
+        )
+        assert result.feasible
+        assert 0 not in result.table.occupied_indices()
+
+
+class TestInfeasibleSynthesis:
+    def test_blocked_job_names_device_and_slot(self):
+        # One device window of 3 slots, two of them forbidden: wcet 2
+        # cannot fit, and the reason must localize the failure.
+        tasks = predefined(
+            {"name": "x", "period": 4, "wcet": 2, "deadline": 3,
+             "device": "dx"},
+        )
+        result = synthesize_table(tasks, fixed_free=(0, 1))
+        assert not result.feasible
+        assert "x" in result.reason
+        assert result.failed_device == "dx"
+        assert result.failed_slot is not None
+
+    def test_joint_infeasibility_still_reported(self):
+        tasks = predefined(
+            {"name": "x", "period": 4, "wcet": 3, "deadline": 3},
+            {"name": "y", "period": 4, "wcet": 3},
+        )
+        result = synthesize_table(
+            tasks, constraints=[TableConstraint("x", "y")]
+        )
+        assert not result.feasible
+        assert result.reason
+
+
+class TestModelValidation:
+    def test_duplicate_names_rejected(self):
+        # TaskSet already enforces uniqueness, so feed the raw list the
+        # model validator also guards against.
+        tasks = [
+            IOTask("a", period=10, wcet=1, kind=TaskKind.PREDEFINED),
+            IOTask("a", period=20, wcet=1, kind=TaskKind.PREDEFINED),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            synthesize_table(tasks)
+
+    def test_unknown_constraint_name_rejected(self):
+        tasks = predefined({"name": "a"})
+        with pytest.raises(ValueError, match="ghost"):
+            synthesize_table(
+                tasks, constraints=[TableConstraint("a", "ghost")]
+            )
+
+    def test_constraint_needs_equal_periods(self):
+        tasks = predefined(
+            {"name": "a", "period": 10}, {"name": "b", "period": 20}
+        )
+        with pytest.raises(ValueError, match="period"):
+            synthesize_table(tasks, constraints=[TableConstraint("a", "b")])
+
+    def test_constraint_cycle_rejected(self):
+        tasks = predefined({"name": "a"}, {"name": "b"})
+        with pytest.raises(ValueError, match="cycle"):
+            synthesize_table(
+                tasks,
+                constraints=[
+                    TableConstraint("a", "b"),
+                    TableConstraint("b", "a"),
+                ],
+            )
+
+    def test_constraint_lag_validation(self):
+        with pytest.raises(ValueError):
+            TableConstraint("a", "b", min_lag=-1)
+        with pytest.raises(ValueError):
+            TableConstraint("a", "b", min_lag=5, max_lag=2)
+        with pytest.raises(ValueError):
+            TableConstraint("a", "a")
+
+    def test_hyperperiod_must_tile_periods(self):
+        tasks = predefined({"name": "a", "period": 6})
+        with pytest.raises(ValueError, match="multiple"):
+            synthesize_table(tasks, hyperperiod=10)
+
+    def test_stats_populated(self):
+        tasks = predefined({"name": "a", "period": 10, "wcet": 2})
+        stats = SearchStats()
+        result = synthesize_table(tasks, stats=stats)
+        assert result.feasible
+        assert stats.nodes_expanded > 0
